@@ -1,0 +1,78 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! background traffic, credit flow control, partial assimilation, and
+//! the extended vs spec turn pool.
+
+use asi_core::Algorithm;
+use asi_harness::{Bench, Scenario, TrafficSpec};
+use asi_sim::SimDuration;
+use asi_topo::mesh;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_traffic(c: &mut Criterion) {
+    let g = mesh(4, 4);
+    let mut group = c.benchmark_group("ablation/traffic");
+    group.bench_function("quiet", |b| {
+        b.iter(|| {
+            let bench = Bench::start(&g.topology, &Scenario::new(Algorithm::Parallel), &[]);
+            std::hint::black_box(bench.last_run().discovery_time().as_secs_f64())
+        })
+    });
+    group.bench_function("loaded", |b| {
+        let mut s = Scenario::new(Algorithm::Parallel);
+        s.traffic = Some(TrafficSpec {
+            mean_gap: SimDuration::from_us(30),
+            payload: 512,
+        });
+        b.iter(|| {
+            let bench = Bench::start(&g.topology, &s, &[]);
+            std::hint::black_box(bench.last_run().discovery_time().as_secs_f64())
+        })
+    });
+    group.finish();
+}
+
+fn bench_flow_control(c: &mut Criterion) {
+    let g = mesh(4, 4);
+    let mut group = c.benchmark_group("ablation/flow_control");
+    for (label, fc) in [("credits_on", true), ("credits_off", false)] {
+        group.bench_function(label, |b| {
+            let mut s = Scenario::new(Algorithm::Parallel);
+            s.flow_control = fc;
+            b.iter(|| {
+                let bench = Bench::start(&g.topology, &s, &[]);
+                std::hint::black_box(bench.last_run().discovery_time().as_secs_f64())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_assimilation(c: &mut Criterion) {
+    let g = mesh(4, 4);
+    let mut group = c.benchmark_group("ablation/assimilation");
+    group.sample_size(10);
+    for (label, partial) in [("full_rediscovery", false), ("partial_region", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut s = Scenario::new(Algorithm::Parallel).with_seed(0xCAFE);
+                s.partial_assimilation = partial;
+                let mut bench = Bench::start(&g.topology, &s, &[]);
+                let victim = bench.pick_victim_switch();
+                let run = bench.remove_switch(victim);
+                std::hint::black_box(run.discovery_time().as_secs_f64())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_traffic, bench_flow_control, bench_assimilation
+}
+criterion_main!(ablations);

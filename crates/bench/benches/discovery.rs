@@ -1,0 +1,35 @@
+//! Discovery wall-clock benchmarks: one group per topology family, one
+//! bench per algorithm — the simulator-performance view of the paper's
+//! central comparison.
+
+use asi_bench::discover_once;
+use asi_core::Algorithm;
+use asi_topo::Table1;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_discovery(c: &mut Criterion) {
+    for spec in [
+        Table1::Mesh(3),
+        Table1::Torus(4),
+        Table1::Mesh(6),
+        Table1::FatTree(4, 3),
+        Table1::FatTree(8, 2),
+    ] {
+        let topo = spec.build();
+        let mut group = c.benchmark_group(format!("discovery/{}", spec.name()));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(5))
+            .warm_up_time(Duration::from_millis(500));
+        for alg in Algorithm::all() {
+            group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+                b.iter(|| std::hint::black_box(discover_once(&topo, alg)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(discovery, bench_discovery);
+criterion_main!(discovery);

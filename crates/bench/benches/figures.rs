@@ -1,0 +1,66 @@
+//! One Criterion benchmark per paper table/figure. Each bench runs the
+//! corresponding experiment regenerator (quick mode) so `cargo bench`
+//! exercises every reproduction path end to end; the full-fidelity
+//! figures come from `cargo run --release -p asi-harness --bin
+//! experiments -- all`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1/topology_inventory", |b| {
+        b.iter(|| std::hint::black_box(asi_harness::experiments::table1::run()))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("fig4/fm_processing_time_sweep", |b| {
+        b.iter(|| std::hint::black_box(asi_harness::experiments::fig4::run(true)))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6/change_discovery_sweep", |b| {
+        b.iter(|| {
+            let out = asi_harness::experiments::fig6::run(true);
+            std::hint::black_box((out.scatter.series.len(), out.averages.series.len()))
+        })
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7a/fm_timeline_3x3_mesh", |b| {
+        b.iter(|| std::hint::black_box(asi_harness::experiments::fig7::run_timeline()))
+    });
+    c.bench_function("fig7b/ideal_models", |b| {
+        b.iter(|| std::hint::black_box(asi_harness::experiments::fig7::run_ideal()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8a/fm_factor_sweep", |b| {
+        b.iter(|| std::hint::black_box(asi_harness::experiments::fig8::run_fm_sweep(true)))
+    });
+    c.bench_function("fig8b/device_factor_sweep", |b| {
+        b.iter(|| std::hint::black_box(asi_harness::experiments::fig8::run_device_sweep(true)))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    c.bench_function("fig9/factor_combination_panels", |b| {
+        b.iter(|| {
+            let out = asi_harness::experiments::fig9::run(true);
+            std::hint::black_box((out.a.series.len(), out.b.series.len(), out.c.series.len()))
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_table1, bench_fig4, bench_fig6, bench_fig7, bench_fig8, bench_fig9
+}
+criterion_main!(figures);

@@ -1,0 +1,147 @@
+//! Micro-benchmarks of the substrate hot paths: event queue, RNG, turn
+//! pool, header/packet codecs, topology generation and path computation.
+
+use asi_proto::{
+    turn_for, turn_width, CapabilityAddr, Packet, Payload, Pi4, ProtocolInterface, RouteHeader,
+    TurnCursor, TurnPool, MANAGEMENT_TC, MAX_POOL_BITS,
+};
+use asi_sim::{EventQueue, SimRng, SimTime, Simulator};
+use asi_topo::{mesh, routes_from, Table1};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("push_pop_10k", |b| {
+        let mut rng = SimRng::new(1);
+        let times: Vec<u64> = (0..10_000).map(|_| rng.gen_below(1_000_000)).collect();
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for &t in &times {
+                q.push(SimTime::from_ps(t), t);
+            }
+            let mut acc = 0u64;
+            while let Some((_, _, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.bench_function("cascade_10k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::with_capacity(64);
+            sim.schedule_at(SimTime::from_ps(1), 0u64);
+            let mut n = 0u64;
+            while let Some(f) = sim.next_event() {
+                n += 1;
+                if n < 10_000 {
+                    sim.schedule_after(asi_sim::SimDuration::from_ps(f.event % 97 + 1), n);
+                }
+            }
+            std::hint::black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/rng");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("next_u64_1k", |b| {
+        let mut rng = SimRng::new(2);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_turn_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/turn_pool");
+    group.bench_function("encode_walk_14_hops", |b| {
+        b.iter(|| {
+            let mut pool = TurnPool::with_capacity(MAX_POOL_BITS);
+            for i in 0..14u8 {
+                pool.push_turn(turn_for(i % 16, (i + 5) % 16, 16), turn_width(16))
+                    .unwrap();
+            }
+            let mut cursor = TurnCursor::start(&pool, asi_proto::Direction::Forward);
+            let mut acc = 0u32;
+            while !cursor.exhausted(&pool) {
+                let (t, next) = cursor.take_turn(&pool, 4).unwrap();
+                acc += u32::from(t);
+                cursor = next;
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let mut pool = TurnPool::with_capacity(MAX_POOL_BITS);
+    for i in 0..10u8 {
+        pool.push_turn(i % 16, 4).unwrap();
+    }
+    let header = RouteHeader::forward(ProtocolInterface::DeviceManagement, MANAGEMENT_TC, pool);
+    let packet = Packet::new(
+        header,
+        Payload::Pi4(Pi4::ReadCompletion {
+            req_id: 7,
+            data: vec![0xDEAD_BEEF; 8],
+        }),
+    );
+    let bytes = packet.encode();
+    let mut group = c.benchmark_group("micro/codec");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("packet_encode", |b| {
+        b.iter(|| std::hint::black_box(packet.encode()))
+    });
+    group.bench_function("packet_decode", |b| {
+        b.iter(|| std::hint::black_box(Packet::decode(&bytes).unwrap()))
+    });
+    group.bench_function("read_request_encode", |b| {
+        let req = Pi4::ReadRequest {
+            req_id: 1,
+            addr: CapabilityAddr::baseline(6),
+            dwords: 8,
+        };
+        b.iter(|| {
+            let mut out = Vec::with_capacity(16);
+            req.encode(&mut out);
+            std::hint::black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/topology");
+    group.bench_function("build_8x8_mesh", |b| {
+        b.iter(|| std::hint::black_box(mesh(8, 8).topology.node_count()))
+    });
+    group.bench_function("build_4port_4tree", |b| {
+        b.iter(|| std::hint::black_box(Table1::FatTree(4, 4).build().node_count()))
+    });
+    let g = mesh(8, 8);
+    let src = g.endpoint_at(0, 0);
+    group.bench_function("bfs_routes_8x8_mesh", |b| {
+        b.iter(|| std::hint::black_box(routes_from(&g.topology, src).len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_event_queue, bench_rng, bench_turn_pool, bench_codecs, bench_topology
+}
+criterion_main!(micro);

@@ -1,0 +1,34 @@
+//! `asi-bench` — shared helpers for the Criterion benchmark suite.
+//!
+//! The benches regenerate the paper's tables and figures (see the
+//! `figures` bench and the `experiments` binary in `asi-harness` for the
+//! full-fidelity runs) and measure the simulator's own wall-clock
+//! performance (the `micro` bench).
+
+#![warn(missing_docs)]
+
+use asi_core::Algorithm;
+use asi_harness::{Bench, Scenario};
+use asi_topo::Topology;
+
+/// Runs one initial discovery and returns `(sim-time seconds, requests)`.
+/// The standard unit of work benchmarked across the suite.
+pub fn discover_once(topo: &Topology, algorithm: Algorithm) -> (f64, u64) {
+    let bench = Bench::start(topo, &Scenario::new(algorithm), &[]);
+    let run = bench.last_run();
+    (run.discovery_time().as_secs_f64(), run.requests_sent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asi_topo::mesh;
+
+    #[test]
+    fn discover_once_returns_plausible_values() {
+        let g = mesh(3, 3);
+        let (t, reqs) = discover_once(&g.topology, Algorithm::Parallel);
+        assert!(t > 0.0 && t < 1.0);
+        assert!(reqs > 20);
+    }
+}

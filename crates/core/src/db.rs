@@ -1,0 +1,556 @@
+//! The fabric manager's topology database: everything discovery learns.
+//!
+//! Keyed by DSN (device serial number), which is how the FM recognizes a
+//! device it has already reached through a different path (the dedup step
+//! in the paper's Fig. 2 flow chart).
+
+use asi_proto::{turn_for, turn_width, DeviceInfo, DeviceType, PortInfo, TurnError, TurnPool};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// How the FM reaches a device: inject on `egress` (the FM endpoint's
+/// port), follow `pool`, arrive at the device's `entry_port`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeviceRoute {
+    /// Egress port at the FM's endpoint.
+    pub egress: u8,
+    /// Turns for the switches along the path.
+    pub pool: TurnPool,
+    /// Port at which packets enter the target device.
+    pub entry_port: u8,
+    /// Switch hops from the FM.
+    pub hops: u16,
+}
+
+/// A device record in the database.
+#[derive(Clone, Debug)]
+pub struct DbDevice {
+    /// General information (from the first six baseline words).
+    pub info: DeviceInfo,
+    /// Route used to reach it.
+    pub route: DeviceRoute,
+    /// Per-port attributes; `None` until the port block has been read.
+    pub ports: Vec<Option<PortInfo>>,
+}
+
+impl DbDevice {
+    /// Number of active ports among those read so far.
+    pub fn active_ports(&self) -> usize {
+        self.ports
+            .iter()
+            .flatten()
+            .filter(|p| p.state.is_active())
+            .count()
+    }
+
+    /// True once every port block has been read.
+    pub fn ports_complete(&self) -> bool {
+        self.ports.iter().all(Option::is_some)
+    }
+}
+
+/// Canonicalized link key.
+fn link_key(a: (u64, u8), b: (u64, u8)) -> (u64, u8, u64, u8) {
+    if a <= b {
+        (a.0, a.1, b.0, b.1)
+    } else {
+        (b.0, b.1, a.0, a.1)
+    }
+}
+
+/// The discovered topology.
+#[derive(Clone, Debug, Default)]
+pub struct TopologyDb {
+    devices: HashMap<u64, DbDevice>,
+    links: HashSet<(u64, u8, u64, u8)>,
+    host_dsn: u64,
+}
+
+impl TopologyDb {
+    /// Fresh database rooted at the FM's endpoint.
+    pub fn new(host_dsn: u64) -> TopologyDb {
+        TopologyDb {
+            devices: HashMap::new(),
+            links: HashSet::new(),
+            host_dsn,
+        }
+    }
+
+    /// DSN of the FM's endpoint.
+    pub fn host_dsn(&self) -> u64 {
+        self.host_dsn
+    }
+
+    /// Device count (including the host).
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Link count.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True if a DSN is already known.
+    pub fn contains(&self, dsn: u64) -> bool {
+        self.devices.contains_key(&dsn)
+    }
+
+    /// Looks up a device.
+    pub fn device(&self, dsn: u64) -> Option<&DbDevice> {
+        self.devices.get(&dsn)
+    }
+
+    /// Mutable lookup.
+    pub fn device_mut(&mut self, dsn: u64) -> Option<&mut DbDevice> {
+        self.devices.get_mut(&dsn)
+    }
+
+    /// Iterates all devices.
+    pub fn devices(&self) -> impl Iterator<Item = &DbDevice> {
+        self.devices.values()
+    }
+
+    /// Iterates all links.
+    pub fn links(&self) -> impl Iterator<Item = ((u64, u8), (u64, u8))> + '_ {
+        self.links.iter().map(|&(a, ap, b, bp)| ((a, ap), (b, bp)))
+    }
+
+    /// DSNs of all discovered endpoints.
+    pub fn endpoints(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .devices
+            .values()
+            .filter(|d| d.info.device_type == DeviceType::Endpoint)
+            .map(|d| d.info.dsn)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// DSNs of all discovered switches.
+    pub fn switches(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .devices
+            .values()
+            .filter(|d| d.info.device_type == DeviceType::Switch)
+            .map(|d| d.info.dsn)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Records a newly discovered device. Returns `false` (and leaves the
+    /// record untouched) if the DSN was already present.
+    pub fn insert_device(&mut self, info: DeviceInfo, route: DeviceRoute) -> bool {
+        if self.devices.contains_key(&info.dsn) {
+            return false;
+        }
+        let ports = vec![None; usize::from(info.port_count)];
+        self.devices.insert(
+            info.dsn,
+            DbDevice { info, route, ports },
+        );
+        true
+    }
+
+    /// Records a link. Idempotent; returns `true` if the link was new.
+    pub fn add_link(&mut self, a: (u64, u8), b: (u64, u8)) -> bool {
+        self.links.insert(link_key(a, b))
+    }
+
+    /// Stores a port block for a device.
+    pub fn set_port(&mut self, dsn: u64, port: u16, info: PortInfo) {
+        if let Some(d) = self.devices.get_mut(&dsn) {
+            if let Some(slot) = d.ports.get_mut(usize::from(port)) {
+                *slot = Some(info);
+            }
+        }
+    }
+
+    /// Removes one link. Returns `true` if it was present.
+    pub fn remove_link(&mut self, a: (u64, u8), b: (u64, u8)) -> bool {
+        self.links.remove(&link_key(a, b))
+    }
+
+    /// Removes a device and all links touching it. Returns `true` if it
+    /// existed.
+    pub fn remove_device(&mut self, dsn: u64) -> bool {
+        let existed = self.devices.remove(&dsn).is_some();
+        self.links
+            .retain(|&(a, _, b, _)| a != dsn && b != dsn);
+        existed
+    }
+
+    /// The neighbour recorded at `(dsn, port)`, if any.
+    pub fn neighbor(&self, dsn: u64, port: u8) -> Option<(u64, u8)> {
+        self.links.iter().find_map(|&(a, ap, b, bp)| {
+            if (a, ap) == (dsn, port) {
+                Some((b, bp))
+            } else if (b, bp) == (dsn, port) {
+                Some((a, ap))
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Drops every device not reachable from the host over recorded links
+    /// (used after removals). Returns the DSNs pruned.
+    pub fn prune_unreachable(&mut self) -> Vec<u64> {
+        let mut adj: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(a, _, b, _) in &self.links {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut queue = VecDeque::new();
+        if self.devices.contains_key(&self.host_dsn) {
+            seen.insert(self.host_dsn);
+            queue.push_back(self.host_dsn);
+        }
+        while let Some(d) = queue.pop_front() {
+            for &n in adj.get(&d).into_iter().flatten() {
+                if self.devices.contains_key(&n) && seen.insert(n) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        let doomed: Vec<u64> = self
+            .devices
+            .keys()
+            .copied()
+            .filter(|d| !seen.contains(d))
+            .collect();
+        for d in &doomed {
+            self.remove_device(*d);
+        }
+        doomed
+    }
+
+    /// BFS route from the host to `to`, or from `from` to the host —
+    /// computed over the discovered links. Returns `(egress at from,
+    /// pool, entry port at to)`.
+    pub fn route_between(
+        &self,
+        from: u64,
+        to: u64,
+        pool_capacity: u16,
+    ) -> Option<Result<DeviceRoute, TurnError>> {
+        if from == to || !self.contains(from) || !self.contains(to) {
+            return None;
+        }
+        // BFS over (dsn) space using the link set.
+        let mut adj: HashMap<u64, Vec<(u8, u64, u8)>> = HashMap::new();
+        for &(a, ap, b, bp) in &self.links {
+            adj.entry(a).or_default().push((ap, b, bp));
+            adj.entry(b).or_default().push((bp, a, ap));
+        }
+        // Deterministic neighbour order.
+        for v in adj.values_mut() {
+            v.sort_unstable();
+        }
+        let mut prev: HashMap<u64, (u64, u8, u8)> = HashMap::new(); // node -> (parent, parent_egress, entry)
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        let mut seen: HashSet<u64> = HashSet::new();
+        seen.insert(from);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                break;
+            }
+            for &(p, m, mp) in adj.get(&n).into_iter().flatten() {
+                if self.contains(m) && seen.insert(m) {
+                    prev.insert(m, (n, p, mp));
+                    queue.push_back(m);
+                }
+            }
+        }
+        prev.get(&to)?;
+        // Reconstruct the chain of (node, egress, entry-at-next).
+        let mut chain: Vec<(u64, u8, u8)> = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let &(parent, egress, entry) = prev.get(&cur)?;
+            chain.push((parent, egress, entry));
+            cur = parent;
+        }
+        chain.reverse();
+        let egress = chain[0].1;
+        let entry_port = chain.last().unwrap().2;
+        let mut pool = TurnPool::with_capacity(pool_capacity);
+        let mut hops = 0;
+        for i in 1..chain.len() {
+            let (switch_dsn, out, _) = chain[i];
+            let ingress = chain[i - 1].2;
+            let ports = self.devices[&switch_dsn].info.port_count as u8;
+            let turn = turn_for(ingress, out, ports);
+            if let Err(e) = pool.push_turn(turn, turn_width(ports)) {
+                return Some(Err(e));
+            }
+            hops += 1;
+        }
+        Some(Ok(DeviceRoute {
+            egress,
+            pool,
+            entry_port,
+            hops,
+        }))
+    }
+
+    /// Recomputes every device's stored route from the host over the
+    /// current link set (the "new set of paths" step the paper requires
+    /// after every topological change). Devices with no route keep their
+    /// stale one; returns the DSNs whose route could not be refreshed.
+    pub fn refresh_routes(&mut self, pool_capacity: u16) -> Vec<u64> {
+        let host = self.host_dsn;
+        let dsns: Vec<u64> = self.devices.keys().copied().collect();
+        let mut stale = Vec::new();
+        for dsn in dsns {
+            if dsn == host {
+                continue;
+            }
+            match self.route_between(host, dsn, pool_capacity) {
+                Some(Ok(route)) => {
+                    if let Some(d) = self.devices.get_mut(&dsn) {
+                        d.route = route;
+                    }
+                }
+                _ => stale.push(dsn),
+            }
+        }
+        stale.sort_unstable();
+        stale
+    }
+
+    /// Differences between two databases (for assimilation reports).
+    pub fn diff(&self, newer: &TopologyDb) -> DbDiff {
+        let added_devices = newer
+            .devices
+            .keys()
+            .filter(|d| !self.devices.contains_key(d))
+            .copied()
+            .collect();
+        let removed_devices = self
+            .devices
+            .keys()
+            .filter(|d| !newer.devices.contains_key(d))
+            .copied()
+            .collect();
+        let added_links = newer.links.difference(&self.links).copied().collect();
+        let removed_links = self.links.difference(&newer.links).copied().collect();
+        DbDiff {
+            added_devices,
+            removed_devices,
+            added_links,
+            removed_links,
+        }
+    }
+}
+
+/// Topology delta between two discovery runs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DbDiff {
+    /// DSNs present only in the newer database.
+    pub added_devices: Vec<u64>,
+    /// DSNs present only in the older database.
+    pub removed_devices: Vec<u64>,
+    /// Links present only in the newer database.
+    pub added_links: Vec<(u64, u8, u64, u8)>,
+    /// Links present only in the older database.
+    pub removed_links: Vec<(u64, u8, u64, u8)>,
+}
+
+impl DbDiff {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added_devices.is_empty()
+            && self.removed_devices.is_empty()
+            && self.added_links.is_empty()
+            && self.removed_links.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asi_proto::PortState;
+
+    fn info(dsn: u64, device_type: DeviceType, ports: u16) -> DeviceInfo {
+        DeviceInfo {
+            device_type,
+            dsn,
+            port_count: ports,
+            max_packet_size: 2048,
+            fm_capable: device_type == DeviceType::Endpoint,
+            fm_priority: 0,
+        }
+    }
+
+    fn route0() -> DeviceRoute {
+        DeviceRoute {
+            egress: 0,
+            pool: TurnPool::with_capacity(64),
+            entry_port: 0,
+            hops: 0,
+        }
+    }
+
+    /// host(ep,dsn=1) -- sw(dsn=2,16p) -- ep(dsn=3)
+    fn line_db() -> TopologyDb {
+        let mut db = TopologyDb::new(1);
+        db.insert_device(info(1, DeviceType::Endpoint, 1), route0());
+        db.insert_device(info(2, DeviceType::Switch, 16), route0());
+        db.insert_device(info(3, DeviceType::Endpoint, 1), route0());
+        db.add_link((1, 0), (2, 4));
+        db.add_link((2, 5), (3, 0));
+        db
+    }
+
+    #[test]
+    fn insert_dedups_by_dsn() {
+        let mut db = TopologyDb::new(1);
+        assert!(db.insert_device(info(7, DeviceType::Switch, 16), route0()));
+        assert!(!db.insert_device(info(7, DeviceType::Switch, 16), route0()));
+        assert_eq!(db.device_count(), 1);
+    }
+
+    #[test]
+    fn links_are_canonical_and_idempotent() {
+        let mut db = TopologyDb::new(1);
+        assert!(db.add_link((5, 3), (2, 1)));
+        assert!(!db.add_link((2, 1), (5, 3)));
+        assert_eq!(db.link_count(), 1);
+    }
+
+    #[test]
+    fn neighbor_lookup_both_directions() {
+        let db = line_db();
+        assert_eq!(db.neighbor(1, 0), Some((2, 4)));
+        assert_eq!(db.neighbor(2, 4), Some((1, 0)));
+        assert_eq!(db.neighbor(2, 5), Some((3, 0)));
+        assert_eq!(db.neighbor(2, 9), None);
+    }
+
+    #[test]
+    fn port_blocks_and_completeness() {
+        let mut db = line_db();
+        assert!(!db.device(2).unwrap().ports_complete());
+        for p in 0..16 {
+            db.set_port(
+                2,
+                p,
+                PortInfo {
+                    state: if p < 2 { PortState::Active } else { PortState::Down },
+                    link_width: 1,
+                    link_speed: 10,
+                    peer_port: 0,
+                },
+            );
+        }
+        let d = db.device(2).unwrap();
+        assert!(d.ports_complete());
+        assert_eq!(d.active_ports(), 2);
+    }
+
+    #[test]
+    fn classification_lists() {
+        let db = line_db();
+        assert_eq!(db.endpoints(), vec![1, 3]);
+        assert_eq!(db.switches(), vec![2]);
+    }
+
+    #[test]
+    fn remove_device_drops_its_links() {
+        let mut db = line_db();
+        assert!(db.remove_device(2));
+        assert_eq!(db.link_count(), 0);
+        assert!(!db.remove_device(2));
+    }
+
+    #[test]
+    fn prune_unreachable_removes_orphans() {
+        let mut db = line_db();
+        // Island device with no links.
+        db.insert_device(info(9, DeviceType::Switch, 16), route0());
+        let pruned = db.prune_unreachable();
+        assert_eq!(pruned, vec![9]);
+        assert_eq!(db.device_count(), 3);
+
+        // Removing the switch strands endpoint 3.
+        db.remove_device(2);
+        let mut pruned = db.prune_unreachable();
+        pruned.sort_unstable();
+        assert_eq!(pruned, vec![3]);
+        assert_eq!(db.device_count(), 1);
+    }
+
+    #[test]
+    fn route_between_follows_links() {
+        let db = line_db();
+        let r = db.route_between(1, 3, 64).unwrap().unwrap();
+        assert_eq!(r.egress, 0);
+        assert_eq!(r.entry_port, 0);
+        assert_eq!(r.hops, 1);
+        // Turn at switch 2: ingress 4 → egress 5 on a 16-port switch.
+        let mut expect = TurnPool::with_capacity(64);
+        expect.push_turn(turn_for(4, 5, 16), 4).unwrap();
+        assert_eq!(r.pool, expect);
+
+        // Reverse direction.
+        let r = db.route_between(3, 1, 64).unwrap().unwrap();
+        assert_eq!(r.egress, 0);
+        assert_eq!(r.entry_port, 0);
+        let mut expect = TurnPool::with_capacity(64);
+        expect.push_turn(turn_for(5, 4, 16), 4).unwrap();
+        assert_eq!(r.pool, expect);
+    }
+
+    #[test]
+    fn route_between_edge_cases() {
+        let db = line_db();
+        assert!(db.route_between(1, 1, 64).is_none(), "self route");
+        assert!(db.route_between(1, 99, 64).is_none(), "unknown target");
+        let mut db2 = db.clone();
+        db2.insert_device(info(9, DeviceType::Endpoint, 1), route0());
+        assert!(db2.route_between(1, 9, 64).is_none(), "unreachable");
+    }
+
+    #[test]
+    fn route_between_reports_pool_overflow() {
+        // A chain long enough to exceed a tiny pool capacity.
+        let mut db = TopologyDb::new(0);
+        db.insert_device(info(0, DeviceType::Endpoint, 1), route0());
+        for i in 1..=4 {
+            db.insert_device(info(i, DeviceType::Switch, 16), route0());
+        }
+        db.insert_device(info(5, DeviceType::Endpoint, 1), route0());
+        db.add_link((0, 0), (1, 0));
+        for i in 1..4 {
+            db.add_link((i, 1), (i + 1, 0));
+        }
+        db.add_link((4, 1), (5, 0));
+        // 4 switches * 4 bits = 16 bits > 8-bit capacity.
+        match db.route_between(0, 5, 8) {
+            Some(Err(TurnError::PoolOverflow { .. })) => {}
+            other => panic!("expected overflow, got {other:?}"),
+        }
+        // Fits with capacity 16.
+        assert!(db.route_between(0, 5, 16).unwrap().is_ok());
+    }
+
+    #[test]
+    fn diff_detects_changes() {
+        let old = line_db();
+        let mut new = line_db();
+        new.remove_device(3);
+        new.insert_device(info(10, DeviceType::Endpoint, 1), route0());
+        new.add_link((2, 6), (10, 0));
+        let d = old.diff(&new);
+        assert_eq!(d.added_devices, vec![10]);
+        assert_eq!(d.removed_devices, vec![3]);
+        assert_eq!(d.added_links.len(), 1);
+        assert_eq!(d.removed_links.len(), 1);
+        assert!(!d.is_empty());
+        assert!(old.diff(&old).is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! Distributed discovery (the paper's first future-work item, §5):
+//! several collaborative fabric managers explore the fabric
+//! simultaneously, partition it with claim-and-hold ownership writes, and
+//! stream their partial databases to the primary manager for merging.
+//!
+//! ## Protocol
+//!
+//! 1. Every manager runs the Parallel algorithm with *claim
+//!    partitioning*: after inserting a newly probed device it writes its
+//!    own DSN to the device's ownership register (claim-and-hold: the
+//!    first write sticks) and reads it back. If the read-back shows a
+//!    rival, the manager keeps the device and the link in its database
+//!    but cedes the device's region — it does not read the ports or probe
+//!    beyond.
+//! 2. When a collaborator's exploration drains, it streams its database
+//!    to the primary as [`asi_proto::FmMessage`] packets (`Device`,
+//!    `Link`, then `Complete`).
+//! 3. The primary merges records as they arrive (each occupying the FM
+//!    for [`crate::timing::FmTiming::merge_time`]), and finishes once its
+//!    own exploration is done and every expected `Complete` has arrived;
+//!    it then recomputes all routes from its own endpoint.
+//!
+//! Routes from collaborators are relative to *their* endpoints, so only
+//! device/link facts are transferred; the primary re-derives routes.
+
+use crate::db::{DeviceRoute, TopologyDb};
+use asi_proto::{FmMessage, TurnPool};
+use asi_sim::SimTime;
+use std::collections::HashSet;
+
+/// The role a manager plays in a distributed discovery.
+#[derive(Clone, Debug)]
+pub enum DistributedRole {
+    /// Merges collaborator reports; owns the final database.
+    Primary {
+        /// Number of collaborators whose `Complete` must arrive.
+        expected_reports: usize,
+    },
+    /// Explores its claimed region, then reports to the primary.
+    Collaborator {
+        /// Egress port toward the primary.
+        report_egress: u8,
+        /// Route to the primary's endpoint.
+        report_pool: TurnPool,
+    },
+}
+
+/// Merge-side state kept by the primary.
+#[derive(Debug, Default)]
+pub struct MergeState {
+    /// Device records received.
+    pub devices_received: u64,
+    /// Link records received.
+    pub links_received: u64,
+    /// Collaborators whose `Complete` arrived.
+    pub completed: HashSet<u64>,
+    /// Messages that arrived while the primary's own exploration still
+    /// owned the database.
+    pub backlog: Vec<FmMessage>,
+    /// When the merged database became final.
+    pub finished_at: Option<SimTime>,
+}
+
+impl MergeState {
+    /// Applies one FM message to the database. Returns `true` when the
+    /// message was a `Complete`.
+    pub fn apply(&mut self, db: &mut TopologyDb, msg: FmMessage) -> bool {
+        match msg {
+            FmMessage::Hello { .. } => false,
+            FmMessage::Device { info, ports } => {
+                self.devices_received += 1;
+                if !db.contains(info.dsn) {
+                    db.insert_device(
+                        info,
+                        DeviceRoute {
+                            egress: 0,
+                            pool: TurnPool::new_spec(),
+                            entry_port: 0,
+                            hops: 0,
+                        },
+                    );
+                }
+                // Fill port attributes the primary lacks (ceded regions).
+                let need_ports = db
+                    .device(info.dsn)
+                    .map(|d| !d.ports_complete())
+                    .unwrap_or(false);
+                if need_ports {
+                    for (p, port) in ports.into_iter().enumerate() {
+                        db.set_port(info.dsn, p as u16, port);
+                    }
+                }
+                false
+            }
+            FmMessage::Link { a, b } => {
+                self.links_received += 1;
+                db.add_link(a, b);
+                false
+            }
+            FmMessage::Complete { sender, .. } => {
+                self.completed.insert(sender);
+                true
+            }
+        }
+    }
+}
+
+/// Serializes a database into the message stream a collaborator sends to
+/// the primary (devices first, then links, then `Complete`).
+pub fn report_messages(db: &TopologyDb) -> Vec<FmMessage> {
+    let mut out = Vec::new();
+    let mut dsns: Vec<u64> = db.devices().map(|d| d.info.dsn).collect();
+    dsns.sort_unstable();
+    for dsn in dsns {
+        let d = db.device(dsn).expect("listed");
+        out.push(FmMessage::Device {
+            info: d.info,
+            ports: d.ports.iter().map(|p| p.unwrap_or_default()).collect(),
+        });
+    }
+    let mut links: Vec<((u64, u8), (u64, u8))> = db.links().collect();
+    links.sort_unstable();
+    let nlinks = links.len();
+    for (a, b) in links {
+        out.push(FmMessage::Link { a, b });
+    }
+    out.push(FmMessage::Complete {
+        sender: db.host_dsn(),
+        devices: db.device_count() as u32,
+        links: nlinks as u32,
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asi_proto::{DeviceInfo, DeviceType, PortInfo, PortState};
+
+    fn info(dsn: u64, ports: u16) -> DeviceInfo {
+        DeviceInfo {
+            device_type: if ports > 4 {
+                DeviceType::Switch
+            } else {
+                DeviceType::Endpoint
+            },
+            dsn,
+            port_count: ports,
+            max_packet_size: 2048,
+            fm_capable: ports <= 4,
+            fm_priority: 0,
+        }
+    }
+
+    fn sample_db(host: u64) -> TopologyDb {
+        let mut db = TopologyDb::new(host);
+        db.insert_device(
+            info(host, 1),
+            DeviceRoute {
+                egress: 0,
+                pool: TurnPool::new_spec(),
+                entry_port: 0,
+                hops: 0,
+            },
+        );
+        db.insert_device(
+            info(100, 16),
+            DeviceRoute {
+                egress: 0,
+                pool: TurnPool::new_spec(),
+                entry_port: 0,
+                hops: 1,
+            },
+        );
+        for p in 0..16 {
+            db.set_port(
+                100,
+                p,
+                PortInfo {
+                    state: if p == 0 { PortState::Active } else { PortState::Down },
+                    link_width: 1,
+                    link_speed: 10,
+                    peer_port: 0,
+                },
+            );
+        }
+        db.add_link((host, 0), (100, 0));
+        db
+    }
+
+    #[test]
+    fn report_has_devices_links_complete_in_order() {
+        let db = sample_db(1);
+        let msgs = report_messages(&db);
+        assert_eq!(msgs.len(), 2 + 1 + 1);
+        assert!(matches!(msgs[0], FmMessage::Device { .. }));
+        assert!(matches!(msgs[1], FmMessage::Device { .. }));
+        assert!(matches!(msgs[2], FmMessage::Link { .. }));
+        assert!(
+            matches!(msgs[3], FmMessage::Complete { sender: 1, devices: 2, links: 1 }),
+            "{:?}",
+            msgs[3]
+        );
+    }
+
+    #[test]
+    fn merge_reconstructs_the_database() {
+        let src = sample_db(1);
+        let mut dst = TopologyDb::new(99);
+        dst.insert_device(
+            info(99, 1),
+            DeviceRoute {
+                egress: 0,
+                pool: TurnPool::new_spec(),
+                entry_port: 0,
+                hops: 0,
+            },
+        );
+        let mut merge = MergeState::default();
+        let mut completes = 0;
+        for msg in report_messages(&src) {
+            if merge.apply(&mut dst, msg) {
+                completes += 1;
+            }
+        }
+        assert_eq!(completes, 1);
+        assert_eq!(merge.devices_received, 2);
+        assert_eq!(merge.links_received, 1);
+        assert!(dst.contains(1) && dst.contains(100));
+        assert_eq!(dst.link_count(), 1);
+        assert!(merge.completed.contains(&1));
+        // Port attributes came across.
+        assert!(dst.device(100).unwrap().ports_complete());
+        assert_eq!(dst.device(100).unwrap().active_ports(), 1);
+    }
+
+    #[test]
+    fn merge_does_not_clobber_known_ports() {
+        let src = sample_db(1);
+        let mut dst = sample_db(2); // already knows device 100 fully
+        dst.set_port(
+            100,
+            3,
+            PortInfo {
+                state: PortState::Active,
+                link_width: 1,
+                link_speed: 10,
+                peer_port: 9,
+            },
+        );
+        let known = *dst.device(100).unwrap().ports[3].as_ref().unwrap();
+        let mut merge = MergeState::default();
+        for msg in report_messages(&src) {
+            merge.apply(&mut dst, msg);
+        }
+        assert_eq!(*dst.device(100).unwrap().ports[3].as_ref().unwrap(), known);
+    }
+
+    #[test]
+    fn duplicate_links_merge_idempotently() {
+        let src = sample_db(1);
+        let mut dst = TopologyDb::new(99);
+        dst.insert_device(
+            info(99, 1),
+            DeviceRoute {
+                egress: 0,
+                pool: TurnPool::new_spec(),
+                entry_port: 0,
+                hops: 0,
+            },
+        );
+        let mut merge = MergeState::default();
+        for _ in 0..2 {
+            for msg in report_messages(&src) {
+                merge.apply(&mut dst, msg);
+            }
+        }
+        assert_eq!(dst.link_count(), 1);
+        assert_eq!(dst.device_count(), 3);
+    }
+}

@@ -1,0 +1,165 @@
+//! Fabric-manager election and failover support.
+//!
+//! After power-up, ASI runs a distributed process that selects a primary
+//! and a secondary fabric manager among the FM-capable endpoints; if the
+//! primary fails, the secondary takes over (spec §fabric management,
+//! paper §2). The ordering rule: higher advertised priority wins, DSN
+//! breaks ties (higher DSN wins, making the order total).
+//!
+//! The packet-level realization reuses the ownership capability: each
+//! contender walks the fabric writing its claim; a contender that reads a
+//! stronger claim anywhere abdicates. The pure comparison/selection logic
+//! lives here; the walking is the claim-partitioning mode of the
+//! discovery [`crate::engine::Engine`].
+
+/// An FM candidacy claim.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Claim {
+    /// Advertised election priority.
+    pub priority: u8,
+    /// The candidate endpoint's DSN.
+    pub dsn: u64,
+}
+
+impl Claim {
+    /// The spec's ownership-register encoding only carries the DSN; the
+    /// priority rides in the candidate's general info. For comparisons we
+    /// need both.
+    pub fn new(priority: u8, dsn: u64) -> Claim {
+        Claim { priority, dsn }
+    }
+}
+
+impl Ord for Claim {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(self.dsn.cmp(&other.dsn))
+    }
+}
+
+impl PartialOrd for Claim {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Outcome of an election round.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ElectionResult {
+    /// The winning claim — this endpoint hosts the primary FM.
+    pub primary: Claim,
+    /// The runner-up, if any — hosts the secondary FM.
+    pub secondary: Option<Claim>,
+}
+
+/// Selects primary and secondary managers from the candidate set.
+/// Returns `None` when no candidate exists.
+pub fn elect(candidates: &[Claim]) -> Option<ElectionResult> {
+    let mut sorted: Vec<Claim> = candidates.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let primary = *sorted.last()?;
+    let secondary = sorted
+        .len()
+        .checked_sub(2)
+        .map(|i| sorted[i]);
+    Some(ElectionResult { primary, secondary })
+}
+
+/// The role an FM-capable endpoint ends up with.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FmRole {
+    /// Owns the fabric: runs discovery and configuration.
+    Primary,
+    /// Hot standby: watches the primary, takes over on failure.
+    Secondary,
+    /// Lost the election outright.
+    Bystander,
+}
+
+/// Decides this candidate's role given every claim it observed during its
+/// fabric walk (its own claim included).
+pub fn role_of(own: Claim, observed: &[Claim]) -> FmRole {
+    let mut all = observed.to_vec();
+    all.push(own);
+    let Some(result) = elect(&all) else {
+        return FmRole::Bystander;
+    };
+    if result.primary == own {
+        FmRole::Primary
+    } else if result.secondary == Some(own) {
+        FmRole::Secondary
+    } else {
+        FmRole::Bystander
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_dominates_dsn() {
+        let a = Claim::new(10, 1);
+        let b = Claim::new(5, 999);
+        assert!(a > b);
+        let r = elect(&[a, b]).unwrap();
+        assert_eq!(r.primary, a);
+        assert_eq!(r.secondary, Some(b));
+    }
+
+    #[test]
+    fn dsn_breaks_priority_ties() {
+        let a = Claim::new(7, 100);
+        let b = Claim::new(7, 200);
+        let r = elect(&[a, b]).unwrap();
+        assert_eq!(r.primary, b);
+        assert_eq!(r.secondary, Some(a));
+    }
+
+    #[test]
+    fn single_candidate_has_no_secondary() {
+        let a = Claim::new(1, 1);
+        let r = elect(&[a]).unwrap();
+        assert_eq!(r.primary, a);
+        assert_eq!(r.secondary, None);
+    }
+
+    #[test]
+    fn empty_field_elects_nobody() {
+        assert!(elect(&[]).is_none());
+    }
+
+    #[test]
+    fn duplicate_claims_collapse() {
+        let a = Claim::new(3, 3);
+        let r = elect(&[a, a, a]).unwrap();
+        assert_eq!(r.primary, a);
+        assert_eq!(r.secondary, None);
+    }
+
+    #[test]
+    fn roles_are_consistent() {
+        let a = Claim::new(9, 10);
+        let b = Claim::new(9, 5);
+        let c = Claim::new(1, 99);
+        let field = [a, b, c];
+        assert_eq!(role_of(a, &field), FmRole::Primary);
+        assert_eq!(role_of(b, &field), FmRole::Secondary);
+        assert_eq!(role_of(c, &field), FmRole::Bystander);
+    }
+
+    #[test]
+    fn role_with_partial_observation_still_sound() {
+        // A candidate that saw only weaker claims believes it is primary —
+        // the walk guarantees the true primary observes (or is observed
+        // by) every rival on a connected fabric.
+        let own = Claim::new(5, 5);
+        assert_eq!(role_of(own, &[Claim::new(1, 1)]), FmRole::Primary);
+        assert_eq!(
+            role_of(own, &[Claim::new(9, 9), Claim::new(7, 7)]),
+            FmRole::Bystander
+        );
+    }
+}

@@ -1,0 +1,1040 @@
+//! The discovery engine: the paper's three algorithms as one state
+//! machine with algorithm-specific request scheduling.
+//!
+//! The engine is deliberately I/O-free: it consumes completions/timeouts
+//! and emits [`OutRequest`]s. The [`crate::fm::FmAgent`] adapts it to the
+//! fabric's agent interface; unit tests drive it directly.
+//!
+//! ## Scheduling differences (paper §3)
+//!
+//! | algorithm      | outstanding requests                                  |
+//! |----------------|-------------------------------------------------------|
+//! | Serial Packet  | exactly one, breadth-first over devices               |
+//! | Serial Device  | one device at a time, but its port reads in parallel  |
+//! | Parallel       | unbounded: inject as soon as a response enables it    |
+//!
+//! ## Exploration bookkeeping
+//!
+//! The FM starts from its host endpoint (a local configuration-space
+//! access, no packets). Each *probe* — a general-information read of the
+//! device at the far end of a known active port — either discovers a new
+//! device (insert, then read its port blocks, then probe beyond its other
+//! active ports if it is a switch) or hits a DSN already in the database
+//! (record the alternate-path link and stop, the dedup step of Fig. 2).
+
+use crate::db::{DeviceRoute, TopologyDb};
+use crate::metrics::Algorithm;
+use asi_proto::{
+    config::{general_info_read, port_info_reads, CAP_OWNERSHIP},
+    turn_for, turn_width, CapabilityAddr, DeviceInfo, DeviceType, Pi4Status, PortInfo,
+    PortState, TurnPool,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Which of the paper's algorithms to run.
+    pub algorithm: Algorithm,
+    /// Turn-pool capacity for computed routes.
+    pub pool_capacity: u16,
+    /// Distributed-discovery extension: claim each new device's ownership
+    /// register and stop exploring past devices claimed by a rival FM.
+    pub claim_partitioning: bool,
+    /// How many times a timed-out request is re-issued before the engine
+    /// gives up on its target (0 = the paper's loss-free assumption).
+    pub max_retries: u32,
+}
+
+impl EngineConfig {
+    /// Plain single-FM configuration.
+    pub fn new(algorithm: Algorithm, pool_capacity: u16) -> EngineConfig {
+        EngineConfig {
+            algorithm,
+            pool_capacity,
+            claim_partitioning: false,
+            max_retries: 0,
+        }
+    }
+}
+
+/// A PI-4 request the engine wants injected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutRequest {
+    /// Request id (echoed by the completion).
+    pub req_id: u32,
+    /// Egress port at the FM endpoint.
+    pub egress: u8,
+    /// Route to the target.
+    pub pool: TurnPool,
+    /// What to ask.
+    pub op: OutOp,
+}
+
+/// Request payload shapes the engine issues.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OutOp {
+    /// `ReadRequest { addr, dwords }`.
+    Read {
+        /// Target region.
+        addr: CapabilityAddr,
+        /// Blocks to read.
+        dwords: u8,
+    },
+    /// `WriteRequest { addr, data }` (ownership claims).
+    Write {
+        /// Target region.
+        addr: CapabilityAddr,
+        /// Blocks to write.
+        data: Vec<u32>,
+    },
+}
+
+/// A device awaiting its general-information probe.
+#[derive(Clone, Debug)]
+struct ProbeTarget {
+    route: DeviceRoute,
+    /// The known device/port this probe looks through.
+    via: (u64, u8),
+}
+
+/// An issued request: what it was for, plus its retry budget used.
+#[derive(Clone, Debug)]
+struct InFlight {
+    kind: Pending,
+    retries: u32,
+}
+
+/// What an in-flight request was for.
+#[derive(Clone, Debug)]
+enum Pending {
+    General(ProbeTarget),
+    Ports {
+        dsn: u64,
+        first_port: u16,
+    },
+    ClaimWrite {
+        dsn: u64,
+    },
+    ClaimCheck {
+        dsn: u64,
+    },
+}
+
+/// Per-run counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Completions consumed (data or error).
+    pub responses: u64,
+    /// Requests abandoned by timeout.
+    pub timeouts: u64,
+    /// Largest number of simultaneously outstanding requests — 1 for the
+    /// serial algorithms by construction.
+    pub max_outstanding: usize,
+    /// Requests re-issued after a timeout.
+    pub retries: u64,
+    /// Probes answered by an already-known DSN (alternate paths).
+    pub duplicate_probes: u64,
+    /// Devices whose exploration was ceded to a rival manager
+    /// (claim partitioning only).
+    pub ceded_devices: u64,
+}
+
+/// The device currently being explored by a serial algorithm.
+#[derive(Debug)]
+struct Exploring {
+    dsn: u64,
+    reads: VecDeque<(CapabilityAddr, u8, u16)>,
+    outstanding: usize,
+}
+
+/// The discovery state machine.
+pub struct Engine {
+    cfg: EngineConfig,
+    /// The database under construction.
+    pub db: TopologyDb,
+    /// DSNs of rival managers observed in ownership registers while
+    /// claim partitioning (input to the election decision).
+    pub rivals: std::collections::BTreeSet<u64>,
+    pending: HashMap<u32, InFlight>,
+    next_req: u32,
+    probe_queue: VecDeque<ProbeTarget>,
+    current: Option<Exploring>,
+    stats: EngineStats,
+    done: bool,
+    my_dsn: u64,
+}
+
+impl Engine {
+    /// Starts a full discovery: reads the host endpoint locally, then
+    /// probes every active host port. Returns the engine plus the first
+    /// requests to inject.
+    pub fn start(
+        cfg: EngineConfig,
+        host_info: DeviceInfo,
+        host_ports: &[PortInfo],
+    ) -> (Engine, Vec<OutRequest>) {
+        let mut db = TopologyDb::new(host_info.dsn);
+        db.insert_device(
+            host_info,
+            DeviceRoute {
+                egress: 0,
+                pool: TurnPool::with_capacity(cfg.pool_capacity),
+                entry_port: 0,
+                hops: 0,
+            },
+        );
+        for (p, info) in host_ports.iter().enumerate() {
+            db.set_port(host_info.dsn, p as u16, *info);
+        }
+        let mut engine = Engine {
+            cfg,
+            db,
+            rivals: std::collections::BTreeSet::new(),
+            pending: HashMap::new(),
+            next_req: 1,
+            probe_queue: VecDeque::new(),
+            current: None,
+            stats: EngineStats::default(),
+            done: false,
+            my_dsn: host_info.dsn,
+        };
+        for (p, info) in host_ports.iter().enumerate() {
+            if info.state.is_active() {
+                let pool = TurnPool::with_capacity(engine.cfg.pool_capacity);
+                engine.probe_queue.push_back(ProbeTarget {
+                    route: DeviceRoute {
+                        egress: p as u8,
+                        pool,
+                        entry_port: info.peer_port,
+                        hops: 0,
+                    },
+                    via: (host_info.dsn, p as u8),
+                });
+            }
+        }
+        let out = engine.advance();
+        engine.update_done();
+        (engine, out)
+    }
+
+    /// Starts a *partial* discovery (affected-region assimilation,
+    /// extension): keeps `db`, re-reads the port blocks of
+    /// `reread_ports` devices, and probes through `probe_via`
+    /// `(known dsn, port)` pairs.
+    pub fn seeded(
+        cfg: EngineConfig,
+        mut db: TopologyDb,
+        reread_ports: &[u64],
+        probe_via: &[(u64, u8)],
+    ) -> (Engine, Vec<OutRequest>) {
+        let my_dsn = db.host_dsn();
+        // Stored routes may traverse the very device whose disappearance
+        // triggered this run: recompute them over the updated link set
+        // first (the paper's "obtain a new set of paths" step).
+        db.refresh_routes(cfg.pool_capacity);
+        let mut engine = Engine {
+            cfg,
+            db,
+            rivals: std::collections::BTreeSet::new(),
+            pending: HashMap::new(),
+            next_req: 1,
+            probe_queue: VecDeque::new(),
+            current: None,
+            stats: EngineStats::default(),
+            done: false,
+            my_dsn,
+        };
+        let mut out = Vec::new();
+        for &dsn in reread_ports {
+            if let Some(d) = engine.db.device(dsn) {
+                if dsn == my_dsn {
+                    continue; // host is read locally
+                }
+                let port_count = d.info.port_count;
+                let reads: VecDeque<(CapabilityAddr, u8, u16)> = port_info_reads(port_count)
+                    .into_iter()
+                    .scan(0u16, |first, (addr, dwords)| {
+                        let f = *first;
+                        *first += u16::from(asi_proto::PORTS_PER_READ);
+                        Some((addr, dwords, f))
+                    })
+                    .collect();
+                // Port re-reads bypass the serial "current device" dance:
+                // issue directly (they are refreshes, not exploration).
+                for (addr, dwords, first_port) in reads {
+                    let route = engine.db.device(dsn).expect("present").route.clone();
+                    out.push(engine.issue(
+                        route,
+                        OutOp::Read { addr, dwords },
+                        Pending::Ports { dsn, first_port },
+                    ));
+                }
+            }
+        }
+        for &(dsn, port) in probe_via {
+            if let Some(t) = engine.probe_through(dsn, port) {
+                engine.probe_queue.push_back(t);
+            }
+        }
+        out.extend(engine.advance());
+        if engine.pending.is_empty() && engine.probe_queue.is_empty() && engine.current.is_none()
+        {
+            engine.done = true;
+        }
+        (engine, out)
+    }
+
+    /// True once the exploration queue and pending table are empty.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Run counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Requests currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if `req_id` is still awaiting a completion.
+    pub fn is_pending(&self, req_id: u32) -> bool {
+        self.pending.contains_key(&req_id)
+    }
+
+    /// Consumes a PI-4 completion. `words` is the data of a successful
+    /// read, `Err` carries a read/write error status. Write completions
+    /// pass `Ok(&[])`.
+    pub fn handle_completion(
+        &mut self,
+        req_id: u32,
+        result: Result<&[u32], Pi4Status>,
+    ) -> Vec<OutRequest> {
+        let Some(inflight) = self.pending.remove(&req_id) else {
+            return Vec::new(); // stale (timed out earlier)
+        };
+        self.stats.responses += 1;
+        let mut out = Vec::new();
+        match (inflight.kind, result) {
+            (Pending::General(target), Ok(words)) => {
+                self.on_general(target, words, &mut out);
+            }
+            (Pending::General(_), Err(_)) => {
+                // No usable device behind that port.
+            }
+            (Pending::Ports { dsn, first_port }, Ok(words)) => {
+                self.on_ports(dsn, first_port, words, &mut out);
+            }
+            (Pending::Ports { dsn, .. }, Err(_)) => {
+                // Device died mid-exploration: forget it.
+                self.forget(dsn);
+            }
+            (Pending::ClaimWrite { dsn }, Ok(_)) => {
+                // Confirm ownership with a read-back.
+                if let Some(d) = self.db.device(dsn) {
+                    let route = d.route.clone();
+                    out.push(self.issue(
+                        route,
+                        OutOp::Read {
+                            addr: CapabilityAddr {
+                                capability: CAP_OWNERSHIP,
+                                offset: 0,
+                            },
+                            dwords: 2,
+                        },
+                        Pending::ClaimCheck { dsn },
+                    ));
+                }
+            }
+            (Pending::ClaimWrite { dsn }, Err(_)) => {
+                self.forget(dsn);
+            }
+            (Pending::ClaimCheck { dsn }, Ok(words)) => {
+                let owner = if words.len() >= 2 {
+                    (u64::from(words[0]) << 32) | u64::from(words[1])
+                } else {
+                    0
+                };
+                if owner == self.my_dsn {
+                    self.begin_port_reads(dsn, &mut out);
+                } else {
+                    // A rival got there first: keep the device + link but
+                    // leave its region to the rival.
+                    if owner != 0 {
+                        self.rivals.insert(owner);
+                    }
+                    self.stats.ceded_devices += 1;
+                    self.finish_current_if(dsn);
+                }
+            }
+            (Pending::ClaimCheck { dsn }, Err(_)) => {
+                self.forget(dsn);
+            }
+        }
+        out.extend(self.advance());
+        self.update_done();
+        out
+    }
+
+    /// Handles a request that never completed: re-issue it while the
+    /// retry budget lasts, otherwise give the target up (the paper's FM
+    /// assumes a removed device).
+    pub fn handle_timeout(&mut self, req_id: u32) -> Vec<OutRequest> {
+        let Some(inflight) = self.pending.remove(&req_id) else {
+            return Vec::new();
+        };
+        self.stats.timeouts += 1;
+        if inflight.retries < self.cfg.max_retries {
+            if let Some(req) = self.reissue(inflight.kind.clone(), inflight.retries + 1) {
+                self.stats.retries += 1;
+                return vec![req];
+            }
+        }
+        match inflight.kind {
+            Pending::General(_) => {}
+            Pending::Ports { dsn, .. }
+            | Pending::ClaimWrite { dsn }
+            | Pending::ClaimCheck { dsn } => self.forget(dsn),
+        }
+        let out = self.advance();
+        self.update_done();
+        out
+    }
+
+    /// Rebuilds the request for a timed-out operation.
+    fn reissue(&mut self, kind: Pending, retries: u32) -> Option<OutRequest> {
+        let (route, op) = match &kind {
+            Pending::General(target) => {
+                let (addr, dwords) = general_info_read();
+                (target.route.clone(), OutOp::Read { addr, dwords })
+            }
+            Pending::Ports { dsn, first_port } => {
+                let d = self.db.device(*dsn)?;
+                let remaining =
+                    d.info.port_count.checked_sub(*first_port)?.min(u16::from(
+                        asi_proto::PORTS_PER_READ,
+                    ));
+                if remaining == 0 {
+                    return None;
+                }
+                (
+                    d.route.clone(),
+                    OutOp::Read {
+                        addr: CapabilityAddr::baseline(
+                            asi_proto::config::port_block_offset(*first_port),
+                        ),
+                        dwords: (remaining * asi_proto::PORT_BLOCK_WORDS) as u8,
+                    },
+                )
+            }
+            Pending::ClaimWrite { dsn } => {
+                let d = self.db.device(*dsn)?;
+                (
+                    d.route.clone(),
+                    OutOp::Write {
+                        addr: CapabilityAddr {
+                            capability: CAP_OWNERSHIP,
+                            offset: 0,
+                        },
+                        data: vec![(self.my_dsn >> 32) as u32, self.my_dsn as u32],
+                    },
+                )
+            }
+            Pending::ClaimCheck { dsn } => {
+                let d = self.db.device(*dsn)?;
+                (
+                    d.route.clone(),
+                    OutOp::Read {
+                        addr: CapabilityAddr {
+                            capability: CAP_OWNERSHIP,
+                            offset: 0,
+                        },
+                        dwords: 2,
+                    },
+                )
+            }
+        };
+        Some(self.issue_with_retries(route, op, kind, retries))
+    }
+
+    // ------------------------------------------------------------------
+
+    fn update_done(&mut self) {
+        if self.pending.is_empty() && self.probe_queue.is_empty() && self.current.is_none() {
+            self.done = true;
+        }
+    }
+
+    fn on_general(&mut self, target: ProbeTarget, words: &[u32], out: &mut Vec<OutRequest>) {
+        let Some(info) = DeviceInfo::from_words(words) else {
+            return; // garbled response: treat like an error completion
+        };
+        // Record the link that this probe traversed.
+        self.db
+            .add_link(target.via, (info.dsn, target.route.entry_port));
+        if self.db.contains(info.dsn) {
+            // Alternate path to a known device (Fig. 2: "already
+            // discovered — update connectivity and stop").
+            self.stats.duplicate_probes += 1;
+            return;
+        }
+        self.db.insert_device(info, target.route.clone());
+        if self.cfg.claim_partitioning {
+            let dsn = info.dsn;
+            let claim = vec![(self.my_dsn >> 32) as u32, self.my_dsn as u32];
+            // Serial algorithms treat the claim exchange as part of the
+            // device's exploration: mark it current with no reads yet.
+            if self.cfg.algorithm != Algorithm::Parallel {
+                self.current = Some(Exploring {
+                    dsn,
+                    reads: VecDeque::new(),
+                    outstanding: 0,
+                });
+            }
+            out.push(self.issue(
+                target.route,
+                OutOp::Write {
+                    addr: CapabilityAddr {
+                        capability: CAP_OWNERSHIP,
+                        offset: 0,
+                    },
+                    data: claim,
+                },
+                Pending::ClaimWrite { dsn },
+            ));
+        } else {
+            self.begin_port_reads(info.dsn, out);
+        }
+    }
+
+    /// Queues/issues the port-block reads of a freshly discovered device.
+    fn begin_port_reads(&mut self, dsn: u64, out: &mut Vec<OutRequest>) {
+        let Some(d) = self.db.device(dsn) else { return };
+        let port_count = d.info.port_count;
+        let route = d.route.clone();
+        let reads: VecDeque<(CapabilityAddr, u8, u16)> = port_info_reads(port_count)
+            .into_iter()
+            .scan(0u16, |first, (addr, dwords)| {
+                let f = *first;
+                *first += u16::from(asi_proto::PORTS_PER_READ);
+                Some((addr, dwords, f))
+            })
+            .collect();
+        match self.cfg.algorithm {
+            Algorithm::SerialPacket => {
+                self.current = Some(Exploring {
+                    dsn,
+                    reads,
+                    outstanding: 0,
+                });
+                // advance() issues them one by one.
+            }
+            Algorithm::SerialDevice => {
+                // All port reads of the current device at once.
+                let n = reads.len();
+                for (addr, dwords, first_port) in reads {
+                    out.push(self.issue(
+                        route.clone(),
+                        OutOp::Read { addr, dwords },
+                        Pending::Ports { dsn, first_port },
+                    ));
+                }
+                self.current = Some(Exploring {
+                    dsn,
+                    reads: VecDeque::new(),
+                    outstanding: n,
+                });
+            }
+            Algorithm::Parallel => {
+                for (addr, dwords, first_port) in reads {
+                    out.push(self.issue(
+                        route.clone(),
+                        OutOp::Read { addr, dwords },
+                        Pending::Ports { dsn, first_port },
+                    ));
+                }
+            }
+        }
+    }
+
+    fn on_ports(&mut self, dsn: u64, first_port: u16, words: &[u32], out: &mut Vec<OutRequest>) {
+        if !self.db.contains(dsn) {
+            // The device was forgotten after an earlier error/timeout;
+            // this late completion is moot.
+            self.finish_current_if(dsn);
+            return;
+        }
+        let block = usize::from(asi_proto::PORT_BLOCK_WORDS);
+        let nports = words.len() / block;
+        let mut new_targets = Vec::new();
+        for i in 0..nports {
+            let port = first_port + i as u16;
+            let Some(info) = PortInfo::from_words(&words[i * block..(i + 1) * block]) else {
+                continue;
+            };
+            self.db.set_port(dsn, port, info);
+            let device = self.db.device(dsn).expect("device present");
+            let is_switch = device.info.device_type == DeviceType::Switch;
+            let back_edge = port == u16::from(device.route.entry_port);
+            if info.state == PortState::Active && is_switch && !back_edge {
+                if let Some(t) = self.probe_through(dsn, port as u8) {
+                    new_targets.push(t);
+                }
+            }
+        }
+        match self.cfg.algorithm {
+            Algorithm::Parallel => {
+                for t in new_targets {
+                    let pending = Pending::General(t.clone());
+                    let (addr, dwords) = general_info_read();
+                    out.push(self.issue(t.route, OutOp::Read { addr, dwords }, pending));
+                }
+            }
+            _ => {
+                self.probe_queue.extend(new_targets);
+                if let Some(cur) = self.current.as_mut() {
+                    if cur.dsn == dsn && cur.outstanding > 0 {
+                        cur.outstanding -= 1;
+                    }
+                }
+                self.finish_current_if(dsn);
+            }
+        }
+    }
+
+    /// Builds a probe target looking through `(dsn, port)` of a known
+    /// switch (or the host endpoint).
+    fn probe_through(&self, dsn: u64, port: u8) -> Option<ProbeTarget> {
+        let device = self.db.device(dsn)?;
+        let pinfo = (*device.ports.get(usize::from(port))?)?;
+        if !pinfo.state.is_active() {
+            return None;
+        }
+        let mut pool = device.route.pool.clone();
+        if device.info.device_type == DeviceType::Switch {
+            let ports = device.info.port_count as u8;
+            let turn = turn_for(device.route.entry_port, port, ports);
+            pool.push_turn(turn, turn_width(ports)).ok()?;
+        }
+        Some(ProbeTarget {
+            route: DeviceRoute {
+                egress: device.route.egress,
+                pool,
+                entry_port: pinfo.peer_port,
+                hops: device.route.hops + 1,
+            },
+            via: (dsn, port),
+        })
+    }
+
+    /// Serial scheduling: with nothing outstanding, issue the next port
+    /// read of the current device, or pop the next probe target.
+    fn advance(&mut self) -> Vec<OutRequest> {
+        let mut out = Vec::new();
+        match self.cfg.algorithm {
+            Algorithm::Parallel => {
+                // Parallel never queues: everything was issued eagerly,
+                // except the initial seeds.
+                while let Some(t) = self.probe_queue.pop_front() {
+                    let (addr, dwords) = general_info_read();
+                    out.push(self.issue(
+                        t.route.clone(),
+                        OutOp::Read { addr, dwords },
+                        Pending::General(t),
+                    ));
+                }
+            }
+            Algorithm::SerialPacket => {
+                if self.pending.is_empty() {
+                    if let Some(cur) = self.current.as_mut() {
+                        if let Some((addr, dwords, first_port)) = cur.reads.pop_front() {
+                            let dsn = cur.dsn;
+                            cur.outstanding += 1;
+                            let route = self.db.device(dsn).expect("present").route.clone();
+                            out.push(self.issue(
+                                route,
+                                OutOp::Read { addr, dwords },
+                                Pending::Ports { dsn, first_port },
+                            ));
+                            return out;
+                        }
+                        // No reads left and nothing outstanding: done with
+                        // this device.
+                        self.current = None;
+                    }
+                    if self.pending.is_empty() && self.current.is_none() {
+                        if let Some(t) = self.probe_queue.pop_front() {
+                            let (addr, dwords) = general_info_read();
+                            out.push(self.issue(
+                                t.route.clone(),
+                                OutOp::Read { addr, dwords },
+                                Pending::General(t),
+                            ));
+                        }
+                    }
+                }
+            }
+            Algorithm::SerialDevice => {
+                if self.pending.is_empty() {
+                    self.current = None;
+                    if let Some(t) = self.probe_queue.pop_front() {
+                        let (addr, dwords) = general_info_read();
+                        out.push(self.issue(
+                            t.route.clone(),
+                            OutOp::Read { addr, dwords },
+                            Pending::General(t),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Serial algorithms: when the current device's port reads have all
+    /// completed, clear it so `advance` moves on.
+    fn finish_current_if(&mut self, dsn: u64) {
+        if let Some(cur) = self.current.as_ref() {
+            if cur.dsn == dsn && cur.outstanding == 0 && cur.reads.is_empty() {
+                self.current = None;
+            }
+        }
+    }
+
+    /// Drops a half-explored device (it stopped answering).
+    fn forget(&mut self, dsn: u64) {
+        if dsn == self.my_dsn {
+            return;
+        }
+        self.db.remove_device(dsn);
+        self.db.prune_unreachable();
+        if let Some(cur) = self.current.as_ref() {
+            if cur.dsn == dsn {
+                self.current = None;
+            }
+        }
+        // Outstanding requests to the forgotten device will be answered or
+        // time out; both paths tolerate the missing DSN.
+    }
+
+    fn issue(&mut self, route: DeviceRoute, op: OutOp, pending: Pending) -> OutRequest {
+        self.issue_with_retries(route, op, pending, 0)
+    }
+
+    fn issue_with_retries(
+        &mut self,
+        route: DeviceRoute,
+        op: OutOp,
+        pending: Pending,
+        retries: u32,
+    ) -> OutRequest {
+        let req_id = self.next_req;
+        self.next_req += 1;
+        self.pending.insert(
+            req_id,
+            InFlight {
+                kind: pending,
+                retries,
+            },
+        );
+        self.stats.requests += 1;
+        self.stats.max_outstanding = self.stats.max_outstanding.max(self.pending.len());
+        OutRequest {
+            req_id,
+            egress: route.egress,
+            pool: route.pool,
+            op,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asi_proto::PortState;
+
+    fn endpoint_info(dsn: u64) -> DeviceInfo {
+        DeviceInfo {
+            device_type: DeviceType::Endpoint,
+            dsn,
+            port_count: 1,
+            max_packet_size: 2048,
+            fm_capable: true,
+            fm_priority: 0,
+        }
+    }
+
+    fn switch_words(dsn: u64) -> Vec<u32> {
+        DeviceInfo {
+            device_type: DeviceType::Switch,
+            dsn,
+            port_count: 4,
+            max_packet_size: 2048,
+            fm_capable: false,
+            fm_priority: 0,
+        }
+        .to_words()
+        .to_vec()
+    }
+
+    fn active_port(peer_port: u8) -> PortInfo {
+        PortInfo {
+            state: PortState::Active,
+            link_width: 1,
+            link_speed: 10,
+            peer_port,
+        }
+    }
+
+    fn cfg(algorithm: Algorithm) -> EngineConfig {
+        EngineConfig::new(algorithm, asi_proto::MAX_POOL_BITS)
+    }
+
+    #[test]
+    fn isolated_host_finishes_immediately() {
+        for alg in Algorithm::all() {
+            let (engine, out) = Engine::start(
+                cfg(alg),
+                endpoint_info(1),
+                &[PortInfo::default()], // port down
+            );
+            assert!(out.is_empty(), "{alg}: no requests expected");
+            assert!(engine.is_done(), "{alg}: must finish immediately");
+            assert_eq!(engine.db.device_count(), 1);
+        }
+    }
+
+    #[test]
+    fn start_probes_each_active_host_port() {
+        let mut two_port = endpoint_info(1);
+        two_port.port_count = 2;
+        let (engine, out) = Engine::start(
+            cfg(Algorithm::Parallel),
+            two_port,
+            &[active_port(3), active_port(5)],
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].egress, 0);
+        assert_eq!(out[1].egress, 1);
+        assert!(!engine.is_done());
+        assert_eq!(engine.outstanding(), 2);
+        // Serial variants issue only the first probe.
+        let (_, out) = Engine::start(
+            cfg(Algorithm::SerialPacket),
+            two_port,
+            &[active_port(3), active_port(5)],
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn error_completion_on_probe_moves_on() {
+        let (mut engine, out) = Engine::start(
+            cfg(Algorithm::SerialPacket),
+            endpoint_info(1),
+            &[active_port(0)],
+        );
+        let req = out[0].req_id;
+        let next = engine.handle_completion(req, Err(Pi4Status::ConfigurationRetry));
+        assert!(next.is_empty());
+        assert!(engine.is_done(), "failed probe must not wedge the engine");
+        assert_eq!(engine.stats().responses, 1);
+    }
+
+    #[test]
+    fn timeout_on_probe_moves_on() {
+        let (mut engine, out) = Engine::start(
+            cfg(Algorithm::Parallel),
+            endpoint_info(1),
+            &[active_port(0)],
+        );
+        let req = out[0].req_id;
+        assert!(engine.is_pending(req));
+        let next = engine.handle_timeout(req);
+        assert!(next.is_empty());
+        assert!(engine.is_done());
+        assert_eq!(engine.stats().timeouts, 1);
+        // A late completion for the timed-out request is ignored.
+        let late = engine.handle_completion(req, Ok(&switch_words(9)));
+        assert!(late.is_empty());
+        assert!(!engine.db.contains(9), "stale completion must not insert");
+    }
+
+    #[test]
+    fn garbled_general_info_is_tolerated() {
+        let (mut engine, out) = Engine::start(
+            cfg(Algorithm::SerialDevice),
+            endpoint_info(1),
+            &[active_port(0)],
+        );
+        // All-zero words do not decode to a DeviceInfo.
+        let next = engine.handle_completion(out[0].req_id, Ok(&[0u32; 6]));
+        assert!(next.is_empty());
+        assert!(engine.is_done());
+    }
+
+    #[test]
+    fn discovering_one_switch_reads_its_ports() {
+        let (mut engine, out) = Engine::start(
+            cfg(Algorithm::SerialDevice),
+            endpoint_info(1),
+            &[active_port(2)], // host's link enters switch port 2
+        );
+        // Serve the general probe with a 4-port switch.
+        let reads = engine.handle_completion(out[0].req_id, Ok(&switch_words(7)));
+        // 4 ports at 2 per read = 2 port reads, all at once (SerialDevice).
+        assert_eq!(reads.len(), 2);
+        assert!(engine.db.contains(7));
+        assert_eq!(engine.db.link_count(), 1);
+        assert_eq!(engine.db.neighbor(1, 0), Some((7, 2)));
+
+        // Answer both port reads: only the entry port is active.
+        let mut port_words = Vec::new();
+        port_words.extend(PortInfo::default().to_words());
+        port_words.extend(PortInfo::default().to_words());
+        let mut first = port_words.clone();
+        first[0..4].copy_from_slice(&PortInfo::default().to_words());
+        first[4..8].copy_from_slice(
+            &PortInfo {
+                state: PortState::Down,
+                ..PortInfo::default()
+            }
+            .to_words(),
+        );
+        // Ports 0..2 down:
+        let r1 = engine.handle_completion(reads[0].req_id, Ok(&port_words));
+        assert!(r1.is_empty());
+        // Ports 2..4: port 2 is the back-edge (active), port 3 down.
+        let mut words2 = Vec::new();
+        words2.extend(active_port(0).to_words());
+        words2.extend(PortInfo::default().to_words());
+        let r2 = engine.handle_completion(reads[1].req_id, Ok(&words2));
+        assert!(r2.is_empty(), "back-edge must not be re-probed");
+        assert!(engine.is_done());
+        assert!(engine.db.device(7).unwrap().ports_complete());
+    }
+
+    #[test]
+    fn seeded_with_nothing_is_done() {
+        let db = TopologyDb::new(1);
+        let (engine, out) = Engine::seeded(cfg(Algorithm::Parallel), db, &[], &[]);
+        assert!(out.is_empty());
+        assert!(engine.is_done());
+    }
+
+    #[test]
+    fn seeded_probe_via_explores_through_a_known_port() {
+        // Database: host(1) -- sw(7, 4 ports); sw port 1 is active and
+        // unexplored (a hot-added neighbour).
+        let mut db = TopologyDb::new(1);
+        db.insert_device(
+            endpoint_info(1),
+            crate::db::DeviceRoute {
+                egress: 0,
+                pool: TurnPool::with_capacity(64),
+                entry_port: 0,
+                hops: 0,
+            },
+        );
+        db.insert_device(
+            DeviceInfo {
+                device_type: DeviceType::Switch,
+                dsn: 7,
+                port_count: 4,
+                max_packet_size: 2048,
+                fm_capable: false,
+                fm_priority: 0,
+            },
+            crate::db::DeviceRoute {
+                egress: 0,
+                pool: TurnPool::with_capacity(64),
+                entry_port: 2,
+                hops: 1,
+            },
+        );
+        db.add_link((1, 0), (7, 2));
+        for p in 0..4 {
+            db.set_port(
+                7,
+                p,
+                if p == 2 || p == 1 {
+                    active_port(if p == 2 { 0 } else { 0 })
+                } else {
+                    PortInfo::default()
+                },
+            );
+        }
+        let (mut engine, out) =
+            Engine::seeded(cfg(Algorithm::Parallel), db, &[], &[(7, 1)]);
+        assert_eq!(out.len(), 1, "one probe through (7, 1)");
+        assert!(!engine.is_done());
+        // The probe's pool carries the turn through switch 7 (entry 2 →
+        // egress 1 on a 4-port switch).
+        let mut expect = TurnPool::with_capacity(asi_proto::MAX_POOL_BITS);
+        expect
+            .push_turn(turn_for(2, 1, 4), turn_width(4))
+            .unwrap();
+        assert_eq!(out[0].pool, expect);
+        // Answer with a fresh endpoint: discovery extends and completes.
+        let mut ep9 = endpoint_info(9);
+        ep9.fm_capable = false;
+        let reads = engine.handle_completion(out[0].req_id, Ok(&ep9.to_words()));
+        assert_eq!(reads.len(), 1, "one port-block read for the endpoint");
+        let done = engine.handle_completion(
+            reads[0].req_id,
+            Ok(&active_port(1).to_words()),
+        );
+        assert!(done.is_empty());
+        assert!(engine.is_done());
+        assert!(engine.db.contains(9));
+        assert_eq!(engine.db.neighbor(7, 1), Some((9, 0)));
+    }
+
+    #[test]
+    fn claim_flow_cedes_to_rival() {
+        let mut c = cfg(Algorithm::Parallel);
+        c.claim_partitioning = true;
+        let (mut engine, out) =
+            Engine::start(c, endpoint_info(1), &[active_port(2)]);
+        // General info answered: engine must claim before reading ports.
+        let claim = engine.handle_completion(out[0].req_id, Ok(&switch_words(7)));
+        assert_eq!(claim.len(), 1);
+        assert!(matches!(claim[0].op, OutOp::Write { .. }));
+        // Write acked: read-back issued.
+        let check = engine.handle_completion(claim[0].req_id, Ok(&[]));
+        assert_eq!(check.len(), 1);
+        assert!(matches!(check[0].op, OutOp::Read { .. }));
+        // Read-back shows a rival owner: cede, no port reads, done.
+        let rival = 0xBEEFu64;
+        let out = engine.handle_completion(
+            check[0].req_id,
+            Ok(&[(rival >> 32) as u32, rival as u32]),
+        );
+        assert!(out.is_empty());
+        assert!(engine.is_done());
+        assert_eq!(engine.stats().ceded_devices, 1);
+        assert!(engine.rivals.contains(&rival));
+        // The device and link stay in the database for the merge.
+        assert!(engine.db.contains(7));
+        assert_eq!(engine.db.link_count(), 1);
+    }
+
+    #[test]
+    fn claim_flow_owns_and_explores() {
+        let mut c = cfg(Algorithm::Parallel);
+        c.claim_partitioning = true;
+        let (mut engine, out) =
+            Engine::start(c, endpoint_info(1), &[active_port(2)]);
+        let claim = engine.handle_completion(out[0].req_id, Ok(&switch_words(7)));
+        let check = engine.handle_completion(claim[0].req_id, Ok(&[]));
+        // Read-back shows our own DSN (1): proceed with port reads.
+        let reads = engine.handle_completion(check[0].req_id, Ok(&[0, 1]));
+        assert_eq!(reads.len(), 2, "port reads follow a successful claim");
+        assert!(engine.rivals.is_empty());
+    }
+}

@@ -1,0 +1,980 @@
+//! The fabric manager agent: glues the discovery [`Engine`] to the
+//! simulated fabric, implements change assimilation (full re-discovery on
+//! PI-5, as the paper assumes, or the affected-region extension), request
+//! timeouts, and the measurement plumbing behind every figure.
+
+use crate::db::TopologyDb;
+use crate::distributed::{report_messages, DistributedRole, MergeState};
+use crate::engine::{Engine, EngineConfig, OutOp, OutRequest};
+use crate::mcast::plan_multicast;
+use crate::metrics::{Algorithm, DiscoveryRun, DiscoveryTrigger, DistributionRun};
+use crate::pathdist::plan_distribution;
+use crate::timing::FmTiming;
+use asi_fabric::{AgentCtx, FabricAgent};
+use asi_proto::{
+    FmMessage, Packet, Payload, Pi4, Pi5, PortEvent, ProtocolInterface, RouteHeader,
+    MANAGEMENT_TC,
+};
+use asi_sim::{SimDuration, SimTime, TimeSeries};
+use std::any::Any;
+use std::collections::HashMap;
+
+/// Timer token that kicks off the initial discovery.
+pub const TOKEN_START_DISCOVERY: u64 = 1 << 62;
+/// Timer token that puts a secondary manager into standby (watching the
+/// primary with keepalive reads, ready to take over).
+pub const TOKEN_START_STANDBY: u64 = (1 << 62) + 1;
+const TOKEN_KEEPALIVE_CHECK: u64 = (1 << 62) + 2;
+/// Timer token that flushes multicast group requests queued with
+/// [`FmAgent::queue_multicast`].
+pub const TOKEN_CONFIGURE_MCAST: u64 = (1 << 62) + 3;
+const TIMEOUT_FLAG: u64 = 1 << 63;
+/// Keepalive request ids live in their own range so they can never
+/// collide with engine request ids.
+const KEEPALIVE_REQ_BASE: u32 = 0xF000_0000;
+/// Path-distribution write ids live in their own range too.
+const DIST_REQ_BASE: u32 = 0xE000_0000;
+/// Multicast-table write ids.
+const MCAST_REQ_BASE: u32 = 0xD000_0000;
+
+/// Fabric-manager configuration.
+#[derive(Clone, Debug)]
+pub struct FmConfig {
+    /// Discovery algorithm to run.
+    pub algorithm: Algorithm,
+    /// Per-packet processing-time model.
+    pub timing: FmTiming,
+    /// Turn-pool capacity for computed routes.
+    pub pool_capacity: u16,
+    /// How long to wait for a completion before abandoning a request.
+    pub request_timeout: SimDuration,
+    /// Re-discover automatically when PI-5 events arrive.
+    pub auto_rediscover: bool,
+    /// Use partial (affected-region) assimilation instead of the paper's
+    /// full re-discovery.
+    pub partial_assimilation: bool,
+    /// Distributed-discovery claim partitioning.
+    pub claim_partitioning: bool,
+    /// Timed-out requests are re-issued up to this many times (0 = the
+    /// paper's loss-free assumption).
+    pub max_retries: u32,
+    /// Distributed-discovery role (implies claim partitioning).
+    pub distributed: Option<DistributedRole>,
+    /// Secondary-manager (failover) configuration.
+    pub standby: Option<StandbyConfig>,
+    /// Distribute per-endpoint route tables after every discovery
+    /// (the paper's path-distribution future-work item).
+    pub distribute_paths: bool,
+}
+
+/// How a secondary manager watches the primary.
+#[derive(Clone, Debug)]
+pub struct StandbyConfig {
+    /// Egress port toward the primary's endpoint.
+    pub watch_egress: u8,
+    /// Route to the primary's endpoint.
+    pub watch_pool: asi_proto::TurnPool,
+    /// Gap between keepalive reads.
+    pub interval: SimDuration,
+    /// How long to wait for each keepalive completion.
+    pub timeout: SimDuration,
+    /// Consecutive misses before the secondary promotes itself.
+    pub miss_threshold: u32,
+}
+
+impl StandbyConfig {
+    /// Default cadence: probe every 100 µs, 3 misses ⇒ takeover.
+    pub fn new(watch_egress: u8, watch_pool: asi_proto::TurnPool) -> StandbyConfig {
+        StandbyConfig {
+            watch_egress,
+            watch_pool,
+            interval: SimDuration::from_us(100),
+            timeout: SimDuration::from_us(80),
+            miss_threshold: 3,
+        }
+    }
+}
+
+impl FmConfig {
+    /// Defaults matching the paper's primary setup for `algorithm`.
+    pub fn new(algorithm: Algorithm) -> FmConfig {
+        FmConfig {
+            algorithm,
+            timing: FmTiming::default(),
+            pool_capacity: asi_proto::MAX_POOL_BITS,
+            request_timeout: SimDuration::from_ms(5),
+            auto_rediscover: true,
+            partial_assimilation: false,
+            claim_partitioning: false,
+            max_retries: 0,
+            distributed: None,
+            standby: None,
+            distribute_paths: false,
+        }
+    }
+
+    /// Configures this manager for a distributed discovery role.
+    pub fn with_distributed(mut self, role: DistributedRole) -> FmConfig {
+        self.claim_partitioning = true;
+        self.distributed = Some(role);
+        self
+    }
+}
+
+/// Accumulates per-run measurements while a discovery is in flight.
+struct RunAcc {
+    trigger: DiscoveryTrigger,
+    started_at: SimTime,
+    bytes_sent: u64,
+    bytes_received: u64,
+    timeline: TimeSeries,
+    fm_busy: SimDuration,
+    packets_processed: u64,
+}
+
+/// The fabric manager.
+pub struct FmAgent {
+    cfg: FmConfig,
+    engine: Option<Engine>,
+    acc: Option<RunAcc>,
+    /// Completed discovery runs, in order.
+    pub runs: Vec<DiscoveryRun>,
+    db: Option<TopologyDb>,
+    restart_pending: bool,
+    /// PI-5 events waiting for partial assimilation.
+    partial_backlog: Vec<Pi5>,
+    pi5_seen: HashMap<u64, u32>,
+    /// PI-5 events accepted (deduplicated).
+    pub pi5_events: u64,
+    epoch: u64,
+    /// Merge-side state (primary of a distributed discovery).
+    pub merge: MergeState,
+    /// When the distributed discovery produced the final merged database.
+    pub distributed_finished_at: Option<SimTime>,
+    /// Standby bookkeeping (secondary manager).
+    keepalive_outstanding: Option<u32>,
+    keepalive_misses: u32,
+    keepalive_seq: u32,
+    /// True once a standby secondary has promoted itself to primary.
+    pub promoted: bool,
+    /// Outstanding path-distribution writes.
+    dist_pending: std::collections::HashSet<u32>,
+    dist_next_req: u32,
+    dist_acc: Option<DistributionRun>,
+    /// Completed path-distribution phases.
+    pub distributions: Vec<DistributionRun>,
+    /// Rival manager DSNs observed via ownership claims across all runs.
+    pub rivals: std::collections::BTreeSet<u64>,
+    /// Multicast groups awaiting configuration.
+    mcast_queue: Vec<(u16, Vec<u64>)>,
+    mcast_pending: std::collections::HashSet<u32>,
+    mcast_next_req: u32,
+    /// Groups whose table writes have all been acknowledged.
+    pub mcast_configured: Vec<u16>,
+    /// Multicast-table writes that failed or were rejected at planning.
+    pub mcast_failures: u64,
+}
+
+impl FmAgent {
+    /// Creates an idle manager; arm [`TOKEN_START_DISCOVERY`] to begin.
+    pub fn new(cfg: FmConfig) -> FmAgent {
+        FmAgent {
+            cfg,
+            engine: None,
+            acc: None,
+            runs: Vec::new(),
+            db: None,
+            restart_pending: false,
+            partial_backlog: Vec::new(),
+            pi5_seen: HashMap::new(),
+            pi5_events: 0,
+            epoch: 0,
+            merge: MergeState::default(),
+            distributed_finished_at: None,
+            keepalive_outstanding: None,
+            keepalive_misses: 0,
+            keepalive_seq: 0,
+            promoted: false,
+            dist_pending: std::collections::HashSet::new(),
+            dist_next_req: DIST_REQ_BASE,
+            dist_acc: None,
+            distributions: Vec::new(),
+            rivals: std::collections::BTreeSet::new(),
+            mcast_queue: Vec::new(),
+            mcast_pending: std::collections::HashSet::new(),
+            mcast_next_req: MCAST_REQ_BASE,
+            mcast_configured: Vec::new(),
+            mcast_failures: 0,
+        }
+    }
+
+    /// Queues a multicast group for configuration; arm
+    /// [`TOKEN_CONFIGURE_MCAST`] to flush.
+    pub fn queue_multicast(&mut self, group: u16, members: Vec<u64>) {
+        self.mcast_queue.push((group, members));
+    }
+
+    /// The latest completed topology database.
+    pub fn db(&self) -> Option<&TopologyDb> {
+        self.db.as_ref()
+    }
+
+    /// The most recent completed run.
+    pub fn last_run(&self) -> Option<&DiscoveryRun> {
+        self.runs.last()
+    }
+
+    /// True while a discovery is in flight.
+    pub fn discovering(&self) -> bool {
+        self.engine.is_some()
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> &FmConfig {
+        &self.cfg
+    }
+
+    fn engine_cfg(&self) -> EngineConfig {
+        EngineConfig {
+            algorithm: self.cfg.algorithm,
+            pool_capacity: self.cfg.pool_capacity,
+            claim_partitioning: self.cfg.claim_partitioning,
+            max_retries: self.cfg.max_retries,
+        }
+    }
+
+    fn begin_full(&mut self, ctx: &mut AgentCtx, trigger: DiscoveryTrigger) {
+        self.epoch += 1;
+        let (engine, out) = Engine::start(self.engine_cfg(), ctx.host_info, &ctx.host_ports);
+        self.acc = Some(RunAcc {
+            trigger,
+            started_at: ctx.now,
+            bytes_sent: 0,
+            bytes_received: 0,
+            timeline: TimeSeries::new(),
+            fm_busy: SimDuration::ZERO,
+            packets_processed: 0,
+        });
+        self.engine = Some(engine);
+        self.dispatch(ctx, out);
+        self.maybe_finish(ctx);
+    }
+
+    fn begin_partial(&mut self, ctx: &mut AgentCtx) {
+        let Some(mut db) = self.db.clone() else {
+            // No baseline yet: fall back to a full run.
+            self.begin_full(ctx, DiscoveryTrigger::ChangeAssimilation);
+            return;
+        };
+        self.epoch += 1;
+        let events = std::mem::take(&mut self.partial_backlog);
+        let mut rereads: Vec<u64> = Vec::new();
+        for e in &events {
+            match e.event {
+                PortEvent::PortDown => {
+                    if let Some((x, xp)) = db.neighbor(e.reporter_dsn, e.port) {
+                        db.remove_link((e.reporter_dsn, e.port), (x, xp));
+                        rereads.push(x);
+                    }
+                    rereads.push(e.reporter_dsn);
+                }
+                PortEvent::PortUp => {
+                    rereads.push(e.reporter_dsn);
+                }
+            }
+        }
+        // The pruning of now-unreachable devices happens as probes time
+        // out; links already removed may strand devices immediately.
+        db.prune_unreachable();
+        rereads.sort_unstable();
+        rereads.dedup();
+        rereads.retain(|d| db.contains(*d));
+        let (engine, out) = Engine::seeded(self.engine_cfg(), db, &rereads, &[]);
+        self.acc = Some(RunAcc {
+            trigger: DiscoveryTrigger::Partial,
+            started_at: ctx.now,
+            bytes_sent: 0,
+            bytes_received: 0,
+            timeline: TimeSeries::new(),
+            fm_busy: SimDuration::ZERO,
+            packets_processed: 0,
+        });
+        self.engine = Some(engine);
+        self.dispatch(ctx, out);
+        self.maybe_finish(ctx);
+    }
+
+    /// Sends engine requests and arms their timeouts.
+    fn dispatch(&mut self, ctx: &mut AgentCtx, out: Vec<OutRequest>) {
+        for req in out {
+            let header = RouteHeader::forward(
+                ProtocolInterface::DeviceManagement,
+                MANAGEMENT_TC,
+                req.pool,
+            );
+            let payload = match req.op {
+                OutOp::Read { addr, dwords } => Pi4::ReadRequest {
+                    req_id: req.req_id,
+                    addr,
+                    dwords,
+                },
+                OutOp::Write { addr, data } => Pi4::WriteRequest {
+                    req_id: req.req_id,
+                    addr,
+                    data,
+                },
+            };
+            let packet = Packet::new(header, Payload::Pi4(payload));
+            if let Some(acc) = self.acc.as_mut() {
+                acc.bytes_sent += packet.wire_size() as u64;
+            }
+            ctx.send(req.egress, packet);
+            ctx.set_timer(
+                self.cfg.request_timeout,
+                TIMEOUT_FLAG | (self.epoch << 32) | u64::from(req.req_id),
+            );
+        }
+    }
+
+    fn maybe_finish(&mut self, ctx: &mut AgentCtx) {
+        let done = self.engine.as_ref().is_some_and(Engine::is_done);
+        if !done {
+            return;
+        }
+        let engine = self.engine.take().expect("checked");
+        let acc = self.acc.take().expect("run accumulator present");
+        let stats = engine.stats();
+        self.rivals.extend(engine.rivals.iter().copied());
+        let db = engine.db;
+        let run = DiscoveryRun {
+            algorithm: self.cfg.algorithm,
+            trigger: acc.trigger,
+            started_at: acc.started_at,
+            finished_at: ctx.now,
+            requests_sent: stats.requests,
+            responses_received: stats.responses,
+            timeouts: stats.timeouts,
+            bytes_sent: acc.bytes_sent,
+            bytes_received: acc.bytes_received,
+            devices_found: db.device_count(),
+            links_found: db.link_count(),
+            fm_timeline: acc.timeline,
+            fm_busy: acc.fm_busy,
+        };
+        self.runs.push(run);
+        self.db = Some(db);
+        match &self.cfg.distributed {
+            Some(DistributedRole::Collaborator {
+                report_egress,
+                report_pool,
+            }) => {
+                // Stream the partial database to the primary.
+                let egress = *report_egress;
+                let pool = report_pool.clone();
+                let messages = report_messages(self.db.as_ref().expect("just set"));
+                for msg in messages {
+                    let header = RouteHeader::forward(
+                        ProtocolInterface::FmExchange,
+                        MANAGEMENT_TC,
+                        pool.clone(),
+                    );
+                    ctx.send(egress, Packet::new(header, Payload::Fm(msg)));
+                }
+            }
+            Some(DistributedRole::Primary { .. }) => {
+                // Apply reports that arrived while our own exploration was
+                // still running, then check for completion.
+                let backlog = std::mem::take(&mut self.merge.backlog);
+                if let Some(db) = self.db.as_mut() {
+                    for msg in backlog {
+                        self.merge.apply(db, msg);
+                    }
+                }
+                self.check_distributed_done(ctx);
+            }
+            None => {}
+        }
+        if self.restart_pending {
+            self.restart_pending = false;
+            if self.cfg.partial_assimilation && !self.partial_backlog.is_empty() {
+                self.begin_partial(ctx);
+            } else {
+                self.partial_backlog.clear();
+                self.begin_full(ctx, DiscoveryTrigger::ChangeAssimilation);
+            }
+        } else if self.cfg.distribute_paths {
+            self.begin_distribution(ctx);
+        }
+    }
+
+    /// Injects the route-table writes for every endpoint (pipelined).
+    fn begin_distribution(&mut self, ctx: &mut AgentCtx) {
+        let Some(db) = self.db.as_ref() else { return };
+        let host = db.host_dsn();
+        let (writes, failed) = plan_distribution(db, self.cfg.pool_capacity);
+        let mut acc = DistributionRun {
+            started_at: ctx.now,
+            finished_at: ctx.now,
+            writes: 0,
+            failures: 0,
+            unencodable: failed.len() as u64,
+            bytes_sent: 0,
+        };
+        let mut planned = Vec::new();
+        for w in writes {
+            let Some(Ok(route)) = db.route_between(host, w.target_dsn, self.cfg.pool_capacity)
+            else {
+                acc.failures += 1;
+                continue;
+            };
+            planned.push((w, route));
+        }
+        // The writes are fully pipelined, so the *last* completion sits
+        // behind every earlier one in the FM's inbound queue: the timeout
+        // must cover that queueing, not just one round trip.
+        let per_packet = self
+            .cfg
+            .timing
+            .pi4_time(self.cfg.algorithm, db.device_count());
+        let dist_timeout =
+            self.cfg.request_timeout + per_packet * (planned.len() as u64 + 1) * 2;
+        for (w, route) in planned {
+            self.dist_next_req += 1;
+            let req_id = self.dist_next_req;
+            let header = RouteHeader::forward(
+                ProtocolInterface::DeviceManagement,
+                MANAGEMENT_TC,
+                route.pool,
+            );
+            let packet = Packet::new(
+                header,
+                Payload::Pi4(Pi4::WriteRequest {
+                    req_id,
+                    addr: w.addr(),
+                    data: w.data,
+                }),
+            );
+            acc.writes += 1;
+            acc.bytes_sent += packet.wire_size() as u64;
+            self.dist_pending.insert(req_id);
+            ctx.send(route.egress, packet);
+            ctx.set_timer(
+                dist_timeout,
+                TIMEOUT_FLAG | (self.epoch << 32) | u64::from(req_id),
+            );
+        }
+        if self.dist_pending.is_empty() {
+            acc.finished_at = ctx.now;
+            self.distributions.push(acc);
+        } else {
+            self.dist_acc = Some(acc);
+        }
+    }
+
+    /// Plans and injects the writes for every queued multicast group.
+    fn flush_mcast(&mut self, ctx: &mut AgentCtx) {
+        let Some(db) = self.db.as_ref() else {
+            return; // no topology yet; caller may re-arm after discovery
+        };
+        let queued = std::mem::take(&mut self.mcast_queue);
+        for (group, members) in queued {
+            let writes = match plan_multicast(db, group, &members) {
+                Ok(w) => w,
+                Err(_) => {
+                    self.mcast_failures += 1;
+                    continue;
+                }
+            };
+            let mut planned = Vec::new();
+            for w in &writes {
+                match db.route_between(db.host_dsn(), w.target_dsn, self.cfg.pool_capacity) {
+                    Some(Ok(route)) => planned.push((w.clone(), route)),
+                    _ => {
+                        if w.target_dsn == db.host_dsn() {
+                            // Local table: no packet needed in a real
+                            // implementation; we skip (the FM endpoint
+                            // rarely joins groups in these experiments).
+                        } else {
+                            self.mcast_failures += 1;
+                        }
+                    }
+                }
+            }
+            let mut issued = false;
+            for (w, route) in planned {
+                self.mcast_next_req += 1;
+                let req_id = self.mcast_next_req;
+                let header = RouteHeader::forward(
+                    ProtocolInterface::DeviceManagement,
+                    MANAGEMENT_TC,
+                    route.pool,
+                );
+                let packet = Packet::new(
+                    header,
+                    Payload::Pi4(Pi4::WriteRequest {
+                        req_id,
+                        addr: w.addr(),
+                        data: vec![w.mask],
+                    }),
+                );
+                self.mcast_pending.insert(req_id);
+                ctx.send(route.egress, packet);
+                ctx.set_timer(
+                    self.cfg.request_timeout * 4,
+                    TIMEOUT_FLAG | (self.epoch << 32) | u64::from(req_id),
+                );
+                issued = true;
+            }
+            if issued {
+                // Completion is tracked collectively; record the group as
+                // configured once the pending set drains (see
+                // mcast_complete).
+                self.mcast_configured.push(group);
+            }
+        }
+    }
+
+    fn mcast_complete(&mut self, req_id: u32, ok: bool) -> bool {
+        if !self.mcast_pending.remove(&req_id) {
+            return false;
+        }
+        if !ok {
+            self.mcast_failures += 1;
+        }
+        true
+    }
+
+    /// True once every injected multicast-table write has completed.
+    pub fn mcast_settled(&self) -> bool {
+        self.mcast_pending.is_empty() && self.mcast_queue.is_empty()
+    }
+
+    fn dist_complete(&mut self, ctx: &mut AgentCtx, req_id: u32, ok: bool) -> bool {
+        if !self.dist_pending.remove(&req_id) {
+            return false;
+        }
+        if let Some(acc) = self.dist_acc.as_mut() {
+            if !ok {
+                acc.failures += 1;
+            }
+            if self.dist_pending.is_empty() {
+                let mut acc = self.dist_acc.take().expect("present");
+                acc.finished_at = ctx.now;
+                self.distributions.push(acc);
+            }
+        }
+        true
+    }
+
+    fn on_pi4(&mut self, ctx: &mut AgentCtx, packet: &Packet, pi4: &Pi4) {
+        if let Some(acc) = self.acc.as_mut() {
+            acc.bytes_received += packet.wire_size() as u64;
+            acc.packets_processed += 1;
+            let ordinal = acc.packets_processed;
+            acc.timeline.push(ctx.now, ordinal as f64);
+        }
+        if let Pi4::ReadCompletion { req_id, .. } | Pi4::ReadError { req_id, .. } = pi4 {
+            if Some(*req_id) == self.keepalive_outstanding {
+                // The primary answered (any completion proves liveness).
+                self.keepalive_outstanding = None;
+                self.keepalive_misses = 0;
+                return;
+            }
+        }
+        match pi4 {
+            Pi4::WriteCompletion { req_id }
+                if (MCAST_REQ_BASE..DIST_REQ_BASE).contains(req_id)
+                && self.mcast_complete(*req_id, true) => {
+                    return;
+                }
+            Pi4::ReadError { req_id, .. }
+                if (MCAST_REQ_BASE..DIST_REQ_BASE).contains(req_id)
+                && self.mcast_complete(*req_id, false) => {
+                    return;
+                }
+            Pi4::WriteCompletion { req_id } if *req_id >= DIST_REQ_BASE
+                && self.dist_complete(ctx, *req_id, true) => {
+                    return;
+                }
+            Pi4::ReadError { req_id, .. } if *req_id >= DIST_REQ_BASE
+                && self.dist_complete(ctx, *req_id, false) => {
+                    return;
+                }
+            _ => {}
+        }
+        let Some(engine) = self.engine.as_mut() else {
+            return; // completion for an abandoned run
+        };
+        let out = match pi4 {
+            Pi4::ReadCompletion { req_id, data } => engine.handle_completion(*req_id, Ok(data)),
+            Pi4::ReadError { req_id, status } => engine.handle_completion(*req_id, Err(*status)),
+            Pi4::WriteCompletion { req_id } => engine.handle_completion(*req_id, Ok(&[])),
+            // Requests are serviced by the fabric's device responder, not
+            // the manager.
+            Pi4::ReadRequest { .. } | Pi4::WriteRequest { .. } => Vec::new(),
+        };
+        self.dispatch(ctx, out);
+        self.maybe_finish(ctx);
+    }
+
+    fn on_pi5(&mut self, ctx: &mut AgentCtx, event: Pi5) {
+        // Drop duplicate/stale reports.
+        let last = self.pi5_seen.entry(event.reporter_dsn).or_insert(0);
+        if event.sequence <= *last {
+            return;
+        }
+        *last = event.sequence;
+        self.pi5_events += 1;
+        if !self.cfg.auto_rediscover {
+            return;
+        }
+        if self.cfg.partial_assimilation {
+            self.partial_backlog.push(event);
+        }
+        if self.engine.is_some() {
+            // Assimilate once the current run finishes (the paper's FM
+            // discards everything and starts over; we let the in-flight
+            // run drain first, then restart).
+            self.restart_pending = true;
+        } else if self.cfg.partial_assimilation {
+            self.begin_partial(ctx);
+        } else {
+            self.begin_full(ctx, DiscoveryTrigger::ChangeAssimilation);
+        }
+    }
+
+    /// Standby: issue one keepalive read of the primary's general info.
+    fn send_keepalive(&mut self, ctx: &mut AgentCtx) {
+        let Some(standby) = self.cfg.standby.clone() else {
+            return;
+        };
+        self.keepalive_seq += 1;
+        let req_id = KEEPALIVE_REQ_BASE + self.keepalive_seq;
+        self.keepalive_outstanding = Some(req_id);
+        let (addr, dwords) = asi_proto::config::general_info_read();
+        let header = RouteHeader::forward(
+            ProtocolInterface::DeviceManagement,
+            MANAGEMENT_TC,
+            standby.watch_pool.clone(),
+        );
+        let packet = Packet::new(
+            header,
+            Payload::Pi4(Pi4::ReadRequest {
+                req_id,
+                addr,
+                dwords,
+            }),
+        );
+        ctx.send(standby.watch_egress, packet);
+        ctx.set_timer(standby.timeout, TOKEN_KEEPALIVE_CHECK);
+    }
+
+    /// Standby: the keepalive window elapsed; count the miss or re-arm.
+    fn on_keepalive_check(&mut self, ctx: &mut AgentCtx) {
+        let Some(standby) = self.cfg.standby.clone() else {
+            return;
+        };
+        if self.promoted {
+            return;
+        }
+        if self.keepalive_outstanding.is_some() {
+            self.keepalive_misses += 1;
+            self.keepalive_outstanding = None;
+            if self.keepalive_misses >= standby.miss_threshold {
+                // The primary is gone: take over the fabric.
+                self.promoted = true;
+                self.begin_full(ctx, DiscoveryTrigger::Failover);
+                return;
+            }
+        }
+        // Next probe after the remainder of the interval.
+        let gap = standby.interval.saturating_sub(standby.timeout);
+        ctx.set_timer(gap.max(SimDuration::from_us(1)), TOKEN_START_STANDBY);
+    }
+
+    /// Primary-side handling of one FM-exchange message.
+    fn on_fm_message(&mut self, ctx: &mut AgentCtx, msg: FmMessage) {
+        if !matches!(self.cfg.distributed, Some(DistributedRole::Primary { .. })) {
+            return; // collaborators only send, never receive
+        }
+        if self.engine.is_some() || self.db.is_none() {
+            // Our own exploration still owns the database: buffer.
+            self.merge.backlog.push(msg);
+            return;
+        }
+        let db = self.db.as_mut().expect("checked");
+        self.merge.apply(db, msg);
+        self.check_distributed_done(ctx);
+    }
+
+    fn check_distributed_done(&mut self, _ctx: &mut AgentCtx) {
+        let Some(DistributedRole::Primary { expected_reports }) = &self.cfg.distributed else {
+            return;
+        };
+        if self.distributed_finished_at.is_some() {
+            return;
+        }
+        if self.engine.is_some() || self.merge.completed.len() < *expected_reports {
+            return;
+        }
+        if let Some(db) = self.db.as_mut() {
+            db.refresh_routes(self.cfg.pool_capacity);
+            self.distributed_finished_at = Some(_ctx.now);
+        }
+    }
+}
+
+impl FabricAgent for FmAgent {
+    fn processing_time(&mut self, packet: &Packet) -> SimDuration {
+        let t = match &packet.payload {
+            Payload::Pi4(_) => {
+                let known = self
+                    .engine
+                    .as_ref()
+                    .map(|e| e.db.device_count())
+                    .or_else(|| self.db.as_ref().map(TopologyDb::device_count))
+                    .unwrap_or(0);
+                self.cfg.timing.pi4_time(self.cfg.algorithm, known)
+            }
+            Payload::Pi5(_) => self.cfg.timing.pi5_time(),
+            Payload::Fm(_) => self.cfg.timing.merge_time(),
+            Payload::Mcast { .. } | Payload::Data { .. } => SimDuration::from_ns(100),
+        };
+        if let Some(acc) = self.acc.as_mut() {
+            acc.fm_busy += t;
+        }
+        t
+    }
+
+    fn on_packet(&mut self, ctx: &mut AgentCtx, packet: Packet) {
+        match &packet.payload {
+            Payload::Pi4(pi4) => {
+                let pi4 = pi4.clone();
+                self.on_pi4(ctx, &packet, &pi4);
+            }
+            Payload::Pi5(e) => self.on_pi5(ctx, *e),
+            Payload::Fm(msg) => {
+                let msg = msg.clone();
+                self.on_fm_message(ctx, msg);
+            }
+            Payload::Mcast { .. } | Payload::Data { .. } => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut AgentCtx, token: u64) {
+        if token == TOKEN_START_DISCOVERY {
+            if self.engine.is_none() {
+                self.begin_full(ctx, DiscoveryTrigger::Initial);
+            }
+            return;
+        }
+        if token == TOKEN_START_STANDBY {
+            if !self.promoted && self.cfg.standby.is_some() {
+                self.send_keepalive(ctx);
+            }
+            return;
+        }
+        if token == TOKEN_KEEPALIVE_CHECK {
+            self.on_keepalive_check(ctx);
+            return;
+        }
+        if token == TOKEN_CONFIGURE_MCAST {
+            self.flush_mcast(ctx);
+            return;
+        }
+        if token & TIMEOUT_FLAG != 0 {
+            let epoch = (token >> 32) & 0x3FFF_FFFF;
+            let req_id = (token & 0xFFFF_FFFF) as u32;
+            if epoch != self.epoch {
+                return; // timeout from a previous run
+            }
+            if (MCAST_REQ_BASE..DIST_REQ_BASE).contains(&req_id) {
+                self.mcast_complete(req_id, false);
+                return;
+            }
+            if req_id >= DIST_REQ_BASE {
+                self.dist_complete(ctx, req_id, false);
+                return;
+            }
+            if let Some(engine) = self.engine.as_mut() {
+                if engine.is_pending(req_id) {
+                    let out = engine.handle_timeout(req_id);
+                    self.dispatch(ctx, out);
+                    self.maybe_finish(ctx);
+                }
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asi_fabric::DevId;
+    use asi_proto::{PortEvent, TurnPool};
+    use asi_sim::SimTime;
+
+    fn ctx() -> AgentCtx {
+        AgentCtx::detached(SimTime::from_us(100), DevId(0))
+    }
+
+    fn pi5(reporter: u64, seq: u32) -> Pi5 {
+        Pi5 {
+            reporter_dsn: reporter,
+            port: 0,
+            event: PortEvent::PortDown,
+            sequence: seq,
+        }
+    }
+
+    #[test]
+    fn pi5_duplicates_and_stale_sequences_are_dropped() {
+        let mut cfg = FmConfig::new(Algorithm::Parallel);
+        cfg.auto_rediscover = false;
+        let mut fm = FmAgent::new(cfg);
+        let mut c = ctx();
+        fm.on_pi5(&mut c, pi5(9, 1));
+        fm.on_pi5(&mut c, pi5(9, 1)); // duplicate
+        fm.on_pi5(&mut c, pi5(9, 1)); // duplicate
+        fm.on_pi5(&mut c, pi5(9, 2)); // fresh
+        fm.on_pi5(&mut c, pi5(8, 1)); // different reporter
+        assert_eq!(fm.pi5_events, 3);
+    }
+
+    #[test]
+    fn pi5_without_auto_rediscover_never_starts_a_run() {
+        let mut cfg = FmConfig::new(Algorithm::Parallel);
+        cfg.auto_rediscover = false;
+        let mut fm = FmAgent::new(cfg);
+        let mut c = ctx();
+        fm.on_pi5(&mut c, pi5(9, 1));
+        assert!(!fm.discovering());
+        assert!(c.take_commands().is_empty());
+    }
+
+    #[test]
+    fn start_token_begins_discovery_from_host_ports() {
+        let mut fm = FmAgent::new(FmConfig::new(Algorithm::Parallel));
+        let mut c = ctx();
+        // The detached host has one down port: discovery completes with
+        // just the host in the database.
+        fm.on_timer(&mut c, TOKEN_START_DISCOVERY);
+        assert!(!fm.discovering(), "no active ports: run finishes at once");
+        assert_eq!(fm.runs.len(), 1);
+        assert_eq!(fm.runs[0].devices_found, 1);
+        assert_eq!(fm.runs[0].trigger, DiscoveryTrigger::Initial);
+    }
+
+    #[test]
+    fn unknown_timer_tokens_are_ignored() {
+        let mut fm = FmAgent::new(FmConfig::new(Algorithm::SerialPacket));
+        let mut c = ctx();
+        fm.on_timer(&mut c, 0xDEAD);
+        assert!(c.take_commands().is_empty());
+        assert!(fm.runs.is_empty());
+    }
+
+    #[test]
+    fn stale_epoch_timeouts_are_ignored() {
+        let mut fm = FmAgent::new(FmConfig::new(Algorithm::Parallel));
+        let mut c = ctx();
+        fm.on_timer(&mut c, TOKEN_START_DISCOVERY); // epoch 1, finishes
+        let _ = c.take_commands();
+        // A timeout stamped with epoch 0 must be discarded silently.
+        fm.on_timer(&mut c, TIMEOUT_FLAG | /* epoch 0 */ 7);
+        assert!(c.take_commands().is_empty());
+    }
+
+    #[test]
+    fn processing_time_matches_payload_kind() {
+        let mut fm = FmAgent::new(FmConfig::new(Algorithm::SerialPacket));
+        let hdr = RouteHeader::forward(
+            ProtocolInterface::DeviceManagement,
+            MANAGEMENT_TC,
+            TurnPool::new_spec(),
+        );
+        let pi4_pkt = Packet::new(
+            hdr.clone(),
+            Payload::Pi4(Pi4::WriteCompletion { req_id: 1 }),
+        );
+        let pi5_pkt = Packet::new(hdr.clone(), Payload::Pi5(pi5(1, 1)));
+        let data_pkt = Packet::new(hdr, Payload::Data { len: 9 });
+        let t4 = fm.processing_time(&pi4_pkt);
+        let t5 = fm.processing_time(&pi5_pkt);
+        let td = fm.processing_time(&data_pkt);
+        assert_eq!(t4, fm.cfg.timing.pi4_time(Algorithm::SerialPacket, 0));
+        assert_eq!(t5, fm.cfg.timing.pi5_time());
+        assert_eq!(td, SimDuration::from_ns(100));
+        assert!(t4 > t5 && t5 > td);
+    }
+
+    #[test]
+    fn queue_multicast_waits_for_a_database() {
+        let mut fm = FmAgent::new(FmConfig::new(Algorithm::Parallel));
+        fm.queue_multicast(1, vec![1, 2]);
+        assert!(!fm.mcast_settled());
+        let mut c = ctx();
+        // No database yet: flush is a no-op that keeps the queue.
+        fm.on_timer(&mut c, TOKEN_CONFIGURE_MCAST);
+        assert!(!fm.mcast_settled());
+        // After a (trivial) discovery, flushing plans and fails the group
+        // (members unknown in a 1-device database) rather than hanging.
+        fm.on_timer(&mut c, TOKEN_START_DISCOVERY);
+        fm.on_timer(&mut c, TOKEN_CONFIGURE_MCAST);
+        assert!(fm.mcast_settled());
+        assert_eq!(fm.mcast_failures, 1);
+    }
+
+    #[test]
+    fn collaborator_reports_after_discovery() {
+        let mut pool = TurnPool::new_spec();
+        pool.push_turn(1, 4).unwrap();
+        let cfg = FmConfig::new(Algorithm::Parallel).with_distributed(
+            DistributedRole::Collaborator {
+                report_egress: 0,
+                report_pool: pool,
+            },
+        );
+        let mut fm = FmAgent::new(cfg);
+        let mut c = ctx();
+        fm.on_timer(&mut c, TOKEN_START_DISCOVERY);
+        // Trivial fabric (host only): the report is host Device + Complete.
+        let sends = c
+            .take_commands()
+            .into_iter()
+            .filter(|cmd| matches!(cmd, asi_fabric::AgentCommand::Send { .. }))
+            .count();
+        assert_eq!(sends, 2, "device record + completion marker");
+    }
+
+    #[test]
+    fn primary_buffers_reports_until_its_own_run_finishes() {
+        let cfg = FmConfig::new(Algorithm::Parallel)
+            .with_distributed(DistributedRole::Primary { expected_reports: 1 });
+        let mut fm = FmAgent::new(cfg);
+        let mut c = ctx();
+        // Report arrives before the primary even started: buffered.
+        fm.on_fm_message(
+            &mut c,
+            FmMessage::Complete {
+                sender: 42,
+                devices: 1,
+                links: 0,
+            },
+        );
+        assert!(fm.distributed_finished_at.is_none());
+        // Primary's own (trivial) run finishes; the backlog drains and the
+        // merge completes.
+        fm.on_timer(&mut c, TOKEN_START_DISCOVERY);
+        assert!(fm.distributed_finished_at.is_some());
+        assert!(fm.merge.completed.contains(&42));
+    }
+}

@@ -1,0 +1,195 @@
+//! Measurements recorded by the fabric manager — the quantities the
+//! paper's evaluation section plots.
+
+use asi_sim::{SimDuration, SimTime, TimeSeries};
+
+/// The three discovery implementations the paper compares (§3).
+///
+/// ```
+/// use asi_core::Algorithm;
+/// assert_eq!(Algorithm::all().map(|a| a.name()),
+///            ["Serial Packet", "Serial Device", "Parallel"]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Algorithm {
+    /// ASI-SIG's serialized proposal: one request in flight, breadth-first.
+    SerialPacket,
+    /// The paper's improvement: serial across devices, parallel port reads
+    /// within a device.
+    SerialDevice,
+    /// The paper's main proposal: propagation-order exploration, requests
+    /// injected as soon as responses arrive.
+    Parallel,
+}
+
+impl Algorithm {
+    /// All three, in the paper's presentation order.
+    pub fn all() -> [Algorithm; 3] {
+        [
+            Algorithm::SerialPacket,
+            Algorithm::SerialDevice,
+            Algorithm::Parallel,
+        ]
+    }
+
+    /// Paper-style series name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::SerialPacket => "Serial Packet",
+            Algorithm::SerialDevice => "Serial Device",
+            Algorithm::Parallel => "Parallel",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a discovery run started.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiscoveryTrigger {
+    /// Initial discovery after fabric bring-up.
+    Initial,
+    /// Re-discovery after a PI-5 change notification.
+    ChangeAssimilation,
+    /// Partial (affected-region) re-discovery — extension.
+    Partial,
+    /// FM failover: the secondary took over.
+    Failover,
+}
+
+/// Everything measured during one discovery run.
+#[derive(Clone, Debug)]
+pub struct DiscoveryRun {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Why it ran.
+    pub trigger: DiscoveryTrigger,
+    /// When the FM started the run.
+    pub started_at: SimTime,
+    /// When the pending table / exploration queue drained.
+    pub finished_at: SimTime,
+    /// PI-4 requests the FM injected.
+    pub requests_sent: u64,
+    /// Completions (data or error) the FM processed.
+    pub responses_received: u64,
+    /// Requests that timed out without a completion.
+    pub timeouts: u64,
+    /// Management bytes the FM injected.
+    pub bytes_sent: u64,
+    /// Management bytes the FM received.
+    pub bytes_received: u64,
+    /// Devices in the database when the run finished.
+    pub devices_found: usize,
+    /// Links in the database when the run finished.
+    pub links_found: usize,
+    /// Time each discovery packet finished processing at the FM, with the
+    /// packet ordinal as the value (the paper's Fig. 7a series).
+    pub fm_timeline: TimeSeries,
+    /// Cumulative FM busy time (occupancy) during the run.
+    pub fm_busy: SimDuration,
+}
+
+impl DiscoveryRun {
+    /// Total topology discovery time — the paper's headline metric.
+    pub fn discovery_time(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.started_at)
+    }
+
+    /// Mean per-packet FM processing time over the run (Fig. 4's metric).
+    pub fn mean_fm_processing(&self) -> SimDuration {
+        if self.responses_received == 0 {
+            SimDuration::ZERO
+        } else {
+            self.fm_busy / self.responses_received
+        }
+    }
+
+    /// Fraction of the run the FM was busy (1.0 = FM-bound, the parallel
+    /// ideal; low values = serialized waiting).
+    pub fn fm_utilization(&self) -> f64 {
+        let total = self.discovery_time().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.fm_busy.as_secs_f64() / total
+        }
+    }
+}
+
+/// Measurements of one path-distribution phase (extension).
+#[derive(Clone, Debug)]
+pub struct DistributionRun {
+    /// When the first write was injected.
+    pub started_at: SimTime,
+    /// When the last acknowledgement arrived.
+    pub finished_at: SimTime,
+    /// Route-table writes issued.
+    pub writes: u64,
+    /// Writes that failed or timed out.
+    pub failures: u64,
+    /// Endpoint-destination pairs whose route could not be encoded.
+    pub unencodable: u64,
+    /// Bytes of route-table traffic injected.
+    pub bytes_sent: u64,
+}
+
+impl DistributionRun {
+    /// Time to restore endpoint paths — the extension's headline metric.
+    pub fn distribution_time(&self) -> SimDuration {
+        self.finished_at.saturating_since(self.started_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> DiscoveryRun {
+        DiscoveryRun {
+            algorithm: Algorithm::Parallel,
+            trigger: DiscoveryTrigger::Initial,
+            started_at: SimTime::from_us(100),
+            finished_at: SimTime::from_us(600),
+            requests_sent: 10,
+            responses_received: 10,
+            timeouts: 0,
+            bytes_sent: 260,
+            bytes_received: 520,
+            devices_found: 5,
+            links_found: 4,
+            fm_timeline: TimeSeries::new(),
+            fm_busy: SimDuration::from_us(130),
+        }
+    }
+
+    #[test]
+    fn discovery_time_is_interval() {
+        assert_eq!(run().discovery_time(), SimDuration::from_us(500));
+    }
+
+    #[test]
+    fn mean_processing_divides_busy_time() {
+        assert_eq!(run().mean_fm_processing(), SimDuration::from_us(13));
+        let mut r = run();
+        r.responses_received = 0;
+        assert_eq!(r.mean_fm_processing(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn utilization_is_busy_fraction() {
+        let u = run().fm_utilization();
+        assert!((u - 0.26).abs() < 1e-9, "{u}");
+    }
+
+    #[test]
+    fn algorithm_names_match_paper() {
+        assert_eq!(Algorithm::SerialPacket.name(), "Serial Packet");
+        assert_eq!(Algorithm::SerialDevice.name(), "Serial Device");
+        assert_eq!(Algorithm::Parallel.to_string(), "Parallel");
+        assert_eq!(Algorithm::all().len(), 3);
+    }
+}

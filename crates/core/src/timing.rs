@@ -1,0 +1,248 @@
+//! The fabric manager's per-packet processing-time model.
+//!
+//! The paper measured (by profiling a software FM on a Pentium 4, 3 GHz)
+//! the time the FM spends processing one PI-4 packet, and found (Fig. 4):
+//!
+//! - Serial Packet ≈ slowest (most complex bookkeeping),
+//! - Serial Device a little faster,
+//! - Parallel clearly fastest,
+//! - a slight growth with network size (the topology database grows),
+//! - device-side processing small and independent of everything.
+//!
+//! We reproduce those *relationships* with calibrated constants. The
+//! experiments of Figs. 8–9 divide these times by a *processing factor*
+//! (factor > 1 ⇒ faster manager).
+
+use crate::metrics::Algorithm;
+use asi_sim::SimDuration;
+
+/// Per-packet FM processing-time model.
+#[derive(Clone, Debug)]
+pub struct FmTiming {
+    /// Base per-packet time for the Serial Packet algorithm.
+    pub serial_packet_base: SimDuration,
+    /// Base per-packet time for the Serial Device algorithm.
+    pub serial_device_base: SimDuration,
+    /// Base per-packet time for the Parallel algorithm.
+    pub parallel_base: SimDuration,
+    /// Additional time per device already present in the topology database
+    /// (models the paper's slight growth with network size).
+    pub per_known_device: SimDuration,
+    /// Time to process one PI-5 event report.
+    pub pi5_time: SimDuration,
+    /// Time for the primary to merge one FM-exchange record during
+    /// distributed discovery (cheaper than discovery processing: no route
+    /// computation, no request generation).
+    pub merge_time: SimDuration,
+    /// FM processing *speed* factor (paper Figs. 8–9): effective time is
+    /// `base / fm_factor`.
+    pub fm_factor: f64,
+}
+
+impl Default for FmTiming {
+    fn default() -> Self {
+        FmTiming {
+            serial_packet_base: SimDuration::from_ns(19_000),
+            serial_device_base: SimDuration::from_ns(16_500),
+            parallel_base: SimDuration::from_ns(13_000),
+            per_known_device: SimDuration::from_ns(4),
+            pi5_time: SimDuration::from_ns(6_000),
+            merge_time: SimDuration::from_ns(3_000),
+            fm_factor: 1.0,
+        }
+    }
+}
+
+impl FmTiming {
+    /// Per-PI-4-packet processing time given the algorithm and the current
+    /// size of the topology database.
+    pub fn pi4_time(&self, algorithm: Algorithm, known_devices: usize) -> SimDuration {
+        assert!(self.fm_factor > 0.0, "FM factor must be positive");
+        let base = match algorithm {
+            Algorithm::SerialPacket => self.serial_packet_base,
+            Algorithm::SerialDevice => self.serial_device_base,
+            Algorithm::Parallel => self.parallel_base,
+        };
+        (base + self.per_known_device * known_devices as u64).scaled(1.0 / self.fm_factor)
+    }
+
+    /// Per-PI-5-event processing time.
+    pub fn pi5_time(&self) -> SimDuration {
+        self.pi5_time.scaled(1.0 / self.fm_factor)
+    }
+
+    /// Per-record merge time (distributed discovery).
+    pub fn merge_time(&self) -> SimDuration {
+        self.merge_time.scaled(1.0 / self.fm_factor)
+    }
+
+    /// Returns a copy with a different FM speed factor.
+    pub fn with_factor(mut self, fm_factor: f64) -> FmTiming {
+        self.fm_factor = fm_factor;
+        self
+    }
+}
+
+/// Closed-form ideal-behaviour model of the paper's Fig. 7(b).
+///
+/// - **Serial**: the FM is idle while each request crosses the fabric and
+///   is serviced, so every packet costs
+///   `T_FM + T_prop + T_device + T_prop`.
+/// - **Parallel**: transport and device time overlap with FM processing,
+///   so after the pipe fills every packet costs `max(T_FM, …) = T_FM`
+///   (for realistic parameter ranges) and the total is
+///   `pipe-fill + n · T_FM`.
+pub mod ideal {
+    use asi_sim::SimDuration;
+
+    /// Parameters of the ideal model.
+    #[derive(Clone, Copy, Debug)]
+    pub struct IdealParams {
+        /// FM per-packet processing time.
+        pub t_fm: SimDuration,
+        /// Device per-packet processing time.
+        pub t_device: SimDuration,
+        /// One-way propagation (request or response) through the fabric.
+        pub t_prop: SimDuration,
+    }
+
+    /// Total time for `n` request/response exchanges, serialized.
+    pub fn serial_total(p: IdealParams, n: u64) -> SimDuration {
+        (p.t_fm + p.t_prop + p.t_device + p.t_prop) * n
+    }
+
+    /// Total time for `n` exchanges, fully pipelined.
+    pub fn parallel_total(p: IdealParams, n: u64) -> SimDuration {
+        if n == 0 {
+            return SimDuration::ZERO;
+        }
+        let round_trip = p.t_prop + p.t_device + p.t_prop;
+        let per_packet = if p.t_fm >= round_trip {
+            p.t_fm
+        } else {
+            // The FM outruns the fabric: the fabric round-trip paces the
+            // pipeline instead (very fast FM / very slow devices —
+            // the regime of the paper's Fig. 8(b) left edge).
+            round_trip
+        };
+        // First response must arrive before steady state begins.
+        round_trip + per_packet * n
+    }
+
+    /// Ratio serial/parallel — the headline improvement.
+    pub fn speedup(p: IdealParams, n: u64) -> f64 {
+        serial_total(p, n).as_secs_f64() / parallel_total(p, n).as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ideal::*;
+    use super::*;
+
+    #[test]
+    fn per_packet_ordering_matches_fig4() {
+        let t = FmTiming::default();
+        let sp = t.pi4_time(Algorithm::SerialPacket, 50);
+        let sd = t.pi4_time(Algorithm::SerialDevice, 50);
+        let pa = t.pi4_time(Algorithm::Parallel, 50);
+        assert!(sp > sd, "SerialPacket must be slowest");
+        assert!(sd > pa, "Parallel must be fastest");
+    }
+
+    #[test]
+    fn time_grows_with_database() {
+        let t = FmTiming::default();
+        let small = t.pi4_time(Algorithm::Parallel, 10);
+        let large = t.pi4_time(Algorithm::Parallel, 500);
+        assert!(large > small);
+        // Growth is slight: under 20% over the whole Table 1 range.
+        assert!(large.as_secs_f64() < small.as_secs_f64() * 1.2);
+    }
+
+    #[test]
+    fn factor_divides_time() {
+        let t = FmTiming::default().with_factor(4.0);
+        assert_eq!(
+            t.pi4_time(Algorithm::Parallel, 0),
+            SimDuration::from_ns(13_000 / 4)
+        );
+        let slow = FmTiming::default().with_factor(0.25);
+        assert_eq!(
+            slow.pi4_time(Algorithm::Parallel, 0),
+            SimDuration::from_ns(13_000 * 4)
+        );
+        assert_eq!(
+            FmTiming::default().with_factor(2.0).pi5_time(),
+            SimDuration::from_ns(3_000)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_rejected() {
+        let t = FmTiming::default().with_factor(0.0);
+        let _ = t.pi4_time(Algorithm::Parallel, 0);
+    }
+
+    #[test]
+    fn ideal_serial_slope_is_constant() {
+        let p = IdealParams {
+            t_fm: SimDuration::from_us(19),
+            t_device: SimDuration::from_us(4),
+            t_prop: SimDuration::from_us(1),
+        };
+        let d10 = serial_total(p, 10);
+        let d20 = serial_total(p, 20);
+        assert_eq!(d20.as_ps(), 2 * d10.as_ps());
+        assert_eq!(serial_total(p, 1), SimDuration::from_us(25));
+    }
+
+    #[test]
+    fn ideal_parallel_is_fm_bound_normally() {
+        let p = IdealParams {
+            t_fm: SimDuration::from_us(13),
+            t_device: SimDuration::from_us(4),
+            t_prop: SimDuration::from_us(1),
+        };
+        // Steady-state slope = t_fm.
+        let d = parallel_total(p, 100) - parallel_total(p, 99);
+        assert_eq!(d, SimDuration::from_us(13));
+    }
+
+    #[test]
+    fn ideal_parallel_becomes_device_bound_when_devices_slow() {
+        // Device factor below ~1/3 makes T_device dominate (paper Fig. 8b).
+        let p = IdealParams {
+            t_fm: SimDuration::from_us(13),
+            t_device: SimDuration::from_us(20), // 4us / 0.2
+            t_prop: SimDuration::from_us(1),
+        };
+        let d = parallel_total(p, 100) - parallel_total(p, 99);
+        assert_eq!(d, SimDuration::from_us(22));
+    }
+
+    #[test]
+    fn ideal_speedup_close_to_ratio() {
+        let p = IdealParams {
+            t_fm: SimDuration::from_us(19),
+            t_device: SimDuration::from_us(4),
+            t_prop: SimDuration::from_us(1),
+        };
+        // serial per packet 25us vs parallel 19us... parallel uses its own
+        // t_fm in real runs; here same t_fm: speedup tends to 25/19.
+        let s = speedup(p, 1000);
+        assert!((s - 25.0 / 19.0).abs() < 0.01, "speedup {s}");
+    }
+
+    #[test]
+    fn ideal_zero_packets() {
+        let p = IdealParams {
+            t_fm: SimDuration::from_us(13),
+            t_device: SimDuration::from_us(4),
+            t_prop: SimDuration::from_us(1),
+        };
+        assert_eq!(parallel_total(p, 0), SimDuration::ZERO);
+        assert_eq!(serial_total(p, 0), SimDuration::ZERO);
+    }
+}

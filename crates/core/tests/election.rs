@@ -1,0 +1,84 @@
+//! Packet-level FM election: two contenders walk the fabric writing
+//! claim-and-hold ownership registers; each observes the other through
+//! claim read-backs, and the election rule (`role_of`) picks the primary
+//! deterministically.
+
+use asi_core::{role_of, Claim, DistributedRole, FmAgent, FmConfig, FmRole};
+use asi_core::{Algorithm, TOKEN_START_DISCOVERY};
+use asi_fabric::{DevId, Fabric, FabricConfig, DSN_BASE};
+use asi_sim::SimDuration;
+use asi_topo::mesh;
+
+#[test]
+fn contenders_observe_each_other_and_elect_by_dsn() {
+    let g = mesh(4, 4);
+    let topo = &g.topology;
+    let mut fabric = Fabric::new(topo, FabricConfig::default());
+    fabric.set_event_limit(50_000_000);
+    fabric.activate_all(SimDuration::ZERO);
+    fabric.run_until_idle();
+
+    // Contenders at opposite corners; both run claim-partitioned
+    // discovery simultaneously. (`Primary { expected_reports: 0 }` makes
+    // them independent walkers — no merge traffic.)
+    let a = DevId(g.endpoint_at(0, 0).0);
+    let b = DevId(g.endpoint_at(3, 3).0);
+    for dev in [a, b] {
+        let mut cfg = FmConfig::new(Algorithm::Parallel)
+            .with_distributed(DistributedRole::Primary { expected_reports: 0 });
+        cfg.auto_rediscover = false;
+        fabric.set_agent(dev, Box::new(FmAgent::new(cfg)));
+        fabric.schedule_agent_timer(dev, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
+    }
+    fabric.run_until_idle();
+
+    let dsn_a = DSN_BASE | u64::from(a.0);
+    let dsn_b = DSN_BASE | u64::from(b.0);
+    let rivals_a: Vec<u64> = fabric
+        .agent_as::<FmAgent>(a)
+        .unwrap()
+        .rivals
+        .iter()
+        .copied()
+        .collect();
+    let rivals_b: Vec<u64> = fabric
+        .agent_as::<FmAgent>(b)
+        .unwrap()
+        .rivals
+        .iter()
+        .copied()
+        .collect();
+    // Simultaneous walkers must collide somewhere in the middle.
+    assert_eq!(rivals_a, vec![dsn_b], "A never saw B");
+    assert_eq!(rivals_b, vec![dsn_a], "B never saw A");
+
+    // Election: equal priority, higher DSN wins (b here).
+    let claim = |dsn: u64| Claim::new(0, dsn);
+    let observed_a: Vec<Claim> = rivals_a.iter().map(|&d| claim(d)).collect();
+    let observed_b: Vec<Claim> = rivals_b.iter().map(|&d| claim(d)).collect();
+    assert_eq!(role_of(claim(dsn_a), &observed_a), FmRole::Secondary);
+    assert_eq!(role_of(claim(dsn_b), &observed_b), FmRole::Primary);
+}
+
+#[test]
+fn lone_contender_becomes_primary_without_rivals() {
+    let g = mesh(3, 3);
+    let mut fabric = Fabric::new(&g.topology, FabricConfig::default());
+    fabric.set_event_limit(50_000_000);
+    fabric.activate_all(SimDuration::ZERO);
+    fabric.run_until_idle();
+    let a = DevId(g.endpoint_at(0, 0).0);
+    let mut cfg = FmConfig::new(Algorithm::Parallel)
+        .with_distributed(DistributedRole::Primary { expected_reports: 0 });
+    cfg.auto_rediscover = false;
+    fabric.set_agent(a, Box::new(FmAgent::new(cfg)));
+    fabric.schedule_agent_timer(a, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+    fabric.run_until_idle();
+
+    let agent = fabric.agent_as::<FmAgent>(a).unwrap();
+    assert!(agent.rivals.is_empty());
+    let dsn_a = DSN_BASE | u64::from(a.0);
+    assert_eq!(role_of(Claim::new(0, dsn_a), &[]), FmRole::Primary);
+    // The claim walk still discovered the whole fabric.
+    assert_eq!(agent.db().unwrap().device_count(), 18);
+}

@@ -1,0 +1,303 @@
+//! Engine state-machine tests against a *mock fabric*: a pure responder
+//! that executes each [`OutRequest`]'s turn pool over a ground-truth
+//! topology and services the read from the target's configuration space.
+//! No discrete-event simulation — this isolates the discovery logic and
+//! lets property tests drive it with adversarial completion orderings.
+
+use asi_core::{Algorithm, Engine, EngineConfig, OutOp, OutRequest};
+use asi_proto::{
+    apply_backward, apply_forward, turn_width, ConfigSpace, DeviceInfo, DeviceType, Direction,
+    PortInfo, PortState, TurnCursor,
+};
+use asi_sim::SimRng;
+use asi_topo::{fat_tree, irregular, mesh, torus, IrregularSpec, NodeId, Topology};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, VecDeque};
+
+/// A zero-time fabric: executes routes and services PI-4 reads exactly
+/// like the real simulator, but synchronously.
+struct MockFabric {
+    topo: Topology,
+    configs: Vec<ConfigSpace>,
+    host: NodeId,
+}
+
+impl MockFabric {
+    fn new(topo: &Topology) -> MockFabric {
+        let host = asi_topo::default_fm_endpoint(topo).expect("endpoint");
+        let mut configs = Vec::new();
+        for (id, node) in topo.nodes() {
+            let info = DeviceInfo {
+                device_type: node.device_type,
+                dsn: dsn_of(id),
+                port_count: u16::from(node.ports),
+                max_packet_size: 2048,
+                fm_capable: node.device_type == DeviceType::Endpoint,
+                fm_priority: 0,
+            };
+            configs.push(ConfigSpace::new(info));
+        }
+        let mut fabric = MockFabric {
+            topo: topo.clone(),
+            configs,
+            host,
+        };
+        fabric.train_all();
+        fabric
+    }
+
+    fn train_all(&mut self) {
+        for (id, node) in self.topo.nodes() {
+            for p in 0..node.ports {
+                if let Some(peer) = self.topo.peer(id, p) {
+                    self.configs[id.idx()].set_port(
+                        u16::from(p),
+                        PortInfo {
+                            state: PortState::Active,
+                            link_width: 1,
+                            link_speed: 10,
+                            peer_port: peer.port,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Walks a request's turn pool from the host and returns the target
+    /// device, or `None` if the route falls off the fabric.
+    fn route_target(&self, req: &OutRequest) -> Option<NodeId> {
+        let mut at = self.topo.peer(self.host, req.egress)?;
+        let mut cursor = TurnCursor::start(&req.pool, Direction::Forward);
+        while !cursor.exhausted(&req.pool) {
+            let node = self.topo.node(at.node)?;
+            if node.device_type != DeviceType::Switch {
+                return None;
+            }
+            let width = turn_width(node.ports);
+            let (turn, next) = cursor.take_turn(&req.pool, width).ok()?;
+            let egress = apply_forward(at.port, turn, node.ports);
+            // Exercise reversibility while we are here.
+            assert_eq!(apply_backward(egress, turn, node.ports), at.port);
+            at = self.topo.peer(at.node, egress)?;
+            cursor = next;
+        }
+        Some(at.node)
+    }
+
+    /// Services one request, returning `(req_id, read result)`.
+    fn service(&mut self, req: &OutRequest) -> (u32, Result<Vec<u32>, asi_proto::Pi4Status>) {
+        let Some(target) = self.route_target(req) else {
+            panic!("engine emitted a request that routes off the fabric");
+        };
+        let result = match &req.op {
+            OutOp::Read { addr, dwords } => self.configs[target.idx()].read(*addr, *dwords),
+            OutOp::Write { addr, data } => self.configs[target.idx()]
+                .write(*addr, data)
+                .map(|()| Vec::new()),
+        };
+        (req.req_id, result)
+    }
+}
+
+/// DSN scheme used by the mock (reversible for assertions).
+const DSN_BASE_MOCK: u64 = 0xB000_0000;
+
+fn dsn_of(id: NodeId) -> u64 {
+    DSN_BASE_MOCK | u64::from(id.0)
+}
+
+/// Runs a full discovery over the mock fabric, delivering completions in
+/// an order chosen by `shuffler` (None = FIFO).
+fn drive(
+    topo: &Topology,
+    algorithm: Algorithm,
+    mut shuffler: Option<SimRng>,
+) -> (Engine, u64) {
+    let mut fabric = MockFabric::new(topo);
+    let host = fabric.host;
+    let host_info = *fabric.configs[host.idx()].info();
+    let host_ports: Vec<PortInfo> = (0..host_info.port_count)
+        .map(|p| *fabric.configs[host.idx()].port(p).unwrap())
+        .collect();
+
+    let cfg = EngineConfig::new(algorithm, asi_proto::MAX_POOL_BITS);
+    let (mut engine, first) = Engine::start(cfg, host_info, &host_ports);
+    let mut inbox: VecDeque<OutRequest> = first.into();
+    let mut steps = 0u64;
+    let mut max_outstanding = 0usize;
+    while !engine.is_done() {
+        max_outstanding = max_outstanding.max(engine.outstanding());
+        // Pick the next completion to deliver.
+        let idx = match shuffler.as_mut() {
+            Some(rng) if inbox.len() > 1 => rng.gen_index(inbox.len()),
+            _ => 0,
+        };
+        let req = inbox.remove(idx).expect("engine is not done but idle");
+        let (req_id, result) = fabric.service(&req);
+        let out = engine.handle_completion(req_id, result.as_deref().map_err(|e| *e));
+        inbox.extend(out);
+        steps += 1;
+        assert!(steps < 1_000_000, "discovery did not converge");
+    }
+    assert!(inbox.is_empty(), "engine finished with undelivered requests");
+    if matches!(algorithm, Algorithm::SerialPacket) {
+        assert_eq!(max_outstanding, 1, "Serial Packet overlapped requests");
+    }
+    (engine, steps)
+}
+
+fn assert_matches_truth(engine: &Engine, topo: &Topology) {
+    let truth: BTreeSet<u64> = topo.nodes().map(|(id, _)| dsn_of(id)).collect();
+    let found: BTreeSet<u64> = engine.db.devices().map(|d| d.info.dsn).collect();
+    assert_eq!(found, truth, "device sets differ");
+    assert_eq!(engine.db.link_count(), topo.links().len(), "link counts differ");
+    for d in engine.db.devices() {
+        assert!(d.ports_complete(), "{:x} ports incomplete", d.info.dsn);
+    }
+}
+
+#[test]
+fn mock_discovery_matches_truth_on_reference_topologies() {
+    for topo in [
+        mesh(3, 3).topology,
+        torus(4, 4).topology,
+        fat_tree(4, 3).topology,
+        fat_tree(8, 2).topology,
+    ] {
+        for alg in Algorithm::all() {
+            let (engine, _) = drive(&topo, alg, None);
+            assert_matches_truth(&engine, &topo);
+        }
+    }
+}
+
+#[test]
+fn serial_device_outstanding_bounded_by_one_device_burst() {
+    // Serial Device may only parallelize within the current device: its
+    // outstanding requests never exceed the port reads of one 16-port
+    // switch (8 reads, 2 ports per read).
+    for topo in [mesh(4, 4).topology, torus(4, 4).topology] {
+        let (engine, _) = drive(&topo, Algorithm::SerialDevice, None);
+        let max = engine.stats().max_outstanding;
+        assert!(max <= 8, "Serial Device overlapped {max} requests");
+        assert!(max >= 2, "Serial Device never parallelized port reads");
+    }
+}
+
+#[test]
+fn parallel_goes_wide() {
+    let topo = mesh(4, 4).topology;
+    let (engine, _) = drive(&topo, Algorithm::Parallel, None);
+    assert!(
+        engine.stats().max_outstanding > 8,
+        "Parallel should exceed any single-device burst, got {}",
+        engine.stats().max_outstanding
+    );
+}
+
+#[test]
+fn all_algorithms_find_identical_topologies() {
+    // The three algorithms trade time, not coverage: their final device
+    // and link sets must be identical.
+    let topo = fat_tree(4, 3).topology;
+    let mut sets = Vec::new();
+    for alg in Algorithm::all() {
+        let (engine, _) = drive(&topo, alg, None);
+        let devices: BTreeSet<u64> = engine.db.devices().map(|d| d.info.dsn).collect();
+        let mut links: Vec<_> = engine.db.links().collect();
+        links.sort_unstable();
+        sets.push((devices, links));
+    }
+    assert_eq!(sets[0], sets[1]);
+    assert_eq!(sets[1], sets[2]);
+}
+
+#[test]
+fn serial_packet_request_count_is_deterministic() {
+    let topo = mesh(4, 4).topology;
+    let (e1, s1) = drive(&topo, Algorithm::SerialPacket, None);
+    let (e2, s2) = drive(&topo, Algorithm::SerialPacket, None);
+    assert_eq!(s1, s2);
+    assert_eq!(e1.stats(), e2.stats());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random irregular fabrics are fully discovered by every algorithm,
+    /// regardless of the order completions arrive in (the Parallel
+    /// algorithm is explicitly order-independent: "the order in which
+    /// devices are discovered is not deterministic", paper §3.3).
+    #[test]
+    fn random_fabrics_fully_discovered(
+        seed in any::<u64>(),
+        switches in 2usize..14,
+        extra in 0usize..8,
+        order_seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let topo = irregular(
+            IrregularSpec {
+                switches,
+                extra_links: extra,
+                endpoints_per_switch: 1,
+            },
+            &mut rng,
+        );
+        for alg in Algorithm::all() {
+            let shuffler = match alg {
+                Algorithm::Parallel => Some(SimRng::new(order_seed)),
+                _ => None,
+            };
+            let (engine, _) = drive(&topo, alg, shuffler);
+            let truth: BTreeSet<u64> = topo.nodes().map(|(id, _)| dsn_of(id)).collect();
+            let found: BTreeSet<u64> = engine.db.devices().map(|d| d.info.dsn).collect();
+            prop_assert_eq!(&found, &truth, "{} device sets differ", alg);
+            prop_assert_eq!(engine.db.link_count(), topo.links().len());
+        }
+    }
+
+    /// The discovered database's own route computation produces routes
+    /// that execute correctly over the ground truth.
+    #[test]
+    fn db_routes_execute_on_ground_truth(seed in any::<u64>(), switches in 2usize..10) {
+        let mut rng = SimRng::new(seed);
+        let topo = irregular(
+            IrregularSpec {
+                switches,
+                extra_links: 3,
+                endpoints_per_switch: 1,
+            },
+            &mut rng,
+        );
+        let (engine, _) = drive(&topo, Algorithm::Parallel, None);
+        let db = &engine.db;
+        let host = db.host_dsn();
+        let host_node = NodeId((host ^ DSN_BASE_MOCK) as u32);
+        for dev in db.devices() {
+            if dev.info.dsn == host {
+                continue;
+            }
+            let route = db
+                .route_between(host, dev.info.dsn, asi_proto::MAX_POOL_BITS)
+                .expect("route exists")
+                .expect("pool fits");
+            // Walk it over the ground truth.
+            let mut at = topo.peer(host_node, route.egress).expect("host port linked");
+            let mut cursor = TurnCursor::start(&route.pool, Direction::Forward);
+            while !cursor.exhausted(&route.pool) {
+                let node = topo.node(at.node).unwrap();
+                prop_assert_eq!(node.device_type, DeviceType::Switch);
+                let (turn, next) = cursor
+                    .take_turn(&route.pool, turn_width(node.ports))
+                    .expect("valid turn");
+                let egress = apply_forward(at.port, turn, node.ports);
+                at = topo.peer(at.node, egress).expect("linked");
+                cursor = next;
+            }
+            prop_assert_eq!(dsn_of(at.node), dev.info.dsn, "route landed wrong");
+            prop_assert_eq!(at.port, route.entry_port);
+        }
+    }
+}

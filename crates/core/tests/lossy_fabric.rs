@@ -1,0 +1,104 @@
+//! Discovery over a lossy fabric: injected receiver-side CRC drops must
+//! not wedge the manager, and with a retry budget the full topology is
+//! still found — robustness the paper's loss-free OPNET links never
+//! exercised.
+
+use asi_core::{Algorithm, FmAgent, FmConfig, TOKEN_START_DISCOVERY};
+use asi_fabric::{DevId, Fabric, FabricConfig};
+use asi_sim::SimDuration;
+use asi_topo::mesh;
+
+fn run_lossy(loss_rate: f64, max_retries: u32, seed: u64) -> (usize, u64, u64) {
+    let g = mesh(3, 3);
+    let config = FabricConfig {
+        loss_rate,
+        seed,
+        ..FabricConfig::default()
+    };
+    let mut fabric = Fabric::new(&g.topology, config);
+    fabric.set_event_limit(50_000_000);
+    fabric.activate_all(SimDuration::ZERO);
+    fabric.run_until_idle();
+    let fm = DevId(g.endpoint_at(0, 0).0);
+    let mut cfg = FmConfig::new(Algorithm::Parallel);
+    cfg.max_retries = max_retries;
+    cfg.request_timeout = SimDuration::from_us(500);
+    fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
+    fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+    fabric.run_until_idle();
+
+    let corrupted = fabric.counters().dropped_corrupted;
+    let agent = fabric.agent_as::<FmAgent>(fm).unwrap();
+    let run = agent.last_run().expect("run terminates even with loss");
+    (run.devices_found, run.timeouts, corrupted)
+}
+
+#[test]
+fn lossless_fabric_injects_no_corruption() {
+    let (devices, timeouts, corrupted) = run_lossy(0.0, 0, 1);
+    assert_eq!(devices, 18);
+    assert_eq!(timeouts, 0);
+    assert_eq!(corrupted, 0);
+}
+
+#[test]
+fn loss_without_retries_degrades_but_terminates() {
+    // 10% loss per traversal: some probes/completions vanish; the run
+    // must still drain via timeouts.
+    let mut any_loss_seen = false;
+    for seed in 1..=5u64 {
+        let (devices, timeouts, corrupted) = run_lossy(0.10, 0, seed);
+        assert!(devices <= 18);
+        any_loss_seen |= corrupted > 0;
+        if corrupted > 0 {
+            assert!(timeouts > 0, "seed {seed}: losses but no timeouts");
+        }
+    }
+    assert!(any_loss_seen, "loss injection never fired across 5 seeds");
+}
+
+#[test]
+fn retries_recover_the_full_topology_under_loss() {
+    // With 5% loss and a generous retry budget, every seed must converge
+    // to the complete 18-device database.
+    for seed in 1..=8u64 {
+        let (devices, timeouts, corrupted) = run_lossy(0.05, 8, seed);
+        assert_eq!(
+            devices, 18,
+            "seed {seed}: incomplete discovery ({corrupted} losses, {timeouts} timeouts)"
+        );
+    }
+}
+
+#[test]
+fn retries_are_idempotent_when_the_completion_was_lost() {
+    // Even when the *response* (not the request) is what got dropped,
+    // the re-issued read executes again harmlessly: final database and
+    // link sets must be exactly the ground truth.
+    let g = mesh(3, 3);
+    for seed in [3u64, 7, 11] {
+        let config = FabricConfig {
+            loss_rate: 0.08,
+            seed,
+            ..FabricConfig::default()
+        };
+        let mut fabric = Fabric::new(&g.topology, config);
+        fabric.set_event_limit(50_000_000);
+        fabric.activate_all(SimDuration::ZERO);
+        fabric.run_until_idle();
+        let fm = DevId(g.endpoint_at(0, 0).0);
+        let mut cfg = FmConfig::new(Algorithm::SerialDevice);
+        cfg.max_retries = 10;
+        cfg.request_timeout = SimDuration::from_us(500);
+        fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
+        fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+        fabric.run_until_idle();
+        let agent = fabric.agent_as::<FmAgent>(fm).unwrap();
+        let db = agent.db().unwrap();
+        assert_eq!(db.device_count(), 18, "seed {seed}");
+        assert_eq!(db.link_count(), g.topology.links().len(), "seed {seed}");
+        for d in db.devices() {
+            assert!(d.ports_complete(), "seed {seed}: {:x}", d.info.dsn);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for multicast tree planning: over random topologies and
+//! member sets, the planned tables must deliver exactly one copy to every
+//! other member, from *any* member as source, without loops.
+
+use asi_core::{plan_multicast, DeviceRoute, McastWrite, TopologyDb};
+use asi_proto::{DeviceInfo, DeviceType, TurnPool};
+use asi_sim::SimRng;
+use asi_topo::{irregular, mesh, torus, IrregularSpec, NodeId, Topology};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const DSN: u64 = 0xC000_0000;
+
+fn dsn_of(id: NodeId) -> u64 {
+    DSN | u64::from(id.0)
+}
+
+/// Imports a ground-truth topology into a TopologyDb (as a completed
+/// discovery would).
+fn db_of(topo: &Topology) -> TopologyDb {
+    let host = topo.endpoints()[0];
+    let mut db = TopologyDb::new(dsn_of(host));
+    for (id, node) in topo.nodes() {
+        db.insert_device(
+            DeviceInfo {
+                device_type: node.device_type,
+                dsn: dsn_of(id),
+                port_count: u16::from(node.ports),
+                max_packet_size: 2048,
+                fm_capable: node.device_type == DeviceType::Endpoint,
+                fm_priority: 0,
+            },
+            DeviceRoute {
+                egress: 0,
+                pool: TurnPool::new_spec(),
+                entry_port: 0,
+                hops: 0,
+            },
+        );
+    }
+    for link in topo.links() {
+        db.add_link(
+            (dsn_of(link.a.node), link.a.port),
+            (dsn_of(link.b.node), link.b.port),
+        );
+    }
+    db
+}
+
+/// Abstract replication over the planned tables: returns per-member copy
+/// counts when `source` injects, or None when a loop guard trips.
+fn simulate(
+    topo: &Topology,
+    plan: &[McastWrite],
+    members: &[NodeId],
+    source: NodeId,
+) -> Option<HashMap<NodeId, u32>> {
+    let masks: HashMap<u64, u32> = plan.iter().map(|w| (w.target_dsn, w.mask)).collect();
+    let mut delivered: HashMap<NodeId, u32> = HashMap::new();
+    // (node, ingress port) frontier; source injects on its single port.
+    let mut frontier = vec![(
+        topo.peer(source, 0).expect("member attached").node,
+        topo.peer(source, 0).unwrap().port,
+        64u8, // hop budget
+    )];
+    let mut steps = 0;
+    while let Some((node, ingress, hops)) = frontier.pop() {
+        steps += 1;
+        if steps > 100_000 {
+            return None; // replication storm
+        }
+        let n = topo.node(node).unwrap();
+        match n.device_type {
+            DeviceType::Endpoint => {
+                if masks.get(&dsn_of(node)).copied().unwrap_or(0) != 0 {
+                    *delivered.entry(node).or_default() += 1;
+                }
+            }
+            DeviceType::Switch => {
+                if hops == 0 {
+                    return None;
+                }
+                let mask = masks.get(&dsn_of(node)).copied().unwrap_or(0);
+                for p in 0..n.ports.min(32) {
+                    if p == ingress || (mask >> p) & 1 == 0 {
+                        continue;
+                    }
+                    if let Some(peer) = topo.peer(node, p) {
+                        frontier.push((peer.node, peer.port, hops - 1));
+                    }
+                }
+            }
+        }
+    }
+    Some(delivered)
+}
+
+fn check_exactly_once(topo: &Topology, members: &[NodeId]) {
+    let db = db_of(topo);
+    let dsns: Vec<u64> = members.iter().map(|&m| dsn_of(m)).collect();
+    let plan = plan_multicast(&db, 0, &dsns).expect("plan succeeds");
+    for &source in members {
+        let delivered =
+            simulate(topo, &plan, members, source).expect("loop guard must not trip");
+        for &m in members {
+            let copies = delivered.get(&m).copied().unwrap_or(0);
+            if m == source {
+                assert_eq!(copies, 0, "source echoed to itself");
+            } else {
+                assert_eq!(copies, 1, "member {m} got {copies} copies from {source}");
+            }
+        }
+        // Nobody outside the group hears anything.
+        for (&n, &c) in &delivered {
+            assert!(members.contains(&n) || c == 0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn meshes_deliver_exactly_once(
+        w in 2usize..6,
+        h in 2usize..6,
+        wrap in any::<bool>(),
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 2..6),
+    ) {
+        let g = if wrap { torus(w, h) } else { mesh(w, h) };
+        let eps = g.topology.endpoints();
+        let mut members: Vec<NodeId> = picks.iter().map(|i| *i.get(&eps)).collect();
+        members.sort_unstable();
+        members.dedup();
+        prop_assume!(members.len() >= 2);
+        check_exactly_once(&g.topology, &members);
+    }
+
+    #[test]
+    fn irregular_fabrics_deliver_exactly_once(
+        seed in any::<u64>(),
+        switches in 2usize..12,
+        extra in 0usize..6,
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 2..5),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let topo = irregular(
+            IrregularSpec {
+                switches,
+                extra_links: extra,
+                endpoints_per_switch: 1,
+            },
+            &mut rng,
+        );
+        let eps = topo.endpoints();
+        let mut members: Vec<NodeId> = picks.iter().map(|i| *i.get(&eps)).collect();
+        members.sort_unstable();
+        members.dedup();
+        prop_assume!(members.len() >= 2);
+        check_exactly_once(&topo, &members);
+    }
+}

@@ -1,0 +1,1223 @@
+//! The fabric engine: devices, ports, links, forwarding, flow control,
+//! activation/deactivation and PI-5 event generation, all driven by the
+//! `asi-sim` discrete-event kernel.
+//!
+//! ## Model summary (paper §4.1)
+//!
+//! - **Links**: x1, 2.0 Gb/s effective, fixed propagation delay.
+//! - **Switches**: virtual cut-through — forwarding begins once the
+//!   routing header has been received; a per-output-port serializer
+//!   transmits one packet at a time with management-class priority.
+//! - **Flow control**: credit-based per VC class (64-byte units); a hop's
+//!   input-buffer credits return to the upstream transmitter when the
+//!   packet departs the hop.
+//! - **Devices**: every device services PI-4 requests serially, taking
+//!   `device_time / device_factor` per request before the completion is
+//!   injected back along the reversed path.
+//! - **Agents**: endpoint-resident management software (the FM, traffic
+//!   generators) receives completions/PI-5/data one packet at a time with
+//!   a per-packet processing occupancy.
+
+use crate::agent::{AgentCommand, AgentCtx, DevId, FabricAgent};
+use crate::config::FabricConfig;
+use crate::counters::FabricCounters;
+use asi_proto::{
+    turn_width, apply_backward, apply_forward, DeviceInfo, DeviceType, Packet, Payload, Pi4,
+    Pi5, PortEvent, PortInfo, PortState, ProtocolInterface, RouteHeader, TurnCursor,
+    TurnPool, MANAGEMENT_TC,
+};
+use asi_sim::{SimDuration, SimRng, SimTime, Simulator};
+use asi_topo::Topology;
+use std::collections::VecDeque;
+
+/// Credit / arbitration class of a packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CreditClass {
+    /// Management plane (PI-4/PI-5): highest priority.
+    Mgmt,
+    /// Application data.
+    Data,
+}
+
+impl CreditClass {
+    fn of(packet: &Packet) -> CreditClass {
+        if packet.is_management() {
+            CreditClass::Mgmt
+        } else {
+            CreditClass::Data
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            CreditClass::Mgmt => 0,
+            CreditClass::Data => 1,
+        }
+    }
+}
+
+/// Where a queued packet's input-buffer credits must be released.
+#[derive(Clone, Copy, Debug)]
+struct CreditOrigin {
+    dev: DevId,
+    port: u8,
+    class: CreditClass,
+    amount: u32,
+}
+
+/// A packet waiting on an output port.
+struct OutEntry {
+    ready: SimTime,
+    packet: Packet,
+    origin: Option<CreditOrigin>,
+}
+
+/// One port of a device.
+struct Port {
+    peer: Option<(DevId, u8)>,
+    state: PortState,
+    mgmt_q: VecDeque<OutEntry>,
+    /// BVC bypass queue: data packets with the `OO` header bit may jump
+    /// ahead of the ordered data queue (paper §2's bypassable VCs).
+    bypass_q: VecDeque<OutEntry>,
+    data_q: VecDeque<OutEntry>,
+    busy_until: SimTime,
+    /// Source-injection rate limiter: next instant a data-class packet
+    /// may start serializing (endpoints only).
+    rate_next: SimTime,
+    /// Credits available at the peer's input buffer, per class.
+    peer_credits: [u32; 2],
+}
+
+impl Port {
+    fn queued(&self) -> usize {
+        self.mgmt_q.len() + self.bypass_q.len() + self.data_q.len()
+    }
+}
+
+/// PI-4 responder state (every device).
+#[derive(Default)]
+struct Responder {
+    queue: VecDeque<(u8, Packet)>,
+    busy: bool,
+}
+
+/// Endpoint agent hosting state.
+struct AgentSlot {
+    agent: Box<dyn FabricAgent>,
+    queue: VecDeque<Packet>,
+    busy: bool,
+}
+
+/// The route a device uses to report PI-5 events to the FM.
+#[derive(Clone, Debug)]
+pub struct FmRoute {
+    /// Egress port at the reporting device.
+    pub egress: u8,
+    /// Turns for the switches along the way.
+    pub pool: TurnPool,
+}
+
+struct Device {
+    info: DeviceInfo,
+    config: asi_proto::ConfigSpace,
+    ports: Vec<Port>,
+    active: bool,
+    responder: Responder,
+    /// Inbound management pipe in front of the agent: the endpoint's PI-4
+    /// engine handles each received management packet for the device
+    /// processing time before the agent software sees it. This stage is
+    /// what makes a very slow device family (factor < ~T_dev/T_FM ≈ 1/3)
+    /// finally pace even the Parallel discovery (paper Fig. 8b).
+    ingress: IngressPipe,
+    agent: Option<AgentSlot>,
+    fm_route: Option<FmRoute>,
+    pi5_seq: u32,
+}
+
+/// Serialized delivery stage in front of an endpoint agent.
+#[derive(Default)]
+struct IngressPipe {
+    queue: VecDeque<Packet>,
+    busy: bool,
+}
+
+/// Fabric events.
+#[derive(Debug)]
+enum Event {
+    /// Routing header fully received at `(dev, port)`.
+    Arrive { dev: DevId, port: u8, packet: Packet },
+    /// Entire packet received; hand to the local consumer.
+    Deliver { dev: DevId, port: u8, packet: Packet },
+    /// Output serializer / queue retry.
+    TryTx { dev: DevId, port: u8 },
+    /// Flow-control credits coming back from the downstream input buffer.
+    CreditReturn {
+        dev: DevId,
+        port: u8,
+        class: CreditClass,
+        amount: u32,
+    },
+    /// The endpoint agent finished its per-packet occupancy.
+    AgentDone { dev: DevId },
+    /// The endpoint's inbound PI-4 engine finished handling a packet.
+    IngressDone { dev: DevId },
+    /// The device PI-4 responder finished servicing a request.
+    ResponderDone { dev: DevId },
+    /// Agent timer.
+    Timer { dev: DevId, token: u64 },
+    /// Link training completed on `(dev, port)`.
+    PortTrained { dev: DevId, port: u8 },
+    /// Device power-up.
+    Activate { dev: DevId },
+    /// Device removal / failure.
+    Deactivate { dev: DevId },
+}
+
+/// The simulated ASI fabric.
+pub struct Fabric {
+    sim: Simulator<Event>,
+    devices: Vec<Device>,
+    config: FabricConfig,
+    counters: FabricCounters,
+    rng: SimRng,
+}
+
+/// Base used to derive device serial numbers from indices.
+pub const DSN_BASE: u64 = 0xA51_0000_0000;
+
+impl Fabric {
+    /// Instantiates a fabric from a ground-truth topology. All devices
+    /// start powered off; use [`Fabric::schedule_activate`] /
+    /// [`Fabric::activate_all`].
+    pub fn new(topo: &Topology, config: FabricConfig) -> Fabric {
+        let mut devices = Vec::with_capacity(topo.node_count());
+        for (id, node) in topo.nodes() {
+            let info = DeviceInfo {
+                device_type: node.device_type,
+                dsn: DSN_BASE | u64::from(id.0),
+                port_count: u16::from(node.ports),
+                max_packet_size: 2048,
+                fm_capable: node.device_type == DeviceType::Endpoint,
+                fm_priority: 0,
+            };
+            let ports = (0..node.ports)
+                .map(|p| Port {
+                    peer: topo.peer(id, p).map(|at| (DevId(at.node.0), at.port)),
+                    state: PortState::Down,
+                    mgmt_q: VecDeque::new(),
+                    bypass_q: VecDeque::new(),
+                    data_q: VecDeque::new(),
+                    busy_until: SimTime::ZERO,
+                    rate_next: SimTime::ZERO,
+                    peer_credits: [config.mgmt_credits, config.data_credits],
+                })
+                .collect();
+            devices.push(Device {
+                config: asi_proto::ConfigSpace::new(info),
+                info,
+                ports,
+                active: false,
+                responder: Responder::default(),
+                ingress: IngressPipe::default(),
+                agent: None,
+                fm_route: None,
+                pi5_seq: 0,
+            });
+        }
+        let rng = SimRng::new(config.seed);
+        Fabric {
+            sim: Simulator::with_capacity(1024),
+            devices,
+            config,
+            counters: FabricCounters::default(),
+            rng,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Model parameters.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Packet accounting.
+    pub fn counters(&self) -> &FabricCounters {
+        &self.counters
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// General information of a device.
+    pub fn device_info(&self, dev: DevId) -> &DeviceInfo {
+        &self.devices[dev.idx()].info
+    }
+
+    /// The live configuration space of a device (harness/bootstrap use;
+    /// the FM reads it over the wire).
+    pub fn config_space(&self, dev: DevId) -> &asi_proto::ConfigSpace {
+        &self.devices[dev.idx()].config
+    }
+
+    /// Whether a device is powered.
+    pub fn is_active(&self, dev: DevId) -> bool {
+        self.devices[dev.idx()].active
+    }
+
+    /// State of `(dev, port)`.
+    pub fn port_state(&self, dev: DevId, port: u8) -> PortState {
+        self.devices[dev.idx()].ports[usize::from(port)].state
+    }
+
+    /// The device ids of all active devices reachable from `start` over
+    /// active links (ground truth used to validate discovery results).
+    pub fn active_reachable(&self, start: DevId) -> Vec<DevId> {
+        let mut seen = vec![false; self.devices.len()];
+        let mut out = Vec::new();
+        if !self.devices[start.idx()].active {
+            return out;
+        }
+        let mut queue = VecDeque::new();
+        seen[start.idx()] = true;
+        queue.push_back(start);
+        while let Some(d) = queue.pop_front() {
+            out.push(d);
+            for port in &self.devices[d.idx()].ports {
+                if port.state != PortState::Active {
+                    continue;
+                }
+                if let Some((pd, _)) = port.peer {
+                    if self.devices[pd.idx()].active && !seen[pd.idx()] {
+                        seen[pd.idx()] = true;
+                        queue.push_back(pd);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Wiring & control
+    // ------------------------------------------------------------------
+
+    /// Sets the FM-election priority advertised by an endpoint.
+    pub fn set_fm_priority(&mut self, dev: DevId, priority: u8) {
+        let d = &mut self.devices[dev.idx()];
+        d.info.fm_priority = priority;
+        d.config = asi_proto::ConfigSpace::new(d.info);
+    }
+
+    /// Installs a management agent on an endpoint.
+    ///
+    /// # Panics
+    /// Panics if `dev` is a switch.
+    pub fn set_agent(&mut self, dev: DevId, agent: Box<dyn FabricAgent>) {
+        let d = &mut self.devices[dev.idx()];
+        assert_eq!(
+            d.info.device_type,
+            DeviceType::Endpoint,
+            "agents attach to endpoints"
+        );
+        d.agent = Some(AgentSlot {
+            agent,
+            queue: VecDeque::new(),
+            busy: false,
+        });
+    }
+
+    /// Borrow an installed agent downcast to its concrete type.
+    pub fn agent_as<T: 'static>(&self, dev: DevId) -> Option<&T> {
+        self.devices[dev.idx()]
+            .agent
+            .as_ref()
+            .and_then(|s| s.agent.as_any().downcast_ref())
+    }
+
+    /// Mutably borrow an installed agent downcast to its concrete type.
+    pub fn agent_as_mut<T: 'static>(&mut self, dev: DevId) -> Option<&mut T> {
+        self.devices[dev.idx()]
+            .agent
+            .as_mut()
+            .and_then(|s| s.agent.as_any_mut().downcast_mut())
+    }
+
+    /// Arms an agent timer from outside (e.g. the harness kicking off
+    /// discovery at t=0).
+    pub fn schedule_agent_timer(&mut self, dev: DevId, delay: SimDuration, token: u64) {
+        self.sim.schedule_after(delay, Event::Timer { dev, token });
+    }
+
+    /// Configures the PI-5 reporting route of a device.
+    pub fn set_fm_route(&mut self, dev: DevId, route: FmRoute) {
+        self.devices[dev.idx()].fm_route = Some(route);
+    }
+
+    /// Removes all PI-5 reporting routes (e.g. before re-configuration).
+    pub fn clear_fm_routes(&mut self) {
+        for d in &mut self.devices {
+            d.fm_route = None;
+        }
+    }
+
+    /// Schedules a device power-up.
+    pub fn schedule_activate(&mut self, dev: DevId, after: SimDuration) {
+        self.sim.schedule_after(after, Event::Activate { dev });
+    }
+
+    /// Schedules a device removal.
+    pub fn schedule_deactivate(&mut self, dev: DevId, after: SimDuration) {
+        self.sim.schedule_after(after, Event::Deactivate { dev });
+    }
+
+    /// Activates every device `stagger` apart (transient bring-up).
+    pub fn activate_all(&mut self, stagger: SimDuration) {
+        for i in 0..self.devices.len() {
+            self.schedule_activate(DevId(i as u32), stagger * i as u64);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    /// Processes a single event. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        match self.sim.next_event() {
+            Some(fired) => {
+                self.dispatch(fired.event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue drains.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until `deadline` (events after it remain pending).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(fired) = self.sim.next_event_until(deadline) {
+            self.dispatch(fired.event);
+        }
+    }
+
+    /// Caps total processed events (test guard against feedback storms).
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.sim.set_event_limit(limit);
+    }
+
+    // ------------------------------------------------------------------
+    // Event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::Arrive { dev, port, packet } => self.on_arrive(dev, port, packet),
+            Event::Deliver { dev, port, packet } => self.on_deliver(dev, port, packet),
+            Event::TryTx { dev, port } => self.pump(dev, port),
+            Event::CreditReturn {
+                dev,
+                port,
+                class,
+                amount,
+            } => {
+                let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+                p.peer_credits[class.idx()] += amount;
+                self.pump(dev, port);
+            }
+            Event::AgentDone { dev } => self.on_agent_done(dev),
+            Event::IngressDone { dev } => self.on_ingress_done(dev),
+            Event::ResponderDone { dev } => self.on_responder_done(dev),
+            Event::Timer { dev, token } => self.on_timer(dev, token),
+            Event::PortTrained { dev, port } => self.on_port_trained(dev, port),
+            Event::Activate { dev } => self.on_activate(dev),
+            Event::Deactivate { dev } => self.on_deactivate(dev),
+        }
+    }
+
+    fn on_arrive(&mut self, dev: DevId, port: u8, mut packet: Packet) {
+        let now = self.sim.now();
+        let d = &self.devices[dev.idx()];
+        if !d.active || d.ports[usize::from(port)].state != PortState::Active {
+            self.counters.dropped_inactive += 1;
+            return;
+        }
+        if matches!(packet.payload, Payload::Mcast { .. }) {
+            self.on_arrive_mcast(dev, port, packet);
+            return;
+        }
+        let cursor = TurnCursor {
+            pointer: packet.header.turn_pointer,
+            direction: packet.header.direction,
+        };
+        if cursor.exhausted(&packet.header.pool) {
+            // This device is the destination: wait for the tail.
+            let remaining = packet
+                .wire_size()
+                .saturating_sub(packet.header.wire_size() + 2);
+            let at = now + self.config.tx_time(remaining);
+            self.sim
+                .schedule_at(at, Event::Deliver { dev, port, packet });
+            return;
+        }
+        if d.info.device_type != DeviceType::Switch {
+            // Turns left but nowhere to go.
+            self.counters.dropped_bad_route += 1;
+            self.release_origin_now(dev, port, &packet);
+            return;
+        }
+        let ports = d.info.port_count as u8;
+        let width = turn_width(ports);
+        let egress = match cursor.take_turn(&packet.header.pool, width) {
+            Ok((turn, next)) => {
+                packet.header.turn_pointer = next.pointer;
+                match packet.header.direction {
+                    asi_proto::Direction::Forward => apply_forward(port, turn, ports),
+                    asi_proto::Direction::Backward => apply_backward(port, turn, ports),
+                }
+            }
+            Err(_) => {
+                self.counters.dropped_bad_route += 1;
+                self.release_origin_now(dev, port, &packet);
+                return;
+            }
+        };
+        if egress == port {
+            self.counters.dropped_bad_route += 1;
+            self.release_origin_now(dev, port, &packet);
+            return;
+        }
+        self.counters.forwarded += 1;
+        let origin = self.origin_of(dev, port, &packet);
+        let ready = now + self.config.switch_latency;
+        self.enqueue_out(dev, egress, OutEntry {
+            ready,
+            packet,
+            origin,
+        });
+    }
+
+    /// Multicast forwarding: switches replicate along their configured
+    /// group mask (a spanning tree installed by the FM's multicast group
+    /// management); member endpoints consume.
+    fn on_arrive_mcast(&mut self, dev: DevId, port: u8, packet: Packet) {
+        let now = self.sim.now();
+        let Payload::Mcast { group, len, hops } = packet.payload else {
+            unreachable!("caller checked");
+        };
+        let d = &self.devices[dev.idx()];
+        match d.info.device_type {
+            DeviceType::Switch => {
+                // The input buffer is freed as soon as the replicas are
+                // copied to the output queues.
+                self.release_origin_now(dev, port, &packet);
+                if hops == 0 {
+                    // Loop guard tripped: a misconfigured (cyclic) tree.
+                    self.counters.dropped_bad_route += 1;
+                    return;
+                }
+                let mask = self.devices[dev.idx()].config.mcast_entry(group);
+                let nports = self.devices[dev.idx()].ports.len() as u8;
+                let replica = Packet::new(
+                    packet.header.clone(),
+                    Payload::Mcast {
+                        group,
+                        len,
+                        hops: hops - 1,
+                    },
+                );
+                let mut replicated = false;
+                for p in 0..nports.min(32) {
+                    if p == port || (mask >> p) & 1 == 0 {
+                        continue;
+                    }
+                    replicated = true;
+                    self.counters.forwarded += 1;
+                    self.enqueue_out(dev, p, OutEntry {
+                        ready: now + self.config.switch_latency,
+                        packet: replica.clone(),
+                        origin: None,
+                    });
+                }
+                if !replicated {
+                    // Arrived at a switch with no onward branches: the
+                    // tree does not point anywhere from here.
+                    self.counters.dropped_bad_route += 1;
+                }
+            }
+            DeviceType::Endpoint => {
+                if self.devices[dev.idx()].config.mcast_entry(group) != 0 {
+                    let remaining = packet
+                        .wire_size()
+                        .saturating_sub(packet.header.wire_size() + 2);
+                    let at = now + self.config.tx_time(remaining);
+                    self.sim
+                        .schedule_at(at, Event::Deliver { dev, port, packet });
+                } else {
+                    // Not a member: the NIC filter discards it.
+                    self.release_origin_now(dev, port, &packet);
+                }
+            }
+        }
+    }
+
+    /// Input-buffer release record for a packet that arrived at
+    /// `(dev, port)` from a live upstream hop.
+    fn origin_of(&self, dev: DevId, port: u8, packet: &Packet) -> Option<CreditOrigin> {
+        if !self.config.flow_control {
+            return None;
+        }
+        let peer = self.devices[dev.idx()].ports[usize::from(port)].peer?;
+        Some(CreditOrigin {
+            dev: peer.0,
+            port: peer.1,
+            class: CreditClass::of(packet),
+            amount: self.config.credits_for(packet.wire_size()),
+        })
+    }
+
+    fn release_origin_now(&mut self, dev: DevId, port: u8, packet: &Packet) {
+        if let Some(origin) = self.origin_of(dev, port, packet) {
+            self.schedule_credit_return(origin);
+        }
+    }
+
+    fn schedule_credit_return(&mut self, origin: CreditOrigin) {
+        // Only credit live upstream transmitters.
+        let up = &self.devices[origin.dev.idx()];
+        if !up.active {
+            return;
+        }
+        self.sim.schedule_after(
+            self.config.propagation,
+            Event::CreditReturn {
+                dev: origin.dev,
+                port: origin.port,
+                class: origin.class,
+                amount: origin.amount,
+            },
+        );
+    }
+
+    fn enqueue_out(&mut self, dev: DevId, port: u8, entry: OutEntry) {
+        {
+            let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+            match CreditClass::of(&entry.packet) {
+                CreditClass::Mgmt => p.mgmt_q.push_back(entry),
+                CreditClass::Data if entry.packet.header.oo => p.bypass_q.push_back(entry),
+                CreditClass::Data => p.data_q.push_back(entry),
+            }
+        }
+        self.pump(dev, port);
+    }
+
+    /// Attempts to start transmissions on `(dev, port)`.
+    fn pump(&mut self, dev: DevId, port: u8) {
+        let now = self.sim.now();
+        // Drop everything if the port is unusable.
+        let usable = {
+            let d = &self.devices[dev.idx()];
+            d.active && d.ports[usize::from(port)].state == PortState::Active
+        };
+        if !usable {
+            self.drain_port(dev, port);
+            return;
+        }
+
+        enum Action {
+            Idle,
+            Wait(SimTime),
+            Stall,
+            Oversized(CreditClass),
+            Tx(CreditClass),
+        }
+        loop {
+            let action = {
+                let p = &self.devices[dev.idx()].ports[usize::from(port)];
+                if p.queued() == 0 {
+                    Action::Idle
+                } else if p.busy_until > now {
+                    Action::Wait(p.busy_until)
+                } else {
+                    // Management first, then the BVC bypass queue, then
+                    // ordered data.
+                    let (class, entry) = match (p.mgmt_q.front(), p.bypass_q.front()) {
+                        (Some(e), _) => (CreditClass::Mgmt, e),
+                        (None, Some(e)) => (CreditClass::Data, e),
+                        (None, None) => {
+                            (CreditClass::Data, p.data_q.front().expect("queued > 0"))
+                        }
+                    };
+                    // Source injection rate limiting applies to data
+                    // leaving an endpoint.
+                    let is_endpoint = self.devices[dev.idx()].info.device_type
+                        == DeviceType::Endpoint;
+                    let rate_gate = if class == CreditClass::Data
+                        && is_endpoint
+                        && self.config.injection_rate_limit.is_some()
+                        && p.rate_next > now
+                    {
+                        Some(p.rate_next)
+                    } else {
+                        None
+                    };
+                    if let Some(at) = rate_gate {
+                        Action::Wait(at)
+                    } else if entry.ready > now {
+                        Action::Wait(entry.ready)
+                    } else {
+                        let cost = self.config.credits_for(entry.packet.wire_size());
+                        let capacity = match class {
+                            CreditClass::Mgmt => self.config.mgmt_credits,
+                            CreditClass::Data => self.config.data_credits,
+                        };
+                        if self.config.flow_control && cost > capacity {
+                            // The packet can never fit the downstream
+                            // buffer: drop instead of stalling forever.
+                            Action::Oversized(class)
+                        } else if self.config.flow_control
+                            && p.peer_credits[class.idx()] < cost
+                        {
+                            Action::Stall
+                        } else {
+                            Action::Tx(class)
+                        }
+                    }
+                }
+            };
+            match action {
+                Action::Idle => return,
+                Action::Wait(at) => {
+                    self.sim.schedule_at(at, Event::TryTx { dev, port });
+                    return;
+                }
+                Action::Stall => {
+                    // A CreditReturn will re-pump this port.
+                    self.counters.credit_stalls += 1;
+                    return;
+                }
+                Action::Oversized(class) => {
+                    let entry = {
+                        let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+                        match class {
+                            CreditClass::Mgmt => p.mgmt_q.pop_front(),
+                            CreditClass::Data => p.data_q.pop_front(),
+                        }
+                        .expect("head inspected above")
+                    };
+                    self.counters.dropped_bad_route += 1;
+                    if let Some(origin) = entry.origin {
+                        self.schedule_credit_return(origin);
+                    }
+                }
+                Action::Tx(class) => {
+                    let (entry, peer, size) = {
+                        let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+                        let entry = match class {
+                            CreditClass::Mgmt => p.mgmt_q.pop_front(),
+                            CreditClass::Data => {
+                                p.bypass_q.pop_front().or_else(|| p.data_q.pop_front())
+                            }
+                        }
+                        .expect("head inspected above");
+                        let size = entry.packet.wire_size();
+                        (entry, p.peer, size)
+                    };
+                    let Some((peer_dev, peer_port)) = peer else {
+                        // Dangling port: count as link-down drop.
+                        self.counters.dropped_link_down += 1;
+                        if let Some(origin) = entry.origin {
+                            self.schedule_credit_return(origin);
+                        }
+                        continue;
+                    };
+                    let cost = self.config.credits_for(size);
+                    let tx = self.config.tx_time(size);
+                    {
+                        let is_endpoint = self.devices[dev.idx()].info.device_type
+                            == DeviceType::Endpoint;
+                        let rate_debit = match (class, self.config.injection_rate_limit) {
+                            (CreditClass::Data, Some(rate)) if is_endpoint => Some(
+                                SimDuration::from_secs_f64(size as f64 / rate.max(1.0)),
+                            ),
+                            _ => None,
+                        };
+                        let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+                        if self.config.flow_control {
+                            p.peer_credits[class.idx()] -= cost;
+                        }
+                        p.busy_until = now + tx;
+                        if let Some(debit) = rate_debit {
+                            p.rate_next = p.rate_next.max(now) + debit;
+                        }
+                    }
+                    match class {
+                        CreditClass::Mgmt => self.counters.mgmt_bytes += size as u64,
+                        CreditClass::Data => self.counters.data_bytes += size as u64,
+                    }
+                    // Injected loss: the receiver's CRC discards the
+                    // packet. Its input buffer is freed immediately, so
+                    // the consumed credits bounce straight back.
+                    let lost = self.config.loss_rate > 0.0
+                        && self.rng.gen_bool(self.config.loss_rate);
+                    if lost {
+                        self.counters.dropped_corrupted += 1;
+                        if self.config.flow_control {
+                            self.sim.schedule_after(
+                                self.config.propagation * 2,
+                                Event::CreditReturn {
+                                    dev,
+                                    port,
+                                    class,
+                                    amount: cost,
+                                },
+                            );
+                        }
+                    } else {
+                        // Header arrival downstream (virtual cut-through).
+                        let header_bytes = entry.packet.header.wire_size() + 2;
+                        let arrive_at =
+                            now + self.config.tx_time(header_bytes) + self.config.propagation;
+                        self.sim.schedule_at(
+                            arrive_at,
+                            Event::Arrive {
+                                dev: peer_dev,
+                                port: peer_port,
+                                packet: entry.packet,
+                            },
+                        );
+                    }
+                    // The packet has left this device: release the input
+                    // buffer it occupied upstream.
+                    if let Some(origin) = entry.origin {
+                        self.schedule_credit_return(origin);
+                    }
+                }
+            }
+        }
+    }
+
+    fn drain_port(&mut self, dev: DevId, port: u8) {
+        let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+        let entries: Vec<OutEntry> = p
+            .mgmt_q
+            .drain(..)
+            .chain(p.bypass_q.drain(..))
+            .chain(p.data_q.drain(..))
+            .collect();
+        for e in entries {
+            self.counters.dropped_link_down += 1;
+            if let Some(origin) = e.origin {
+                self.schedule_credit_return(origin);
+            }
+        }
+    }
+
+    fn on_deliver(&mut self, dev: DevId, port: u8, packet: Packet) {
+        let d = &self.devices[dev.idx()];
+        if !d.active {
+            self.counters.dropped_inactive += 1;
+            return;
+        }
+        self.counters.delivered += 1;
+        // The packet has been copied out of the input buffer: release it.
+        self.release_origin_now(dev, port, &packet);
+
+        let is_request = matches!(&packet.payload, Payload::Pi4(p) if p.is_request());
+        if is_request {
+            self.responder_enqueue(dev, port, packet);
+        } else {
+            self.ingress_enqueue(dev, packet);
+        }
+    }
+
+    /// Inbound management pipe: one device-time per received packet, then
+    /// the agent queue.
+    fn ingress_enqueue(&mut self, dev: DevId, packet: Packet) {
+        let busy = {
+            let pipe = &mut self.devices[dev.idx()].ingress;
+            pipe.queue.push_back(packet);
+            pipe.busy
+        };
+        if !busy {
+            self.devices[dev.idx()].ingress.busy = true;
+            let t = self.config.effective_device_time();
+            self.sim.schedule_after(t, Event::IngressDone { dev });
+        }
+    }
+
+    fn on_ingress_done(&mut self, dev: DevId) {
+        if !self.devices[dev.idx()].active {
+            return;
+        }
+        let packet = self.devices[dev.idx()].ingress.queue.pop_front();
+        let Some(packet) = packet else {
+            self.devices[dev.idx()].ingress.busy = false;
+            return;
+        };
+        self.agent_enqueue(dev, packet);
+        if self.devices[dev.idx()].ingress.queue.is_empty() {
+            self.devices[dev.idx()].ingress.busy = false;
+        } else {
+            let t = self.config.effective_device_time();
+            self.sim.schedule_after(t, Event::IngressDone { dev });
+        }
+    }
+
+    // ---------------- PI-4 responder ----------------
+
+    fn responder_enqueue(&mut self, dev: DevId, port: u8, packet: Packet) {
+        let busy = {
+            let r = &mut self.devices[dev.idx()].responder;
+            r.queue.push_back((port, packet));
+            r.busy
+        };
+        if !busy {
+            self.devices[dev.idx()].responder.busy = true;
+            let t = self.config.effective_device_time();
+            self.sim.schedule_after(t, Event::ResponderDone { dev });
+        }
+    }
+
+    fn on_responder_done(&mut self, dev: DevId) {
+        if !self.devices[dev.idx()].active {
+            return;
+        }
+        let item = self.devices[dev.idx()].responder.queue.pop_front();
+        let Some((port, packet)) = item else {
+            self.devices[dev.idx()].responder.busy = false;
+            return;
+        };
+        let reply = self.service_pi4(dev, &packet);
+        if let Some(reply) = reply {
+            self.counters.injected += 1;
+            self.enqueue_out(dev, port, OutEntry {
+                ready: self.sim.now(),
+                packet: reply,
+                origin: None,
+            });
+        }
+        // Continue with the next request, if any.
+        let more = !self.devices[dev.idx()].responder.queue.is_empty();
+        if more {
+            let t = self.config.effective_device_time();
+            self.sim.schedule_after(t, Event::ResponderDone { dev });
+        } else {
+            self.devices[dev.idx()].responder.busy = false;
+        }
+    }
+
+    fn service_pi4(&mut self, dev: DevId, request: &Packet) -> Option<Packet> {
+        let Payload::Pi4(pi4) = &request.payload else {
+            return None;
+        };
+        let d = &mut self.devices[dev.idx()];
+        let reply_payload = match pi4 {
+            Pi4::ReadRequest {
+                req_id,
+                addr,
+                dwords,
+            } => match d.config.read(*addr, *dwords) {
+                Ok(data) => Pi4::ReadCompletion {
+                    req_id: *req_id,
+                    data,
+                },
+                Err(status) => Pi4::ReadError {
+                    req_id: *req_id,
+                    status,
+                },
+            },
+            Pi4::WriteRequest { req_id, addr, data } => match d.config.write(*addr, data) {
+                Ok(()) => Pi4::WriteCompletion { req_id: *req_id },
+                Err(status) => Pi4::ReadError {
+                    req_id: *req_id,
+                    status,
+                },
+            },
+            _ => return None,
+        };
+        let header = request.header.reply(ProtocolInterface::DeviceManagement);
+        Some(Packet::new(header, Payload::Pi4(reply_payload)))
+    }
+
+    // ---------------- endpoint agents ----------------
+
+    fn agent_enqueue(&mut self, dev: DevId, packet: Packet) {
+        let d = &mut self.devices[dev.idx()];
+        let Some(slot) = d.agent.as_mut() else {
+            // No consumer: a completion for a dead manager, or data to a
+            // plain endpoint. Count as a bad route so tests notice.
+            self.counters.dropped_bad_route += 1;
+            return;
+        };
+        slot.queue.push_back(packet);
+        if !slot.busy {
+            slot.busy = true;
+            let t = slot
+                .agent
+                .processing_time(slot.queue.front().expect("just pushed"));
+            self.sim.schedule_after(t, Event::AgentDone { dev });
+        }
+    }
+
+    fn on_agent_done(&mut self, dev: DevId) {
+        if !self.devices[dev.idx()].active {
+            return;
+        }
+        let mut ctx = self.make_ctx(dev);
+        let next_delay = {
+            let d = &mut self.devices[dev.idx()];
+            let Some(slot) = d.agent.as_mut() else { return };
+            let Some(packet) = slot.queue.pop_front() else {
+                slot.busy = false;
+                return;
+            };
+            slot.agent.on_packet(&mut ctx, packet);
+            match slot.queue.front() {
+                Some(next) => {
+                    let t = slot.agent.processing_time(next);
+                    Some(t)
+                }
+                None => {
+                    slot.busy = false;
+                    None
+                }
+            }
+        };
+        if let Some(t) = next_delay {
+            self.sim.schedule_after(t, Event::AgentDone { dev });
+        }
+        self.execute_commands(dev, ctx.take_commands());
+    }
+
+    fn on_timer(&mut self, dev: DevId, token: u64) {
+        if !self.devices[dev.idx()].active {
+            return;
+        }
+        let mut ctx = self.make_ctx(dev);
+        {
+            let d = &mut self.devices[dev.idx()];
+            let Some(slot) = d.agent.as_mut() else { return };
+            slot.agent.on_timer(&mut ctx, token);
+        }
+        self.execute_commands(dev, ctx.take_commands());
+    }
+
+    fn execute_commands(&mut self, dev: DevId, commands: Vec<AgentCommand>) {
+        for cmd in commands {
+            match cmd {
+                AgentCommand::Send { port, packet } => {
+                    self.counters.injected += 1;
+                    self.enqueue_out(dev, port, OutEntry {
+                        ready: self.sim.now(),
+                        packet,
+                        origin: None,
+                    });
+                }
+                AgentCommand::Timer { delay, token } => {
+                    self.sim.schedule_after(delay, Event::Timer { dev, token });
+                }
+            }
+        }
+    }
+
+    /// Builds an agent callback context with a snapshot of the host
+    /// endpoint's own configuration.
+    fn make_ctx(&self, dev: DevId) -> AgentCtx {
+        let d = &self.devices[dev.idx()];
+        let ports = (0..d.info.port_count)
+            .map(|p| *d.config.port(p).expect("port in range"))
+            .collect();
+        AgentCtx::new(self.sim.now(), dev, d.info, ports)
+    }
+
+    // ---------------- activation & port state ----------------
+
+    fn on_activate(&mut self, dev: DevId) {
+        if self.devices[dev.idx()].active {
+            return;
+        }
+        self.devices[dev.idx()].active = true;
+        // Train every link whose peer is already active.
+        let nports = self.devices[dev.idx()].ports.len() as u8;
+        for port in 0..nports {
+            let Some((peer_dev, peer_port)) = self.devices[dev.idx()].ports[usize::from(port)].peer
+            else {
+                continue;
+            };
+            if !self.devices[peer_dev.idx()].active {
+                continue;
+            }
+            self.begin_training(dev, port);
+            self.begin_training(peer_dev, peer_port);
+        }
+    }
+
+    fn begin_training(&mut self, dev: DevId, port: u8) {
+        let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+        if p.state != PortState::Down {
+            return;
+        }
+        p.state = PortState::Training;
+        self.sync_port_config(dev, port);
+        self.sim
+            .schedule_after(self.config.train_time, Event::PortTrained { dev, port });
+    }
+
+    fn on_port_trained(&mut self, dev: DevId, port: u8) {
+        {
+            let d = &mut self.devices[dev.idx()];
+            if !d.active {
+                return;
+            }
+            let p = &mut d.ports[usize::from(port)];
+            if p.state != PortState::Training {
+                return;
+            }
+            // The peer may have been deactivated mid-training.
+            if let Some((peer_dev, _)) = p.peer {
+                if !self.devices[peer_dev.idx()].active {
+                    self.devices[dev.idx()].ports[usize::from(port)].state = PortState::Down;
+                    self.sync_port_config(dev, port);
+                    return;
+                }
+            }
+            let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+            p.state = PortState::Active;
+            // Fresh link: peer buffers are empty.
+            p.peer_credits = [self.config.mgmt_credits, self.config.data_credits];
+            p.busy_until = self.sim.now();
+        }
+        self.sync_port_config(dev, port);
+        self.notify_port_change(dev, port, PortEvent::PortUp);
+        self.pump(dev, port);
+    }
+
+    fn on_deactivate(&mut self, dev: DevId) {
+        if !self.devices[dev.idx()].active {
+            return;
+        }
+        self.devices[dev.idx()].active = false;
+        let nports = self.devices[dev.idx()].ports.len() as u8;
+        for port in 0..nports {
+            // Own side: silent death.
+            {
+                let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+                p.state = PortState::Down;
+            }
+            self.sync_port_config(dev, port);
+            self.drain_port(dev, port);
+            // Peer side: carrier loss.
+            let peer = self.devices[dev.idx()].ports[usize::from(port)].peer;
+            if let Some((peer_dev, peer_port)) = peer {
+                let peer_active = self.devices[peer_dev.idx()].active;
+                let peer_state =
+                    self.devices[peer_dev.idx()].ports[usize::from(peer_port)].state;
+                if peer_active && peer_state != PortState::Down {
+                    self.devices[peer_dev.idx()].ports[usize::from(peer_port)].state =
+                        PortState::Down;
+                    self.sync_port_config(peer_dev, peer_port);
+                    self.drain_port(peer_dev, peer_port);
+                    self.notify_port_change(peer_dev, peer_port, PortEvent::PortDown);
+                }
+            }
+        }
+        // Clear local consumers; queued packets are lost with the device.
+        let d = &mut self.devices[dev.idx()];
+        let mut lost = d.responder.queue.len() + d.ingress.queue.len();
+        d.responder.queue.clear();
+        d.responder.busy = false;
+        d.ingress.queue.clear();
+        d.ingress.busy = false;
+        if let Some(slot) = d.agent.as_mut() {
+            lost += slot.queue.len();
+            slot.queue.clear();
+            slot.busy = false;
+        }
+        self.counters.dropped_inactive += lost as u64;
+    }
+
+    fn sync_port_config(&mut self, dev: DevId, port: u8) {
+        let d = &mut self.devices[dev.idx()];
+        let p = &d.ports[usize::from(port)];
+        let state = p.state;
+        // The partner's port number is exchanged during link training.
+        let peer_port = match (state, p.peer) {
+            (PortState::Active, Some((_, pp))) => pp,
+            _ => 0,
+        };
+        d.config.set_port(
+            u16::from(port),
+            PortInfo {
+                state,
+                link_width: 1,
+                link_speed: 10,
+                peer_port,
+            },
+        );
+    }
+
+    /// Fires the local agent's port-event hook and emits PI-5 toward the
+    /// FM if a reporting route is configured.
+    fn notify_port_change(&mut self, dev: DevId, port: u8, event: PortEvent) {
+        // Local agent callback (e.g. the FM watching its own link).
+        let has_agent = self.devices[dev.idx()].agent.is_some();
+        if has_agent {
+            let mut ctx = self.make_ctx(dev);
+            {
+                let d = &mut self.devices[dev.idx()];
+                let slot = d.agent.as_mut().expect("checked");
+                slot.agent.on_port_event(&mut ctx, port, event);
+            }
+            self.execute_commands(dev, ctx.take_commands());
+        }
+        // PI-5 report.
+        let (route, dsn, seq) = {
+            let d = &mut self.devices[dev.idx()];
+            let Some(route) = d.fm_route.clone() else {
+                return;
+            };
+            d.pi5_seq += 1;
+            (route, d.info.dsn, d.pi5_seq)
+        };
+        // Don't report through the port that just died.
+        if route.egress == port && event == PortEvent::PortDown {
+            return;
+        }
+        let header = RouteHeader::forward(
+            ProtocolInterface::EventReporting,
+            MANAGEMENT_TC,
+            route.pool,
+        );
+        let packet = Packet::new(
+            header,
+            Payload::Pi5(Pi5 {
+                reporter_dsn: dsn,
+                port,
+                event,
+                sequence: seq,
+            }),
+        );
+        self.counters.pi5_emitted += 1;
+        self.counters.injected += 1;
+        self.enqueue_out(dev, route.egress, OutEntry {
+            ready: self.sim.now(),
+            packet,
+            origin: None,
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! `asi-fabric` — the simulated Advanced Switching fabric.
+//!
+//! This crate is the substrate the paper built in OPNET (their reference
+//! [8]): x1 links, 16-port multiplexed virtual cut-through switches,
+//! 1-port endpoints, credit-based flow control, management-priority
+//! arbitration, PI-4 device responders, PI-5 event generation, device hot
+//! addition/removal, and an agent interface on endpoints where the fabric
+//! manager (crate `asi-core`) and background-traffic generators run.
+//!
+//! The public surface:
+//!
+//! - [`Fabric`] — build from an `asi_topo::Topology`, activate devices,
+//!   run the event loop;
+//! - [`FabricConfig`] — link/switch/device timing parameters, including
+//!   the device processing-speed factor of the paper's Figs. 8–9;
+//! - [`FabricAgent`]/[`AgentCtx`] — endpoint management software hooks;
+//! - [`TrafficAgent`] — Poisson background traffic for the
+//!   "traffic scarcely influences discovery" ablation.
+
+#![warn(missing_docs)]
+
+mod agent;
+mod config;
+mod counters;
+mod fabric;
+mod traffic;
+
+pub use agent::{AgentCommand, AgentCtx, DevId, FabricAgent};
+pub use config::{FabricConfig, CREDIT_UNIT};
+pub use counters::FabricCounters;
+pub use fabric::{CreditClass, Fabric, FmRoute, DSN_BASE};
+pub use traffic::{TrafficAgent, TrafficRoute};

@@ -1,0 +1,464 @@
+//! End-to-end fabric tests: packets crossing real multi-hop topologies,
+//! device PI-4 responders, PI-5 change notification, drops and credits.
+
+use asi_fabric::{
+    AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, FmRoute, TrafficAgent, TrafficRoute,
+    DSN_BASE,
+};
+use asi_proto::{
+    CapabilityAddr, DeviceInfo, Packet, Payload, Pi4, Pi4Status, PortEvent, PortState,
+    ProtocolInterface, RouteHeader, MANAGEMENT_TC,
+};
+use asi_sim::{SimDuration, SimRng, SimTime};
+use asi_topo::{mesh, routes_from, shortest_route, NodeId, Topology};
+use std::any::Any;
+
+/// Test agent: fires queued packets on its first timer, records everything
+/// it receives with timestamps.
+#[derive(Default)]
+struct Prober {
+    outbox: Vec<(u8, Packet)>,
+    received: Vec<(SimTime, Packet)>,
+    processing: SimDuration,
+}
+
+impl FabricAgent for Prober {
+    fn processing_time(&mut self, _p: &Packet) -> SimDuration {
+        self.processing
+    }
+    fn on_packet(&mut self, ctx: &mut AgentCtx, packet: Packet) {
+        self.received.push((ctx.now, packet));
+    }
+    fn on_timer(&mut self, ctx: &mut AgentCtx, _token: u64) {
+        for (port, pkt) in self.outbox.drain(..) {
+            ctx.send(port, pkt);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+fn dev(n: NodeId) -> DevId {
+    DevId(n.0)
+}
+
+/// Builds the fabric and brings every device up.
+fn up(topo: &Topology) -> Fabric {
+    let mut fabric = Fabric::new(topo, FabricConfig::default());
+    fabric.set_event_limit(5_000_000);
+    fabric.activate_all(SimDuration::ZERO);
+    fabric.run_until_idle();
+    fabric
+}
+
+/// A PI-4 read-request packet along a ground-truth route.
+fn read_request(topo: &Topology, src: NodeId, dst: NodeId, req_id: u32, addr: CapabilityAddr, dwords: u8) -> (u8, Packet) {
+    let route = shortest_route(topo, src, dst).expect("route exists");
+    let pool = route
+        .encode(topo, asi_proto::MAX_POOL_BITS)
+        .expect("pool fits");
+    let header = RouteHeader::forward(ProtocolInterface::DeviceManagement, MANAGEMENT_TC, pool);
+    (
+        route.source_port,
+        Packet::new(
+            header,
+            Payload::Pi4(Pi4::ReadRequest {
+                req_id,
+                addr,
+                dwords,
+            }),
+        ),
+    )
+}
+
+#[test]
+fn bring_up_activates_all_links() {
+    let g = mesh(3, 3);
+    let fabric = up(&g.topology);
+    for (id, node) in g.topology.nodes() {
+        assert!(fabric.is_active(dev(id)));
+        for (port, _) in g.topology.neighbors(id) {
+            assert_eq!(
+                fabric.port_state(dev(id), port),
+                PortState::Active,
+                "{} port {port}",
+                node.label
+            );
+        }
+    }
+    // Unwired ports stay down.
+    assert_eq!(fabric.port_state(dev(g.switch_at(0, 0)), 9), PortState::Down);
+}
+
+#[test]
+fn pi4_read_round_trip_to_far_endpoint() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let src = g.endpoint_at(0, 0);
+    let dst = g.endpoint_at(2, 2);
+    let (port, pkt) = read_request(
+        &g.topology,
+        src,
+        dst,
+        42,
+        CapabilityAddr::baseline(0),
+        asi_proto::GENERAL_INFO_WORDS as u8,
+    );
+    let mut prober = Prober::default();
+    prober.outbox.push((port, pkt));
+    fabric.set_agent(dev(src), Box::new(prober));
+    fabric.schedule_agent_timer(dev(src), SimDuration::ZERO, 0);
+    fabric.run_until_idle();
+
+    let prober = fabric.agent_as::<Prober>(dev(src)).unwrap();
+    assert_eq!(prober.received.len(), 1, "exactly one completion");
+    let (t, completion) = &prober.received[0];
+    let Payload::Pi4(Pi4::ReadCompletion { req_id, data }) = &completion.payload else {
+        panic!("expected completion, got {:?}", completion.payload);
+    };
+    assert_eq!(*req_id, 42);
+    let info = DeviceInfo::from_words(data).expect("decodable general info");
+    assert_eq!(info.dsn, DSN_BASE | u64::from(dst.0));
+    assert_eq!(info.device_type, asi_proto::DeviceType::Endpoint);
+
+    // Timing sanity: 5 switches each way, device time 4us; round trip must
+    // exceed the device time but stay well under a millisecond.
+    assert!(*t > SimTime::from_us(4), "implausibly fast: {t}");
+    assert!(*t < SimTime::from_ms(1), "implausibly slow: {t}");
+}
+
+#[test]
+fn pi4_read_terminates_at_switches_too() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let src = g.endpoint_at(0, 0);
+    let target = g.switch_at(1, 1);
+    let (port, pkt) = read_request(
+        &g.topology,
+        src,
+        target,
+        7,
+        CapabilityAddr::baseline(0),
+        asi_proto::GENERAL_INFO_WORDS as u8,
+    );
+    let mut prober = Prober::default();
+    prober.outbox.push((port, pkt));
+    fabric.set_agent(dev(src), Box::new(prober));
+    fabric.schedule_agent_timer(dev(src), SimDuration::ZERO, 0);
+    fabric.run_until_idle();
+
+    let prober = fabric.agent_as::<Prober>(dev(src)).unwrap();
+    assert_eq!(prober.received.len(), 1);
+    let Payload::Pi4(Pi4::ReadCompletion { data, .. }) = &prober.received[0].1.payload else {
+        panic!("expected completion");
+    };
+    let info = DeviceInfo::from_words(data).unwrap();
+    assert_eq!(info.device_type, asi_proto::DeviceType::Switch);
+    assert_eq!(info.port_count, 16);
+}
+
+#[test]
+fn out_of_range_read_yields_error_completion() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let src = g.endpoint_at(0, 0);
+    let dst = g.endpoint_at(1, 0);
+    let (port, pkt) = read_request(
+        &g.topology,
+        src,
+        dst,
+        9,
+        CapabilityAddr::baseline(5000),
+        4,
+    );
+    let mut prober = Prober::default();
+    prober.outbox.push((port, pkt));
+    fabric.set_agent(dev(src), Box::new(prober));
+    fabric.schedule_agent_timer(dev(src), SimDuration::ZERO, 0);
+    fabric.run_until_idle();
+
+    let prober = fabric.agent_as::<Prober>(dev(src)).unwrap();
+    assert_eq!(prober.received.len(), 1);
+    match &prober.received[0].1.payload {
+        Payload::Pi4(Pi4::ReadError { req_id, status }) => {
+            assert_eq!(*req_id, 9);
+            assert_eq!(*status, Pi4Status::UnsupportedRequest);
+        }
+        other => panic!("expected error completion, got {other:?}"),
+    }
+}
+
+#[test]
+fn write_to_endpoint_route_table_acks() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let src = g.endpoint_at(0, 0);
+    let dst = g.endpoint_at(2, 0);
+    let route = shortest_route(&g.topology, src, dst).unwrap();
+    let pool = route.encode(&g.topology, asi_proto::MAX_POOL_BITS).unwrap();
+    let header = RouteHeader::forward(ProtocolInterface::DeviceManagement, MANAGEMENT_TC, pool);
+    let pkt = Packet::new(
+        header,
+        Payload::Pi4(Pi4::WriteRequest {
+            req_id: 77,
+            addr: CapabilityAddr {
+                capability: asi_proto::CAP_ROUTE_TABLE,
+                offset: 0,
+            },
+            data: vec![0xAB, 0xCD],
+        }),
+    );
+    let mut prober = Prober::default();
+    prober.outbox.push((route.source_port, pkt));
+    fabric.set_agent(dev(src), Box::new(prober));
+    fabric.schedule_agent_timer(dev(src), SimDuration::ZERO, 0);
+    fabric.run_until_idle();
+
+    let prober = fabric.agent_as::<Prober>(dev(src)).unwrap();
+    assert!(matches!(
+        prober.received[0].1.payload,
+        Payload::Pi4(Pi4::WriteCompletion { req_id: 77 })
+    ));
+    // The write landed in the destination's config space.
+    let words = fabric
+        .config_space(dev(dst))
+        .read(
+            CapabilityAddr {
+                capability: asi_proto::CAP_ROUTE_TABLE,
+                offset: 0,
+            },
+            2,
+        )
+        .unwrap();
+    assert_eq!(words, vec![0xAB, 0xCD]);
+}
+
+#[test]
+fn request_to_dead_device_gets_no_answer() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let src = g.endpoint_at(0, 0);
+    let dst = g.endpoint_at(2, 2);
+    let (port, pkt) = read_request(
+        &g.topology,
+        src,
+        dst,
+        1,
+        CapabilityAddr::baseline(0),
+        1,
+    );
+    // Kill the destination before probing.
+    fabric.schedule_deactivate(dev(dst), SimDuration::ZERO);
+    fabric.run_until_idle();
+
+    let mut prober = Prober::default();
+    prober.outbox.push((port, pkt));
+    fabric.set_agent(dev(src), Box::new(prober));
+    fabric.schedule_agent_timer(dev(src), SimDuration::ZERO, 0);
+    fabric.run_until_idle();
+
+    let drops = fabric.counters().total_dropped();
+    let prober = fabric.agent_as::<Prober>(dev(src)).unwrap();
+    assert!(prober.received.is_empty(), "dead device answered");
+    assert!(drops >= 1, "drop not accounted");
+}
+
+#[test]
+fn removal_triggers_pi5_from_neighbors() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let fm = g.endpoint_at(0, 0);
+    fabric.set_agent(dev(fm), Box::new(Prober::default()));
+
+    // Configure every device's PI-5 route toward the FM endpoint.
+    for (id, _) in g.topology.nodes() {
+        if id == fm {
+            continue;
+        }
+        let route = shortest_route(&g.topology, id, fm).unwrap();
+        let pool = route.encode(&g.topology, asi_proto::MAX_POOL_BITS).unwrap();
+        fabric.set_fm_route(
+            dev(id),
+            FmRoute {
+                egress: route.source_port,
+                pool,
+            },
+        );
+    }
+
+    // Remove the centre switch: its 5 neighbours (4 switches + 1 endpoint)
+    // lose a port.
+    let victim = g.switch_at(1, 1);
+    fabric.schedule_deactivate(dev(victim), SimDuration::from_us(10));
+    fabric.run_until_idle();
+
+    // Some neighbours' FM routes ran through the victim itself (their
+    // reports are suppressed/lost — exactly the failure mode the paper's
+    // event mechanism tolerates), but several must get through.
+    let emitted = fabric.counters().pi5_emitted;
+    assert!(emitted >= 3, "expected PI-5 reports from neighbours, got {emitted}");
+
+    let prober = fabric.agent_as::<Prober>(dev(fm)).unwrap();
+    let pi5s: Vec<_> = prober
+        .received
+        .iter()
+        .filter_map(|(_, p)| match &p.payload {
+            Payload::Pi5(e) => Some(*e),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !pi5s.is_empty(),
+        "FM received no PI-5 despite configured routes"
+    );
+    for e in &pi5s {
+        assert_eq!(e.event, PortEvent::PortDown);
+    }
+    // Reporters are actual neighbours of the victim.
+    let neighbor_dsns: Vec<u64> = g
+        .topology
+        .neighbors(victim)
+        .map(|(_, at)| DSN_BASE | u64::from(at.node.0))
+        .collect();
+    for e in &pi5s {
+        assert!(neighbor_dsns.contains(&e.reporter_dsn));
+    }
+}
+
+#[test]
+fn hot_addition_triggers_pi5_port_up() {
+    let g = mesh(3, 3);
+    let mut topo_fabric = Fabric::new(&g.topology, FabricConfig::default());
+    let fm = g.endpoint_at(0, 0);
+    let newcomer = g.switch_at(2, 2);
+
+    // Bring everything up except the newcomer.
+    for (id, _) in g.topology.nodes() {
+        if id != newcomer {
+            topo_fabric.schedule_activate(dev(id), SimDuration::ZERO);
+        }
+    }
+    topo_fabric.run_until_idle();
+    topo_fabric.set_agent(dev(fm), Box::new(Prober::default()));
+    for (id, _) in g.topology.nodes() {
+        if id == fm || id == newcomer {
+            continue;
+        }
+        // Routes computed on the full ground truth still work because the
+        // newcomer is on the fabric edge.
+        if let Some(route) = shortest_route(&g.topology, id, fm) {
+            let pool = route.encode(&g.topology, asi_proto::MAX_POOL_BITS).unwrap();
+            topo_fabric.set_fm_route(
+                dev(id),
+                FmRoute {
+                    egress: route.source_port,
+                    pool,
+                },
+            );
+        }
+    }
+
+    topo_fabric.schedule_activate(dev(newcomer), SimDuration::from_us(5));
+    topo_fabric.run_until_idle();
+
+    let prober = topo_fabric.agent_as::<Prober>(dev(fm)).unwrap();
+    let ups: Vec<_> = prober
+        .received
+        .iter()
+        .filter_map(|(_, p)| match &p.payload {
+            Payload::Pi5(e) if e.event == PortEvent::PortUp => Some(e.reporter_dsn),
+            _ => None,
+        })
+        .collect();
+    assert!(!ups.is_empty(), "no PortUp events reached the FM");
+}
+
+#[test]
+fn background_traffic_flows_between_endpoints() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let a = g.endpoint_at(0, 0);
+    let b = g.endpoint_at(2, 2);
+
+    let routes_a = routes_from(&g.topology, a);
+    let route_ab = routes_a[b.idx()].as_ref().unwrap();
+    let pool_ab = route_ab.encode(&g.topology, asi_proto::MAX_POOL_BITS).unwrap();
+
+    fabric.set_agent(
+        dev(a),
+        Box::new(TrafficAgent::new(
+            vec![TrafficRoute {
+                egress: route_ab.source_port,
+                pool: pool_ab,
+            }],
+            SimDuration::from_us(20),
+            256,
+            SimRng::new(11),
+        )),
+    );
+    fabric.set_agent(
+        dev(b),
+        Box::new(TrafficAgent::new(vec![], SimDuration::from_us(20), 256, SimRng::new(12))),
+    );
+    fabric.schedule_agent_timer(dev(a), SimDuration::ZERO, TrafficAgent::start_token());
+    fabric.run_until(SimTime::from_ms(2));
+
+    let sent = fabric.agent_as::<TrafficAgent>(dev(a)).unwrap().sent;
+    let received = fabric.agent_as::<TrafficAgent>(dev(b)).unwrap().received;
+    assert!(sent >= 50, "generator too slow: {sent}");
+    assert!(received > 0, "sink got nothing");
+    assert!(received <= sent);
+    assert!(fabric.counters().data_bytes > 0);
+}
+
+#[test]
+fn active_reachability_tracks_removals() {
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let fm = g.endpoint_at(0, 0);
+    assert_eq!(fabric.active_reachable(dev(fm)).len(), 18);
+
+    // Cutting the corner switch strands its endpoint.
+    fabric.schedule_deactivate(dev(g.switch_at(2, 2)), SimDuration::ZERO);
+    fabric.run_until_idle();
+    // 18 - switch - its endpoint.
+    assert_eq!(fabric.active_reachable(dev(fm)).len(), 16);
+}
+
+#[test]
+fn completions_retrace_the_request_path_credits_balance() {
+    // After a full exchange, every credit consumed must have been
+    // returned: a second identical exchange must not stall.
+    let g = mesh(3, 3);
+    let mut fabric = up(&g.topology);
+    let src = g.endpoint_at(0, 0);
+    let dst = g.endpoint_at(2, 2);
+
+    for round in 0..2 {
+        let (port, pkt) = read_request(
+            &g.topology,
+            src,
+            dst,
+            round,
+            CapabilityAddr::baseline(0),
+            1,
+        );
+        if round == 0 {
+            let mut prober = Prober::default();
+            prober.outbox.push((port, pkt));
+            fabric.set_agent(dev(src), Box::new(prober));
+        } else {
+            let prober = fabric.agent_as_mut::<Prober>(dev(src)).unwrap();
+            prober.outbox.push((port, pkt));
+        }
+        fabric.schedule_agent_timer(dev(src), SimDuration::ZERO, 0);
+        fabric.run_until_idle();
+    }
+    let prober = fabric.agent_as::<Prober>(dev(src)).unwrap();
+    assert_eq!(prober.received.len(), 2);
+    assert_eq!(fabric.counters().total_dropped(), 0);
+}

@@ -1,0 +1,126 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! experiments [all|table1|fig4|fig5|fig6|fig7|fig8|fig9|ablations|extensions] [--quick] [--ascii] [--out DIR]
+//! ```
+//!
+//! Each experiment prints its markdown rendering to stdout and writes
+//! `<id>.md` + `<id>.csv` under the output directory (default
+//! `results/`).
+
+use asi_harness::experiments::{ablations, distributed, fig4, fig5, fig6, fig7, fig8, fig9, pathdist, table1};
+use asi_harness::{Chart, TableOut};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Sink {
+    dir: PathBuf,
+    ascii: bool,
+}
+
+impl Sink {
+    fn chart(&self, c: &Chart) {
+        println!("{}", c.to_markdown());
+        if self.ascii {
+            println!("{}", c.to_ascii(72, 18));
+        }
+        c.save(&self.dir).expect("write results");
+    }
+    fn table(&self, t: &TableOut) {
+        println!("{}", t.to_markdown());
+        t.save(&self.dir).expect("write results");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    let all = which.contains(&"all");
+    let ascii = args.iter().any(|a| a == "--ascii");
+    let sink = Sink {
+        dir: out_dir,
+        ascii,
+    };
+    let sel = |name: &str| all || which.contains(&name);
+
+    let started = Instant::now();
+    if sel("table1") {
+        run_timed("table1", || sink.table(&table1::run()));
+    }
+    if sel("fig4") {
+        run_timed("fig4", || sink.chart(&fig4::run(quick)));
+    }
+    if sel("fig5") {
+        run_timed("fig5", || {
+            let written = fig5::run(&sink.dir).expect("write DOT files");
+            for (file, nodes) in written {
+                println!("fig5: wrote {file} ({nodes} devices); render with `neato -Tpng`");
+            }
+            println!();
+        });
+    }
+    if sel("fig6") {
+        run_timed("fig6", || {
+            let out = fig6::run(quick);
+            sink.chart(&out.scatter);
+            sink.chart(&out.averages);
+        });
+    }
+    if sel("fig7") {
+        run_timed("fig7", || {
+            sink.chart(&fig7::run_timeline());
+            sink.chart(&fig7::run_ideal());
+        });
+    }
+    if sel("fig8") {
+        run_timed("fig8", || {
+            sink.chart(&fig8::run_fm_sweep(quick));
+            sink.chart(&fig8::run_device_sweep(quick));
+        });
+    }
+    if sel("fig9") {
+        run_timed("fig9", || {
+            let out = fig9::run(quick);
+            sink.chart(&out.a);
+            sink.chart(&out.b);
+            sink.chart(&out.c);
+        });
+    }
+    if sel("ablations") {
+        run_timed("ablations", || {
+            sink.table(&ablations::traffic(quick));
+            sink.table(&ablations::partial_assimilation(quick));
+            sink.table(&ablations::flow_control(quick));
+            sink.table(&ablations::spec_pool(quick));
+        });
+    }
+    if sel("extensions") {
+        run_timed("extensions", || {
+            sink.table(&distributed::run(quick));
+            sink.table(&pathdist::run(quick));
+        });
+    }
+    eprintln!(
+        "all selected experiments finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
+}
+
+fn run_timed(name: &str, f: impl FnOnce()) {
+    let t = Instant::now();
+    eprintln!("==> running {name}…");
+    f();
+    eprintln!("<== {name} done in {:.1}s", t.elapsed().as_secs_f64());
+}

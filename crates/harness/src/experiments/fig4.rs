@@ -1,0 +1,59 @@
+//! Fig. 4: average time to process a PI-4 packet at the FM, per
+//! algorithm, as a function of network size (switches).
+
+use crate::report::{Chart, Series};
+use crate::scenario::{Bench, Scenario};
+use asi_core::Algorithm;
+use asi_topo::Table1;
+
+/// Runs the initial discovery on every Table 1 topology for each
+/// algorithm and reports the measured mean per-packet FM processing time.
+pub fn run(quick: bool) -> Chart {
+    let topos = if quick { Table1::quick() } else { Table1::all() };
+    let mut chart = Chart::new(
+        "fig4",
+        "Average PI-4 processing time at the FM vs network size",
+        "Network Size (switches)",
+        "PI-4 Processing Time (microsec)",
+    );
+    for alg in Algorithm::all() {
+        let mut series = Series::new(alg.name());
+        for spec in &topos {
+            let topo = spec.build();
+            let bench = Bench::start(&topo, &Scenario::new(alg), &[]);
+            let run = bench.last_run();
+            series.push(
+                spec.switches() as f64,
+                run.mean_fm_processing().as_micros_f64(),
+            );
+        }
+        chart.series.push(series);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_shape_matches_paper() {
+        let chart = run(true);
+        assert_eq!(chart.series.len(), 3);
+        // At every size: SerialPacket > SerialDevice > Parallel, and all
+        // in the paper's 10–25 microsecond band.
+        for i in 0..chart.series[0].points.len() {
+            let sp = chart.series[0].points[i].1;
+            let sd = chart.series[1].points[i].1;
+            let pa = chart.series[2].points[i].1;
+            assert!(sp > sd && sd > pa, "ordering broken at point {i}");
+            for v in [sp, sd, pa] {
+                assert!((5.0..30.0).contains(&v), "implausible FM time {v}us");
+            }
+        }
+        // Device count grows along each series (x sorted ascending is not
+        // guaranteed, but sizes must vary).
+        let xs: Vec<f64> = chart.series[0].points.iter().map(|p| p.0).collect();
+        assert!(xs.iter().any(|&x| x != xs[0]));
+    }
+}

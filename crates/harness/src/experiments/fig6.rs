@@ -1,0 +1,142 @@
+//! Fig. 6: topology discovery time after a random switch addition or
+//! removal — (a) per-run scatter versus active/reachable devices, and
+//! (b) per-topology averages versus network size. Also reused (with
+//! non-default processing factors) for Fig. 9.
+
+use crate::report::{Chart, Series};
+use crate::scenario::{change_experiment, Scenario};
+use asi_core::Algorithm;
+use asi_sim::OnlineStats;
+use asi_topo::Table1;
+
+/// Outputs of the change experiment.
+pub struct Fig6Output {
+    /// Per-run scatter (paper Fig. 6a / Fig. 9).
+    pub scatter: Chart,
+    /// Per-topology averages (paper Fig. 6b).
+    pub averages: Chart,
+}
+
+/// Runs the Fig. 6 experiment at the given processing factors (Fig. 9
+/// passes non-default ones).
+pub fn run_with_factors(
+    quick: bool,
+    fm_factor: f64,
+    device_factor: f64,
+    id: &str,
+) -> Fig6Output {
+    let topos = if quick { Table1::quick() } else { Table1::all() };
+    let reps = if quick { 2 } else { 6 };
+    let mut scatter = Chart::new(
+        format!("{id}a"),
+        format!(
+            "Discovery time vs active nodes (FM factor {fm_factor}, device factor {device_factor})"
+        ),
+        "Active Nodes",
+        "Discovery Time (sec)",
+    );
+    let mut averages = Chart::new(
+        format!("{id}b"),
+        "Discovery time vs network size (average per topology)".to_string(),
+        "Physical Nodes",
+        "Discovery Time (sec)",
+    );
+    // One task per (algorithm, topology) pair, fanned out with scoped
+    // threads; seeds are fixed per task so the output is identical to the
+    // sequential sweep.
+    let algs = Algorithm::all();
+    let mut tasks: Vec<(usize, usize)> = Vec::new();
+    for a in 0..algs.len() {
+        for t in 0..topos.len() {
+            tasks.push((a, t));
+        }
+    }
+    type TaskResult = (Vec<(f64, f64)>, (f64, f64));
+    let mut results: Vec<Option<TaskResult>> = vec![None; tasks.len()];
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for &(a, t) in &tasks {
+            let spec = topos[t];
+            let alg = algs[a];
+            handles.push(scope.spawn(move |_| {
+                let topo = spec.build();
+                let mut points = Vec::new();
+                let mut stats = OnlineStats::new();
+                for rep in 0..reps {
+                    let remove = rep % 2 == 0;
+                    let scenario = Scenario::new(alg)
+                        .with_factors(fm_factor, device_factor)
+                        .with_seed(0xF16_6000 + rep as u64 * 7919 + spec.switches() as u64);
+                    let (run, active) = change_experiment(&topo, &scenario, remove);
+                    let time = run.discovery_time().as_secs_f64();
+                    points.push((active as f64, time));
+                    stats.push(time);
+                }
+                (points, (spec.total_devices() as f64, stats.mean()))
+            }));
+        }
+        for (slot, handle) in handles.into_iter().enumerate() {
+            results[slot] = Some(handle.join().expect("sweep task panicked"));
+        }
+    })
+    .expect("scope");
+
+    for (a, alg) in algs.iter().enumerate() {
+        let mut s_scatter = Series::new(alg.name());
+        let mut s_avg = Series::new(alg.name());
+        for t in 0..topos.len() {
+            let idx = tasks.iter().position(|&x| x == (a, t)).expect("task exists");
+            let (points, avg) = results[idx].take().expect("task ran");
+            for (x, y) in points {
+                s_scatter.push(x, y);
+            }
+            s_avg.push(avg.0, avg.1);
+        }
+        scatter.series.push(s_scatter);
+        averages.series.push(s_avg);
+    }
+    Fig6Output { scatter, averages }
+}
+
+/// The paper's Fig. 6 (default factors).
+pub fn run(quick: bool) -> Fig6Output {
+    run_with_factors(quick, 1.0, 1.0, "fig6")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6_parallel_wins_everywhere() {
+        let out = run(true);
+        let avg = &out.averages;
+        assert_eq!(avg.series.len(), 3);
+        let n = avg.series[0].points.len();
+        for i in 0..n {
+            let (x_sp, sp) = avg.series[0].points[i];
+            let (_, sd) = avg.series[1].points[i];
+            let (_, pa) = avg.series[2].points[i];
+            assert!(
+                pa < sd && sd < sp,
+                "ordering broken at x={x_sp}: sp={sp} sd={sd} pa={pa}"
+            );
+        }
+        // The gap grows with size (scalable improvement).
+        let gap_first = avg.series[0].points[0].1 - avg.series[2].points[0].1;
+        let last = n - 1;
+        // Find largest topology index by x.
+        let (big_idx, _) = avg.series[0]
+            .points
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap())
+            .unwrap();
+        let gap_big = avg.series[0].points[big_idx].1 - avg.series[2].points[big_idx].1;
+        let _ = last;
+        assert!(
+            gap_big > gap_first,
+            "serial-parallel gap must grow with fabric size"
+        );
+    }
+}

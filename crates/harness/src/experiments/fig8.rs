@@ -1,0 +1,109 @@
+//! Fig. 8: discovery time under varying FM and device processing-speed
+//! factors (8×8 mesh, all devices active).
+
+use crate::report::{Chart, Series};
+use crate::scenario::{Bench, Scenario};
+use asi_core::Algorithm;
+use asi_topo::mesh;
+
+/// FM-factor sweep of Fig. 8(a).
+pub const FM_FACTORS: [f64; 7] = [0.25, 1.0 / 3.0, 0.5, 1.0, 2.0, 3.0, 4.0];
+/// Device-factor sweep of Fig. 8(b), including the sub-1/3 regime where
+/// the paper observes the Parallel algorithm finally degrading.
+pub const DEVICE_FACTORS: [f64; 8] = [0.2, 0.25, 1.0 / 3.0, 0.5, 1.0, 2.0, 3.0, 4.0];
+
+fn measure(quick: bool, fm_factor: f64, device_factor: f64, alg: Algorithm) -> f64 {
+    let g = if quick { mesh(4, 4) } else { mesh(8, 8) };
+    let scenario = Scenario::new(alg).with_factors(fm_factor, device_factor);
+    let bench = Bench::start(&g.topology, &scenario, &[]);
+    bench.last_run().discovery_time().as_secs_f64()
+}
+
+/// Fig. 8(a): sweep the FM factor, device factor fixed at 1.
+pub fn run_fm_sweep(quick: bool) -> Chart {
+    let mut chart = Chart::new(
+        "fig8a",
+        "Discovery time vs FM processing factor (device factor = 1)",
+        "FM Processing Factor",
+        "Discovery Time (sec)",
+    );
+    for alg in Algorithm::all() {
+        let mut s = Series::new(alg.name());
+        for &f in &FM_FACTORS {
+            s.push(f, measure(quick, f, 1.0, alg));
+        }
+        chart.series.push(s);
+    }
+    chart
+}
+
+/// Fig. 8(b): sweep the device factor, FM factor fixed at 1.
+pub fn run_device_sweep(quick: bool) -> Chart {
+    let mut chart = Chart::new(
+        "fig8b",
+        "Discovery time vs device processing factor (FM factor = 1)",
+        "Device Processing Factor",
+        "Discovery Time (sec)",
+    );
+    for alg in Algorithm::all() {
+        let mut s = Series::new(alg.name());
+        for &f in &DEVICE_FACTORS {
+            s.push(f, measure(quick, 1.0, f, alg));
+        }
+        chart.series.push(s);
+    }
+    chart
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn y_at(series: &Series, x: f64) -> f64 {
+        series
+            .points
+            .iter()
+            .find(|p| (p.0 - x).abs() < 1e-9)
+            .expect("point present")
+            .1
+    }
+
+    #[test]
+    fn fig8a_faster_fm_widens_the_parallel_gap() {
+        let chart = run_fm_sweep(true);
+        let sp = &chart.series[0];
+        let pa = &chart.series[2];
+        // Discovery time decreases as the factor grows.
+        for s in &chart.series {
+            assert!(y_at(s, 0.25) > y_at(s, 4.0), "{} not improving", s.name);
+        }
+        // Relative serial/parallel gap grows with FM speed.
+        let ratio_slow = y_at(sp, 0.25) / y_at(pa, 0.25);
+        let ratio_fast = y_at(sp, 4.0) / y_at(pa, 4.0);
+        assert!(
+            ratio_fast > ratio_slow,
+            "gap should widen: slow {ratio_slow:.3} fast {ratio_fast:.3}"
+        );
+    }
+
+    #[test]
+    fn fig8b_device_speed_only_helps_serial() {
+        let chart = run_device_sweep(true);
+        let sp = &chart.series[0];
+        let pa = &chart.series[2];
+        // Serial improves substantially from factor 0.2 to 4.
+        assert!(y_at(sp, 0.2) > y_at(sp, 4.0) * 1.3);
+        // Parallel is flat for factors >= 1/3 ...
+        let pa_third = y_at(pa, 1.0 / 3.0);
+        let pa_fast = y_at(pa, 4.0);
+        assert!(
+            (pa_third - pa_fast).abs() / pa_fast < 0.1,
+            "parallel should be flat above 1/3: {pa_third} vs {pa_fast}"
+        );
+        // ... but degrades below 1/3 (the paper's observation).
+        assert!(
+            y_at(pa, 0.2) > pa_fast * 1.1,
+            "parallel should degrade at factor 0.2"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 9: the Fig. 6 change experiment repeated under three processing
+//! factor combinations — (a) FM 1 / device 1, (b) FM 1 / device 0.2,
+//! (c) FM 4 / device 0.2. The paper's conclusion: faster FM + slower
+//! devices maximizes the Parallel algorithm's advantage.
+
+use crate::experiments::fig6;
+use crate::report::Chart;
+
+/// All three panels.
+pub struct Fig9Output {
+    /// (a) FM factor 1, device factor 1.
+    pub a: Chart,
+    /// (b) FM factor 1, device factor 0.2.
+    pub b: Chart,
+    /// (c) FM factor 4, device factor 0.2.
+    pub c: Chart,
+}
+
+/// Runs the three panels.
+pub fn run(quick: bool) -> Fig9Output {
+    let a = fig6::run_with_factors(quick, 1.0, 1.0, "fig9_a").scatter;
+    let b = fig6::run_with_factors(quick, 1.0, 0.2, "fig9_b").scatter;
+    let c = fig6::run_with_factors(quick, 4.0, 0.2, "fig9_c").scatter;
+    let mut a = a;
+    let mut b = b;
+    let mut c = c;
+    a.id = "fig9a".into();
+    b.id = "fig9b".into();
+    c.id = "fig9c".into();
+    Fig9Output { a, b, c }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_ratio(chart: &Chart) -> f64 {
+        // Mean SerialPacket/Parallel discovery-time ratio across runs.
+        let sp: f64 = chart.series[0].points.iter().map(|p| p.1).sum();
+        let pa: f64 = chart.series[2].points.iter().map(|p| p.1).sum();
+        sp / pa
+    }
+
+    #[test]
+    fn fig9_fast_fm_slow_devices_maximizes_parallel_advantage() {
+        let out = run(true);
+        let r_a = mean_ratio(&out.a);
+        let r_c = mean_ratio(&out.c);
+        assert!(r_a > 1.0, "parallel must win in panel (a): ratio {r_a}");
+        assert!(
+            r_c > r_a,
+            "panel (c) must widen the advantage: a={r_a:.3} c={r_c:.3}"
+        );
+    }
+}

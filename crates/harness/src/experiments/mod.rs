@@ -1,0 +1,13 @@
+//! One module per reproduced table/figure (see DESIGN.md §3) plus the
+//! ablations of §4.
+
+pub mod ablations;
+pub mod distributed;
+pub mod fig4;
+pub mod fig5;
+pub mod pathdist;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;

@@ -1,0 +1,81 @@
+//! Path-distribution experiment (the paper's third future-work item):
+//! time to push fresh route tables to every endpoint after discovery.
+
+use crate::report::{trim_float, TableOut};
+use asi_core::{Algorithm, FmAgent, FmConfig, TOKEN_START_DISCOVERY};
+use asi_fabric::{DevId, Fabric, FabricConfig};
+use asi_sim::SimDuration;
+use asi_topo::Table1;
+
+/// Measures discovery + distribution per topology.
+pub fn run(quick: bool) -> TableOut {
+    let topos = if quick {
+        vec![Table1::Mesh(3), Table1::FatTree(4, 2)]
+    } else {
+        vec![
+            Table1::Mesh(3),
+            Table1::Mesh(6),
+            Table1::Mesh(8),
+            Table1::FatTree(4, 3),
+            Table1::FatTree(8, 2),
+        ]
+    };
+    let mut t = TableOut::new(
+        "extension_pathdist",
+        "Route-table distribution after discovery (Parallel algorithm)",
+        &[
+            "Topology",
+            "Discovery (ms)",
+            "Distribution (ms)",
+            "Writes",
+            "Endpoints",
+        ],
+    );
+    for spec in topos {
+        let topo = spec.build();
+        let mut fabric = Fabric::new(&topo, FabricConfig::default());
+        fabric.set_event_limit(2_000_000_000);
+        fabric.activate_all(SimDuration::ZERO);
+        fabric.run_until_idle();
+        let fm_node = asi_topo::default_fm_endpoint(&topo).unwrap();
+        let fm = DevId(fm_node.0);
+        let mut cfg = FmConfig::new(Algorithm::Parallel);
+        cfg.distribute_paths = true;
+        fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
+        fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+        fabric.run_until_idle();
+
+        let agent = fabric.agent_as::<FmAgent>(fm).unwrap();
+        let run = agent.last_run().unwrap();
+        let dist = agent
+            .distributions
+            .last()
+            .expect("distribution phase ran");
+        assert_eq!(dist.failures, 0, "{}: distribution failures", spec.name());
+        t.push_row(vec![
+            spec.name(),
+            trim_float(run.discovery_time().as_millis_f64()),
+            trim_float(dist.distribution_time().as_millis_f64()),
+            dist.writes.to_string(),
+            spec.endpoints().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn distribution_completes_on_quick_topologies() {
+        let t = super::run(true);
+        assert_eq!(t.rows.len(), 2);
+        for row in &t.rows {
+            let endpoints: u64 = row[4].parse().unwrap();
+            let writes: u64 = row[3].parse().unwrap();
+            // (endpoints - 1 owners) × (endpoints - 1 destinations).
+            assert_eq!(writes, (endpoints - 1) * (endpoints - 1));
+            let dist_ms: f64 = row[2].parse().unwrap();
+            assert!(dist_ms > 0.0);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Table 1: the topologies evaluated (switches / endpoints / total).
+
+use crate::report::TableOut;
+use asi_topo::Table1;
+
+/// Regenerates the paper's Table 1 by *building* each topology and
+/// counting, rather than echoing the formulas.
+pub fn run() -> TableOut {
+    let mut t = TableOut::new(
+        "table1",
+        "Topologies evaluated",
+        &["Topology", "Switches", "Endpoints", "Total Devices"],
+    );
+    for spec in Table1::all() {
+        let topo = spec.build();
+        assert!(topo.is_connected(), "{} disconnected", spec.name());
+        t.push_row(vec![
+            spec.name(),
+            topo.switch_count().to_string(),
+            topo.endpoint_count().to_string(),
+            topo.node_count().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_matches_paper_counts() {
+        let t = super::run();
+        assert_eq!(t.rows.len(), 13);
+        // Spot-check a few rows against the paper.
+        let find = |name: &str| {
+            t.rows
+                .iter()
+                .find(|r| r[0] == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .clone()
+        };
+        assert_eq!(find("3x3 mesh")[3], "18");
+        assert_eq!(find("8x8 torus")[3], "128");
+        assert_eq!(find("4-port 3-tree")[1], "20");
+        assert_eq!(find("8-port 2-tree")[2], "32");
+    }
+}

@@ -1,0 +1,24 @@
+//! `asi-harness` — the experiment harness that regenerates every table
+//! and figure of the paper's evaluation (§4).
+//!
+//! - [`scenario`] — fabric bring-up, FM installation, PI-5 route
+//!   configuration, and random switch addition/removal injection (the
+//!   paper's §4.1 methodology);
+//! - [`experiments`] — one module per table/figure plus ablations;
+//! - [`report`] — markdown/CSV renderers for the reproduced outputs.
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run --release -p asi-harness --bin experiments -- all
+//! cargo run --release -p asi-harness --bin experiments -- fig6 --quick
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+
+pub use report::{Chart, Series, TableOut};
+pub use scenario::{change_experiment, dev_of_dsn, dsn_of_dev, Bench, Scenario, TrafficSpec};

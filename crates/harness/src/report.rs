@@ -1,0 +1,357 @@
+//! Output containers for reproduced tables and figures, with markdown and
+//! CSV rendering.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One plotted series (a line in a paper figure).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Series {
+    /// Legend label ("Serial Packet", …).
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+}
+
+/// A reproduced figure: axes plus one or more series.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct Chart {
+    /// Identifier ("fig6a").
+    pub id: String,
+    /// Title as the paper captions it.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Chart {
+        Chart {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Renders a compact markdown table: one row per x, one column per
+    /// series (x values unioned across series).
+    pub fn to_markdown(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|&(x, _)| x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.dedup();
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.name);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        for &x in &xs {
+            let _ = write!(out, "| {} |", trim_float(x));
+            for s in &self.series {
+                // Average all points of this series at this x (scatter
+                // figures may repeat x values).
+                let vals: Vec<f64> = s
+                    .points
+                    .iter()
+                    .filter(|&&(px, _)| px == x)
+                    .map(|&(_, y)| y)
+                    .collect();
+                if vals.is_empty() {
+                    let _ = write!(out, " |");
+                } else {
+                    let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                    let _ = write!(out, " {} |", trim_float(mean));
+                }
+            }
+            let _ = writeln!(out);
+        }
+        let _ = writeln!(out, "\n_y: {}_\n", self.y_label);
+        out
+    }
+
+    /// Renders long-format CSV: `series,x,y`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(out, "{},{},{}", s.name, x, y);
+            }
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv` and `<dir>/<id>.md`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        std::fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
+        Ok(())
+    }
+}
+
+/// A reproduced table.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TableOut {
+    /// Identifier ("table1").
+    pub id: String,
+    /// Caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableOut {
+    /// Creates an empty table.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> TableOut {
+        TableOut {
+            id: id.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Renders CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = self.headers.join(",");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes `<dir>/<id>.csv` and `<dir>/<id>.md`.
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.csv", self.id)), self.to_csv())?;
+        std::fs::write(dir.join(format!("{}.md", self.id)), self.to_markdown())?;
+        Ok(())
+    }
+}
+
+impl Chart {
+    /// Renders a rough ASCII plot (log-friendly): one glyph per series,
+    /// x binned across the terminal width. Intended for eyeballing the
+    /// *shape* of a reproduced figure in CI logs.
+    pub fn to_ascii(&self, width: usize, height: usize) -> String {
+        let width = width.clamp(16, 200);
+        let height = height.clamp(4, 60);
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            return format!("{} — (no data)
+", self.id);
+        }
+        let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if x1 <= x0 {
+            x1 = x0 + 1.0;
+        }
+        if y1 <= y0 {
+            y1 = y0 + 1.0;
+        }
+        let glyphs = ['o', '+', 'x', '*', '#', '@'];
+        let mut grid = vec![vec![' '; width]; height];
+        for (si, s) in self.series.iter().enumerate() {
+            let g = glyphs[si % glyphs.len()];
+            for &(x, y) in &s.points {
+                let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+                let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+                let row = height - 1 - cy.min(height - 1);
+                grid[row][cx.min(width - 1)] = g;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {}", self.id, self.title);
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "  {} {}", glyphs[si % glyphs.len()], s.name);
+        }
+        let _ = writeln!(out, "y: {} in [{:.3e}, {:.3e}]", self.y_label, y0, y1);
+        for row in grid {
+            let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "+{}\n x: {} in [{}, {}]",
+            "-".repeat(width),
+            self.x_label,
+            trim_float(x0),
+            trim_float(x1)
+        );
+        out
+    }
+}
+
+/// Formats a float without trailing noise.
+pub fn trim_float(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{}", v as i64)
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.6}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_markdown_unions_x_values() {
+        let mut c = Chart::new("figX", "demo", "n", "t");
+        let mut a = Series::new("A");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("B");
+        b.push(2.0, 5.0);
+        c.series.push(a);
+        c.series.push(b);
+        let md = c.to_markdown();
+        assert!(md.contains("| n | A | B |"));
+        assert!(md.contains("| 1 | 10 | |"));
+        assert!(md.contains("| 2 | 20 | 5 |"));
+    }
+
+    #[test]
+    fn chart_markdown_averages_repeated_x() {
+        let mut c = Chart::new("f", "t", "x", "y");
+        let mut s = Series::new("S");
+        s.push(1.0, 10.0);
+        s.push(1.0, 20.0);
+        c.series.push(s);
+        assert!(c.to_markdown().contains("| 1 | 15 |"));
+    }
+
+    #[test]
+    fn csv_is_long_format() {
+        let mut c = Chart::new("f", "t", "x", "y");
+        let mut s = Series::new("S");
+        s.push(1.5, 2.5);
+        c.series.push(s);
+        assert_eq!(c.to_csv(), "series,x,y\nS,1.5,2.5\n");
+    }
+
+    #[test]
+    fn table_renders_markdown_and_csv() {
+        let mut t = TableOut::new("t1", "caption", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        assert!(t.to_markdown().contains("| a | b |"));
+        assert!(t.to_csv().contains("a,b\n1,2\n"));
+    }
+
+    #[test]
+    fn ascii_plot_renders_all_series() {
+        let mut c = Chart::new("f", "demo", "n", "t");
+        let mut a = Series::new("A");
+        let mut b = Series::new("B");
+        for i in 0..10 {
+            a.push(i as f64, i as f64);
+            b.push(i as f64, (10 - i) as f64);
+        }
+        c.series.push(a);
+        c.series.push(b);
+        let art = c.to_ascii(40, 10);
+        assert!(art.contains('o') && art.contains('+'), "{art}");
+        assert!(art.contains("x: n in [0, 9]"));
+        assert_eq!(art.lines().filter(|l| l.starts_with('|')).count(), 10);
+    }
+
+    #[test]
+    fn ascii_plot_empty_chart() {
+        let c = Chart::new("f", "demo", "n", "t");
+        assert!(c.to_ascii(40, 10).contains("no data"));
+    }
+
+    #[test]
+    fn ascii_plot_degenerate_ranges() {
+        let mut c = Chart::new("f", "demo", "n", "t");
+        let mut a = Series::new("A");
+        a.push(5.0, 7.0); // single point: zero-width ranges
+        c.series.push(a);
+        let art = c.to_ascii(30, 6);
+        assert!(art.contains('o'));
+    }
+
+    #[test]
+    fn trim_float_behaviour() {
+        assert_eq!(trim_float(3.0), "3");
+        assert_eq!(trim_float(1234.56), "1234.6");
+        assert_eq!(trim_float(3.21059), "3.211");
+        assert_eq!(trim_float(0.00123456), "0.001235");
+    }
+}

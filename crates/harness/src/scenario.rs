@@ -1,0 +1,527 @@
+//! The experiment scenario runner: fabric bring-up, FM installation,
+//! initial discovery, PI-5 configuration, and topological-change
+//! injection — the exact procedure of the paper's §4.1.
+
+use asi_core::{Algorithm, FmAgent, FmConfig, FmTiming, TOKEN_START_DISCOVERY};
+use asi_core::{DiscoveryRun, TopologyDb};
+use asi_fabric::{DevId, Fabric, FabricConfig, FmRoute, TrafficAgent, TrafficRoute, DSN_BASE};
+use asi_sim::{SimDuration, SimRng};
+use asi_topo::{routes_from, NodeId, Topology};
+
+/// Background-traffic settings for the traffic ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficSpec {
+    /// Mean inter-injection gap per source endpoint.
+    pub mean_gap: SimDuration,
+    /// Payload bytes per data packet.
+    pub payload: u16,
+}
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Discovery algorithm under test.
+    pub algorithm: Algorithm,
+    /// FM processing-speed factor (Figs. 8–9).
+    pub fm_factor: f64,
+    /// Device processing-speed factor (Figs. 8–9).
+    pub device_factor: f64,
+    /// Partial (affected-region) assimilation instead of full re-runs.
+    pub partial_assimilation: bool,
+    /// Optional Poisson background traffic from every endpoint.
+    pub traffic: Option<TrafficSpec>,
+    /// Disable credit flow control (ablation).
+    pub flow_control: bool,
+    /// RNG seed (victim selection, traffic arrivals).
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Paper-default scenario for an algorithm.
+    pub fn new(algorithm: Algorithm) -> Scenario {
+        Scenario {
+            algorithm,
+            fm_factor: 1.0,
+            device_factor: 1.0,
+            partial_assimilation: false,
+            traffic: None,
+            flow_control: true,
+            seed: 0xA51,
+        }
+    }
+
+    /// Sets the processing factors (paper Figs. 8–9).
+    pub fn with_factors(mut self, fm: f64, device: f64) -> Scenario {
+        self.fm_factor = fm;
+        self.device_factor = device;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A scenario bound to a live fabric.
+pub struct Bench {
+    /// The fabric under test.
+    pub fabric: Fabric,
+    /// The FM's endpoint.
+    pub fm: DevId,
+    /// Ground truth.
+    pub topo: Topology,
+    rng: SimRng,
+}
+
+/// Translates a database DSN back to the fabric device id.
+pub fn dev_of_dsn(dsn: u64) -> DevId {
+    DevId((dsn & 0xFFFF_FFFF) as u32)
+}
+
+/// DSN of a fabric device id.
+pub fn dsn_of_dev(dev: DevId) -> u64 {
+    DSN_BASE | u64::from(dev.0)
+}
+
+impl Bench {
+    /// Builds the fabric, powers everything up (minus `absent` devices),
+    /// installs the FM on the first endpoint and runs the initial
+    /// discovery to completion.
+    pub fn start(topo: &Topology, scenario: &Scenario, absent: &[NodeId]) -> Bench {
+        let mut config = FabricConfig {
+            device_factor: scenario.device_factor,
+            flow_control: scenario.flow_control,
+            ..FabricConfig::default()
+        };
+        config.turn_pool_capacity = asi_proto::MAX_POOL_BITS;
+        let mut fabric = Fabric::new(topo, config);
+        fabric.set_event_limit(2_000_000_000);
+        for (id, _) in topo.nodes() {
+            if !absent.contains(&id) {
+                fabric.schedule_activate(DevId(id.0), SimDuration::ZERO);
+            }
+        }
+        fabric.run_until_idle();
+
+        let fm_node = asi_topo::default_fm_endpoint(topo).expect("topology has endpoints");
+        assert!(
+            !absent.contains(&fm_node),
+            "the FM endpoint cannot be absent"
+        );
+        let fm = DevId(fm_node.0);
+        let mut rng = SimRng::new(scenario.seed);
+
+        // Optional background traffic on every other endpoint.
+        if let Some(spec) = scenario.traffic {
+            let endpoints = topo.endpoints();
+            for &ep in &endpoints {
+                if ep == fm_node || absent.contains(&ep) {
+                    continue;
+                }
+                let routes: Vec<TrafficRoute> = routes_from(topo, ep)
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, r)| {
+                        r.is_some()
+                            && endpoints.contains(&NodeId(*i as u32))
+                            && NodeId(*i as u32) != ep
+                            && !absent.contains(&NodeId(*i as u32))
+                    })
+                    .filter_map(|(_, r)| {
+                        let r = r.unwrap();
+                        // Skip destinations through absent switches: the
+                        // packets would just be dropped noise.
+                        r.encode(topo, asi_proto::MAX_POOL_BITS).ok().map(|pool| {
+                            TrafficRoute {
+                                egress: r.source_port,
+                                pool,
+                            }
+                        })
+                    })
+                    .collect();
+                fabric.set_agent(
+                    DevId(ep.0),
+                    Box::new(TrafficAgent::new(
+                        routes,
+                        spec.mean_gap,
+                        spec.payload,
+                        rng.fork(u64::from(ep.0)),
+                    )),
+                );
+                fabric.schedule_agent_timer(
+                    DevId(ep.0),
+                    SimDuration::from_ns(1 + u64::from(ep.0)),
+                    TrafficAgent::start_token(),
+                );
+            }
+        }
+
+        let mut fm_cfg = FmConfig::new(scenario.algorithm);
+        fm_cfg.timing = FmTiming::default().with_factor(scenario.fm_factor);
+        fm_cfg.partial_assimilation = scenario.partial_assimilation;
+        fabric.set_agent(fm, Box::new(FmAgent::new(fm_cfg)));
+        fabric.schedule_agent_timer(fm, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
+
+        let mut bench = Bench {
+            fabric,
+            fm,
+            topo: topo.clone(),
+            rng,
+        };
+        bench.settle(1);
+        bench.configure_pi5_routes();
+        bench
+    }
+
+    /// Steps the fabric until the FM has completed at least `target_runs`
+    /// discoveries and been quiet for a grace period. Works both with and
+    /// without background traffic (which never lets the event queue go
+    /// idle).
+    fn settle(&mut self, target_runs: usize) {
+        let deadline = self.fabric.now() + SimDuration::from_ms(30_000);
+        let quiet = SimDuration::from_us(500);
+        let mut quiet_since = None;
+        loop {
+            let ready = {
+                let agent = self.fabric.agent_as::<FmAgent>(self.fm);
+                agent.is_some_and(|a| a.runs.len() >= target_runs && !a.discovering())
+            };
+            if ready {
+                let since = *quiet_since.get_or_insert(self.fabric.now());
+                if self.fabric.now().saturating_since(since) >= quiet {
+                    break;
+                }
+            } else {
+                quiet_since = None;
+            }
+            if !self.fabric.step() {
+                assert!(ready, "fabric went idle before discovery finished");
+                break;
+            }
+            assert!(
+                self.fabric.now() < deadline,
+                "scenario did not settle within the deadline"
+            );
+        }
+    }
+
+    /// The FM agent.
+    pub fn fm_agent(&self) -> &FmAgent {
+        self.fabric
+            .agent_as::<FmAgent>(self.fm)
+            .expect("FM installed")
+    }
+
+    /// The latest discovery run.
+    pub fn last_run(&self) -> DiscoveryRun {
+        self.fm_agent()
+            .last_run()
+            .expect("a discovery has completed")
+            .clone()
+    }
+
+    /// The FM's current database.
+    pub fn db(&self) -> &TopologyDb {
+        self.fm_agent().db().expect("discovery completed")
+    }
+
+    /// Number of active devices reachable from the FM (the paper's
+    /// "active nodes" x-axis).
+    pub fn active_nodes(&self) -> usize {
+        self.fabric.active_reachable(self.fm).len()
+    }
+
+    /// Installs PI-5 reporting routes on every device, computed from the
+    /// FM's own database (the configuration step after discovery).
+    pub fn configure_pi5_routes(&mut self) {
+        let routes: Vec<(u64, u8, asi_proto::TurnPool)> = {
+            let db = self.db();
+            let host = db.host_dsn();
+            db.devices()
+                .filter(|d| d.info.dsn != host)
+                .filter_map(|d| {
+                    db.route_between(d.info.dsn, host, asi_proto::MAX_POOL_BITS)
+                        .and_then(Result::ok)
+                        .map(|r| (d.info.dsn, r.egress, r.pool))
+                })
+                .collect()
+        };
+        for (dsn, egress, pool) in routes {
+            self.fabric
+                .set_fm_route(dev_of_dsn(dsn), FmRoute { egress, pool });
+        }
+    }
+
+    /// Picks a random switch that is safe to remove (never the FM's
+    /// attached switch, so the manager stays connected).
+    pub fn pick_victim_switch(&mut self) -> NodeId {
+        let fm_neighbor = self
+            .topo
+            .neighbors(NodeId(self.fm.0))
+            .next()
+            .map(|(_, at)| at.node);
+        let candidates: Vec<NodeId> = self
+            .topo
+            .switches()
+            .into_iter()
+            .filter(|s| Some(*s) != fm_neighbor)
+            .filter(|s| self.fabric.is_active(DevId(s.0)))
+            .collect();
+        *self.rng.choose(&candidates).expect("a removable switch")
+    }
+
+    /// Removes `victim` and runs until the FM has assimilated the change.
+    /// Returns the assimilation run.
+    pub fn remove_switch(&mut self, victim: NodeId) -> DiscoveryRun {
+        let runs_before = self.fm_agent().runs.len();
+        self.fabric
+            .schedule_deactivate(DevId(victim.0), SimDuration::from_us(1));
+        self.settle(runs_before + 1);
+        let agent = self.fm_agent();
+        assert!(
+            agent.runs.len() > runs_before,
+            "removal of {victim} triggered no re-discovery"
+        );
+        self.configure_pi5_routes();
+        self.last_run()
+    }
+
+    /// Activates a previously absent device and runs until assimilated.
+    pub fn add_device(&mut self, newcomer: NodeId) -> DiscoveryRun {
+        let runs_before = self.fm_agent().runs.len();
+        self.fabric
+            .schedule_activate(DevId(newcomer.0), SimDuration::from_us(1));
+        self.settle(runs_before + 1);
+        let agent = self.fm_agent();
+        assert!(
+            agent.runs.len() > runs_before,
+            "addition of {newcomer} triggered no re-discovery"
+        );
+        self.configure_pi5_routes();
+        self.last_run()
+    }
+}
+
+/// Result of a distributed discovery run.
+#[derive(Clone, Debug)]
+pub struct DistributedOutcome {
+    /// Time from discovery start to the primary's final merged database.
+    pub merged_time: asi_sim::SimDuration,
+    /// Devices in the merged database.
+    pub devices: usize,
+    /// Links in the merged database.
+    pub links: usize,
+    /// Devices each manager explored itself (primary first).
+    pub per_manager_devices: Vec<usize>,
+}
+
+/// Runs a distributed discovery (the paper's future-work extension):
+/// `collaborators` additional managers partition the fabric with
+/// claim-and-hold ownership writes and stream their regions to the
+/// primary. Collaborator endpoints are spread evenly over the endpoint
+/// list; their report routes to the primary are pre-configured (the
+/// election phase would normally distribute them).
+pub fn distributed_discovery(
+    topo: &Topology,
+    collaborators: usize,
+    scenario: &Scenario,
+) -> (Fabric, DevId, DistributedOutcome) {
+    use asi_core::DistributedRole;
+    use asi_topo::shortest_route;
+
+    let endpoints = topo.endpoints();
+    assert!(
+        endpoints.len() > collaborators,
+        "not enough endpoints for {collaborators} collaborators"
+    );
+    let primary_node = endpoints[0];
+    let primary = DevId(primary_node.0);
+    // Spread collaborators across the endpoint list.
+    let collab_nodes: Vec<NodeId> = (1..=collaborators)
+        .map(|i| endpoints[i * (endpoints.len() - 1) / collaborators.max(1)])
+        .collect();
+
+    let config = FabricConfig {
+        device_factor: scenario.device_factor,
+        flow_control: scenario.flow_control,
+        ..FabricConfig::default()
+    };
+    let mut fabric = Fabric::new(topo, config);
+    fabric.set_event_limit(2_000_000_000);
+    fabric.activate_all(SimDuration::ZERO);
+    fabric.run_until_idle();
+
+    let mut fm_cfg = asi_core::FmConfig::new(scenario.algorithm);
+    fm_cfg.timing = asi_core::FmTiming::default().with_factor(scenario.fm_factor);
+    fm_cfg.auto_rediscover = false;
+    let primary_cfg = fm_cfg.clone().with_distributed(DistributedRole::Primary {
+        expected_reports: collaborators,
+    });
+    fabric.set_agent(primary, Box::new(FmAgent::new(primary_cfg)));
+
+    for &c in &collab_nodes {
+        let route = shortest_route(topo, c, primary_node).expect("connected fabric");
+        let pool = route
+            .encode(topo, asi_proto::MAX_POOL_BITS)
+            .expect("route fits extended pool");
+        let cfg = fm_cfg
+            .clone()
+            .with_distributed(DistributedRole::Collaborator {
+                report_egress: route.source_port,
+                report_pool: pool,
+            });
+        fabric.set_agent(DevId(c.0), Box::new(FmAgent::new(cfg)));
+    }
+
+    // Everyone starts at (nearly) the same instant.
+    let start = SimDuration::from_us(1);
+    let start_at = fabric.now() + start;
+    fabric.schedule_agent_timer(primary, start, TOKEN_START_DISCOVERY);
+    for &c in &collab_nodes {
+        fabric.schedule_agent_timer(DevId(c.0), start, TOKEN_START_DISCOVERY);
+    }
+
+    // Run until the primary holds the merged database.
+    let deadline = fabric.now() + SimDuration::from_ms(30_000);
+    loop {
+        let done = fabric
+            .agent_as::<FmAgent>(primary)
+            .is_some_and(|a| a.distributed_finished_at.is_some());
+        if done {
+            break;
+        }
+        assert!(fabric.step(), "fabric idle before distributed merge completed");
+        assert!(fabric.now() < deadline, "distributed discovery stalled");
+    }
+    // Drain any trailing packets.
+    fabric.run_until_idle();
+
+    let (merged_time, devices, links) = {
+        let agent = fabric.agent_as::<FmAgent>(primary).expect("primary");
+        let finished = agent.distributed_finished_at.expect("checked");
+        let db = agent.db().expect("merged database");
+        (
+            finished.saturating_since(start_at),
+            db.device_count(),
+            db.link_count(),
+        )
+    };
+    let mut per_manager_devices =
+        vec![fabric
+            .agent_as::<FmAgent>(primary)
+            .and_then(|a| a.last_run())
+            .map(|r| r.devices_found)
+            .unwrap_or(0)];
+    for &c in &collab_nodes {
+        per_manager_devices.push(
+            fabric
+                .agent_as::<FmAgent>(DevId(c.0))
+                .and_then(|a| a.last_run())
+                .map(|r| r.devices_found)
+                .unwrap_or(0),
+        );
+    }
+
+    (
+        fabric,
+        primary,
+        DistributedOutcome {
+            merged_time,
+            devices,
+            links,
+            per_manager_devices,
+        },
+    )
+}
+
+/// One repetition of the paper's change experiment: bring up the fabric,
+/// discover, inject a random switch removal **or** addition, re-discover.
+/// Returns `(assimilation run, active nodes after the change)`.
+pub fn change_experiment(
+    topo: &Topology,
+    scenario: &Scenario,
+    remove: bool,
+) -> (DiscoveryRun, usize) {
+    if remove {
+        let mut bench = Bench::start(topo, scenario, &[]);
+        let victim = bench.pick_victim_switch();
+        let run = bench.remove_switch(victim);
+        let active = bench.active_nodes();
+        (run, active)
+    } else {
+        // Addition: bring the fabric up with one random switch missing,
+        // then hot-add it.
+        let mut rng = SimRng::new(scenario.seed ^ 0x5EED);
+        let fm_node = asi_topo::default_fm_endpoint(topo).expect("endpoints");
+        let fm_neighbor = topo.neighbors(fm_node).next().map(|(_, at)| at.node);
+        let candidates: Vec<NodeId> = topo
+            .switches()
+            .into_iter()
+            .filter(|s| Some(*s) != fm_neighbor)
+            .collect();
+        let newcomer = *rng.choose(&candidates).expect("switch");
+        let mut bench = Bench::start(topo, scenario, &[newcomer]);
+        let run = bench.add_device(newcomer);
+        let active = bench.active_nodes();
+        (run, active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asi_topo::mesh;
+
+    #[test]
+    fn bench_initial_discovery_finds_everything() {
+        let g = mesh(3, 3);
+        let bench = Bench::start(&g.topology, &Scenario::new(Algorithm::Parallel), &[]);
+        assert_eq!(bench.db().device_count(), 18);
+        assert_eq!(bench.active_nodes(), 18);
+    }
+
+    #[test]
+    fn remove_experiment_updates_active_nodes() {
+        let g = mesh(3, 3);
+        let (run, active) =
+            change_experiment(&g.topology, &Scenario::new(Algorithm::Parallel), true);
+        // One switch + its endpoint gone.
+        assert_eq!(active, 16);
+        assert!(run.discovery_time() > asi_sim::SimDuration::ZERO);
+        assert_eq!(run.devices_found, 16);
+    }
+
+    #[test]
+    fn add_experiment_restores_full_fabric() {
+        let g = mesh(3, 3);
+        let (run, active) =
+            change_experiment(&g.topology, &Scenario::new(Algorithm::SerialDevice), false);
+        assert_eq!(active, 18);
+        assert_eq!(run.devices_found, 18);
+    }
+
+    #[test]
+    fn victim_never_isolates_the_fm() {
+        let g = mesh(3, 3);
+        let mut bench = Bench::start(&g.topology, &Scenario::new(Algorithm::Parallel), &[]);
+        for _ in 0..20 {
+            let v = bench.pick_victim_switch();
+            assert_ne!(v, g.switch_at(0, 0), "FM's own switch chosen");
+        }
+    }
+
+    #[test]
+    fn traffic_scenario_runs() {
+        let g = mesh(3, 3);
+        let mut s = Scenario::new(Algorithm::Parallel);
+        s.traffic = Some(TrafficSpec {
+            mean_gap: SimDuration::from_us(50),
+            payload: 256,
+        });
+        let bench = Bench::start(&g.topology, &s, &[]);
+        assert_eq!(bench.db().device_count(), 18);
+        assert!(bench.fabric.counters().data_bytes > 0, "no traffic flowed");
+    }
+}

@@ -1,0 +1,141 @@
+//! PI-5: the ASI event-reporting protocol.
+//!
+//! When a device observes a change in the state of one of its local ports
+//! (a neighbour appeared or disappeared), it notifies the fabric manager
+//! with a PI-5 event packet. The FM uses these events to trigger the change
+//! assimilation process (re-discovery, path recomputation).
+
+/// The kind of port-state transition being reported.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PortEvent {
+    /// The port trained and is now active (device hot-addition).
+    PortUp,
+    /// The port lost its link partner (device hot-removal or failure).
+    PortDown,
+}
+
+/// A PI-5 event report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Pi5 {
+    /// Serial number of the reporting device.
+    pub reporter_dsn: u64,
+    /// The local port whose state changed.
+    pub port: u8,
+    /// What happened.
+    pub event: PortEvent,
+    /// Monotonic per-reporter sequence number, so the FM can discard
+    /// duplicates and stale reports.
+    pub sequence: u32,
+}
+
+/// PI-5 decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pi5Error {
+    /// Not enough bytes.
+    Truncated,
+    /// Unknown event code.
+    BadEvent(u8),
+}
+
+impl core::fmt::Display for Pi5Error {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Pi5Error::Truncated => write!(f, "truncated PI-5 packet"),
+            Pi5Error::BadEvent(e) => write!(f, "unknown PI-5 event code {e:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for Pi5Error {}
+
+impl Pi5 {
+    /// On-wire payload size in bytes.
+    pub const WIRE_SIZE: usize = 8 + 1 + 1 + 4;
+
+    /// Serializes the event into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.reporter_dsn.to_be_bytes());
+        out.push(self.port);
+        out.push(match self.event {
+            PortEvent::PortUp => 1,
+            PortEvent::PortDown => 2,
+        });
+        out.extend_from_slice(&self.sequence.to_be_bytes());
+    }
+
+    /// Parses an event, returning it and the bytes consumed.
+    pub fn decode(input: &[u8]) -> Result<(Pi5, usize), Pi5Error> {
+        if input.len() < Self::WIRE_SIZE {
+            return Err(Pi5Error::Truncated);
+        }
+        let reporter_dsn = u64::from_be_bytes(input[..8].try_into().unwrap());
+        let port = input[8];
+        let event = match input[9] {
+            1 => PortEvent::PortUp,
+            2 => PortEvent::PortDown,
+            other => return Err(Pi5Error::BadEvent(other)),
+        };
+        let sequence = u32::from_be_bytes(input[10..14].try_into().unwrap());
+        Ok((
+            Pi5 {
+                reporter_dsn,
+                port,
+                event,
+                sequence,
+            },
+            Self::WIRE_SIZE,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_both_events() {
+        for event in [PortEvent::PortUp, PortEvent::PortDown] {
+            let pdu = Pi5 {
+                reporter_dsn: 0x1122_3344_5566_7788,
+                port: 13,
+                event,
+                sequence: 42,
+            };
+            let mut buf = Vec::new();
+            pdu.encode(&mut buf);
+            assert_eq!(buf.len(), Pi5::WIRE_SIZE);
+            let (decoded, n) = Pi5::decode(&buf).unwrap();
+            assert_eq!(n, Pi5::WIRE_SIZE);
+            assert_eq!(decoded, pdu);
+        }
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let pdu = Pi5 {
+            reporter_dsn: 1,
+            port: 0,
+            event: PortEvent::PortUp,
+            sequence: 0,
+        };
+        let mut buf = Vec::new();
+        pdu.encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert_eq!(Pi5::decode(&buf[..cut]), Err(Pi5Error::Truncated));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_event_code() {
+        let pdu = Pi5 {
+            reporter_dsn: 1,
+            port: 0,
+            event: PortEvent::PortUp,
+            sequence: 0,
+        };
+        let mut buf = Vec::new();
+        pdu.encode(&mut buf);
+        buf[9] = 0x7F;
+        assert_eq!(Pi5::decode(&buf), Err(Pi5Error::BadEvent(0x7F)));
+    }
+}

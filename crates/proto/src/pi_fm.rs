@@ -1,0 +1,296 @@
+//! FM-to-FM exchange protocol (vendor PI) — the substrate for the
+//! paper's *distributed discovery* future-work item (§5): several
+//! collaborative fabric managers each explore a region of the fabric and
+//! stream their partial topology databases to the primary, which merges
+//! them.
+//!
+//! Wire shapes:
+//!
+//! - [`FmMessage::Hello`] — a collaborator announcing itself (election
+//!   claims ride here too);
+//! - [`FmMessage::Device`] — one discovered device: general info plus its
+//!   port attribute blocks;
+//! - [`FmMessage::Link`] — one discovered link;
+//! - [`FmMessage::Complete`] — end of a collaborator's report, with the
+//!   counts the primary uses to detect loss.
+
+use crate::config::{DeviceInfo, PortInfo, GENERAL_INFO_WORDS};
+
+/// A message between fabric managers.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FmMessage {
+    /// "I am a manager": sender DSN and election priority.
+    Hello {
+        /// Sender's DSN.
+        sender: u64,
+        /// Sender's election priority.
+        priority: u8,
+    },
+    /// One device from the sender's topology database.
+    Device {
+        /// General information block.
+        info: DeviceInfo,
+        /// Port attribute blocks, in port order.
+        ports: Vec<PortInfo>,
+    },
+    /// One link from the sender's topology database.
+    Link {
+        /// One end: `(dsn, port)`.
+        a: (u64, u8),
+        /// Other end: `(dsn, port)`.
+        b: (u64, u8),
+    },
+    /// End of report.
+    Complete {
+        /// Sender's DSN.
+        sender: u64,
+        /// Devices the sender reported.
+        devices: u32,
+        /// Links the sender reported.
+        links: u32,
+    },
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmMessageError {
+    /// Not enough bytes.
+    Truncated,
+    /// Unknown opcode.
+    BadOpcode(u8),
+    /// A carried structure failed to decode.
+    BadPayload,
+}
+
+impl core::fmt::Display for FmMessageError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FmMessageError::Truncated => write!(f, "truncated FM message"),
+            FmMessageError::BadOpcode(op) => write!(f, "unknown FM message opcode {op:#x}"),
+            FmMessageError::BadPayload => write!(f, "malformed FM message payload"),
+        }
+    }
+}
+
+impl std::error::Error for FmMessageError {}
+
+const OP_HELLO: u8 = 0x10;
+const OP_DEVICE: u8 = 0x11;
+const OP_LINK: u8 = 0x12;
+const OP_COMPLETE: u8 = 0x13;
+
+impl FmMessage {
+    /// On-wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            FmMessage::Hello { .. } => 1 + 8 + 1,
+            FmMessage::Device { ports, .. } => {
+                1 + 4 * GENERAL_INFO_WORDS as usize + 2 + 4 * ports.len()
+            }
+            FmMessage::Link { .. } => 1 + 9 + 9,
+            FmMessage::Complete { .. } => 1 + 8 + 4 + 4,
+        }
+    }
+
+    /// Serializes into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FmMessage::Hello { sender, priority } => {
+                out.push(OP_HELLO);
+                out.extend_from_slice(&sender.to_be_bytes());
+                out.push(*priority);
+            }
+            FmMessage::Device { info, ports } => {
+                out.push(OP_DEVICE);
+                for w in info.to_words() {
+                    out.extend_from_slice(&w.to_be_bytes());
+                }
+                out.extend_from_slice(&(ports.len() as u16).to_be_bytes());
+                for p in ports {
+                    out.extend_from_slice(&p.to_words()[0].to_be_bytes());
+                }
+            }
+            FmMessage::Link { a, b } => {
+                out.push(OP_LINK);
+                out.extend_from_slice(&a.0.to_be_bytes());
+                out.push(a.1);
+                out.extend_from_slice(&b.0.to_be_bytes());
+                out.push(b.1);
+            }
+            FmMessage::Complete {
+                sender,
+                devices,
+                links,
+            } => {
+                out.push(OP_COMPLETE);
+                out.extend_from_slice(&sender.to_be_bytes());
+                out.extend_from_slice(&devices.to_be_bytes());
+                out.extend_from_slice(&links.to_be_bytes());
+            }
+        }
+    }
+
+    /// Parses one message, returning it and the bytes consumed.
+    pub fn decode(input: &[u8]) -> Result<(FmMessage, usize), FmMessageError> {
+        let op = *input.first().ok_or(FmMessageError::Truncated)?;
+        let take = |from: usize, n: usize| {
+            input
+                .get(from..from + n)
+                .ok_or(FmMessageError::Truncated)
+        };
+        let be64 = |from: usize| -> Result<u64, FmMessageError> {
+            Ok(u64::from_be_bytes(take(from, 8)?.try_into().unwrap()))
+        };
+        let be32 = |from: usize| -> Result<u32, FmMessageError> {
+            Ok(u32::from_be_bytes(take(from, 4)?.try_into().unwrap()))
+        };
+        match op {
+            OP_HELLO => {
+                let sender = be64(1)?;
+                let priority = *take(9, 1)?.first().unwrap();
+                Ok((FmMessage::Hello { sender, priority }, 10))
+            }
+            OP_DEVICE => {
+                let mut words = [0u32; GENERAL_INFO_WORDS as usize];
+                for (i, w) in words.iter_mut().enumerate() {
+                    *w = be32(1 + 4 * i)?;
+                }
+                let info =
+                    DeviceInfo::from_words(&words).ok_or(FmMessageError::BadPayload)?;
+                let off = 1 + 4 * GENERAL_INFO_WORDS as usize;
+                let nports =
+                    u16::from_be_bytes(take(off, 2)?.try_into().unwrap()) as usize;
+                if nports > 512 {
+                    return Err(FmMessageError::BadPayload);
+                }
+                let mut ports = Vec::with_capacity(nports);
+                for i in 0..nports {
+                    let w = be32(off + 2 + 4 * i)?;
+                    // Port blocks carry 4 words on the wire in PI-4, but
+                    // only word 0 holds data; FM exchange sends word 0.
+                    let block = [w, 0, 0, 0];
+                    ports.push(
+                        PortInfo::from_words(&block).ok_or(FmMessageError::BadPayload)?,
+                    );
+                }
+                Ok((
+                    FmMessage::Device { info, ports },
+                    off + 2 + 4 * nports,
+                ))
+            }
+            OP_LINK => {
+                let a = (be64(1)?, *take(9, 1)?.first().unwrap());
+                let b = (be64(10)?, *take(18, 1)?.first().unwrap());
+                Ok((FmMessage::Link { a, b }, 19))
+            }
+            OP_COMPLETE => {
+                let sender = be64(1)?;
+                let devices = be32(9)?;
+                let links = be32(13)?;
+                Ok((
+                    FmMessage::Complete {
+                        sender,
+                        devices,
+                        links,
+                    },
+                    17,
+                ))
+            }
+            other => Err(FmMessageError::BadOpcode(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DeviceType, PortState};
+
+    fn round_trip(msg: FmMessage) {
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(buf.len(), msg.wire_size(), "wire size for {msg:?}");
+        let (decoded, used) = FmMessage::decode(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        round_trip(FmMessage::Hello {
+            sender: 0xDEAD_BEEF_0123,
+            priority: 200,
+        });
+    }
+
+    #[test]
+    fn device_round_trips() {
+        round_trip(FmMessage::Device {
+            info: DeviceInfo {
+                device_type: DeviceType::Switch,
+                dsn: 42,
+                port_count: 16,
+                max_packet_size: 2048,
+                fm_capable: false,
+                fm_priority: 0,
+            },
+            ports: (0..16)
+                .map(|i| PortInfo {
+                    state: if i < 5 { PortState::Active } else { PortState::Down },
+                    link_width: 1,
+                    link_speed: 10,
+                    peer_port: i,
+                })
+                .collect(),
+        });
+    }
+
+    #[test]
+    fn link_and_complete_round_trip() {
+        round_trip(FmMessage::Link {
+            a: (7, 3),
+            b: (9, 12),
+        });
+        round_trip(FmMessage::Complete {
+            sender: 5,
+            devices: 100,
+            links: 212,
+        });
+    }
+
+    #[test]
+    fn rejects_bad_opcode_and_truncation() {
+        assert_eq!(
+            FmMessage::decode(&[0xFF]),
+            Err(FmMessageError::BadOpcode(0xFF))
+        );
+        let mut buf = Vec::new();
+        FmMessage::Link {
+            a: (1, 1),
+            b: (2, 2),
+        }
+        .encode(&mut buf);
+        for cut in 0..buf.len() {
+            assert!(FmMessage::decode(&buf[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn rejects_garbled_device_info() {
+        let msg = FmMessage::Device {
+            info: DeviceInfo {
+                device_type: DeviceType::Endpoint,
+                dsn: 1,
+                port_count: 1,
+                max_packet_size: 512,
+                fm_capable: true,
+                fm_priority: 1,
+            },
+            ports: vec![PortInfo::default()],
+        };
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        buf[1] = 0; // clobber device type
+        assert_eq!(FmMessage::decode(&buf), Err(FmMessageError::BadPayload));
+    }
+}

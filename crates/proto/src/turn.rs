@@ -1,0 +1,544 @@
+//! The ASI turn pool: source-routing state carried in every unicast packet.
+//!
+//! ASI switches do not hold unicast forwarding tables. The source endpoint
+//! writes a sequence of *turns* into the packet header; each switch on the
+//! path consumes one turn to pick its output port:
+//!
+//! - forward (`D = 0`): the turn pointer starts at the total number of turn
+//!   bits and moves *down*; a switch with turn width `w` reads the `w` bits
+//!   below the pointer and exits at `(ingress + 1 + turn) mod ports`;
+//! - backward (`D = 1`): the pointer starts at 0 and moves *up*; the switch
+//!   exits at `(ingress - 1 - turn) mod ports`.
+//!
+//! This arithmetic makes any forward path exactly reversible: a device that
+//! answers a request copies the turn pool, flips `D`, and resets the
+//! pointer — the completion retraces the request's path (as the PI-4
+//! protocol requires).
+//!
+//! The specification allots **31 bits** to the pool (and our strict mode
+//! enforces that), but several of the paper's topologies need longer paths
+//! (an 8×8 mesh corner-to-corner crosses 14 switches × 4 bits = 56 bits),
+//! so the pool also supports an extended capacity. See DESIGN.md §2.
+
+use core::fmt;
+
+/// Maximum pool size in strict (specification) mode.
+pub const SPEC_POOL_BITS: u16 = 31;
+
+/// Maximum pool size in extended mode (4 × 64-bit words).
+pub const MAX_POOL_BITS: u16 = 256;
+
+/// Errors raised while building or consuming a turn pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TurnError {
+    /// The encoded path needs more turn bits than the pool's capacity.
+    PoolOverflow {
+        /// Bits the path requires.
+        needed: u16,
+        /// Bits available.
+        capacity: u16,
+    },
+    /// A read walked past the end of the recorded turns (path longer than
+    /// the pool contents, i.e. a routing loop or corrupted pointer).
+    PointerOutOfRange,
+    /// A turn value does not fit the stated width.
+    TurnTooWide {
+        /// The turn value.
+        turn: u8,
+        /// Bit width it must fit in.
+        width: u8,
+    },
+    /// Zero-width turns are meaningless (switches have ≥ 2 ports).
+    ZeroWidth,
+}
+
+impl fmt::Display for TurnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TurnError::PoolOverflow { needed, capacity } => write!(
+                f,
+                "turn pool overflow: path needs {needed} bits, pool holds {capacity}"
+            ),
+            TurnError::PointerOutOfRange => write!(f, "turn pointer out of range"),
+            TurnError::TurnTooWide { turn, width } => {
+                write!(f, "turn value {turn} does not fit in {width} bits")
+            }
+            TurnError::ZeroWidth => write!(f, "zero-width turn"),
+        }
+    }
+}
+
+impl std::error::Error for TurnError {}
+
+/// A packed sequence of turns plus its total bit length.
+///
+/// Bit layout: the turn for the *first* switch on the path occupies the most
+/// significant recorded bits; the last switch's turn sits at bit offset 0.
+/// This matches the pointer conventions above.
+///
+/// ```
+/// use asi_proto::{turn_for, turn_width, TurnPool, TurnCursor, Direction};
+///
+/// // Route through two 16-port switches: enter 3 leave 7, enter 0 leave 5.
+/// let mut pool = TurnPool::new_spec();
+/// pool.push_turn(turn_for(3, 7, 16), turn_width(16)).unwrap();
+/// pool.push_turn(turn_for(0, 5, 16), turn_width(16)).unwrap();
+///
+/// // A switch consumes its turn from the cursor:
+/// let cursor = TurnCursor::start(&pool, Direction::Forward);
+/// let (turn, cursor) = cursor.take_turn(&pool, 4).unwrap();
+/// assert_eq!(asi_proto::apply_forward(3, turn, 16), 7);
+/// let (turn, cursor) = cursor.take_turn(&pool, 4).unwrap();
+/// assert_eq!(asi_proto::apply_forward(0, turn, 16), 5);
+/// assert!(cursor.exhausted(&pool));
+/// ```
+#[derive(Clone)]
+pub struct TurnPool {
+    words: [u64; 4],
+    len: u16,
+    capacity: u16,
+}
+
+// Equality is over the recorded turns only: two pools with the same bits
+// route identically regardless of their remaining capacity.
+impl PartialEq for TurnPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.words == other.words && self.len == other.len
+    }
+}
+impl Eq for TurnPool {}
+
+impl std::hash::Hash for TurnPool {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.words.hash(state);
+        self.len.hash(state);
+    }
+}
+
+impl TurnPool {
+    /// Empty pool with the specification's 31-bit capacity.
+    pub fn new_spec() -> Self {
+        Self::with_capacity(SPEC_POOL_BITS)
+    }
+
+    /// Empty pool with a caller-chosen capacity (≤ [`MAX_POOL_BITS`]).
+    pub fn with_capacity(capacity: u16) -> Self {
+        assert!(
+            capacity <= MAX_POOL_BITS,
+            "turn pool capacity {capacity} exceeds {MAX_POOL_BITS}"
+        );
+        TurnPool {
+            words: [0; 4],
+            len: 0,
+            capacity,
+        }
+    }
+
+    /// Total recorded turn bits (initial forward pointer value).
+    pub fn len_bits(&self) -> u16 {
+        self.len
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> u16 {
+        self.capacity
+    }
+
+    /// True if no turns are recorded (the destination is directly attached).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True if the pool fits the 31-bit specification field.
+    pub fn is_spec_compliant(&self) -> bool {
+        self.len <= SPEC_POOL_BITS
+    }
+
+    /// Raw little-endian words backing the pool (for serialization).
+    pub fn words(&self) -> &[u64; 4] {
+        &self.words
+    }
+
+    /// Rebuilds a pool from raw words and a bit length (deserialization).
+    pub fn from_words(words: [u64; 4], len: u16, capacity: u16) -> Result<Self, TurnError> {
+        if len > capacity || capacity > MAX_POOL_BITS {
+            return Err(TurnError::PoolOverflow {
+                needed: len,
+                capacity,
+            });
+        }
+        let mut pool = TurnPool {
+            words,
+            len,
+            capacity,
+        };
+        pool.mask_tail();
+        Ok(pool)
+    }
+
+    /// Appends the next switch's turn. Turns are appended in path order
+    /// (first switch first); earlier turns shift toward the MSB side.
+    pub fn push_turn(&mut self, turn: u8, width: u8) -> Result<(), TurnError> {
+        if width == 0 {
+            return Err(TurnError::ZeroWidth);
+        }
+        if u16::from(turn) >= (1u16 << width.min(15)) {
+            return Err(TurnError::TurnTooWide { turn, width });
+        }
+        let new_len = self.len + u16::from(width);
+        if new_len > self.capacity {
+            return Err(TurnError::PoolOverflow {
+                needed: new_len,
+                capacity: self.capacity,
+            });
+        }
+        // Shift everything up by `width` bits, then drop the new turn into
+        // the freed least-significant bits.
+        self.shift_left(width);
+        self.words[0] |= u64::from(turn);
+        self.len = new_len;
+        Ok(())
+    }
+
+    /// Reads `width` bits at absolute bit offset `offset` (0 = LSB).
+    fn read_bits(&self, offset: u16, width: u8) -> u8 {
+        let mut v: u64 = 0;
+        for b in (0..width).rev() {
+            let bit = offset + u16::from(b);
+            let w = (bit / 64) as usize;
+            let i = bit % 64;
+            v = (v << 1) | ((self.words[w] >> i) & 1);
+        }
+        v as u8
+    }
+
+    fn shift_left(&mut self, by: u8) {
+        let by = u32::from(by);
+        let mut carry: u64 = 0;
+        for w in self.words.iter_mut() {
+            let new_carry = if by == 0 { 0 } else { *w >> (64 - by) };
+            *w = (*w << by) | carry;
+            carry = new_carry;
+        }
+    }
+
+    fn mask_tail(&mut self) {
+        for bit in u32::from(self.len)..256 {
+            let w = (bit / 64) as usize;
+            let i = bit % 64;
+            self.words[w] &= !(1u64 << i);
+        }
+    }
+}
+
+impl fmt::Debug for TurnPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TurnPool[{} bits: ", self.len)?;
+        for bit in (0..self.len).rev() {
+            let v = self.read_bits(bit, 1);
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Routing direction flag (the `D` bit in the routing header).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Direction {
+    /// Source → destination: the pointer descends from `len_bits`.
+    #[default]
+    Forward,
+    /// Destination → source (completions): the pointer ascends from 0.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reversed(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// A cursor over a [`TurnPool`]: the turn pointer plus direction, i.e. the
+/// mutable routing state a switch updates as the packet traverses it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TurnCursor {
+    /// Current turn-pointer value, in bits.
+    pub pointer: u16,
+    /// Traversal direction.
+    pub direction: Direction,
+}
+
+impl TurnCursor {
+    /// Initial cursor for a freshly injected packet over `pool`.
+    pub fn start(pool: &TurnPool, direction: Direction) -> TurnCursor {
+        match direction {
+            Direction::Forward => TurnCursor {
+                pointer: pool.len_bits(),
+                direction,
+            },
+            Direction::Backward => TurnCursor {
+                pointer: 0,
+                direction,
+            },
+        }
+    }
+
+    /// Consumes one turn of `width` bits, returning the turn value and the
+    /// advanced cursor.
+    pub fn take_turn(self, pool: &TurnPool, width: u8) -> Result<(u8, TurnCursor), TurnError> {
+        if width == 0 {
+            return Err(TurnError::ZeroWidth);
+        }
+        match self.direction {
+            Direction::Forward => {
+                if self.pointer < u16::from(width) {
+                    return Err(TurnError::PointerOutOfRange);
+                }
+                let ptr = self.pointer - u16::from(width);
+                Ok((
+                    pool.read_bits(ptr, width),
+                    TurnCursor {
+                        pointer: ptr,
+                        direction: self.direction,
+                    },
+                ))
+            }
+            Direction::Backward => {
+                let end = self.pointer + u16::from(width);
+                if end > pool.len_bits() {
+                    return Err(TurnError::PointerOutOfRange);
+                }
+                let turn = pool.read_bits(self.pointer, width);
+                Ok((
+                    turn,
+                    TurnCursor {
+                        pointer: end,
+                        direction: self.direction,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// True once every recorded turn has been consumed.
+    pub fn exhausted(self, pool: &TurnPool) -> bool {
+        match self.direction {
+            Direction::Forward => self.pointer == 0,
+            Direction::Backward => self.pointer == pool.len_bits(),
+        }
+    }
+}
+
+/// Computes the turn value a switch must read so that a packet entering at
+/// `ingress` leaves at `egress` (forward direction), given `ports` ports.
+pub fn turn_for(ingress: u8, egress: u8, ports: u8) -> u8 {
+    debug_assert!(ingress < ports && egress < ports && ingress != egress);
+    (egress + ports - ingress - 1) % ports
+}
+
+/// Applies a turn in the forward direction: the egress port.
+pub fn apply_forward(ingress: u8, turn: u8, ports: u8) -> u8 {
+    ((u16::from(ingress) + 1 + u16::from(turn)) % u16::from(ports)) as u8
+}
+
+/// Applies a turn in the backward direction: the egress port.
+pub fn apply_backward(ingress: u8, turn: u8, ports: u8) -> u8 {
+    ((u16::from(ingress) + u16::from(ports) * 2 - 1 - u16::from(turn)) % u16::from(ports)) as u8
+}
+
+/// Bit width of the turn field for a switch with `ports` ports
+/// (`ceil(log2(ports))`, minimum 1).
+pub fn turn_width(ports: u8) -> u8 {
+    debug_assert!(ports >= 2, "a switch has at least 2 ports");
+    let w = 8 - (ports - 1).leading_zeros() as u8;
+    w.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn turn_width_matches_port_counts() {
+        assert_eq!(turn_width(2), 1);
+        assert_eq!(turn_width(3), 2);
+        assert_eq!(turn_width(4), 2);
+        assert_eq!(turn_width(5), 3);
+        assert_eq!(turn_width(8), 3);
+        assert_eq!(turn_width(9), 4);
+        assert_eq!(turn_width(16), 4);
+        assert_eq!(turn_width(17), 5);
+    }
+
+    #[test]
+    fn forward_turn_arithmetic() {
+        // 16-port switch, enter at 3, leave at 7: turn = 3.
+        assert_eq!(turn_for(3, 7, 16), 3);
+        assert_eq!(apply_forward(3, 3, 16), 7);
+        // Wrap-around.
+        assert_eq!(turn_for(15, 0, 16), 0);
+        assert_eq!(apply_forward(15, 0, 16), 0);
+    }
+
+    #[test]
+    fn backward_inverts_forward() {
+        for ports in [2u8, 3, 4, 8, 16] {
+            for ingress in 0..ports {
+                for egress in 0..ports {
+                    if ingress == egress {
+                        continue;
+                    }
+                    let t = turn_for(ingress, egress, ports);
+                    assert_eq!(apply_forward(ingress, t, ports), egress);
+                    // Response enters where the request left.
+                    assert_eq!(apply_backward(egress, t, ports), ingress);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn push_and_walk_forward() {
+        let mut pool = TurnPool::new_spec();
+        // Path through 3 switches: 16-port (w=4), 16-port, 4-port (w=2).
+        pool.push_turn(5, 4).unwrap();
+        pool.push_turn(11, 4).unwrap();
+        pool.push_turn(2, 2).unwrap();
+        assert_eq!(pool.len_bits(), 10);
+
+        let c = TurnCursor::start(&pool, Direction::Forward);
+        let (t1, c) = c.take_turn(&pool, 4).unwrap();
+        assert_eq!(t1, 5);
+        let (t2, c) = c.take_turn(&pool, 4).unwrap();
+        assert_eq!(t2, 11);
+        let (t3, c) = c.take_turn(&pool, 2).unwrap();
+        assert_eq!(t3, 2);
+        assert!(c.exhausted(&pool));
+    }
+
+    #[test]
+    fn walk_backward_reverses_order() {
+        let mut pool = TurnPool::new_spec();
+        pool.push_turn(5, 4).unwrap();
+        pool.push_turn(11, 4).unwrap();
+        pool.push_turn(2, 2).unwrap();
+
+        let c = TurnCursor::start(&pool, Direction::Backward);
+        // Backward visits the last switch first.
+        let (t, c) = c.take_turn(&pool, 2).unwrap();
+        assert_eq!(t, 2);
+        let (t, c) = c.take_turn(&pool, 4).unwrap();
+        assert_eq!(t, 11);
+        let (t, c) = c.take_turn(&pool, 4).unwrap();
+        assert_eq!(t, 5);
+        assert!(c.exhausted(&pool));
+    }
+
+    #[test]
+    fn spec_pool_overflows_at_31_bits() {
+        let mut pool = TurnPool::new_spec();
+        for _ in 0..7 {
+            pool.push_turn(0xF, 4).unwrap(); // 28 bits
+        }
+        assert_eq!(
+            pool.push_turn(1, 4),
+            Err(TurnError::PoolOverflow {
+                needed: 32,
+                capacity: 31
+            })
+        );
+        // But a 3-bit turn still fits.
+        pool.push_turn(7, 3).unwrap();
+        assert_eq!(pool.len_bits(), 31);
+    }
+
+    #[test]
+    fn extended_pool_takes_long_paths() {
+        let mut pool = TurnPool::with_capacity(MAX_POOL_BITS);
+        for i in 0..60 {
+            pool.push_turn((i % 16) as u8, 4).unwrap();
+        }
+        assert_eq!(pool.len_bits(), 240);
+        assert!(!pool.is_spec_compliant());
+        let mut c = TurnCursor::start(&pool, Direction::Forward);
+        for i in 0..60 {
+            let (t, next) = c.take_turn(&pool, 4).unwrap();
+            assert_eq!(t, (i % 16) as u8);
+            c = next;
+        }
+        assert!(c.exhausted(&pool));
+    }
+
+    #[test]
+    fn empty_pool_cursor_is_exhausted() {
+        let pool = TurnPool::new_spec();
+        assert!(pool.is_empty());
+        let c = TurnCursor::start(&pool, Direction::Forward);
+        assert!(c.exhausted(&pool));
+        assert_eq!(
+            c.take_turn(&pool, 4),
+            Err(TurnError::PointerOutOfRange)
+        );
+    }
+
+    #[test]
+    fn reading_past_pool_is_error_backward_too() {
+        let mut pool = TurnPool::new_spec();
+        pool.push_turn(1, 2).unwrap();
+        let c = TurnCursor::start(&pool, Direction::Backward);
+        let (_, c) = c.take_turn(&pool, 2).unwrap();
+        assert_eq!(c.take_turn(&pool, 2), Err(TurnError::PointerOutOfRange));
+    }
+
+    #[test]
+    fn turn_too_wide_rejected() {
+        let mut pool = TurnPool::new_spec();
+        assert_eq!(
+            pool.push_turn(4, 2),
+            Err(TurnError::TurnTooWide { turn: 4, width: 2 })
+        );
+        assert_eq!(pool.push_turn(1, 0), Err(TurnError::ZeroWidth));
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let mut pool = TurnPool::with_capacity(64);
+        pool.push_turn(9, 4).unwrap();
+        pool.push_turn(3, 2).unwrap();
+        let rebuilt =
+            TurnPool::from_words(*pool.words(), pool.len_bits(), pool.capacity()).unwrap();
+        assert_eq!(rebuilt, pool);
+    }
+
+    #[test]
+    fn from_words_rejects_oversized_len() {
+        assert!(TurnPool::from_words([0; 4], 32, 31).is_err());
+        assert!(TurnPool::from_words([0; 4], 300, 300).is_err());
+    }
+
+    #[test]
+    fn from_words_masks_garbage_tail() {
+        // Garbage above `len` must not affect equality or reads.
+        let rebuilt = TurnPool::from_words([u64::MAX; 4], 4, 31).unwrap();
+        let mut clean = TurnPool::new_spec();
+        clean.push_turn(0xF, 4).unwrap();
+        assert_eq!(rebuilt, clean);
+    }
+
+    #[test]
+    fn direction_reversal() {
+        assert_eq!(Direction::Forward.reversed(), Direction::Backward);
+        assert_eq!(Direction::Backward.reversed(), Direction::Forward);
+    }
+
+    #[test]
+    fn debug_rendering_shows_bits() {
+        let mut pool = TurnPool::new_spec();
+        pool.push_turn(0b101, 3).unwrap();
+        assert_eq!(format!("{pool:?}"), "TurnPool[3 bits: 101]");
+    }
+}

@@ -1,0 +1,231 @@
+//! Virtual channels and traffic-class mapping.
+//!
+//! ASI defines three VC families: unicast **bypassable** (BVC, an ordered
+//! queue plus a bypass queue), unicast **ordered** (OVC), and **multicast**
+//! (MVC). A packet's traffic class (TC, set by the source) is looked up in
+//! a per-port TC/VC mapping table to select the VC it occupies at each hop.
+//! Management packets ride the highest TC, which the paper relies on for
+//! its "application traffic scarcely influences discovery" observation.
+
+/// The three VC families.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VcKind {
+    /// Unicast bypassable: ordered queue + bypass queue.
+    Bypassable,
+    /// Unicast ordered.
+    Ordered,
+    /// Multicast.
+    Multicast,
+}
+
+/// A virtual channel: family plus index within the family.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VcId {
+    /// Which family.
+    pub kind: VcKind,
+    /// Index within the family.
+    pub index: u8,
+}
+
+impl VcId {
+    /// Ordered VC `i`.
+    pub const fn ovc(index: u8) -> VcId {
+        VcId {
+            kind: VcKind::Ordered,
+            index,
+        }
+    }
+
+    /// Bypassable VC `i`.
+    pub const fn bvc(index: u8) -> VcId {
+        VcId {
+            kind: VcKind::Bypassable,
+            index,
+        }
+    }
+
+    /// Multicast VC `i`.
+    pub const fn mvc(index: u8) -> VcId {
+        VcId {
+            kind: VcKind::Multicast,
+            index,
+        }
+    }
+
+    /// A dense index for table lookups given a [`VcConfig`].
+    pub fn flat_index(self, cfg: &VcConfig) -> usize {
+        match self.kind {
+            VcKind::Bypassable => usize::from(self.index),
+            VcKind::Ordered => usize::from(cfg.bvcs) + usize::from(self.index),
+            VcKind::Multicast => {
+                usize::from(cfg.bvcs) + usize::from(cfg.ovcs) + usize::from(self.index)
+            }
+        }
+    }
+}
+
+/// How many VCs of each family a port implements.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct VcConfig {
+    /// Bypassable unicast VCs.
+    pub bvcs: u8,
+    /// Ordered unicast VCs.
+    pub ovcs: u8,
+    /// Multicast VCs.
+    pub mvcs: u8,
+}
+
+impl VcConfig {
+    /// The model's default: one BVC for bulk data, one OVC reserved for
+    /// management, one MVC.
+    pub const DEFAULT: VcConfig = VcConfig {
+        bvcs: 1,
+        ovcs: 1,
+        mvcs: 1,
+    };
+
+    /// Total VC count.
+    pub fn total(&self) -> usize {
+        usize::from(self.bvcs) + usize::from(self.ovcs) + usize::from(self.mvcs)
+    }
+
+    /// Enumerates every VC this configuration implements.
+    pub fn all(&self) -> Vec<VcId> {
+        let mut v = Vec::with_capacity(self.total());
+        for i in 0..self.bvcs {
+            v.push(VcId::bvc(i));
+        }
+        for i in 0..self.ovcs {
+            v.push(VcId::ovc(i));
+        }
+        for i in 0..self.mvcs {
+            v.push(VcId::mvc(i));
+        }
+        v
+    }
+}
+
+/// The management traffic class (highest priority).
+pub const MANAGEMENT_TC: u8 = 7;
+
+/// Fixed TC → VC mapping table (8 traffic classes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TcVcMap {
+    map: [VcId; 8],
+}
+
+impl TcVcMap {
+    /// The model's default map: TC 7 (management) → OVC 0; everything else
+    /// → BVC 0.
+    pub fn default_map() -> TcVcMap {
+        let mut map = [VcId::bvc(0); 8];
+        map[usize::from(MANAGEMENT_TC)] = VcId::ovc(0);
+        TcVcMap { map }
+    }
+
+    /// Builds a custom map, validating every target against `cfg`.
+    pub fn new(map: [VcId; 8], cfg: &VcConfig) -> Result<TcVcMap, TcMapError> {
+        for (tc, vc) in map.iter().enumerate() {
+            let in_range = match vc.kind {
+                VcKind::Bypassable => vc.index < cfg.bvcs,
+                VcKind::Ordered => vc.index < cfg.ovcs,
+                VcKind::Multicast => vc.index < cfg.mvcs,
+            };
+            if !in_range {
+                return Err(TcMapError {
+                    tc: tc as u8,
+                    vc: *vc,
+                });
+            }
+        }
+        Ok(TcVcMap { map })
+    }
+
+    /// The VC packets of class `tc` occupy.
+    pub fn vc_for(&self, tc: u8) -> VcId {
+        self.map[usize::from(tc & 0x7)]
+    }
+}
+
+/// A TC points at a VC the port does not implement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TcMapError {
+    /// Offending traffic class.
+    pub tc: u8,
+    /// The out-of-range VC.
+    pub vc: VcId,
+}
+
+impl core::fmt::Display for TcMapError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "TC {} maps to unimplemented VC {:?}", self.tc, self.vc)
+    }
+}
+
+impl std::error::Error for TcMapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_map_sends_management_to_ovc() {
+        let map = TcVcMap::default_map();
+        assert_eq!(map.vc_for(MANAGEMENT_TC), VcId::ovc(0));
+        for tc in 0..7 {
+            assert_eq!(map.vc_for(tc), VcId::bvc(0));
+        }
+    }
+
+    #[test]
+    fn tc_lookup_masks_to_three_bits() {
+        let map = TcVcMap::default_map();
+        assert_eq!(map.vc_for(15), map.vc_for(7));
+        assert_eq!(map.vc_for(8), map.vc_for(0));
+    }
+
+    #[test]
+    fn flat_index_is_dense_and_unique() {
+        let cfg = VcConfig {
+            bvcs: 2,
+            ovcs: 2,
+            mvcs: 1,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for vc in cfg.all() {
+            let idx = vc.flat_index(&cfg);
+            assert!(idx < cfg.total());
+            assert!(seen.insert(idx), "duplicate flat index {idx}");
+        }
+        assert_eq!(seen.len(), cfg.total());
+    }
+
+    #[test]
+    fn default_config_totals() {
+        assert_eq!(VcConfig::DEFAULT.total(), 3);
+        assert_eq!(VcConfig::DEFAULT.all().len(), 3);
+    }
+
+    #[test]
+    fn custom_map_validates_against_config() {
+        let cfg = VcConfig {
+            bvcs: 1,
+            ovcs: 1,
+            mvcs: 0,
+        };
+        let bad = [VcId::mvc(0); 8];
+        let err = TcVcMap::new(bad, &cfg).unwrap_err();
+        assert_eq!(err.tc, 0);
+        assert_eq!(err.vc, VcId::mvc(0));
+
+        let good = TcVcMap::new([VcId::bvc(0); 8], &cfg);
+        assert!(good.is_ok());
+    }
+
+    #[test]
+    fn default_map_is_valid_for_default_config() {
+        let map = TcVcMap::default_map();
+        let rebuilt = TcVcMap::new(map.map, &VcConfig::DEFAULT).unwrap();
+        assert_eq!(rebuilt, map);
+    }
+}

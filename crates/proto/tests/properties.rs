@@ -1,0 +1,167 @@
+//! Property-based tests for the ASI wire formats.
+
+use asi_proto::{
+    apply_backward, apply_forward, turn_for, turn_width, CapabilityAddr, Direction, Packet,
+    Payload, Pi4, Pi5, PortEvent, ProtocolInterface, RouteHeader, TurnCursor, TurnPool,
+    MAX_POOL_BITS,
+};
+use proptest::prelude::*;
+
+/// Strategy: a random path as (ingress, egress, ports) hops.
+fn hops() -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec(
+        (2u8..=16).prop_flat_map(|ports| {
+            (0..ports, 0..ports, Just(ports)).prop_filter("distinct", |(i, e, _)| i != e)
+        }),
+        0..30,
+    )
+}
+
+proptest! {
+    /// Encoding a path into the turn pool and walking it forward recovers
+    /// exactly the intended egress ports; walking it backward retraces the
+    /// ingress ports in reverse.
+    #[test]
+    fn turn_pool_forward_backward_inverse(path in hops()) {
+        let mut pool = TurnPool::with_capacity(MAX_POOL_BITS);
+        for &(ingress, egress, ports) in &path {
+            let t = turn_for(ingress, egress, ports);
+            pool.push_turn(t, turn_width(ports)).unwrap();
+        }
+
+        // Forward traversal.
+        let mut c = TurnCursor::start(&pool, Direction::Forward);
+        for &(ingress, egress, ports) in &path {
+            let (t, next) = c.take_turn(&pool, turn_width(ports)).unwrap();
+            prop_assert_eq!(apply_forward(ingress, t, ports), egress);
+            c = next;
+        }
+        prop_assert!(c.exhausted(&pool));
+
+        // Backward traversal: enter each switch at its forward egress and
+        // leave at its forward ingress, in reverse path order.
+        let mut c = TurnCursor::start(&pool, Direction::Backward);
+        for &(ingress, egress, ports) in path.iter().rev() {
+            let (t, next) = c.take_turn(&pool, turn_width(ports)).unwrap();
+            prop_assert_eq!(apply_backward(egress, t, ports), ingress);
+            c = next;
+        }
+        prop_assert!(c.exhausted(&pool));
+    }
+
+    /// turn_for / apply_forward are mutually inverse for all port pairs.
+    #[test]
+    fn turn_arithmetic_inverse(ports in 2u8..=32, ingress in 0u8..32, egress in 0u8..32) {
+        prop_assume!(ingress < ports && egress < ports && ingress != egress);
+        let t = turn_for(ingress, egress, ports);
+        prop_assert!(u16::from(t) < u16::from(ports));
+        prop_assert_eq!(apply_forward(ingress, t, ports), egress);
+        prop_assert_eq!(apply_backward(egress, t, ports), ingress);
+    }
+
+    /// Route headers round-trip for arbitrary field combinations.
+    #[test]
+    fn header_round_trip(
+        tc in 0u8..8,
+        oo in any::<bool>(),
+        ts in any::<bool>(),
+        credits in 0u8..32,
+        backward in any::<bool>(),
+        path in hops(),
+    ) {
+        let mut pool = TurnPool::with_capacity(MAX_POOL_BITS);
+        for &(ingress, egress, ports) in &path {
+            pool.push_turn(turn_for(ingress, egress, ports), turn_width(ports)).unwrap();
+        }
+        let mut hdr = RouteHeader::forward(ProtocolInterface::DeviceManagement, tc, pool);
+        hdr.oo = oo;
+        hdr.ts = ts;
+        hdr.credits_required = credits;
+        if backward {
+            hdr = hdr.reply(ProtocolInterface::DeviceManagement);
+        }
+        prop_assume!(hdr.turn_pointer <= 0xFF); // 8-bit pointer field
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        let (decoded, used) = RouteHeader::decode(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, hdr);
+    }
+
+    /// Single-bit corruption of the first header DWORDs never decodes
+    /// silently into a different valid header.
+    #[test]
+    fn header_corruption_detected(bit in 0usize..59, path in hops()) {
+        let mut pool = TurnPool::with_capacity(MAX_POOL_BITS);
+        for &(i, e, p) in &path {
+            pool.push_turn(turn_for(i, e, p), turn_width(p)).unwrap();
+        }
+        let hdr = RouteHeader::forward(ProtocolInterface::EventReporting, 7, pool);
+        let mut buf = Vec::new();
+        hdr.encode(&mut buf);
+        buf[bit / 8] ^= 1 << (7 - (bit % 8));
+        match RouteHeader::decode(&buf) {
+            Err(_) => {}
+            Ok((decoded, _)) => prop_assert_ne!(decoded, hdr, "corruption undetected"),
+        }
+    }
+
+    /// PI-4 PDUs round-trip for arbitrary contents.
+    #[test]
+    fn pi4_round_trip(
+        req_id in any::<u32>(),
+        capability in 0u16..4,
+        offset in any::<u16>(),
+        n in 1usize..=8,
+        write in any::<bool>(),
+    ) {
+        let addr = CapabilityAddr { capability, offset };
+        let pdu = if write {
+            Pi4::WriteRequest {
+                req_id,
+                addr,
+                data: (0..n as u32).collect(),
+            }
+        } else {
+            Pi4::ReadRequest { req_id, addr, dwords: n as u8 }
+        };
+        let mut buf = Vec::new();
+        pdu.encode(&mut buf);
+        let (decoded, used) = Pi4::decode(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, pdu);
+    }
+
+    /// Complete packets round-trip, and wire size always matches the
+    /// encoded length.
+    #[test]
+    fn packet_round_trip(
+        req_id in any::<u32>(),
+        n in 1usize..=8,
+        kind in 0u8..3,
+        path in hops(),
+    ) {
+        let mut pool = TurnPool::with_capacity(MAX_POOL_BITS);
+        for &(i, e, p) in &path {
+            pool.push_turn(turn_for(i, e, p), turn_width(p)).unwrap();
+        }
+        let hdr = RouteHeader::forward(ProtocolInterface::DeviceManagement, 7, pool);
+        let payload = match kind {
+            0 => Payload::Pi4(Pi4::ReadCompletion {
+                req_id,
+                data: (0..n as u32).collect(),
+            }),
+            1 => Payload::Pi5(Pi5 {
+                reporter_dsn: u64::from(req_id),
+                port: (n - 1) as u8,
+                event: PortEvent::PortUp,
+                sequence: req_id,
+            }),
+            _ => Payload::Data { len: (n * 37) as u16 },
+        };
+        let pkt = Packet::new(hdr, payload);
+        let bytes = pkt.encode();
+        prop_assert_eq!(bytes.len(), pkt.wire_size());
+        prop_assert_eq!(Packet::decode(&bytes).unwrap(), pkt);
+    }
+}

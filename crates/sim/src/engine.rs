@@ -1,0 +1,307 @@
+//! The simulation engine: a clock plus the pending-event queue.
+//!
+//! The engine is generic over the event payload `E`; the caller owns the
+//! dispatch loop, which keeps borrows simple and lets the fabric model hold
+//! all mutable state outside the engine:
+//!
+//! ```
+//! use asi_sim::{Simulator, SimDuration};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping(u32) }
+//!
+//! let mut sim = Simulator::new();
+//! sim.schedule_after(SimDuration::from_ns(10), Ev::Ping(1));
+//! let mut seen = vec![];
+//! while let Some(fired) = sim.next_event() {
+//!     seen.push(fired.event);
+//! }
+//! assert_eq!(seen, vec![Ev::Ping(1)]);
+//! ```
+
+use crate::queue::{EventId, EventQueue};
+use crate::time::{SimDuration, SimTime};
+
+/// An event popped from the queue, stamped with its firing time.
+#[derive(Debug)]
+pub struct Fired<E> {
+    /// The instant the event fires (now equal to `Simulator::now`).
+    pub time: SimTime,
+    /// The handle it was scheduled under.
+    pub id: EventId,
+    /// The payload.
+    pub event: E,
+}
+
+/// Discrete-event simulation engine.
+///
+/// Invariants:
+/// - `now()` is monotonically non-decreasing.
+/// - events fire in `(time, schedule order)` order, so runs are
+///   deterministic.
+/// - scheduling in the past (before `now()`) is a logic error and panics in
+///   debug builds; in release it fires immediately at `now()`.
+pub struct Simulator<E> {
+    queue: EventQueue<E>,
+    now: SimTime,
+    processed: u64,
+    /// Hard cap on processed events; guards against accidental event storms
+    /// in tests. `u64::MAX` by default.
+    event_limit: u64,
+}
+
+impl<E> Default for Simulator<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulator<E> {
+    /// Creates an engine at time zero.
+    pub fn new() -> Self {
+        Simulator {
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            event_limit: u64::MAX,
+        }
+    }
+
+    /// Creates an engine with a pre-reserved event-queue capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Simulator {
+            queue: EventQueue::with_capacity(cap),
+            ..Simulator::new()
+        }
+    }
+
+    /// Sets a hard cap on the number of events that [`Self::next_event`]
+    /// will return; exceeding it panics. Useful to fail fast on runaway
+    /// feedback loops in tests.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if nothing is scheduled.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Debug builds panic if `at < now()`.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) -> EventId {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: at={at:?} now={:?}",
+            self.now
+        );
+        let at = at.max(self.now);
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) -> EventId {
+        let at = self
+            .now
+            .checked_add(delay)
+            .expect("SimTime overflow while scheduling");
+        self.queue.push(at, event)
+    }
+
+    /// Schedules `event` to fire immediately (at `now()`, after any events
+    /// already scheduled for `now()`).
+    pub fn schedule_now(&mut self, event: E) -> EventId {
+        self.queue.push(self.now, event)
+    }
+
+    /// Cancels a pending event. Returns `true` if it had not yet fired.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// True if `id` is still pending.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.queue.is_pending(id)
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Pops the next event and advances the clock to its firing time.
+    pub fn next_event(&mut self) -> Option<Fired<E>> {
+        let (time, id, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "event queue went backwards");
+        self.now = time;
+        self.processed += 1;
+        assert!(
+            self.processed <= self.event_limit,
+            "simulation exceeded event limit of {} events",
+            self.event_limit
+        );
+        Some(Fired { time, id, event })
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    /// If the next event is later (or none exists), the clock advances to
+    /// `deadline` and `None` is returned.
+    pub fn next_event_until(&mut self, deadline: SimTime) -> Option<Fired<E>> {
+        match self.queue.peek_time() {
+            Some(t) if t <= deadline => self.next_event(),
+            _ => {
+                if deadline > self.now {
+                    self.now = deadline;
+                }
+                None
+            }
+        }
+    }
+
+    /// Advances the clock without processing events (e.g. to model a dead
+    /// period). Panics in debug builds if events would be skipped.
+    pub fn advance_to(&mut self, at: SimTime) {
+        debug_assert!(
+            self.queue.peek_time().is_none_or(|t| t >= at),
+            "advance_to would skip pending events"
+        );
+        if at > self.now {
+            self.now = at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_ns(10), "a");
+        sim.schedule_at(SimTime::from_ns(5), "b");
+        let f = sim.next_event().unwrap();
+        assert_eq!(f.event, "b");
+        assert_eq!(sim.now(), SimTime::from_ns(5));
+        let f = sim.next_event().unwrap();
+        assert_eq!(f.event, "a");
+        assert_eq!(sim.now(), SimTime::from_ns(10));
+        assert!(sim.next_event().is_none());
+        assert_eq!(sim.events_processed(), 2);
+    }
+
+    #[test]
+    fn schedule_after_is_relative() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_ns(100), ());
+        sim.next_event();
+        sim.schedule_after(SimDuration::from_ns(50), ());
+        let f = sim.next_event().unwrap();
+        assert_eq!(f.time, SimTime::from_ns(150));
+    }
+
+    #[test]
+    fn schedule_now_fires_at_current_time() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_ns(7), 1);
+        sim.next_event();
+        sim.schedule_now(2);
+        let f = sim.next_event().unwrap();
+        assert_eq!(f.time, SimTime::from_ns(7));
+        assert_eq!(f.event, 2);
+    }
+
+    #[test]
+    fn same_time_events_fire_in_schedule_order() {
+        let mut sim = Simulator::new();
+        let t = SimTime::from_us(1);
+        for i in 0..10 {
+            sim.schedule_at(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(sim.next_event().unwrap().event, i);
+        }
+    }
+
+    #[test]
+    fn cancelled_events_never_fire() {
+        let mut sim = Simulator::new();
+        let id = sim.schedule_at(SimTime::from_ns(1), "x");
+        sim.schedule_at(SimTime::from_ns(2), "y");
+        assert!(sim.cancel(id));
+        assert!(!sim.is_pending(id));
+        assert_eq!(sim.next_event().unwrap().event, "y");
+        assert!(sim.next_event().is_none());
+    }
+
+    #[test]
+    fn next_event_until_respects_deadline() {
+        let mut sim = Simulator::new();
+        sim.schedule_at(SimTime::from_us(10), "late");
+        assert!(sim.next_event_until(SimTime::from_us(5)).is_none());
+        assert_eq!(sim.now(), SimTime::from_us(5));
+        // Event still pending and fires once the deadline passes it.
+        let f = sim.next_event_until(SimTime::from_us(20)).unwrap();
+        assert_eq!(f.event, "late");
+        assert_eq!(sim.now(), SimTime::from_us(10));
+    }
+
+    #[test]
+    fn next_event_until_with_empty_queue_advances_clock() {
+        let mut sim: Simulator<()> = Simulator::new();
+        assert!(sim.next_event_until(SimTime::from_ms(1)).is_none());
+        assert_eq!(sim.now(), SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn pending_and_idle_reflect_queue() {
+        let mut sim = Simulator::new();
+        assert!(sim.is_idle());
+        sim.schedule_after(SimDuration::from_ns(1), ());
+        assert_eq!(sim.pending(), 1);
+        assert!(!sim.is_idle());
+        sim.next_event();
+        assert!(sim.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_trips() {
+        let mut sim = Simulator::new();
+        sim.set_event_limit(2);
+        for _ in 0..3 {
+            sim.schedule_now(());
+        }
+        while sim.next_event().is_some() {}
+    }
+
+    #[test]
+    fn advance_to_moves_clock_forward_only() {
+        let mut sim: Simulator<()> = Simulator::new();
+        sim.advance_to(SimTime::from_us(3));
+        assert_eq!(sim.now(), SimTime::from_us(3));
+        sim.advance_to(SimTime::from_us(1));
+        assert_eq!(sim.now(), SimTime::from_us(3));
+    }
+}

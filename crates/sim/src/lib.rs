@@ -1,0 +1,32 @@
+//! `asi-sim` — discrete-event simulation kernel for the Advanced Switching
+//! reproduction.
+//!
+//! This crate replaces the OPNET Modeler substrate used by the paper with a
+//! small, deterministic discrete-event engine:
+//!
+//! - [`SimTime`]/[`SimDuration`] — picosecond-resolution simulated time;
+//! - [`Simulator`] — clock + cancellable pending-event queue with
+//!   deterministic `(time, schedule order)` event ordering;
+//! - [`SimRng`] — seedable xoshiro256** generator so every experiment is
+//!   reproducible from a single seed;
+//! - [`stats`] — online statistics, percentiles, histograms and time series
+//!   used by the measurement harness.
+//!
+//! The engine is deliberately generic: the ASI fabric model (crate
+//! `asi-fabric`) owns the event payload type and the dispatch loop.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod queue;
+mod rng;
+pub mod stats;
+mod time;
+
+pub use engine::{Fired, Simulator};
+pub use queue::{EventId, EventQueue};
+pub use rng::SimRng;
+pub use stats::{Histogram, OnlineStats, SampleSet, TimeSeries};
+pub use time::{
+    SimDuration, SimTime, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND,
+};

@@ -1,0 +1,250 @@
+//! A cancellable pending-event queue with deterministic ordering.
+//!
+//! Events are ordered by `(time, sequence number)`: two events scheduled for
+//! the same instant fire in the order they were scheduled, which makes every
+//! simulation run bit-for-bit reproducible regardless of heap internals.
+//! Cancellation is lazy: cancelled entries are skipped at pop time.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable to cancel it later.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl EventId {
+    /// Raw sequence number (monotonically increasing per queue).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+struct Entry<E> {
+    time: SimTime,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.id == other.id
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // (time, id) pair on top.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Priority queue of timestamped events with O(log n) push/pop and lazy
+/// cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Ids currently live in the heap (scheduled, not yet popped/cancelled).
+    pending: HashSet<EventId>,
+    next_id: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            pending: HashSet::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            pending: HashSet::with_capacity(cap),
+            next_id: 0,
+        }
+    }
+
+    /// Schedules `event` at `time`; returns a handle for cancellation.
+    pub fn push(&mut self, time: SimTime, event: E) -> EventId {
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        self.heap.push(Entry { time, id, event });
+        self.pending.insert(id);
+        id
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event was
+    /// still pending (i.e. not yet popped or cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.pending.remove(&id)
+    }
+
+    /// True if `id` is scheduled and not yet popped or cancelled.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.pending.contains(&id)
+    }
+
+    /// Earliest pending event's timestamp, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.skim();
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<(SimTime, EventId, E)> {
+        self.skim();
+        let entry = self.heap.pop()?;
+        self.pending.remove(&entry.id);
+        Some((entry.time, entry.id, entry.event))
+    }
+
+    /// Number of live (non-cancelled) pending events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn total_scheduled(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Discards cancelled entries sitting on top of the heap.
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.pending.contains(&top.id) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ps: u64) -> SimTime {
+        SimTime::from_ps(ps)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(t(30), "c");
+        q.push(t(10), "a");
+        q.push(t(20), "b");
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("a"));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("b"));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("c"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_schedule_order() {
+        let mut q = EventQueue::new();
+        q.push(t(5), 1);
+        q.push(t(5), 2);
+        q.push(t(5), 3);
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(2));
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some(3));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(2), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, _, e)| e), Some("b"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancel_twice_fails_second_time() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_popped_event_fails() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.pop();
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_noop() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        assert!(!q.cancel(EventId(42)));
+        assert!(!q.is_pending(EventId(42)));
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        q.push(t(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn is_pending_reflects_lifecycle() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), "a");
+        assert!(q.is_pending(a));
+        q.pop();
+        assert!(!q.is_pending(a));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(t(1), 1);
+        q.push(t(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn total_scheduled_counts_everything() {
+        let mut q = EventQueue::new();
+        for i in 0..5 {
+            q.push(t(i), i);
+        }
+        assert_eq!(q.total_scheduled(), 5);
+    }
+}

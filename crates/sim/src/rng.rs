@@ -1,0 +1,257 @@
+//! Deterministic pseudo-random number generation for simulations.
+//!
+//! Experiments must be reproducible from a single `u64` seed, independent of
+//! crate versions and platform, so the generator is implemented here:
+//! xoshiro256** seeded through SplitMix64 (the construction recommended by
+//! the xoshiro authors). It is not cryptographic; it is fast and has good
+//! statistical quality for simulation workloads.
+
+/// Deterministic xoshiro256** generator.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state; SplitMix64 cannot
+        // produce four zero outputs in a row, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        SimRng { s }
+    }
+
+    /// Derives an independent stream for a named sub-component, so each
+    /// fabric entity can own a generator without correlated draws.
+    pub fn fork(&mut self, stream: u64) -> SimRng {
+        let a = self.next_u64();
+        SimRng::new(a ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift method
+    /// (unbiased).
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut lo = m as u64;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "gen_range: lo > hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.gen_below(span + 1)
+    }
+
+    /// Uniform `usize` index in `[0, len)`.
+    pub fn gen_index(&mut self, len: usize) -> usize {
+        self.gen_below(len as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Exponentially distributed draw with the given mean (for Poisson
+    /// inter-arrival times in the background-traffic generator).
+    pub fn gen_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "gen_exp requires positive mean");
+        // Use 1-u to avoid ln(0).
+        -mean * (1.0 - self.gen_f64()).ln()
+    }
+
+    /// Chooses a uniformly random element of a slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> Option<&'a T> {
+        if items.is_empty() {
+            None
+        } else {
+            Some(&items[self.gen_index(items.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_index(i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should diverge, {same} collisions");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = SimRng::new(0);
+        let x = r.next_u64();
+        let y = r.next_u64();
+        assert_ne!(x, y);
+        assert_ne!(x, 0);
+    }
+
+    #[test]
+    fn gen_below_respects_bound() {
+        let mut r = SimRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX / 2] {
+            for _ in 0..50 {
+                assert!(r.gen_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gen_below_one_is_always_zero() {
+        let mut r = SimRng::new(9);
+        for _ in 0..20 {
+            assert_eq!(r.gen_below(1), 0);
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_bounds() {
+        let mut r = SimRng::new(11);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..2000 {
+            let v = r.gen_range(3, 6);
+            assert!((3..=6).contains(&v));
+            saw_lo |= v == 3;
+            saw_hi |= v == 6;
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut r = SimRng::new(13);
+        for _ in 0..1000 {
+            let v = r.gen_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_f64_roughly_uniform() {
+        let mut r = SimRng::new(17);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_exp_has_requested_mean() {
+        let mut r = SimRng::new(19);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| r.gen_exp(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::new(23);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+    }
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let mut r = SimRng::new(29);
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert_eq!(r.choose(&[5]), Some(&5));
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SimRng::new(31);
+        let mut a = root.fork(1);
+        let mut b = root.fork(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut r1 = SimRng::new(37);
+        let mut r2 = SimRng::new(37);
+        let mut f1 = r1.fork(9);
+        let mut f2 = r2.fork(9);
+        assert_eq!(f1.next_u64(), f2.next_u64());
+    }
+}

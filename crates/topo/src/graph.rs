@@ -1,0 +1,453 @@
+//! The fabric topology graph: devices, ports and links.
+//!
+//! This is the *ground truth* a generator produces and the simulator
+//! instantiates. The fabric manager never reads it directly — it must
+//! rediscover the same structure through PI-4 packets, and the test suite
+//! checks the discovered database against this graph.
+
+use asi_proto::DeviceType;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Index of a device within a [`Topology`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index as `usize`.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A device in the topology.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Switch or endpoint.
+    pub device_type: DeviceType,
+    /// Number of ports.
+    pub ports: u8,
+    /// Human-readable label ("sw(2,3)", "ep7", …) for traces and plots.
+    pub label: String,
+}
+
+/// One end of a link.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Attachment {
+    /// The device.
+    pub node: NodeId,
+    /// The port on that device.
+    pub port: u8,
+}
+
+/// A bidirectional link between two ports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Link {
+    /// One end.
+    pub a: Attachment,
+    /// The other end.
+    pub b: Attachment,
+}
+
+/// Errors building a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyError {
+    /// Port index outside the device's port count.
+    PortOutOfRange {
+        /// Offending attachment.
+        at: Attachment,
+        /// The device's port count.
+        ports: u8,
+    },
+    /// The port already has a link.
+    PortInUse(Attachment),
+    /// Self-loops are not allowed.
+    SelfLoop(NodeId),
+    /// Unknown node id.
+    UnknownNode(NodeId),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::PortOutOfRange { at, ports } => write!(
+                f,
+                "port {} out of range on {} ({} ports)",
+                at.port, at.node, ports
+            ),
+            TopologyError::PortInUse(at) => {
+                write!(f, "port {} on {} already linked", at.port, at.node)
+            }
+            TopologyError::SelfLoop(n) => write!(f, "self-loop on {n}"),
+            TopologyError::UnknownNode(n) => write!(f, "unknown node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An immutable-after-build fabric topology.
+#[derive(Clone, Debug, Default)]
+pub struct Topology {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// `peer[node][port] -> Option<(link index)>`.
+    port_links: Vec<Vec<Option<u32>>>,
+    /// Short name of the topology family ("6x6 mesh", …).
+    pub name: String,
+}
+
+impl Topology {
+    /// Empty topology.
+    pub fn new(name: impl Into<String>) -> Topology {
+        Topology {
+            name: name.into(),
+            ..Topology::default()
+        }
+    }
+
+    /// Adds a switch with `ports` ports; returns its id.
+    pub fn add_switch(&mut self, ports: u8, label: impl Into<String>) -> NodeId {
+        self.add_node(DeviceType::Switch, ports, label)
+    }
+
+    /// Adds an endpoint (1 port by default in the paper's model).
+    pub fn add_endpoint(&mut self, label: impl Into<String>) -> NodeId {
+        self.add_node(DeviceType::Endpoint, 1, label)
+    }
+
+    /// Adds an endpoint with a custom port count (≤ 4 per the spec).
+    pub fn add_endpoint_with_ports(&mut self, ports: u8, label: impl Into<String>) -> NodeId {
+        debug_assert!((1..=4).contains(&ports), "endpoints support up to 4 ports");
+        self.add_node(DeviceType::Endpoint, ports, label)
+    }
+
+    fn add_node(&mut self, device_type: DeviceType, ports: u8, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            device_type,
+            ports,
+            label: label.into(),
+        });
+        self.port_links.push(vec![None; usize::from(ports)]);
+        id
+    }
+
+    /// Connects `(a, port_a)` to `(b, port_b)`.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        port_a: u8,
+        b: NodeId,
+        port_b: u8,
+    ) -> Result<(), TopologyError> {
+        if a == b {
+            return Err(TopologyError::SelfLoop(a));
+        }
+        for &(n, p) in &[(a, port_a), (b, port_b)] {
+            let node = self
+                .nodes
+                .get(n.idx())
+                .ok_or(TopologyError::UnknownNode(n))?;
+            if p >= node.ports {
+                return Err(TopologyError::PortOutOfRange {
+                    at: Attachment { node: n, port: p },
+                    ports: node.ports,
+                });
+            }
+            if self.port_links[n.idx()][usize::from(p)].is_some() {
+                return Err(TopologyError::PortInUse(Attachment { node: n, port: p }));
+            }
+        }
+        let link_idx = self.links.len() as u32;
+        self.links.push(Link {
+            a: Attachment { node: a, port: port_a },
+            b: Attachment { node: b, port: port_b },
+        });
+        self.port_links[a.idx()][usize::from(port_a)] = Some(link_idx);
+        self.port_links[b.idx()][usize::from(port_b)] = Some(link_idx);
+        Ok(())
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.idx())
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The peer attached at `(node, port)`, if any.
+    pub fn peer(&self, node: NodeId, port: u8) -> Option<Attachment> {
+        let link_idx = (*self
+            .port_links
+            .get(node.idx())?
+            .get(usize::from(port))?)?;
+        let link = self.links[link_idx as usize];
+        if link.a.node == node && link.a.port == port {
+            Some(link.b)
+        } else {
+            Some(link.a)
+        }
+    }
+
+    /// Iterates `(local_port, peer)` over the connected ports of `node`.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = (u8, Attachment)> + '_ {
+        let ports = self
+            .nodes
+            .get(node.idx())
+            .map(|n| n.ports)
+            .unwrap_or_default();
+        (0..ports).filter_map(move |p| self.peer(node, p).map(|at| (p, at)))
+    }
+
+    /// Total device count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Switch count.
+    pub fn switch_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.device_type == DeviceType::Switch)
+            .count()
+    }
+
+    /// Endpoint count.
+    pub fn endpoint_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.device_type == DeviceType::Endpoint)
+            .count()
+    }
+
+    /// Ids of all endpoints.
+    pub fn endpoints(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.device_type == DeviceType::Endpoint)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Ids of all switches.
+    pub fn switches(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|(_, n)| n.device_type == DeviceType::Switch)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Number of connected (linked) ports on `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.neighbors(node).count()
+    }
+
+    /// Set of nodes reachable from `start`, optionally treating `removed`
+    /// nodes as absent (used to predict post-change reachability).
+    pub fn reachable_from(&self, start: NodeId, removed: &[NodeId]) -> Vec<NodeId> {
+        let mut seen = vec![false; self.nodes.len()];
+        for r in removed {
+            if let Some(s) = seen.get_mut(r.idx()) {
+                *s = true;
+            }
+        }
+        if seen.get(start.idx()).copied().unwrap_or(true) {
+            return Vec::new();
+        }
+        let mut queue = VecDeque::new();
+        let mut out = Vec::new();
+        seen[start.idx()] = true;
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            for (_, peer) in self.neighbors(n) {
+                if !seen[peer.node.idx()] {
+                    seen[peer.node.idx()] = true;
+                    queue.push_back(peer.node);
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the topology as Graphviz DOT (the paper's Fig. 5 shows
+    /// exactly such drawings): switches as boxes, endpoints as circles,
+    /// links labelled with their port pairs.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "graph \"{}\" {{{{", self.name);
+        let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+        for (id, node) in self.nodes() {
+            let (shape, color) = match node.device_type {
+                DeviceType::Switch => ("box", "lightblue"),
+                DeviceType::Endpoint => ("circle", "lightgrey"),
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\" shape={shape} style=filled fillcolor={color}];",
+                id.0, node.label
+            );
+        }
+        for link in &self.links {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [label=\"{}:{}\"];",
+                link.a.node.0, link.b.node.0, link.a.port, link.b.port
+            );
+        }
+        out.push_str("}
+");
+        out
+    }
+
+    /// True if every device can reach every other.
+    pub fn is_connected(&self) -> bool {
+        if self.nodes.is_empty() {
+            return true;
+        }
+        self.reachable_from(NodeId(0), &[]).len() == self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Topology, NodeId, NodeId, NodeId) {
+        // ep0 -- sw -- ep1
+        let mut t = Topology::new("tiny");
+        let sw = t.add_switch(4, "sw");
+        let e0 = t.add_endpoint("ep0");
+        let e1 = t.add_endpoint("ep1");
+        t.connect(e0, 0, sw, 0).unwrap();
+        t.connect(sw, 1, e1, 0).unwrap();
+        (t, sw, e0, e1)
+    }
+
+    #[test]
+    fn counts_and_kinds() {
+        let (t, sw, e0, _) = tiny();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.switch_count(), 1);
+        assert_eq!(t.endpoint_count(), 2);
+        assert_eq!(t.node(sw).unwrap().device_type, DeviceType::Switch);
+        assert_eq!(t.node(e0).unwrap().device_type, DeviceType::Endpoint);
+        assert_eq!(t.switches(), vec![sw]);
+        assert_eq!(t.endpoints().len(), 2);
+    }
+
+    #[test]
+    fn peers_are_symmetric() {
+        let (t, sw, e0, e1) = tiny();
+        assert_eq!(t.peer(e0, 0), Some(Attachment { node: sw, port: 0 }));
+        assert_eq!(t.peer(sw, 0), Some(Attachment { node: e0, port: 0 }));
+        assert_eq!(t.peer(sw, 1), Some(Attachment { node: e1, port: 0 }));
+        assert_eq!(t.peer(sw, 2), None);
+        assert_eq!(t.peer(sw, 99), None);
+    }
+
+    #[test]
+    fn neighbors_and_degree() {
+        let (t, sw, e0, _) = tiny();
+        assert_eq!(t.degree(sw), 2);
+        assert_eq!(t.degree(e0), 1);
+        let n: Vec<_> = t.neighbors(sw).collect();
+        assert_eq!(n.len(), 2);
+        assert_eq!(n[0].0, 0);
+    }
+
+    #[test]
+    fn connect_rejects_port_reuse() {
+        let (mut t, sw, e0, _) = tiny();
+        let e2 = t.add_endpoint("ep2");
+        assert_eq!(
+            t.connect(e2, 0, sw, 0),
+            Err(TopologyError::PortInUse(Attachment { node: sw, port: 0 }))
+        );
+        assert_eq!(
+            t.connect(e0, 0, sw, 2),
+            Err(TopologyError::PortInUse(Attachment { node: e0, port: 0 }))
+        );
+    }
+
+    #[test]
+    fn connect_rejects_bad_ports_and_nodes() {
+        let mut t = Topology::new("t");
+        let sw = t.add_switch(4, "sw");
+        let ep = t.add_endpoint("ep");
+        assert!(matches!(
+            t.connect(ep, 1, sw, 0),
+            Err(TopologyError::PortOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.connect(ep, 0, sw, 4),
+            Err(TopologyError::PortOutOfRange { .. })
+        ));
+        assert_eq!(t.connect(sw, 0, sw, 1), Err(TopologyError::SelfLoop(sw)));
+        assert_eq!(
+            t.connect(NodeId(99), 0, sw, 0),
+            Err(TopologyError::UnknownNode(NodeId(99)))
+        );
+    }
+
+    #[test]
+    fn connectivity_detection() {
+        let (t, ..) = tiny();
+        assert!(t.is_connected());
+
+        let mut t2 = Topology::new("disconnected");
+        t2.add_endpoint("a");
+        t2.add_endpoint("b");
+        assert!(!t2.is_connected());
+
+        let empty = Topology::new("empty");
+        assert!(empty.is_connected());
+    }
+
+    #[test]
+    fn reachability_with_removals() {
+        let (t, sw, e0, e1) = tiny();
+        let all = t.reachable_from(e0, &[]);
+        assert_eq!(all.len(), 3);
+        // Removing the switch isolates e0.
+        let alone = t.reachable_from(e0, &[sw]);
+        assert_eq!(alone, vec![e0]);
+        // Removing the start yields nothing.
+        assert!(t.reachable_from(e1, &[e1]).is_empty());
+    }
+
+    #[test]
+    fn links_recorded_once() {
+        let (t, ..) = tiny();
+        assert_eq!(t.links().len(), 2);
+    }
+
+    #[test]
+    fn dot_rendering_covers_all_nodes_and_links() {
+        let (t, ..) = tiny();
+        let dot = t.to_dot();
+        assert!(dot.starts_with("graph \"tiny\""));
+        assert_eq!(dot.matches("shape=box").count(), 1);
+        assert_eq!(dot.matches("shape=circle").count(), 2);
+        assert_eq!(dot.matches(" -- ").count(), 2);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,155 @@
+//! Random irregular topology generator (extension beyond the paper's
+//! regular topologies, useful for robustness testing of the discovery
+//! algorithms).
+
+use crate::graph::{NodeId, Topology};
+use crate::mesh::SWITCH_PORTS;
+use asi_sim::SimRng;
+
+/// Parameters for the irregular generator.
+#[derive(Clone, Copy, Debug)]
+pub struct IrregularSpec {
+    /// Number of switches.
+    pub switches: usize,
+    /// Extra links beyond the spanning tree (adds redundancy/alternate
+    /// paths, exercising the FM's DSN dedup logic).
+    pub extra_links: usize,
+    /// Endpoints per switch.
+    pub endpoints_per_switch: usize,
+}
+
+impl Default for IrregularSpec {
+    fn default() -> Self {
+        IrregularSpec {
+            switches: 16,
+            extra_links: 8,
+            endpoints_per_switch: 1,
+        }
+    }
+}
+
+/// Builds a random connected topology: a random spanning tree over the
+/// switches plus `extra_links` random redundant links, with endpoints
+/// attached to every switch. Deterministic for a given `rng` state.
+pub fn irregular(spec: IrregularSpec, rng: &mut SimRng) -> Topology {
+    assert!(spec.switches >= 1, "need at least one switch");
+    let mut topo = Topology::new(format!("irregular-{}sw", spec.switches));
+    let switches: Vec<NodeId> = (0..spec.switches)
+        .map(|i| topo.add_switch(SWITCH_PORTS, format!("sw{i}")))
+        .collect();
+
+    // Track next free port per switch; endpoints take the tail ports, so
+    // inter-switch wiring uses the head ports up to `cap`.
+    let cap = usize::from(SWITCH_PORTS)
+        .checked_sub(spec.endpoints_per_switch)
+        .expect("too many endpoints per switch") as u8;
+    let mut used = vec![0u8; spec.switches];
+
+    // Random spanning tree: connect each switch (in shuffled order) to a
+    // random already-connected switch with spare ports.
+    let mut order: Vec<usize> = (1..spec.switches).collect();
+    rng.shuffle(&mut order);
+    let mut connected = vec![0usize];
+    for &i in &order {
+        let candidates: Vec<usize> = connected
+            .iter()
+            .copied()
+            .filter(|&j| used[j] < cap)
+            .collect();
+        let j = *rng
+            .choose(&candidates)
+            .unwrap_or_else(|| panic!("could not attach switch {i}: ports exhausted"));
+        let (pi, pj) = (used[i], used[j]);
+        used[i] += 1;
+        used[j] += 1;
+        topo.connect(switches[i], pi, switches[j], pj)
+            .expect("ports tracked as free");
+        connected.push(i);
+    }
+
+    // Redundant extra links.
+    let mut added = 0;
+    let mut attempts = 0;
+    while added < spec.extra_links && attempts < spec.extra_links * 20 + 20 {
+        attempts += 1;
+        let i = rng.gen_index(spec.switches);
+        let j = rng.gen_index(spec.switches);
+        if i == j || used[i] >= cap || used[j] >= cap {
+            continue;
+        }
+        let (pi, pj) = (used[i], used[j]);
+        used[i] += 1;
+        used[j] += 1;
+        topo.connect(switches[i], pi, switches[j], pj)
+            .expect("ports tracked as free");
+        added += 1;
+    }
+
+    // Endpoints on the tail ports.
+    for (i, &sw) in switches.iter().enumerate() {
+        for e in 0..spec.endpoints_per_switch {
+            let ep = topo.add_endpoint(format!("ep{i}.{e}"));
+            let port = SWITCH_PORTS - 1 - e as u8;
+            topo.connect(sw, port, ep, 0).expect("tail port free");
+        }
+    }
+
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_topology_is_connected() {
+        for seed in 0..20 {
+            let mut rng = SimRng::new(seed);
+            let t = irregular(IrregularSpec::default(), &mut rng);
+            assert!(t.is_connected(), "seed {seed} produced disconnected fabric");
+        }
+    }
+
+    #[test]
+    fn counts_match_spec() {
+        let mut rng = SimRng::new(7);
+        let spec = IrregularSpec {
+            switches: 10,
+            extra_links: 5,
+            endpoints_per_switch: 2,
+        };
+        let t = irregular(spec, &mut rng);
+        assert_eq!(t.switch_count(), 10);
+        assert_eq!(t.endpoint_count(), 20);
+        // Links: 9 tree + up to 5 extra + 20 endpoint links.
+        let l = t.links().len();
+        assert!((9 + 20..=9 + 5 + 20).contains(&l), "links {l}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let build = |seed| {
+            let mut rng = SimRng::new(seed);
+            let t = irregular(IrregularSpec::default(), &mut rng);
+            t.links().to_vec()
+        };
+        assert_eq!(build(42), build(42));
+        assert_ne!(build(42), build(43));
+    }
+
+    #[test]
+    fn single_switch_degenerate_case() {
+        let mut rng = SimRng::new(1);
+        let t = irregular(
+            IrregularSpec {
+                switches: 1,
+                extra_links: 0,
+                endpoints_per_switch: 1,
+            },
+            &mut rng,
+        );
+        assert_eq!(t.switch_count(), 1);
+        assert_eq!(t.endpoint_count(), 1);
+        assert!(t.is_connected());
+    }
+}

@@ -1,0 +1,26 @@
+//! `asi-topo` — fabric topologies for the Advanced Switching reproduction.
+//!
+//! Provides the ground-truth topology graph ([`Topology`]), the generators
+//! for every topology the paper evaluates (2-D meshes and tori, and the
+//! *m*-port *n*-trees of Lin et al. — see [`table1::Table1`]), a random
+//! irregular generator, and shortest-path / turn-pool-encoding utilities
+//! used for validation and for the 31-bit spec-reachability study.
+
+#![warn(missing_docs)]
+
+pub mod fattree;
+pub mod graph;
+pub mod irregular;
+pub mod mesh;
+pub mod paths;
+pub mod table1;
+
+pub use fattree::{fat_tree, FatTree};
+pub use graph::{Attachment, Link, Node, NodeId, Topology, TopologyError};
+pub use irregular::{irregular, IrregularSpec};
+pub use mesh::{mesh, torus, Grid, PORT_ENDPOINT, SWITCH_PORTS};
+pub use paths::{
+    default_fm_endpoint, routes_from, shortest_route, spec_reachability, Route, SpecReachability,
+    SwitchHop,
+};
+pub use table1::Table1;

@@ -1,0 +1,234 @@
+//! 2-D mesh and torus generators.
+//!
+//! Following the paper's simulation model: 16-port switches arranged in a
+//! W×H grid, each hosting one single-port endpoint. Port conventions on
+//! every switch:
+//!
+//! | port | neighbour |
+//! |------|-----------|
+//! | 0    | east (x+1) |
+//! | 1    | west (x−1) |
+//! | 2    | south (y+1) |
+//! | 3    | north (y−1) |
+//! | 4    | local endpoint |
+//! | 5–15 | unused |
+
+use crate::graph::{NodeId, Topology};
+
+/// Switch port count used by the paper's model.
+pub const SWITCH_PORTS: u8 = 16;
+/// Port leading east.
+pub const PORT_EAST: u8 = 0;
+/// Port leading west.
+pub const PORT_WEST: u8 = 1;
+/// Port leading south.
+pub const PORT_SOUTH: u8 = 2;
+/// Port leading north.
+pub const PORT_NORTH: u8 = 3;
+/// Port attached to the local endpoint.
+pub const PORT_ENDPOINT: u8 = 4;
+
+/// Output of a grid generator: the topology plus id lookup tables.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// The generated topology.
+    pub topology: Topology,
+    /// `switch[y * width + x]`.
+    pub switches: Vec<NodeId>,
+    /// `endpoint[y * width + x]` — the endpoint hosted by that switch.
+    pub endpoints: Vec<NodeId>,
+    /// Grid width.
+    pub width: usize,
+    /// Grid height.
+    pub height: usize,
+}
+
+impl Grid {
+    /// Switch at `(x, y)`.
+    pub fn switch_at(&self, x: usize, y: usize) -> NodeId {
+        self.switches[y * self.width + x]
+    }
+
+    /// Endpoint hosted at `(x, y)`.
+    pub fn endpoint_at(&self, x: usize, y: usize) -> NodeId {
+        self.endpoints[y * self.width + x]
+    }
+}
+
+fn build_grid(width: usize, height: usize, wrap: bool, name: String) -> Grid {
+    assert!(width >= 2 && height >= 2, "grid must be at least 2x2");
+    let mut topo = Topology::new(name);
+    let mut switches = Vec::with_capacity(width * height);
+    let mut endpoints = Vec::with_capacity(width * height);
+
+    for y in 0..height {
+        for x in 0..width {
+            let sw = topo.add_switch(SWITCH_PORTS, format!("sw({x},{y})"));
+            let ep = topo.add_endpoint(format!("ep({x},{y})"));
+            topo.connect(sw, PORT_ENDPOINT, ep, 0)
+                .expect("endpoint port free");
+            switches.push(sw);
+            endpoints.push(ep);
+        }
+    }
+
+    let at = |x: usize, y: usize| switches[y * width + x];
+    // East links: (x,y).east <-> (x+1,y).west
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                topo.connect(at(x, y), PORT_EAST, at(x + 1, y), PORT_WEST)
+                    .expect("mesh port free");
+            } else if wrap && width > 2 {
+                topo.connect(at(x, y), PORT_EAST, at(0, y), PORT_WEST)
+                    .expect("torus wrap port free");
+            }
+        }
+    }
+    // South links: (x,y).south <-> (x,y+1).north
+    for y in 0..height {
+        for x in 0..width {
+            if y + 1 < height {
+                topo.connect(at(x, y), PORT_SOUTH, at(x, y + 1), PORT_NORTH)
+                    .expect("mesh port free");
+            } else if wrap && height > 2 {
+                topo.connect(at(x, y), PORT_SOUTH, at(x, 0), PORT_NORTH)
+                    .expect("torus wrap port free");
+            }
+        }
+    }
+
+    Grid {
+        topology: topo,
+        switches,
+        endpoints,
+        width,
+        height,
+    }
+}
+
+/// Builds a W×H mesh (no wraparound).
+pub fn mesh(width: usize, height: usize) -> Grid {
+    build_grid(width, height, false, format!("{width}x{height} mesh"))
+}
+
+/// Builds a W×H torus (wraparound in both dimensions).
+///
+/// For a dimension of size 2 the wrap link would duplicate the existing
+/// mesh link on the same port pair, so it is omitted — matching common
+/// practice (a 2-ring *is* a single link).
+pub fn torus(width: usize, height: usize) -> Grid {
+    build_grid(width, height, true, format!("{width}x{height} torus"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts() {
+        let g = mesh(3, 3);
+        assert_eq!(g.topology.switch_count(), 9);
+        assert_eq!(g.topology.endpoint_count(), 9);
+        assert_eq!(g.topology.node_count(), 18);
+        // Links: 2 * 3 * 2 (mesh rows/cols) + 9 endpoint links = 12 + 9.
+        assert_eq!(g.topology.links().len(), 21);
+    }
+
+    #[test]
+    fn torus_counts() {
+        let g = torus(4, 4);
+        assert_eq!(g.topology.switch_count(), 16);
+        // Torus links: 2 * 16 = 32, plus 16 endpoint links.
+        assert_eq!(g.topology.links().len(), 48);
+    }
+
+    #[test]
+    fn mesh_is_connected() {
+        for (w, h) in [(2, 2), (3, 3), (4, 4), (6, 6), (8, 8), (3, 5)] {
+            let g = mesh(w, h);
+            assert!(g.topology.is_connected(), "{w}x{h} mesh disconnected");
+        }
+    }
+
+    #[test]
+    fn torus_is_connected() {
+        for (w, h) in [(3, 3), (4, 4), (8, 8), (16, 16)] {
+            let g = torus(w, h);
+            assert!(g.topology.is_connected(), "{w}x{h} torus disconnected");
+        }
+    }
+
+    #[test]
+    fn mesh_corner_degrees() {
+        let g = mesh(3, 3);
+        // Corner: 2 mesh neighbours + endpoint.
+        assert_eq!(g.topology.degree(g.switch_at(0, 0)), 3);
+        // Edge: 3 + endpoint.
+        assert_eq!(g.topology.degree(g.switch_at(1, 0)), 4);
+        // Center: 4 + endpoint.
+        assert_eq!(g.topology.degree(g.switch_at(1, 1)), 5);
+        // Every endpoint has exactly one link.
+        for y in 0..3 {
+            for x in 0..3 {
+                assert_eq!(g.topology.degree(g.endpoint_at(x, y)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn torus_degrees_uniform() {
+        let g = torus(4, 4);
+        for y in 0..4 {
+            for x in 0..4 {
+                assert_eq!(g.topology.degree(g.switch_at(x, y)), 5, "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_wiring_directions() {
+        let g = mesh(3, 3);
+        let topo = &g.topology;
+        // (0,0).east is (1,0); (1,0).west is (0,0).
+        let east = topo.peer(g.switch_at(0, 0), PORT_EAST).unwrap();
+        assert_eq!(east.node, g.switch_at(1, 0));
+        assert_eq!(east.port, PORT_WEST);
+        let south = topo.peer(g.switch_at(1, 1), PORT_SOUTH).unwrap();
+        assert_eq!(south.node, g.switch_at(1, 2));
+        assert_eq!(south.port, PORT_NORTH);
+        // Mesh borders are unconnected.
+        assert!(topo.peer(g.switch_at(2, 0), PORT_EAST).is_none());
+        assert!(topo.peer(g.switch_at(0, 0), PORT_NORTH).is_none());
+    }
+
+    #[test]
+    fn torus_wraps_borders() {
+        let g = torus(4, 4);
+        let topo = &g.topology;
+        let wrap = topo.peer(g.switch_at(3, 2), PORT_EAST).unwrap();
+        assert_eq!(wrap.node, g.switch_at(0, 2));
+        let wrap = topo.peer(g.switch_at(1, 3), PORT_SOUTH).unwrap();
+        assert_eq!(wrap.node, g.switch_at(1, 0));
+    }
+
+    #[test]
+    fn degenerate_torus_dimension_skips_double_link() {
+        // 2-wide torus: wrap would duplicate the mesh link; must not panic.
+        let g = torus(2, 3);
+        assert!(g.topology.is_connected());
+        assert_eq!(g.topology.degree(g.switch_at(0, 0)), 1 + 1 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_tiny_grids() {
+        let _ = mesh(1, 5);
+    }
+
+    #[test]
+    fn names_are_descriptive() {
+        assert_eq!(mesh(6, 6).topology.name, "6x6 mesh");
+        assert_eq!(torus(8, 8).topology.name, "8x8 torus");
+    }
+}

@@ -1,0 +1,329 @@
+//! Ground-truth shortest paths and turn-pool encoding.
+//!
+//! The fabric manager computes its own routes from the *discovered*
+//! topology database (crate `asi-core`); the functions here operate on the
+//! generator's ground-truth [`Topology`] and are used to validate the FM's
+//! results, to pre-load endpoint route tables, and for the 31-bit
+//! spec-reachability study.
+
+use crate::graph::{NodeId, Topology};
+use asi_proto::{turn_for, turn_width, DeviceType, TurnError, TurnPool, SPEC_POOL_BITS};
+use std::collections::VecDeque;
+
+/// One switch traversal on a route.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SwitchHop {
+    /// The switch being crossed.
+    pub switch: NodeId,
+    /// Port the packet enters on.
+    pub ingress: u8,
+    /// Port the packet leaves on.
+    pub egress: u8,
+}
+
+/// A source route from one device to another.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Route {
+    /// Switches crossed, in order. Empty when source and destination share
+    /// a link.
+    pub hops: Vec<SwitchHop>,
+    /// Port the packet leaves the source on.
+    pub source_port: u8,
+    /// Port the packet arrives at on the destination.
+    pub dest_port: u8,
+}
+
+impl Route {
+    /// Number of link traversals (switch hops + 1).
+    pub fn link_hops(&self) -> usize {
+        self.hops.len() + 1
+    }
+
+    /// Encodes the route into a turn pool of the given capacity.
+    pub fn encode(&self, topo: &Topology, capacity: u16) -> Result<TurnPool, TurnError> {
+        let mut pool = TurnPool::with_capacity(capacity);
+        for hop in &self.hops {
+            let ports = topo
+                .node(hop.switch)
+                .expect("route references unknown switch")
+                .ports;
+            let turn = turn_for(hop.ingress, hop.egress, ports);
+            pool.push_turn(turn, turn_width(ports))?;
+        }
+        Ok(pool)
+    }
+
+    /// Total turn bits the route needs.
+    pub fn turn_bits(&self, topo: &Topology) -> u16 {
+        self.hops
+            .iter()
+            .map(|h| {
+                u16::from(turn_width(
+                    topo.node(h.switch).expect("unknown switch").ports,
+                ))
+            })
+            .sum()
+    }
+}
+
+/// Breadth-first shortest-path tree from `src` over the ground truth.
+///
+/// Returns, for each node, the predecessor attachment info needed to
+/// reconstruct routes: `(prev_node, prev_egress_port, entry_port)`.
+struct BfsTree {
+    prev: Vec<Option<(NodeId, u8, u8)>>,
+    src: NodeId,
+}
+
+fn bfs(topo: &Topology, src: NodeId) -> BfsTree {
+    let mut prev: Vec<Option<(NodeId, u8, u8)>> = vec![None; topo.node_count()];
+    let mut seen = vec![false; topo.node_count()];
+    seen[src.idx()] = true;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(n) = queue.pop_front() {
+        for (port, peer) in topo.neighbors(n) {
+            if !seen[peer.node.idx()] {
+                seen[peer.node.idx()] = true;
+                prev[peer.node.idx()] = Some((n, port, peer.port));
+                queue.push_back(peer.node);
+            }
+        }
+    }
+    BfsTree { prev, src }
+}
+
+fn route_from_tree(tree: &BfsTree, dst: NodeId) -> Option<Route> {
+    if dst == tree.src {
+        return None;
+    }
+    tree.prev[dst.idx()]?;
+    // Walk back to the source, collecting (node, egress, entry-at-next).
+    let mut chain: Vec<(NodeId, u8, u8)> = Vec::new();
+    let mut cur = dst;
+    while cur != tree.src {
+        let (p, egress, entry) = tree.prev[cur.idx()]?;
+        chain.push((p, egress, entry));
+        cur = p;
+    }
+    chain.reverse();
+    // chain[i] = (node_i, egress from node_i, ingress at node_{i+1});
+    // node_0 = src, the final arrival is dst.
+    let source_port = chain[0].1;
+    let dest_port = chain.last().unwrap().2;
+    let mut hops = Vec::with_capacity(chain.len().saturating_sub(1));
+    for i in 1..chain.len() {
+        let (switch, egress, _) = chain[i];
+        let ingress = chain[i - 1].2;
+        hops.push(SwitchHop {
+            switch,
+            ingress,
+            egress,
+        });
+    }
+    Some(Route {
+        hops,
+        source_port,
+        dest_port,
+    })
+}
+
+/// Shortest route from `src` to `dst`, or `None` if unreachable or equal.
+pub fn shortest_route(topo: &Topology, src: NodeId, dst: NodeId) -> Option<Route> {
+    route_from_tree(&bfs(topo, src), dst)
+}
+
+/// Shortest routes from `src` to every other node (`None` when
+/// unreachable). Index = node id.
+pub fn routes_from(topo: &Topology, src: NodeId) -> Vec<Option<Route>> {
+    let tree = bfs(topo, src);
+    (0..topo.node_count() as u32)
+        .map(|i| route_from_tree(&tree, NodeId(i)))
+        .collect()
+}
+
+/// Result of the 31-bit turn-pool reachability study for one source.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecReachability {
+    /// Devices reachable at all.
+    pub reachable: usize,
+    /// Devices whose shortest route fits the 31-bit spec pool.
+    pub within_spec: usize,
+    /// Largest turn-bit requirement among shortest routes.
+    pub max_turn_bits: u16,
+}
+
+/// Measures how much of the fabric a manager at `src` can address within
+/// the specification's 31-bit turn pool (DESIGN.md's spec-limit study).
+pub fn spec_reachability(topo: &Topology, src: NodeId) -> SpecReachability {
+    let mut reachable = 0;
+    let mut within = 0;
+    let mut max_bits = 0u16;
+    for route in routes_from(topo, src).into_iter().flatten() {
+        reachable += 1;
+        let bits = route.turn_bits(topo);
+        max_bits = max_bits.max(bits);
+        if bits <= SPEC_POOL_BITS {
+            within += 1;
+        }
+    }
+    SpecReachability {
+        reachable,
+        within_spec: within,
+        max_turn_bits: max_bits,
+    }
+}
+
+/// Picks the first FM-capable endpoint by convention (lowest id); the
+/// generators attach endpoints in deterministic order so this is stable.
+pub fn default_fm_endpoint(topo: &Topology) -> Option<NodeId> {
+    topo.nodes()
+        .find(|(_, n)| n.device_type == DeviceType::Endpoint)
+        .map(|(id, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fattree::fat_tree;
+    use crate::mesh::{mesh, torus, PORT_EAST, PORT_ENDPOINT, PORT_WEST};
+    use asi_proto::{apply_forward, Direction, TurnCursor, MAX_POOL_BITS};
+
+    #[test]
+    fn route_to_directly_attached_neighbor_has_no_hops() {
+        let g = mesh(3, 3);
+        let ep = g.endpoint_at(0, 0);
+        let sw = g.switch_at(0, 0);
+        let r = shortest_route(&g.topology, ep, sw).unwrap();
+        assert!(r.hops.is_empty());
+        assert_eq!(r.source_port, 0);
+        assert_eq!(r.dest_port, PORT_ENDPOINT);
+        assert_eq!(r.link_hops(), 1);
+    }
+
+    #[test]
+    fn route_to_self_is_none() {
+        let g = mesh(3, 3);
+        let ep = g.endpoint_at(0, 0);
+        assert!(shortest_route(&g.topology, ep, ep).is_none());
+    }
+
+    #[test]
+    fn route_across_mesh_has_expected_length() {
+        let g = mesh(3, 3);
+        // ep(0,0) -> ep(2,0): through sw(0,0), sw(1,0), sw(2,0).
+        let r = shortest_route(&g.topology, g.endpoint_at(0, 0), g.endpoint_at(2, 0)).unwrap();
+        assert_eq!(r.hops.len(), 3);
+        assert_eq!(r.hops[0].switch, g.switch_at(0, 0));
+        assert_eq!(r.hops[0].ingress, PORT_ENDPOINT);
+        assert_eq!(r.hops[0].egress, PORT_EAST);
+        assert_eq!(r.hops[1].ingress, PORT_WEST);
+        assert_eq!(r.hops[2].egress, PORT_ENDPOINT);
+    }
+
+    #[test]
+    fn bfs_routes_are_shortest() {
+        // In a 4x4 torus the two endpoints two hops apart horizontally
+        // must use 3 switches, never more.
+        let g = torus(4, 4);
+        let r = shortest_route(&g.topology, g.endpoint_at(0, 0), g.endpoint_at(2, 0)).unwrap();
+        assert_eq!(r.hops.len(), 3);
+        // Wraparound shortcut: (0,0) to (3,0) is 1 hop through the wrap.
+        let r = shortest_route(&g.topology, g.endpoint_at(0, 0), g.endpoint_at(3, 0)).unwrap();
+        assert_eq!(r.hops.len(), 2);
+    }
+
+    #[test]
+    fn routes_from_covers_connected_graph() {
+        let g = mesh(4, 4);
+        let src = g.endpoint_at(0, 0);
+        let routes = routes_from(&g.topology, src);
+        let reachable = routes.iter().flatten().count();
+        assert_eq!(reachable, g.topology.node_count() - 1);
+    }
+
+    /// Encode every mesh route into a turn pool and re-execute it with the
+    /// switch forwarding arithmetic: it must arrive at the right place.
+    #[test]
+    fn encoded_routes_execute_correctly() {
+        let g = mesh(4, 4);
+        let topo = &g.topology;
+        let src = g.endpoint_at(0, 0);
+        for (dst, route) in routes_from(topo, src).into_iter().enumerate() {
+            let Some(route) = route else { continue };
+            let pool = route.encode(topo, MAX_POOL_BITS).unwrap();
+            // Walk the fabric: start at src, leave on source_port.
+            let mut cursor = TurnCursor::start(&pool, Direction::Forward);
+            let mut at = topo.peer(src, route.source_port).unwrap();
+            while !cursor.exhausted(&pool) {
+                let node = topo.node(at.node).unwrap();
+                assert_eq!(node.device_type, DeviceType::Switch);
+                let width = turn_width(node.ports);
+                let (turn, next) = cursor.take_turn(&pool, width).unwrap();
+                let egress = apply_forward(at.port, turn, node.ports);
+                at = topo.peer(at.node, egress).unwrap();
+                cursor = next;
+            }
+            assert_eq!(at.node, NodeId(dst as u32), "route landed at wrong node");
+            assert_eq!(at.port, route.dest_port);
+        }
+    }
+
+    #[test]
+    fn turn_bits_accounting() {
+        let g = mesh(3, 3);
+        let r = shortest_route(&g.topology, g.endpoint_at(0, 0), g.endpoint_at(2, 2)).unwrap();
+        // 5 switches at 4 bits each (16 ports).
+        assert_eq!(r.hops.len(), 5);
+        assert_eq!(r.turn_bits(&g.topology), 20);
+    }
+
+    #[test]
+    fn spec_pool_covers_small_meshes_only() {
+        // 3x3 mesh: max 5 switch hops * 4 bits = 20 <= 31: all reachable.
+        let g = mesh(3, 3);
+        let s = spec_reachability(&g.topology, g.endpoint_at(0, 0));
+        assert_eq!(s.reachable, 17);
+        assert_eq!(s.within_spec, 17);
+        assert_eq!(s.max_turn_bits, 20);
+
+        // 8x8 mesh from a corner: farthest endpoint needs 15 switches * 4
+        // bits = 60 > 31, so part of the fabric is out of spec reach.
+        let g = mesh(8, 8);
+        let s = spec_reachability(&g.topology, g.endpoint_at(0, 0));
+        assert_eq!(s.reachable, 127);
+        assert!(s.within_spec < s.reachable);
+        assert_eq!(s.max_turn_bits, 60);
+    }
+
+    #[test]
+    fn fat_tree_routes_climb_and_descend() {
+        let ft = fat_tree(4, 2);
+        let topo = &ft.topology;
+        let eps = topo.endpoints();
+        // Endpoints in different halves route through a root: 3 switches.
+        let a = eps[0];
+        let b = *eps.last().unwrap();
+        let r = shortest_route(topo, a, b).unwrap();
+        assert_eq!(r.hops.len(), 3);
+        // Same leaf switch: 1 switch.
+        let r = shortest_route(topo, eps[0], eps[1]).unwrap();
+        assert_eq!(r.hops.len(), 1);
+    }
+
+    #[test]
+    fn default_fm_endpoint_is_first_endpoint() {
+        let g = mesh(3, 3);
+        assert_eq!(default_fm_endpoint(&g.topology), Some(g.endpoint_at(0, 0)));
+        let empty = Topology::new("no endpoints");
+        assert_eq!(default_fm_endpoint(&empty), None);
+    }
+
+    #[test]
+    fn unreachable_nodes_have_no_route() {
+        let mut t = Topology::new("islands");
+        let a = t.add_endpoint("a");
+        let b = t.add_endpoint("b");
+        assert!(shortest_route(&t, a, b).is_none());
+    }
+}

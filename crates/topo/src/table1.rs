@@ -1,0 +1,156 @@
+//! The paper's Table 1: the exact set of topologies evaluated.
+//!
+//! | Topology        | Switches | Endpoints | Total |
+//! |-----------------|----------|-----------|-------|
+//! | 3×3 mesh/torus  | 9        | 9         | 18    |
+//! | 4×4 mesh/torus  | 16       | 16        | 32    |
+//! | 6×6 mesh/torus  | 36       | 36        | 72    |
+//! | 8×8 mesh/torus  | 64       | 64        | 128   |
+//! | 16×16 torus     | 256      | 256       | 512   |
+//! | 4-port 2-tree   | 6        | 8         | 14    |
+//! | 4-port 3-tree   | 20       | 16        | 36    |
+//! | 4-port 4-tree   | 56       | 32        | 88    |
+//! | 8-port 2-tree   | 12       | 32        | 44    |
+//!
+//! Meshes and tori host one single-port endpoint per switch (the paper's
+//! model uses 1-port fabric endpoints); fat-trees follow the Lin et al.
+//! formulas.
+
+use crate::fattree::{expected_endpoints, expected_switches, fat_tree};
+use crate::graph::Topology;
+use crate::mesh::{mesh, torus};
+
+/// One row of Table 1.
+///
+/// ```
+/// use asi_topo::Table1;
+/// let topo = Table1::Mesh(3).build();
+/// assert_eq!(topo.node_count(), 18); // 9 switches + 9 endpoints
+/// assert!(topo.is_connected());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Table1 {
+    /// W×W mesh.
+    Mesh(usize),
+    /// W×W torus.
+    Torus(usize),
+    /// m-port n-tree.
+    FatTree(u32, u32),
+}
+
+impl Table1 {
+    /// Every topology in the paper's Table 1, in presentation order.
+    pub fn all() -> Vec<Table1> {
+        vec![
+            Table1::Mesh(3),
+            Table1::Torus(3),
+            Table1::Mesh(4),
+            Table1::Torus(4),
+            Table1::Mesh(6),
+            Table1::Torus(6),
+            Table1::Mesh(8),
+            Table1::Torus(8),
+            Table1::Torus(16),
+            Table1::FatTree(4, 2),
+            Table1::FatTree(4, 3),
+            Table1::FatTree(4, 4),
+            Table1::FatTree(8, 2),
+        ]
+    }
+
+    /// A smaller subset for fast test/bench sweeps.
+    pub fn quick() -> Vec<Table1> {
+        vec![
+            Table1::Mesh(3),
+            Table1::Torus(4),
+            Table1::FatTree(4, 2),
+            Table1::FatTree(8, 2),
+        ]
+    }
+
+    /// Paper-style display name.
+    pub fn name(&self) -> String {
+        match *self {
+            Table1::Mesh(w) => format!("{w}x{w} mesh"),
+            Table1::Torus(w) => format!("{w}x{w} torus"),
+            Table1::FatTree(m, n) => format!("{m}-port {n}-tree"),
+        }
+    }
+
+    /// Expected switch count.
+    pub fn switches(&self) -> usize {
+        match *self {
+            Table1::Mesh(w) | Table1::Torus(w) => w * w,
+            Table1::FatTree(m, n) => expected_switches(m, n),
+        }
+    }
+
+    /// Expected endpoint count.
+    pub fn endpoints(&self) -> usize {
+        match *self {
+            Table1::Mesh(w) | Table1::Torus(w) => w * w,
+            Table1::FatTree(m, n) => expected_endpoints(m, n),
+        }
+    }
+
+    /// Expected total device count.
+    pub fn total_devices(&self) -> usize {
+        self.switches() + self.endpoints()
+    }
+
+    /// Builds the topology.
+    pub fn build(&self) -> Topology {
+        match *self {
+            Table1::Mesh(w) => mesh(w, w).topology,
+            Table1::Torus(w) => torus(w, w).topology,
+            Table1::FatTree(m, n) => fat_tree(m, n).topology,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_thirteen_rows() {
+        assert_eq!(Table1::all().len(), 13);
+    }
+
+    #[test]
+    fn built_topologies_match_declared_counts() {
+        for t in Table1::all() {
+            let topo = t.build();
+            assert_eq!(topo.switch_count(), t.switches(), "{}", t.name());
+            assert_eq!(topo.endpoint_count(), t.endpoints(), "{}", t.name());
+            assert_eq!(topo.node_count(), t.total_devices(), "{}", t.name());
+            assert!(topo.is_connected(), "{} disconnected", t.name());
+        }
+    }
+
+    #[test]
+    fn paper_totals() {
+        assert_eq!(Table1::Mesh(3).total_devices(), 18);
+        assert_eq!(Table1::Mesh(8).total_devices(), 128);
+        assert_eq!(Table1::Torus(16).total_devices(), 512);
+        assert_eq!(Table1::FatTree(4, 2).total_devices(), 14);
+        assert_eq!(Table1::FatTree(4, 3).total_devices(), 36);
+        assert_eq!(Table1::FatTree(4, 4).total_devices(), 88);
+        assert_eq!(Table1::FatTree(8, 2).total_devices(), 44);
+    }
+
+    #[test]
+    fn names_match_paper_style() {
+        assert_eq!(Table1::Mesh(6).name(), "6x6 mesh");
+        assert_eq!(Table1::Torus(16).name(), "16x16 torus");
+        assert_eq!(Table1::FatTree(4, 3).name(), "4-port 3-tree");
+    }
+
+    #[test]
+    fn quick_subset_is_subset_of_all() {
+        let all = Table1::all();
+        for q in Table1::quick() {
+            assert!(all.contains(&q));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Property-based tests over the topology generators and path machinery.
+
+use asi_proto::{apply_backward, apply_forward, turn_width, DeviceType, Direction, TurnCursor};
+use asi_sim::SimRng;
+use asi_topo::{
+    fat_tree, irregular, mesh, routes_from, shortest_route, torus, IrregularSpec, NodeId,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any mesh/torus is connected, has one endpoint per switch, and its
+    /// switch degrees are bounded by the dimension count + 1.
+    #[test]
+    fn grids_are_well_formed(w in 2usize..9, h in 2usize..9, wrap in any::<bool>()) {
+        let g = if wrap { torus(w, h) } else { mesh(w, h) };
+        let t = &g.topology;
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.switch_count(), w * h);
+        prop_assert_eq!(t.endpoint_count(), w * h);
+        for sw in t.switches() {
+            let d = t.degree(sw);
+            prop_assert!(d > 1, "switch under-connected");
+            prop_assert!(d <= 5, "switch over-connected: {d}");
+        }
+        for ep in t.endpoints() {
+            prop_assert_eq!(t.degree(ep), 1);
+        }
+    }
+
+    /// Fat-tree counts always match the Lin et al. formulas and the
+    /// fabric is connected with fully used switch ports.
+    #[test]
+    fn fat_trees_are_well_formed(k in 1u32..5, n in 1u32..4) {
+        let m = 2 * k;
+        let ft = fat_tree(m, n);
+        let t = &ft.topology;
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.switch_count() as u32, (2 * n - 1) * k.pow(n - 1));
+        prop_assert_eq!(t.endpoint_count() as u32, 2 * k.pow(n));
+        for sw in t.switches() {
+            prop_assert_eq!(t.degree(sw) as u32, m, "every switch port used");
+        }
+    }
+
+    /// Every BFS route executes forward to its destination AND the
+    /// response retraces it backward to the source (the PI-4 completion
+    /// path), over arbitrary grids.
+    #[test]
+    fn routes_execute_forward_and_backward(
+        w in 2usize..7,
+        h in 2usize..7,
+        wrap in any::<bool>(),
+        src_i in any::<prop::sample::Index>(),
+        dst_i in any::<prop::sample::Index>(),
+    ) {
+        let g = if wrap { torus(w, h) } else { mesh(w, h) };
+        let t = &g.topology;
+        let eps = t.endpoints();
+        let src = *src_i.get(&eps);
+        let dst = *dst_i.get(&eps);
+        prop_assume!(src != dst);
+        let route = shortest_route(t, src, dst).expect("connected");
+        let pool = route.encode(t, asi_proto::MAX_POOL_BITS).unwrap();
+
+        // Forward walk.
+        let mut at = t.peer(src, route.source_port).unwrap();
+        let mut cursor = TurnCursor::start(&pool, Direction::Forward);
+        while !cursor.exhausted(&pool) {
+            let node = t.node(at.node).unwrap();
+            prop_assert_eq!(node.device_type, DeviceType::Switch);
+            let (turn, next) = cursor.take_turn(&pool, turn_width(node.ports)).unwrap();
+            at = t.peer(at.node, apply_forward(at.port, turn, node.ports)).unwrap();
+            cursor = next;
+        }
+        prop_assert_eq!(at.node, dst);
+        prop_assert_eq!(at.port, route.dest_port);
+
+        // Backward walk (the completion): start where the request ended.
+        let mut back = t.peer(dst, route.dest_port).unwrap();
+        let mut cursor = TurnCursor::start(&pool, Direction::Backward);
+        while !cursor.exhausted(&pool) {
+            let node = t.node(back.node).unwrap();
+            let (turn, next) = cursor.take_turn(&pool, turn_width(node.ports)).unwrap();
+            back = t.peer(back.node, apply_backward(back.port, turn, node.ports)).unwrap();
+            cursor = next;
+        }
+        prop_assert_eq!(back.node, src);
+        prop_assert_eq!(back.port, route.source_port);
+    }
+
+    /// BFS distances satisfy the triangle property against the grid
+    /// Manhattan metric (meshes only: the route length through switches
+    /// equals Manhattan distance + 1 for endpoint-to-endpoint pairs).
+    #[test]
+    fn mesh_route_lengths_are_manhattan(
+        w in 2usize..8,
+        h in 2usize..8,
+        x1 in 0usize..8, y1 in 0usize..8,
+        x2 in 0usize..8, y2 in 0usize..8,
+    ) {
+        prop_assume!(x1 < w && x2 < w && y1 < h && y2 < h);
+        prop_assume!((x1, y1) != (x2, y2));
+        let g = mesh(w, h);
+        let r = shortest_route(&g.topology, g.endpoint_at(x1, y1), g.endpoint_at(x2, y2))
+            .unwrap();
+        let manhattan = x1.abs_diff(x2) + y1.abs_diff(y2);
+        prop_assert_eq!(r.hops.len(), manhattan + 1);
+    }
+
+    /// Irregular fabrics are connected and their routes cover every node.
+    #[test]
+    fn irregular_fabrics_connected_and_routable(
+        seed in any::<u64>(),
+        switches in 1usize..20,
+        extra in 0usize..10,
+        eps in 1usize..3,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let t = irregular(
+            IrregularSpec {
+                switches,
+                extra_links: extra,
+                endpoints_per_switch: eps,
+            },
+            &mut rng,
+        );
+        prop_assert!(t.is_connected());
+        prop_assert_eq!(t.endpoint_count(), switches * eps);
+        let src = t.endpoints()[0];
+        let routed = routes_from(&t, src).iter().flatten().count();
+        prop_assert_eq!(routed, t.node_count() - 1);
+    }
+
+    /// reachable_from with removals never returns removed nodes and is
+    /// monotone: removing more nodes never grows the reachable set.
+    #[test]
+    fn reachability_monotone_under_removal(
+        w in 2usize..6,
+        h in 2usize..6,
+        kill in proptest::collection::vec(any::<prop::sample::Index>(), 0..4),
+    ) {
+        let g = mesh(w, h);
+        let t = &g.topology;
+        let switches = t.switches();
+        let start = g.endpoint_at(0, 0);
+        let mut removed: Vec<NodeId> = Vec::new();
+        let mut last = t.reachable_from(start, &[]).len();
+        for k in kill {
+            let victim = *k.get(&switches);
+            if victim == g.switch_at(0, 0) || removed.contains(&victim) {
+                continue;
+            }
+            removed.push(victim);
+            let reach = t.reachable_from(start, &removed);
+            for r in &removed {
+                prop_assert!(!reach.contains(r));
+            }
+            prop_assert!(reach.len() <= last);
+            last = reach.len();
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's "application traffic scarcely influences the discovery
+//! time" claim, demonstrated live: Poisson data traffic floods the
+//! fabric from every endpoint while the FM discovers it. Management
+//! packets ride the highest-priority traffic class, so the discovery
+//! time barely moves.
+//!
+//! ```text
+//! cargo run --release --example background_traffic
+//! ```
+
+use advanced_switching::prelude::*;
+
+fn main() {
+    let grid = mesh(6, 6);
+    println!(
+        "fabric: {} ({} devices)\n",
+        grid.topology.name,
+        grid.topology.node_count()
+    );
+
+    println!(
+        "{:<16} {:>14} {:>16} {:>10}",
+        "algorithm", "quiet fabric", "loaded fabric", "delta"
+    );
+    println!("{}", "-".repeat(60));
+    for algorithm in Algorithm::all() {
+        // Quiet fabric.
+        let quiet = Bench::start(&grid.topology, &Scenario::new(algorithm), &[])
+            .last_run()
+            .discovery_time();
+
+        // Every endpoint injects 512-byte data packets, mean gap 30 us —
+        // roughly 17% sustained load per source on a 2 Gb/s lane.
+        let mut loaded_scenario = Scenario::new(algorithm);
+        loaded_scenario.traffic = Some(TrafficSpec {
+            mean_gap: SimDuration::from_us(30),
+            payload: 512,
+        });
+        let bench = Bench::start(&grid.topology, &loaded_scenario, &[]);
+        let loaded = bench.last_run().discovery_time();
+        let data_bytes = bench.fabric.counters().data_bytes;
+
+        let delta =
+            100.0 * (loaded.as_secs_f64() - quiet.as_secs_f64()) / quiet.as_secs_f64();
+        println!(
+            "{:<16} {:>14} {:>16} {:>9.2}%   ({:.1} MB of data traffic in flight)",
+            algorithm.name(),
+            format!("{quiet}"),
+            format!("{loaded}"),
+            delta,
+            data_bytes as f64 / 1e6
+        );
+        assert!(
+            delta.abs() < 10.0,
+            "traffic perturbed discovery by {delta:.1}% — priority broken?"
+        );
+    }
+
+    println!(
+        "\nManagement and event packets use TC7 -> the dedicated ordered VC, so\n\
+         they pre-empt bulk data at every output port: the paper's observation holds."
+    );
+}

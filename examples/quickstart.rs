@@ -1,0 +1,49 @@
+//! Quickstart: build the paper's 3×3 mesh, bring the fabric up, run the
+//! Parallel discovery algorithm, and inspect what the fabric manager
+//! learned.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use advanced_switching::prelude::*;
+
+fn main() {
+    // 1. A topology: the paper's smallest fabric — a 3×3 mesh of 16-port
+    //    switches, each hosting a single-port endpoint (18 devices).
+    let grid = mesh(3, 3);
+    println!(
+        "topology: {} ({} switches, {} endpoints)",
+        grid.topology.name,
+        grid.topology.switch_count(),
+        grid.topology.endpoint_count()
+    );
+
+    // 2. A scenario: which discovery algorithm the fabric manager runs,
+    //    and at which processing-speed factors (paper Figs. 8–9).
+    let scenario = Scenario::new(Algorithm::Parallel);
+
+    // 3. Bench::start powers every device, trains all links, installs the
+    //    FM on the first endpoint and runs the initial discovery.
+    let bench = Bench::start(&grid.topology, &scenario, &[]);
+
+    // 4. Results: the paper's headline metrics.
+    let run = bench.last_run();
+    println!("algorithm          : {}", run.algorithm);
+    println!("devices discovered : {}", run.devices_found);
+    println!("links discovered   : {}", run.links_found);
+    println!("PI-4 requests      : {}", run.requests_sent);
+    println!("bytes sent/received: {} / {}", run.bytes_sent, run.bytes_received);
+    println!("discovery time     : {}", run.discovery_time());
+    println!(
+        "mean FM processing : {:.2} us/packet",
+        run.mean_fm_processing().as_micros_f64()
+    );
+    println!("FM utilization     : {:.0}%", run.fm_utilization() * 100.0);
+
+    // 5. The discovered database matches the ground truth.
+    let db = bench.db();
+    assert_eq!(db.device_count(), grid.topology.node_count());
+    assert_eq!(db.link_count(), grid.topology.links().len());
+    println!("\ndiscovered endpoints: {:x?}", db.endpoints());
+}

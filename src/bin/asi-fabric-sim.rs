@@ -1,0 +1,223 @@
+//! `asi-fabric-sim` — command-line scenario runner.
+//!
+//! Runs a discovery scenario on a chosen topology and prints the
+//! measurements as text or JSON, so the simulator is usable without
+//! writing Rust:
+//!
+//! ```text
+//! asi-fabric-sim --topology mesh:6x6 --algorithm parallel
+//! asi-fabric-sim --topology torus:8x8 --algorithm all --change remove --json
+//! asi-fabric-sim --topology fattree:4,3 --fm-factor 4 --device-factor 0.2
+//! asi-fabric-sim --topology irregular:20 --seed 7 --loss 0.02 --retries 4
+//! ```
+
+use advanced_switching::core::{Algorithm, FmAgent, FmConfig, FmTiming, TOKEN_START_DISCOVERY};
+use advanced_switching::fabric::{DevId, Fabric, FabricConfig};
+use advanced_switching::harness::{change_experiment, Bench, Scenario};
+use advanced_switching::sim::{SimDuration, SimRng};
+use advanced_switching::topo::{fat_tree, irregular, mesh, torus, IrregularSpec, Topology};
+
+#[derive(serde::Serialize)]
+struct RunReport {
+    topology: String,
+    devices: usize,
+    algorithm: String,
+    scenario: String,
+    discovery_time_s: f64,
+    devices_found: usize,
+    links_found: usize,
+    requests: u64,
+    responses: u64,
+    timeouts: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+    mean_fm_processing_us: f64,
+    fm_utilization: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: asi-fabric-sim --topology <spec> [options]
+
+topology specs:
+  mesh:<W>x<H>        2-D mesh of 16-port switches, one endpoint each
+  torus:<W>x<H>       2-D torus
+  fattree:<m>,<n>     m-port n-tree (Lin et al.)
+  irregular:<N>       random connected fabric with N switches
+
+options:
+  --algorithm serial-packet|serial-device|parallel|all   (default: all)
+  --change none|remove|add     measure initial discovery or a change (default: none)
+  --fm-factor <f>              FM processing speed factor (default 1)
+  --device-factor <f>          device processing speed factor (default 1)
+  --loss <p>                   per-hop packet loss probability (default 0)
+  --retries <n>                FM request retries under loss (default 0; use >0 with --loss)
+  --seed <n>                   RNG seed (default 0xA51)
+  --json                       emit JSON instead of a table"
+    );
+    std::process::exit(2)
+}
+
+fn parse_topology(spec: &str, seed: u64) -> Option<Topology> {
+    let (kind, rest) = spec.split_once(':')?;
+    match kind {
+        "mesh" | "torus" => {
+            let (w, h) = rest.split_once('x')?;
+            let (w, h) = (w.parse().ok()?, h.parse().ok()?);
+            Some(if kind == "mesh" {
+                mesh(w, h).topology
+            } else {
+                torus(w, h).topology
+            })
+        }
+        "fattree" => {
+            let (m, n) = rest.split_once(',')?;
+            Some(fat_tree(m.parse().ok()?, n.parse().ok()?).topology)
+        }
+        "irregular" => {
+            let switches = rest.parse().ok()?;
+            let mut rng = SimRng::new(seed);
+            Some(irregular(
+                IrregularSpec {
+                    switches,
+                    extra_links: switches / 2,
+                    endpoints_per_switch: 1,
+                },
+                &mut rng,
+            ))
+        }
+        _ => None,
+    }
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed must be an integer"))
+        .unwrap_or(0xA51);
+    let topo_spec = arg_value(&args, "--topology").unwrap_or_else(|| usage());
+    let topo = parse_topology(&topo_spec, seed).unwrap_or_else(|| usage());
+    let fm_factor: f64 = arg_value(&args, "--fm-factor")
+        .map(|v| v.parse().expect("--fm-factor must be a number"))
+        .unwrap_or(1.0);
+    let device_factor: f64 = arg_value(&args, "--device-factor")
+        .map(|v| v.parse().expect("--device-factor must be a number"))
+        .unwrap_or(1.0);
+    let loss: f64 = arg_value(&args, "--loss")
+        .map(|v| v.parse().expect("--loss must be a probability"))
+        .unwrap_or(0.0);
+    let retries: u32 = arg_value(&args, "--retries")
+        .map(|v| v.parse().expect("--retries must be an integer"))
+        .unwrap_or(0);
+    let change = arg_value(&args, "--change").unwrap_or_else(|| "none".into());
+    let json = args.iter().any(|a| a == "--json");
+    let algorithms: Vec<Algorithm> = match arg_value(&args, "--algorithm").as_deref() {
+        Some("serial-packet") => vec![Algorithm::SerialPacket],
+        Some("serial-device") => vec![Algorithm::SerialDevice],
+        Some("parallel") => vec![Algorithm::Parallel],
+        Some("all") | None => Algorithm::all().to_vec(),
+        Some(other) => {
+            eprintln!("unknown algorithm {other:?}");
+            usage()
+        }
+    };
+
+    let mut reports = Vec::new();
+    for algorithm in algorithms {
+        let run = match change.as_str() {
+            "none" if loss == 0.0 => {
+                let scenario = Scenario::new(algorithm)
+                    .with_factors(fm_factor, device_factor)
+                    .with_seed(seed);
+                Bench::start(&topo, &scenario, &[]).last_run()
+            }
+            "none" => {
+                // Lossy initial discovery: build the fabric directly so the
+                // loss rate and retry budget apply.
+                let config = FabricConfig {
+                    device_factor,
+                    loss_rate: loss,
+                    seed,
+                    ..FabricConfig::default()
+                };
+                let mut fabric = Fabric::new(&topo, config);
+                fabric.set_event_limit(2_000_000_000);
+                fabric.activate_all(SimDuration::ZERO);
+                fabric.run_until_idle();
+                let fm_node =
+                    advanced_switching::topo::default_fm_endpoint(&topo).expect("endpoint");
+                let fm = DevId(fm_node.0);
+                let mut cfg = FmConfig::new(algorithm);
+                cfg.timing = FmTiming::default().with_factor(fm_factor);
+                cfg.max_retries = retries;
+                cfg.request_timeout = SimDuration::from_us(800);
+                fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
+                fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+                fabric.run_until_idle();
+                fabric
+                    .agent_as::<FmAgent>(fm)
+                    .unwrap()
+                    .last_run()
+                    .expect("run terminates")
+                    .clone()
+            }
+            "remove" | "add" => {
+                let scenario = Scenario::new(algorithm)
+                    .with_factors(fm_factor, device_factor)
+                    .with_seed(seed);
+                change_experiment(&topo, &scenario, change == "remove").0
+            }
+            other => {
+                eprintln!("unknown change {other:?}");
+                usage()
+            }
+        };
+        reports.push(RunReport {
+            topology: topo.name.clone(),
+            devices: topo.node_count(),
+            algorithm: algorithm.name().to_string(),
+            scenario: change.clone(),
+            discovery_time_s: run.discovery_time().as_secs_f64(),
+            devices_found: run.devices_found,
+            links_found: run.links_found,
+            requests: run.requests_sent,
+            responses: run.responses_received,
+            timeouts: run.timeouts,
+            bytes_sent: run.bytes_sent,
+            bytes_received: run.bytes_received,
+            mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
+            fm_utilization: run.fm_utilization(),
+        });
+    }
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&reports).unwrap());
+    } else {
+        println!(
+            "{:<16} {:>14} {:>9} {:>9} {:>9} {:>12} {:>8}",
+            "algorithm", "discovery", "devices", "links", "requests", "FM us/pkt", "FM util"
+        );
+        for r in &reports {
+            println!(
+                "{:<16} {:>12.3}ms {:>9} {:>9} {:>9} {:>12.2} {:>7.0}%",
+                r.algorithm,
+                r.discovery_time_s * 1e3,
+                r.devices_found,
+                r.links_found,
+                r.requests,
+                r.mean_fm_processing_us,
+                r.fm_utilization * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration tests for the `asi-fabric-sim` command-line runner.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_asi-fabric-sim"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn json_output_is_parseable_and_complete() {
+    let (stdout, _, ok) = run(&[
+        "--topology",
+        "mesh:3x3",
+        "--algorithm",
+        "all",
+        "--json",
+    ]);
+    assert!(ok);
+    let reports: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let arr = reports.as_array().expect("array of reports");
+    assert_eq!(arr.len(), 3);
+    for r in arr {
+        assert_eq!(r["devices_found"], 18);
+        assert_eq!(r["links_found"], 21);
+        assert_eq!(r["timeouts"], 0);
+        assert!(r["discovery_time_s"].as_f64().unwrap() > 0.0);
+    }
+    // Paper ordering holds through the CLI too.
+    let t = |i: usize| arr[i]["discovery_time_s"].as_f64().unwrap();
+    assert!(t(2) < t(1) && t(1) < t(0));
+}
+
+#[test]
+fn change_scenario_reports_the_shrunken_fabric() {
+    let (stdout, _, ok) = run(&[
+        "--topology",
+        "torus:3x3",
+        "--algorithm",
+        "parallel",
+        "--change",
+        "remove",
+        "--json",
+        "--seed",
+        "5",
+    ]);
+    assert!(ok);
+    let reports: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    // Torus stays connected: exactly the victim switch + its endpoint gone.
+    assert_eq!(reports[0]["devices_found"], 16);
+    assert_eq!(reports[0]["scenario"], "remove");
+}
+
+#[test]
+fn lossy_run_with_retries_recovers() {
+    let (stdout, _, ok) = run(&[
+        "--topology",
+        "mesh:3x3",
+        "--algorithm",
+        "parallel",
+        "--loss",
+        "0.05",
+        "--retries",
+        "8",
+        "--seed",
+        "3",
+        "--json",
+    ]);
+    assert!(ok);
+    let reports: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    assert_eq!(reports[0]["devices_found"], 18, "retries must recover");
+}
+
+#[test]
+fn table_output_mentions_all_algorithms() {
+    let (stdout, _, ok) = run(&["--topology", "fattree:4,2", "--algorithm", "all"]);
+    assert!(ok);
+    for name in ["Serial Packet", "Serial Device", "Parallel"] {
+        assert!(stdout.contains(name), "{name} missing from table output");
+    }
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_usage() {
+    let (_, stderr, ok) = run(&["--topology", "klein-bottle:4"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}

@@ -1,0 +1,166 @@
+//! Cross-crate integration tests through the public facade: topology →
+//! fabric → manager → database, compared against ground truth.
+
+use advanced_switching::prelude::*;
+use advanced_switching::topo;
+use std::collections::BTreeSet;
+
+fn discovered_dsns(bench: &Bench) -> BTreeSet<u64> {
+    bench.db().devices().map(|d| d.info.dsn).collect()
+}
+
+fn truth_dsns(t: &Topology) -> BTreeSet<u64> {
+    t.nodes()
+        .map(|(id, _)| advanced_switching::fabric::DSN_BASE | u64::from(id.0))
+        .collect()
+}
+
+#[test]
+fn every_table1_quick_topology_is_fully_discovered_by_every_algorithm() {
+    for spec in Table1::quick() {
+        let t = spec.build();
+        for alg in Algorithm::all() {
+            let bench = Bench::start(&t, &Scenario::new(alg), &[]);
+            assert_eq!(
+                discovered_dsns(&bench),
+                truth_dsns(&t),
+                "{} with {alg}",
+                spec.name()
+            );
+            assert_eq!(
+                bench.db().link_count(),
+                t.links().len(),
+                "{} with {alg}: link count",
+                spec.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn discovery_is_deterministic() {
+    let t = Table1::Torus(4).build();
+    let collect = || {
+        let bench = Bench::start(&t, &Scenario::new(Algorithm::Parallel).with_seed(99), &[]);
+        let run = bench.last_run();
+        (
+            run.discovery_time(),
+            run.requests_sent,
+            run.bytes_sent,
+            discovered_dsns(&bench),
+        )
+    };
+    let a = collect();
+    let b = collect();
+    assert_eq!(a, b, "identical seeds must give identical runs");
+}
+
+#[test]
+fn change_experiment_is_reproducible_and_correct() {
+    let t = topo::mesh(4, 4).topology;
+    let s = Scenario::new(Algorithm::SerialDevice).with_seed(1234);
+    let (run1, active1) = change_experiment(&t, &s, true);
+    let (run2, active2) = change_experiment(&t, &s, true);
+    assert_eq!(run1.discovery_time(), run2.discovery_time());
+    assert_eq!(active1, active2);
+    assert_eq!(run1.devices_found, active1);
+}
+
+#[test]
+fn per_algorithm_request_counts_are_similar() {
+    // The paper: "the amount of discovery packets employed by the serial
+    // and parallel discovery algorithms is very similar".
+    let t = topo::mesh(4, 4).topology;
+    let mut counts = Vec::new();
+    for alg in Algorithm::all() {
+        let bench = Bench::start(&t, &Scenario::new(alg), &[]);
+        counts.push(bench.last_run().requests_sent);
+    }
+    let max = *counts.iter().max().unwrap() as f64;
+    let min = *counts.iter().min().unwrap() as f64;
+    assert!(
+        max / min < 1.05,
+        "request counts diverge across algorithms: {counts:?}"
+    );
+}
+
+#[test]
+fn fm_bytes_scale_with_fabric_size() {
+    let small = Bench::start(
+        &topo::mesh(3, 3).topology,
+        &Scenario::new(Algorithm::Parallel),
+        &[],
+    );
+    let large = Bench::start(
+        &topo::mesh(6, 6).topology,
+        &Scenario::new(Algorithm::Parallel),
+        &[],
+    );
+    let rs = small.last_run();
+    let rl = large.last_run();
+    assert!(rl.bytes_sent > rs.bytes_sent * 3);
+    assert!(rl.bytes_received > rs.bytes_received * 3);
+    // Completions with data outweigh requests.
+    assert!(rs.bytes_received > rs.bytes_sent);
+}
+
+#[test]
+fn multi_port_endpoint_host_probes_all_its_ports() {
+    // A 2-port FM endpoint attached to two disjoint switches must
+    // discover both sides.
+    let mut t = Topology::new("dual-homed");
+    let fm_ep = t.add_endpoint_with_ports(2, "fm");
+    let sw_a = t.add_switch(16, "swA");
+    let sw_b = t.add_switch(16, "swB");
+    t.connect(fm_ep, 0, sw_a, 0).unwrap();
+    t.connect(fm_ep, 1, sw_b, 0).unwrap();
+    let ep_a = t.add_endpoint("epA");
+    let ep_b = t.add_endpoint("epB");
+    t.connect(sw_a, 1, ep_a, 0).unwrap();
+    t.connect(sw_b, 1, ep_b, 0).unwrap();
+    // Note: without a switch-to-switch link the two sides are only
+    // reachable through the FM's two ports.
+    let bench = Bench::start(&t, &Scenario::new(Algorithm::Parallel), &[]);
+    assert_eq!(bench.db().device_count(), 5);
+}
+
+#[test]
+fn spec_pool_mode_discovers_what_it_can_address() {
+    // Run discovery with the strict 31-bit pool on a fabric whose far
+    // corners need more turn bits: the FM must finish (no hang) and
+    // discover at least the addressable region.
+    let t = topo::mesh(8, 8).topology;
+    let mut fabric = Fabric::new(&t, FabricConfig::default());
+    fabric.set_event_limit(50_000_000);
+    fabric.activate_all(SimDuration::ZERO);
+    fabric.run_until_idle();
+    let fm_node = topo::default_fm_endpoint(&t).unwrap();
+    let fm = DevId(fm_node.0);
+    let mut cfg = FmConfig::new(Algorithm::Parallel);
+    cfg.pool_capacity = advanced_switching::proto::SPEC_POOL_BITS;
+    fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
+    fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+    fabric.run_until_idle();
+
+    let agent = fabric.agent_as::<FmAgent>(fm).unwrap();
+    let db = agent.db().expect("discovery terminated");
+    let spec = topo::spec_reachability(&t, fm_node);
+    // Everything within 7 switch hops (31/4 bits) is found; the rest is
+    // not addressable. BFS layering means the discovered set is at least
+    // the spec-addressable set.
+    assert!(db.device_count() >= spec.within_spec);
+    assert!(db.device_count() < t.node_count());
+}
+
+#[test]
+fn counters_balance_after_a_clean_discovery() {
+    let t = topo::mesh(4, 4).topology;
+    let bench = Bench::start(&t, &Scenario::new(Algorithm::Parallel), &[]);
+    let counters = bench.fabric.counters();
+    assert_eq!(counters.total_dropped(), 0, "clean run must not drop");
+    let run = bench.last_run();
+    assert_eq!(run.timeouts, 0);
+    assert_eq!(run.requests_sent, run.responses_received);
+    // Every FM request was injected and delivered (plus replies).
+    assert!(counters.delivered >= 2 * run.requests_sent);
+}

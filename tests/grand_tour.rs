@@ -1,0 +1,230 @@
+//! The grand tour: one fabric lifetime exercising every subsystem in
+//! sequence — bring-up, election, discovery, PI-5 configuration, path
+//! distribution, data traffic over distributed routes, multicast, a
+//! switch failure with failover of the manager itself, and re-discovery
+//! by the promoted secondary.
+
+use advanced_switching::core::{
+    decode_route_table, fm::StandbyConfig, plan_multicast, role_of, Claim, DiscoveryTrigger,
+    DistributedRole, FmRole, TOKEN_CONFIGURE_MCAST,
+};
+use advanced_switching::fabric::DSN_BASE;
+use advanced_switching::prelude::*;
+use advanced_switching::proto::{CapabilityAddr, CAP_ROUTE_TABLE};
+use advanced_switching::topo::{shortest_route, torus};
+use std::any::Any;
+
+#[derive(Default)]
+struct Counting {
+    data: u32,
+    mcast: u32,
+    inject: Vec<(u8, Packet)>,
+}
+
+impl FabricAgent for Counting {
+    fn processing_time(&mut self, _p: &Packet) -> SimDuration {
+        SimDuration::from_ns(100)
+    }
+    fn on_packet(&mut self, _ctx: &mut AgentCtx, p: Packet) {
+        match p.payload {
+            Payload::Data { .. } => self.data += 1,
+            Payload::Mcast { .. } => self.mcast += 1,
+            _ => {}
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut AgentCtx, _t: u64) {
+        for (port, pkt) in self.inject.drain(..) {
+            ctx.send(port, pkt);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[test]
+fn full_lifecycle() {
+    let g = torus(4, 4);
+    let topo = &g.topology;
+    let mut fabric = Fabric::new(topo, FabricConfig::default());
+    fabric.set_event_limit(500_000_000);
+
+    // ---- Phase 1: staggered bring-up ---------------------------------
+    fabric.activate_all(SimDuration::from_ns(200));
+    fabric.run_until_idle();
+
+    // ---- Phase 2: election by claim walk ------------------------------
+    // Two contenders; both walk the fabric with claim partitioning.
+    let cand_a = DevId(g.endpoint_at(0, 0).0);
+    let cand_b = DevId(g.endpoint_at(2, 2).0);
+    for dev in [cand_a, cand_b] {
+        let mut cfg = FmConfig::new(Algorithm::Parallel)
+            .with_distributed(DistributedRole::Primary { expected_reports: 0 });
+        cfg.auto_rediscover = false;
+        fabric.set_agent(dev, Box::new(FmAgent::new(cfg)));
+        fabric.schedule_agent_timer(dev, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
+    }
+    fabric.run_until_idle();
+    let dsn = |d: DevId| DSN_BASE | u64::from(d.0);
+    let claim = |d: DevId| Claim::new(0, dsn(d));
+    let rivals_a: Vec<Claim> = fabric
+        .agent_as::<FmAgent>(cand_a)
+        .unwrap()
+        .rivals
+        .iter()
+        .map(|&d| Claim::new(0, d))
+        .collect();
+    // Higher DSN wins: cand_b (endpoint (2,2) has the larger index).
+    assert_eq!(role_of(claim(cand_a), &rivals_a), FmRole::Secondary);
+    let primary = cand_b;
+    let secondary = cand_a;
+
+    // ---- Phase 3: the primary re-runs a clean full discovery with path
+    // distribution; the loser drops into standby. ----------------------
+    let mut cfg = FmConfig::new(Algorithm::Parallel);
+    cfg.distribute_paths = true;
+    fabric.set_agent(primary, Box::new(FmAgent::new(cfg)));
+    fabric.schedule_agent_timer(primary, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
+
+    let watch = shortest_route(topo, g.endpoint_at(0, 0), g.endpoint_at(2, 2)).unwrap();
+    let mut cfg = FmConfig::new(Algorithm::Parallel);
+    cfg.standby = Some(StandbyConfig::new(
+        watch.source_port,
+        watch.encode(topo, advanced_switching::proto::MAX_POOL_BITS).unwrap(),
+    ));
+    fabric.set_agent(secondary, Box::new(FmAgent::new(cfg)));
+    fabric.schedule_agent_timer(
+        secondary,
+        SimDuration::from_us(5),
+        advanced_switching::core::TOKEN_START_STANDBY,
+    );
+    fabric.run_until(SimTime::from_ms(20));
+    {
+        let p = fabric.agent_as::<FmAgent>(primary).unwrap();
+        assert_eq!(p.db().unwrap().device_count(), 32);
+        assert_eq!(p.distributions.len(), 1);
+        assert_eq!(p.distributions[0].failures, 0);
+    }
+
+    // PI-5 routes from the primary's database.
+    let routes: Vec<(u64, u8, TurnPool)> = {
+        let db = fabric.agent_as::<FmAgent>(primary).unwrap().db().unwrap();
+        let host = db.host_dsn();
+        db.devices()
+            .filter(|d| d.info.dsn != host)
+            .filter_map(|d| {
+                db.route_between(d.info.dsn, host, advanced_switching::proto::MAX_POOL_BITS)
+                    .and_then(Result::ok)
+                    .map(|r| (d.info.dsn, r.egress, r.pool))
+            })
+            .collect()
+    };
+    for (d, egress, pool) in routes {
+        fabric.set_fm_route(
+            DevId((d & 0xFFFF_FFFF) as u32),
+            advanced_switching::fabric::FmRoute { egress, pool },
+        );
+    }
+
+    // ---- Phase 4: a user endpoint sends data over its distributed
+    // route table. -------------------------------------------------------
+    let user = DevId(g.endpoint_at(1, 1).0);
+    let peer = DevId(g.endpoint_at(3, 3).0);
+    let entry = {
+        let cs = fabric.config_space(user);
+        let mut words = Vec::new();
+        let mut offset = 0u16;
+        while words.len() < 6 * 31 {
+            words.extend(
+                cs.read(
+                    CapabilityAddr {
+                        capability: CAP_ROUTE_TABLE,
+                        offset,
+                    },
+                    6,
+                )
+                .unwrap(),
+            );
+            offset += 6;
+        }
+        decode_route_table(&words)
+            .into_iter()
+            .find(|e| e.dest_dsn == dsn(peer))
+            .expect("distributed route present")
+    };
+    let hdr = advanced_switching::proto::RouteHeader::forward(
+        advanced_switching::proto::ProtocolInterface::Data,
+        0,
+        entry.pool.clone(),
+    );
+    let mut sender = Counting::default();
+    sender
+        .inject
+        .push((entry.egress, Packet::new(hdr, Payload::Data { len: 256 })));
+    fabric.set_agent(user, Box::new(sender));
+    fabric.set_agent(peer, Box::new(Counting::default()));
+    fabric.schedule_agent_timer(user, SimDuration::from_us(1), 0);
+    // Bounded runs from here on: the secondary's keepalive loop keeps the
+    // event queue alive forever, so run_until_idle would never return.
+    let deadline = fabric.now() + SimDuration::from_ms(1);
+    fabric.run_until(deadline);
+    assert_eq!(fabric.agent_as::<Counting>(peer).unwrap().data, 1);
+
+    // ---- Phase 5: multicast group across three corners ----------------
+    const GROUP: u16 = 11;
+    let members = [g.endpoint_at(1, 1), g.endpoint_at(3, 0), g.endpoint_at(0, 3)];
+    let member_dsns: Vec<u64> = members.iter().map(|m| DSN_BASE | u64::from(m.0)).collect();
+    {
+        let agent = fabric.agent_as_mut::<FmAgent>(primary).unwrap();
+        // The plan itself must be valid against the discovered database.
+        assert!(plan_multicast(agent.db().unwrap(), GROUP, &member_dsns).is_ok());
+        agent.queue_multicast(GROUP, member_dsns);
+    }
+    fabric.schedule_agent_timer(primary, SimDuration::from_us(1), TOKEN_CONFIGURE_MCAST);
+    let deadline = fabric.now() + SimDuration::from_ms(5);
+    fabric.run_until(deadline);
+    assert!(fabric.agent_as::<FmAgent>(primary).unwrap().mcast_settled());
+    let hdr = advanced_switching::proto::RouteHeader::forward(
+        advanced_switching::proto::ProtocolInterface::Multicast,
+        0,
+        TurnPool::new_spec(),
+    );
+    let mut mc_sender = Counting::default();
+    mc_sender.inject.push((
+        0,
+        Packet::new(
+            hdr,
+            Payload::Mcast {
+                group: GROUP,
+                len: 100,
+                hops: 32,
+            },
+        ),
+    ));
+    fabric.set_agent(DevId(members[0].0), Box::new(mc_sender));
+    for &m in &members[1..] {
+        fabric.set_agent(DevId(m.0), Box::new(Counting::default()));
+    }
+    fabric.schedule_agent_timer(DevId(members[0].0), SimDuration::from_us(1), 0);
+    let deadline = fabric.now() + SimDuration::from_ms(1);
+    fabric.run_until(deadline);
+    for &m in &members[1..] {
+        assert_eq!(fabric.agent_as::<Counting>(DevId(m.0)).unwrap().mcast, 1);
+    }
+
+    // ---- Phase 6: the primary's endpoint dies; the secondary promotes
+    // and re-discovers the surviving fabric. ----------------------------
+    fabric.schedule_deactivate(primary, SimDuration::from_us(10));
+    fabric.run_until(SimTime::from_ms(80));
+    fabric.run_until_idle();
+    let s = fabric.agent_as::<FmAgent>(secondary).unwrap();
+    assert!(s.promoted, "secondary never took over");
+    let run = s.last_run().unwrap();
+    assert_eq!(run.trigger, DiscoveryTrigger::Failover);
+    // 32 devices minus the dead primary endpoint.
+    assert_eq!(run.devices_found, 31);
+    assert!(!s.db().unwrap().contains(dsn(primary)));
+}
