@@ -29,6 +29,7 @@ use asi_proto::{
     turn_for, turn_width, CapabilityAddr, DeviceInfo, DeviceType, Pi4Status, PortInfo,
     PortState, TurnPool,
 };
+use asi_sim::{SimTime, TraceEvent, TraceHandle};
 use std::collections::{HashMap, VecDeque};
 
 /// Engine configuration.
@@ -165,6 +166,12 @@ pub struct Engine {
     stats: EngineStats,
     done: bool,
     my_dsn: u64,
+    /// Observability sink (disabled by default; see [`Engine::set_trace`]).
+    trace: TraceHandle,
+    /// The engine is clockless: the caller stamps the current simulated
+    /// time before delegating completions/timeouts so trace records carry
+    /// real timestamps.
+    trace_now: SimTime,
 }
 
 impl Engine {
@@ -200,6 +207,8 @@ impl Engine {
             stats: EngineStats::default(),
             done: false,
             my_dsn: host_info.dsn,
+            trace: TraceHandle::disabled(),
+            trace_now: SimTime::ZERO,
         };
         for (p, info) in host_ports.iter().enumerate() {
             if info.state.is_active() {
@@ -246,6 +255,8 @@ impl Engine {
             stats: EngineStats::default(),
             done: false,
             my_dsn,
+            trace: TraceHandle::disabled(),
+            trace_now: SimTime::ZERO,
         };
         let mut out = Vec::new();
         for &dsn in reread_ports {
@@ -287,6 +298,29 @@ impl Engine {
         (engine, out)
     }
 
+    /// Installs a trace sink. Emits [`TraceEvent::DeviceDiscovered`] on
+    /// every database insert, [`TraceEvent::RequestCompleted`] /
+    /// [`TraceEvent::RequestTimedOut`] as completions and timeouts are
+    /// consumed, and [`TraceEvent::PendingTableSize`] whenever the
+    /// in-flight table changes size. Call [`Engine::set_trace_time`]
+    /// before delegating events so records carry the right timestamp.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
+    /// Stamps the simulated time used for subsequent trace records (the
+    /// engine itself is clockless).
+    pub fn set_trace_time(&mut self, now: SimTime) {
+        self.trace_now = now;
+    }
+
+    /// Emits the current pending-table size.
+    fn trace_pending(&self) {
+        let size = self.pending.len() as u32;
+        self.trace
+            .emit(self.trace_now, || TraceEvent::PendingTableSize { size });
+    }
+
     /// True once the exploration queue and pending table are empty.
     pub fn is_done(&self) -> bool {
         self.done
@@ -319,6 +353,10 @@ impl Engine {
             return Vec::new(); // stale (timed out earlier)
         };
         self.stats.responses += 1;
+        let ok = result.is_ok();
+        self.trace
+            .emit(self.trace_now, || TraceEvent::RequestCompleted { req_id, ok });
+        self.trace_pending();
         let mut out = Vec::new();
         match (inflight.kind, result) {
             (Pending::General(target), Ok(words)) => {
@@ -389,6 +427,9 @@ impl Engine {
             return Vec::new();
         };
         self.stats.timeouts += 1;
+        self.trace
+            .emit(self.trace_now, || TraceEvent::RequestTimedOut { req_id });
+        self.trace_pending();
         if inflight.retries < self.cfg.max_retries {
             if let Some(req) = self.reissue(inflight.kind.clone(), inflight.retries + 1) {
                 self.stats.retries += 1;
@@ -484,6 +525,11 @@ impl Engine {
             return;
         }
         self.db.insert_device(info, target.route.clone());
+        self.trace.emit(self.trace_now, || TraceEvent::DeviceDiscovered {
+            dsn: info.dsn,
+            switch: info.device_type == DeviceType::Switch,
+            ports: info.port_count,
+        });
         if self.cfg.claim_partitioning {
             let dsn = info.dsn;
             let claim = vec![(self.my_dsn >> 32) as u32, self.my_dsn as u32];
@@ -744,6 +790,7 @@ impl Engine {
         );
         self.stats.requests += 1;
         self.stats.max_outstanding = self.stats.max_outstanding.max(self.pending.len());
+        self.trace_pending();
         OutRequest {
             req_id,
             egress: route.egress,
@@ -963,7 +1010,8 @@ mod tests {
                 7,
                 p,
                 if p == 2 || p == 1 {
-                    active_port(if p == 2 { 0 } else { 0 })
+                    // Both peers are endpoints, so the peer port is 0.
+                    active_port(0)
                 } else {
                     PortInfo::default()
                 },

@@ -12,10 +12,10 @@ use crate::pathdist::plan_distribution;
 use crate::timing::FmTiming;
 use asi_fabric::{AgentCtx, FabricAgent};
 use asi_proto::{
-    FmMessage, Packet, Payload, Pi4, Pi5, PortEvent, ProtocolInterface, RouteHeader,
-    MANAGEMENT_TC,
+    DeviceType, FmMessage, Packet, Payload, Pi4, Pi5, PortEvent, ProtocolInterface,
+    RouteHeader, MANAGEMENT_TC,
 };
-use asi_sim::{SimDuration, SimTime, TimeSeries};
+use asi_sim::{SimDuration, SimTime, TimeSeries, TraceEvent, TraceHandle};
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -65,6 +65,9 @@ pub struct FmConfig {
     /// Distribute per-endpoint route tables after every discovery
     /// (the paper's path-distribution future-work item).
     pub distribute_paths: bool,
+    /// Observability sink shared with the discovery engine. Disabled by
+    /// default; see `asi_sim::trace` and `docs/TRACE_FORMAT.md`.
+    pub trace: TraceHandle,
 }
 
 /// How a secondary manager watches the primary.
@@ -110,6 +113,7 @@ impl FmConfig {
             distributed: None,
             standby: None,
             distribute_paths: false,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -173,6 +177,20 @@ pub struct FmAgent {
     pub mcast_configured: Vec<u16>,
     /// Multicast-table writes that failed or were rejected at planning.
     pub mcast_failures: u64,
+    /// Occupancy of the most recent packet (for busy/idle trace spans).
+    last_processing: SimDuration,
+    /// Instant the FM last finished processing a packet.
+    busy_until: SimTime,
+}
+
+/// Stable trigger tag used in [`TraceEvent::RunStarted`] records.
+fn trigger_tag(trigger: DiscoveryTrigger) -> &'static str {
+    match trigger {
+        DiscoveryTrigger::Initial => "initial",
+        DiscoveryTrigger::ChangeAssimilation => "change",
+        DiscoveryTrigger::Partial => "partial",
+        DiscoveryTrigger::Failover => "failover",
+    }
 }
 
 impl FmAgent {
@@ -205,6 +223,8 @@ impl FmAgent {
             mcast_next_req: MCAST_REQ_BASE,
             mcast_configured: Vec::new(),
             mcast_failures: 0,
+            last_processing: SimDuration::ZERO,
+            busy_until: SimTime::ZERO,
         }
     }
 
@@ -245,7 +265,28 @@ impl FmAgent {
 
     fn begin_full(&mut self, ctx: &mut AgentCtx, trigger: DiscoveryTrigger) {
         self.epoch += 1;
-        let (engine, out) = Engine::start(self.engine_cfg(), ctx.host_info, &ctx.host_ports);
+        let (mut engine, out) =
+            Engine::start(self.engine_cfg(), ctx.host_info, &ctx.host_ports);
+        engine.set_trace(self.cfg.trace.clone());
+        engine.set_trace_time(ctx.now);
+        let algorithm = self.cfg.algorithm.name();
+        self.cfg.trace.emit(ctx.now, || TraceEvent::RunStarted {
+            algorithm,
+            trigger: trigger_tag(trigger),
+        });
+        // The host endpoint enters the database locally, before the trace
+        // sink is installed on the engine: emit its discovery here so the
+        // device-discovered count reconciles with `devices_found`.
+        let host = ctx.host_info;
+        self.cfg.trace.emit(ctx.now, || TraceEvent::DeviceDiscovered {
+            dsn: host.dsn,
+            switch: host.device_type == DeviceType::Switch,
+            ports: host.port_count,
+        });
+        let outstanding = engine.outstanding() as u32;
+        self.cfg
+            .trace
+            .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
         self.acc = Some(RunAcc {
             trigger,
             started_at: ctx.now,
@@ -289,7 +330,18 @@ impl FmAgent {
         rereads.sort_unstable();
         rereads.dedup();
         rereads.retain(|d| db.contains(*d));
-        let (engine, out) = Engine::seeded(self.engine_cfg(), db, &rereads, &[]);
+        let (mut engine, out) = Engine::seeded(self.engine_cfg(), db, &rereads, &[]);
+        engine.set_trace(self.cfg.trace.clone());
+        engine.set_trace_time(ctx.now);
+        let algorithm = self.cfg.algorithm.name();
+        self.cfg.trace.emit(ctx.now, || TraceEvent::RunStarted {
+            algorithm,
+            trigger: trigger_tag(DiscoveryTrigger::Partial),
+        });
+        let outstanding = engine.outstanding() as u32;
+        self.cfg
+            .trace
+            .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
         self.acc = Some(RunAcc {
             trigger: DiscoveryTrigger::Partial,
             started_at: ctx.now,
@@ -307,6 +359,10 @@ impl FmAgent {
     /// Sends engine requests and arms their timeouts.
     fn dispatch(&mut self, ctx: &mut AgentCtx, out: Vec<OutRequest>) {
         for req in out {
+            let (req_id, write) = (req.req_id, matches!(req.op, OutOp::Write { .. }));
+            self.cfg
+                .trace
+                .emit(ctx.now, || TraceEvent::RequestInjected { req_id, write });
             let header = RouteHeader::forward(
                 ProtocolInterface::DeviceManagement,
                 MANAGEMENT_TC,
@@ -361,6 +417,12 @@ impl FmAgent {
             fm_timeline: acc.timeline,
             fm_busy: acc.fm_busy,
         };
+        self.cfg.trace.emit(ctx.now, || TraceEvent::RunFinished {
+            devices_found: run.devices_found as u64,
+            links_found: run.links_found as u64,
+            requests_sent: run.requests_sent,
+            timeouts: run.timeouts,
+        });
         self.runs.push(run);
         self.db = Some(db);
         match &self.cfg.distributed {
@@ -605,6 +667,7 @@ impl FmAgent {
         let Some(engine) = self.engine.as_mut() else {
             return; // completion for an abandoned run
         };
+        engine.set_trace_time(ctx.now);
         let out = match pi4 {
             Pi4::ReadCompletion { req_id, data } => engine.handle_completion(*req_id, Ok(data)),
             Pi4::ReadError { req_id, status } => engine.handle_completion(*req_id, Err(*status)),
@@ -625,6 +688,14 @@ impl FmAgent {
         }
         *last = event.sequence;
         self.pi5_events += 1;
+        let (dsn, port, up) = (
+            event.reporter_dsn,
+            u16::from(event.port),
+            event.event == PortEvent::PortUp,
+        );
+        self.cfg
+            .trace
+            .emit(ctx.now, || TraceEvent::Pi5Received { dsn, port, up });
         if !self.cfg.auto_rediscover {
             return;
         }
@@ -743,10 +814,25 @@ impl FabricAgent for FmAgent {
         if let Some(acc) = self.acc.as_mut() {
             acc.fm_busy += t;
         }
+        self.last_processing = t;
         t
     }
 
     fn on_packet(&mut self, ctx: &mut AgentCtx, packet: Packet) {
+        // Busy/idle spans: the fabric calls `on_packet` when the
+        // per-packet occupancy ends, so `[now - last_processing, now]`
+        // was busy and any gap back to the previous completion was idle.
+        if self.cfg.trace.is_enabled() {
+            let busy = self.last_processing;
+            let started =
+                SimTime::from_ps(ctx.now.as_ps().saturating_sub(busy.as_ps()));
+            if started > self.busy_until {
+                let idle = started.saturating_since(self.busy_until);
+                self.cfg.trace.emit(started, || TraceEvent::FmIdle { idle });
+            }
+            self.cfg.trace.emit(ctx.now, || TraceEvent::FmBusy { busy });
+            self.busy_until = ctx.now;
+        }
         match &packet.payload {
             Payload::Pi4(pi4) => {
                 let pi4 = pi4.clone();
@@ -798,6 +884,7 @@ impl FabricAgent for FmAgent {
             }
             if let Some(engine) = self.engine.as_mut() {
                 if engine.is_pending(req_id) {
+                    engine.set_trace_time(ctx.now);
                     let out = engine.handle_timeout(req_id);
                     self.dispatch(ctx, out);
                     self.maybe_finish(ctx);

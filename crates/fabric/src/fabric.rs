@@ -26,7 +26,7 @@ use asi_proto::{
     Pi5, PortEvent, PortInfo, PortState, ProtocolInterface, RouteHeader, TurnCursor,
     TurnPool, MANAGEMENT_TC,
 };
-use asi_sim::{SimDuration, SimRng, SimTime, Simulator};
+use asi_sim::{SimDuration, SimRng, SimTime, Simulator, TraceEvent, TraceHandle};
 use asi_topo::Topology;
 use std::collections::VecDeque;
 
@@ -181,6 +181,7 @@ pub struct Fabric {
     config: FabricConfig,
     counters: FabricCounters,
     rng: SimRng,
+    trace: TraceHandle,
 }
 
 /// Base used to derive device serial numbers from indices.
@@ -232,7 +233,19 @@ impl Fabric {
             config,
             counters: FabricCounters::default(),
             rng,
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Installs a trace sink on the fabric model and the simulator kernel.
+    /// The fabric emits [`TraceEvent::Pi5Emitted`],
+    /// [`TraceEvent::DeviceActivated`] and [`TraceEvent::DeviceDeactivated`];
+    /// the kernel samples queue depth every `queue_sample_every` processed
+    /// events (0 disables sampling). Pass the same handle to
+    /// `FmConfig::trace` so manager-side events land in the same stream.
+    pub fn set_trace(&mut self, trace: TraceHandle, queue_sample_every: u64) {
+        self.sim.set_trace(trace.clone(), queue_sample_every);
+        self.trace = trace;
     }
 
     // ------------------------------------------------------------------
@@ -1052,6 +1065,8 @@ impl Fabric {
             return;
         }
         self.devices[dev.idx()].active = true;
+        self.trace
+            .emit(self.sim.now(), || TraceEvent::DeviceActivated { device: dev.0 });
         // Train every link whose peer is already active.
         let nports = self.devices[dev.idx()].ports.len() as u8;
         for port in 0..nports {
@@ -1112,6 +1127,9 @@ impl Fabric {
             return;
         }
         self.devices[dev.idx()].active = false;
+        self.trace.emit(self.sim.now(), || TraceEvent::DeviceDeactivated {
+            device: dev.0,
+        });
         let nports = self.devices[dev.idx()].ports.len() as u8;
         for port in 0..nports {
             // Own side: silent death.
@@ -1214,6 +1232,12 @@ impl Fabric {
         );
         self.counters.pi5_emitted += 1;
         self.counters.injected += 1;
+        let up = event == PortEvent::PortUp;
+        self.trace.emit(self.sim.now(), || TraceEvent::Pi5Emitted {
+            dsn,
+            port: u16::from(port),
+            up,
+        });
         self.enqueue_out(dev, route.egress, OutEntry {
             ready: self.sim.now(),
             packet,

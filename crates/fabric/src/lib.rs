@@ -1,7 +1,7 @@
 //! `asi-fabric` — the simulated Advanced Switching fabric.
 //!
 //! This crate is the substrate the paper built in OPNET (their reference
-//! [8]): x1 links, 16-port multiplexed virtual cut-through switches,
+//! \[8\]): x1 links, 16-port multiplexed virtual cut-through switches,
 //! 1-port endpoints, credit-based flow control, management-priority
 //! arbitration, PI-4 device responders, PI-5 event generation, device hot
 //! addition/removal, and an agent interface on endpoints where the fabric

@@ -37,7 +37,7 @@ mod tests {
         assert_eq!(written[1].1, 36); // 4-port 3-tree
         for (file, nodes) in &written {
             let dot = std::fs::read_to_string(dir.join(file)).unwrap();
-            assert_eq!(dot.matches("label=").count() > *nodes, true);
+            assert!(dot.matches("label=").count() > *nodes);
             assert!(dot.starts_with("graph"));
             // Every node declared.
             assert_eq!(

@@ -53,12 +53,12 @@ pub fn run_with_factors(
     }
     type TaskResult = (Vec<(f64, f64)>, (f64, f64));
     let mut results: Vec<Option<TaskResult>> = vec![None; tasks.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for &(a, t) in &tasks {
             let spec = topos[t];
             let alg = algs[a];
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let topo = spec.build();
                 let mut points = Vec::new();
                 let mut stats = OnlineStats::new();
@@ -78,8 +78,7 @@ pub fn run_with_factors(
         for (slot, handle) in handles.into_iter().enumerate() {
             results[slot] = Some(handle.join().expect("sweep task panicked"));
         }
-    })
-    .expect("scope");
+    });
 
     for (a, alg) in algs.iter().enumerate() {
         let mut s_scatter = Series::new(alg.name());

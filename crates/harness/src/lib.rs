@@ -5,7 +5,9 @@
 //!   configuration, and random switch addition/removal injection (the
 //!   paper's §4.1 methodology);
 //! - [`experiments`] — one module per table/figure plus ablations;
-//! - [`report`] — markdown/CSV renderers for the reproduced outputs.
+//! - [`report`] — markdown/CSV renderers for the reproduced outputs,
+//!   plus the discovery-trace collector and JSONL exporters for the
+//!   `asi_sim::trace` observability layer.
 //!
 //! The `experiments` binary drives everything:
 //!
@@ -17,8 +19,13 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod scenario;
 
-pub use report::{Chart, Series, TableOut};
+pub use json::Json;
+pub use report::{
+    pending_occupancy, save_trace_jsonl, trace_from_jsonl, trace_to_jsonl, Chart, RingCollector,
+    Series, TableOut, TraceSummary,
+};
 pub use scenario::{change_experiment, dev_of_dsn, dsn_of_dev, Bench, Scenario, TrafficSpec};

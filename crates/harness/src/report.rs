@@ -1,11 +1,17 @@
 //! Output containers for reproduced tables and figures, with markdown and
-//! CSV rendering.
+//! CSV rendering — plus the discovery-trace collector and exporters
+//! (ring buffer, JSON Lines, summaries) for the `asi_sim::trace` layer.
 
+use crate::json::{self, Json};
+use asi_sim::{SimDuration, SimTime, TraceEvent, TraceRecord, TraceSink};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::rc::Rc;
 
 /// One plotted series (a line in a paper figure).
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Series {
     /// Legend label ("Serial Packet", …).
     pub name: String,
@@ -29,7 +35,7 @@ impl Series {
 }
 
 /// A reproduced figure: axes plus one or more series.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct Chart {
     /// Identifier ("fig6a").
     pub id: String,
@@ -127,7 +133,7 @@ impl Chart {
 }
 
 /// A reproduced table.
-#[derive(Clone, Debug, serde::Serialize)]
+#[derive(Clone, Debug)]
 pub struct TableOut {
     /// Identifier ("table1").
     pub id: String,
@@ -254,6 +260,324 @@ impl Chart {
     }
 }
 
+// ---------------------------------------------------------------------
+// Discovery-trace collection and export
+// ---------------------------------------------------------------------
+
+/// A bounded, in-memory [`TraceSink`]: keeps the most recent `capacity`
+/// records and counts (rather than stores) anything older it had to
+/// evict, so a runaway trace can never exhaust memory.
+pub struct RingCollector {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingCollector {
+    /// An empty collector keeping at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> RingCollector {
+        let capacity = capacity.max(1);
+        RingCollector {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// A shared collector ready for `asi_sim::TraceHandle::to`; keep a
+    /// clone of the `Rc` to read the records back after the run.
+    pub fn shared(capacity: usize) -> Rc<RefCell<RingCollector>> {
+        Rc::new(RefCell::new(RingCollector::new(capacity)))
+    }
+
+    /// The held records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains and returns the held records, oldest first.
+    pub fn take(&mut self) -> Vec<TraceRecord> {
+        self.records.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingCollector {
+    fn record(&mut self, record: TraceRecord) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+}
+
+/// Renders one trace record as a JSON object: `t_ps` (picosecond
+/// timestamp), `event` (the kind tag), then the payload fields. The
+/// schema is documented in `docs/TRACE_FORMAT.md`.
+pub fn trace_record_to_json(record: &TraceRecord) -> Json {
+    let obj = Json::object()
+        .with("t_ps", record.time.as_ps())
+        .with("event", record.event.kind());
+    match &record.event {
+        TraceEvent::RunStarted { algorithm, trigger } => {
+            obj.with("algorithm", *algorithm).with("trigger", *trigger)
+        }
+        TraceEvent::RunFinished {
+            devices_found,
+            links_found,
+            requests_sent,
+            timeouts,
+        } => obj
+            .with("devices_found", *devices_found)
+            .with("links_found", *links_found)
+            .with("requests_sent", *requests_sent)
+            .with("timeouts", *timeouts),
+        TraceEvent::RequestInjected { req_id, write } => {
+            obj.with("req_id", *req_id).with("write", *write)
+        }
+        TraceEvent::RequestCompleted { req_id, ok } => {
+            obj.with("req_id", *req_id).with("ok", *ok)
+        }
+        TraceEvent::RequestTimedOut { req_id } => obj.with("req_id", *req_id),
+        TraceEvent::Pi5Emitted { dsn, port, up }
+        | TraceEvent::Pi5Received { dsn, port, up } => obj
+            .with("dsn", *dsn)
+            .with("port", *port)
+            .with("up", *up),
+        TraceEvent::DeviceDiscovered { dsn, switch, ports } => obj
+            .with("dsn", *dsn)
+            .with("switch", *switch)
+            .with("ports", *ports),
+        TraceEvent::PendingTableSize { size } => obj.with("size", *size),
+        TraceEvent::FmBusy { busy } => obj.with("busy_ps", busy.as_ps()),
+        TraceEvent::FmIdle { idle } => obj.with("idle_ps", idle.as_ps()),
+        TraceEvent::DeviceActivated { device }
+        | TraceEvent::DeviceDeactivated { device } => obj.with("device", *device),
+        TraceEvent::QueueSample { depth, processed } => {
+            obj.with("depth", *depth).with("processed", *processed)
+        }
+    }
+}
+
+/// Interns an algorithm name back to its `'static` spelling.
+fn static_algorithm(name: &str) -> Option<&'static str> {
+    ["Serial Packet", "Serial Device", "Parallel"]
+        .into_iter()
+        .find(|a| *a == name)
+}
+
+/// Interns a run-trigger tag back to its `'static` spelling.
+fn static_trigger(tag: &str) -> Option<&'static str> {
+    ["initial", "change", "partial", "failover"]
+        .into_iter()
+        .find(|t| *t == tag)
+}
+
+/// Parses one object produced by [`trace_record_to_json`] back into a
+/// record. Returns `None` on unknown kinds, unknown algorithm/trigger
+/// spellings, or missing fields.
+pub fn trace_record_from_json(json: &Json) -> Option<TraceRecord> {
+    let time = SimTime::from_ps(json.get("t_ps").as_u64()?);
+    let req_id = || json.get("req_id").as_u64().map(|v| v as u32);
+    let event = match json.get("event").as_str()? {
+        "run-started" => TraceEvent::RunStarted {
+            algorithm: static_algorithm(json.get("algorithm").as_str()?)?,
+            trigger: static_trigger(json.get("trigger").as_str()?)?,
+        },
+        "run-finished" => TraceEvent::RunFinished {
+            devices_found: json.get("devices_found").as_u64()?,
+            links_found: json.get("links_found").as_u64()?,
+            requests_sent: json.get("requests_sent").as_u64()?,
+            timeouts: json.get("timeouts").as_u64()?,
+        },
+        "request-injected" => TraceEvent::RequestInjected {
+            req_id: req_id()?,
+            write: json.get("write").as_bool()?,
+        },
+        "request-completed" => TraceEvent::RequestCompleted {
+            req_id: req_id()?,
+            ok: json.get("ok").as_bool()?,
+        },
+        "request-timed-out" => TraceEvent::RequestTimedOut { req_id: req_id()? },
+        kind @ ("pi5-emitted" | "pi5-received") => {
+            let dsn = json.get("dsn").as_u64()?;
+            let port = json.get("port").as_u64()? as u16;
+            let up = json.get("up").as_bool()?;
+            if kind == "pi5-emitted" {
+                TraceEvent::Pi5Emitted { dsn, port, up }
+            } else {
+                TraceEvent::Pi5Received { dsn, port, up }
+            }
+        }
+        "device-discovered" => TraceEvent::DeviceDiscovered {
+            dsn: json.get("dsn").as_u64()?,
+            switch: json.get("switch").as_bool()?,
+            ports: json.get("ports").as_u64()? as u16,
+        },
+        "pending-table-size" => TraceEvent::PendingTableSize {
+            size: json.get("size").as_u64()? as u32,
+        },
+        "fm-busy" => TraceEvent::FmBusy {
+            busy: SimDuration::from_ps(json.get("busy_ps").as_u64()?),
+        },
+        "fm-idle" => TraceEvent::FmIdle {
+            idle: SimDuration::from_ps(json.get("idle_ps").as_u64()?),
+        },
+        kind @ ("device-activated" | "device-deactivated") => {
+            let device = json.get("device").as_u64()? as u32;
+            if kind == "device-activated" {
+                TraceEvent::DeviceActivated { device }
+            } else {
+                TraceEvent::DeviceDeactivated { device }
+            }
+        }
+        "queue-sample" => TraceEvent::QueueSample {
+            depth: json.get("depth").as_u64()?,
+            processed: json.get("processed").as_u64()?,
+        },
+        _ => return None,
+    };
+    Some(TraceRecord { time, event })
+}
+
+/// Renders records as JSON Lines: one compact object per line.
+pub fn trace_to_jsonl<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&trace_record_to_json(r).to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a JSONL trace dump to `path`.
+pub fn save_trace_jsonl<'a>(
+    path: &Path,
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, trace_to_jsonl(records))
+}
+
+/// Parses a JSONL trace dump (the inverse of [`trace_to_jsonl`]). Blank
+/// lines are skipped; a malformed line fails with its 1-based number.
+pub fn trace_from_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value =
+            json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let record = trace_record_from_json(&value)
+            .ok_or_else(|| format!("line {}: unrecognized trace record", i + 1))?;
+        out.push(record);
+    }
+    Ok(out)
+}
+
+/// Aggregate view of a trace: per-kind counts plus the derived totals a
+/// quick look needs (peak pending table, FM busy/idle time, time span).
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Record count per kind tag.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Timestamp of the first record.
+    pub first: Option<SimTime>,
+    /// Timestamp of the last record.
+    pub last: Option<SimTime>,
+    /// Peak pending-table size observed.
+    pub max_pending: u32,
+    /// Total FM busy time across `fm-busy` spans.
+    pub fm_busy: SimDuration,
+    /// Total FM idle time across `fm-idle` spans.
+    pub fm_idle: SimDuration,
+}
+
+impl TraceSummary {
+    /// Builds the summary of `records`.
+    pub fn of<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> TraceSummary {
+        let mut s = TraceSummary::default();
+        for r in records {
+            *s.counts.entry(r.event.kind()).or_insert(0) += 1;
+            if s.first.is_none() {
+                s.first = Some(r.time);
+            }
+            s.last = Some(r.time);
+            match &r.event {
+                TraceEvent::PendingTableSize { size } => {
+                    s.max_pending = s.max_pending.max(*size);
+                }
+                TraceEvent::FmBusy { busy } => s.fm_busy += *busy,
+                TraceEvent::FmIdle { idle } => s.fm_idle += *idle,
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// The count recorded for one kind tag (0 if absent).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Renders a markdown table of counts plus the derived totals.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("| event | count |\n|---|---|\n");
+        for (kind, n) in &self.counts {
+            let _ = writeln!(out, "| {kind} | {n} |");
+        }
+        if let (Some(first), Some(last)) = (self.first, self.last) {
+            let _ = writeln!(
+                out,
+                "\nspan: {:.3} ms – {:.3} ms, peak pending {}, FM busy {:.3} ms / idle {:.3} ms",
+                first.as_millis_f64(),
+                last.as_millis_f64(),
+                self.max_pending,
+                self.fm_busy.as_millis_f64(),
+                self.fm_idle.as_millis_f64(),
+            );
+        }
+        out
+    }
+}
+
+/// The pending-table occupancy step curve of a trace: x = simulated time
+/// in µs, y = requests in flight. This is the measured counterpart of the
+/// paper's §3 scheduling table — flat at 1 for Serial Packet, sawtooth
+/// for Serial Device, bursty for Parallel.
+pub fn pending_occupancy<'a>(
+    records: impl IntoIterator<Item = &'a TraceRecord>,
+) -> Series {
+    let mut series = Series::new("pending requests");
+    for r in records {
+        if let TraceEvent::PendingTableSize { size } = r.event {
+            series.push(r.time.as_micros_f64(), f64::from(size));
+        }
+    }
+    series
+}
+
 /// Formats a float without trailing noise.
 pub fn trim_float(v: f64) -> String {
     if v == v.trunc() && v.abs() < 1e12 {
@@ -353,5 +677,145 @@ mod tests {
         assert_eq!(trim_float(1234.56), "1234.6");
         assert_eq!(trim_float(3.21059), "3.211");
         assert_eq!(trim_float(0.00123456), "0.001235");
+    }
+
+    // --- trace collection and export ---
+
+    fn rec(ps: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            time: SimTime::from_ps(ps),
+            event,
+        }
+    }
+
+    /// One record of every variant, for exhaustive round-trip checks.
+    fn one_of_each() -> Vec<TraceRecord> {
+        vec![
+            rec(0, TraceEvent::RunStarted { algorithm: "Parallel", trigger: "initial" }),
+            rec(1, TraceEvent::RequestInjected { req_id: 1, write: false }),
+            rec(2, TraceEvent::PendingTableSize { size: 3 }),
+            rec(3, TraceEvent::RequestCompleted { req_id: 1, ok: true }),
+            rec(4, TraceEvent::RequestTimedOut { req_id: 2 }),
+            rec(5, TraceEvent::DeviceDiscovered { dsn: 0xdead_beef_cafe, switch: true, ports: 8 }),
+            rec(6, TraceEvent::Pi5Emitted { dsn: 42, port: 3, up: false }),
+            rec(7, TraceEvent::Pi5Received { dsn: 42, port: 3, up: false }),
+            rec(8, TraceEvent::FmBusy { busy: SimDuration::from_ps(1500) }),
+            rec(9, TraceEvent::FmIdle { idle: SimDuration::from_ps(2500) }),
+            rec(10, TraceEvent::DeviceActivated { device: 5 }),
+            rec(11, TraceEvent::DeviceDeactivated { device: 5 }),
+            rec(12, TraceEvent::QueueSample { depth: 7, processed: 4096 }),
+            rec(13, TraceEvent::RunFinished { devices_found: 18, links_found: 24, requests_sent: 90, timeouts: 1 }),
+        ]
+    }
+
+    #[test]
+    fn ring_collector_caps_and_counts_evictions() {
+        let mut ring = RingCollector::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            ring.record(rec(i, TraceEvent::PendingTableSize { size: i as u32 }));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        // Oldest two evicted: times 2, 3, 4 remain in order.
+        let times: Vec<u64> = ring.records().map(|r| r.time.as_ps()).collect();
+        assert_eq!(times, vec![2, 3, 4]);
+        let taken = ring.take();
+        assert_eq!(taken.len(), 3);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn ring_collector_zero_capacity_keeps_one() {
+        let mut ring = RingCollector::new(0);
+        ring.record(rec(1, TraceEvent::PendingTableSize { size: 1 }));
+        ring.record(rec(2, TraceEvent::PendingTableSize { size: 2 }));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_variant() {
+        let records = one_of_each();
+        let text = trace_to_jsonl(&records);
+        assert_eq!(text.lines().count(), records.len());
+        let parsed = trace_from_jsonl(&text).unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn jsonl_lines_carry_time_and_kind() {
+        let records = one_of_each();
+        let text = trace_to_jsonl(&records);
+        let first = json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(*first.get("t_ps"), 0u64);
+        assert_eq!(*first.get("event"), "run-started");
+        assert_eq!(*first.get("algorithm"), "Parallel");
+        assert_eq!(*first.get("trigger"), "initial");
+    }
+
+    #[test]
+    fn jsonl_parser_reports_bad_lines() {
+        assert!(trace_from_jsonl("").unwrap().is_empty());
+        assert!(trace_from_jsonl("\n\n").unwrap().is_empty());
+        let err = trace_from_jsonl("{\"event\":\"no-such-kind\",\"t_ps\":1}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        let good = "{\"t_ps\":2,\"event\":\"pending-table-size\",\"size\":1}";
+        let err = trace_from_jsonl(&format!("{good}\nnot json")).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        // Unknown algorithm spellings are rejected, not silently leaked.
+        let bad = "{\"t_ps\":1,\"event\":\"run-started\",\"algorithm\":\"Quantum\",\"trigger\":\"initial\"}";
+        assert!(trace_from_jsonl(bad).is_err());
+    }
+
+    #[test]
+    fn save_trace_jsonl_writes_file() {
+        let dir = std::env::temp_dir().join("asi-trace-report-test");
+        let path = dir.join("trace.jsonl");
+        let records = one_of_each();
+        save_trace_jsonl(&path, &records).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(trace_from_jsonl(&text).unwrap(), records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_counts_and_derived_totals() {
+        let s = TraceSummary::of(&one_of_each());
+        assert_eq!(s.count("request-injected"), 1);
+        assert_eq!(s.count("pi5-emitted"), 1);
+        assert_eq!(s.count("no-such-kind"), 0);
+        assert_eq!(s.counts.values().sum::<u64>(), 14);
+        assert_eq!(s.first, Some(SimTime::ZERO));
+        assert_eq!(s.last, Some(SimTime::from_ps(13)));
+        assert_eq!(s.max_pending, 3);
+        assert_eq!(s.fm_busy, SimDuration::from_ps(1500));
+        assert_eq!(s.fm_idle, SimDuration::from_ps(2500));
+        let md = s.to_markdown();
+        assert!(md.contains("| request-injected | 1 |"), "{md}");
+        assert!(md.contains("peak pending 3"), "{md}");
+    }
+
+    #[test]
+    fn pending_occupancy_extracts_the_step_curve() {
+        let records = vec![
+            rec(1_000_000, TraceEvent::PendingTableSize { size: 1 }),
+            rec(2_000_000, TraceEvent::RequestInjected { req_id: 1, write: false }),
+            rec(3_000_000, TraceEvent::PendingTableSize { size: 4 }),
+        ];
+        let series = pending_occupancy(&records);
+        assert_eq!(series.points, vec![(1.0, 1.0), (3.0, 4.0)]);
+    }
+
+    #[test]
+    fn ring_collector_works_through_a_trace_handle() {
+        let ring = RingCollector::shared(16);
+        let handle = asi_sim::TraceHandle::to(ring.clone());
+        handle.emit(SimTime::from_ns(5), || TraceEvent::PendingTableSize { size: 2 });
+        assert_eq!(ring.borrow().len(), 1);
+        assert_eq!(
+            ring.borrow().records().next().unwrap().event.kind(),
+            "pending-table-size"
+        );
     }
 }

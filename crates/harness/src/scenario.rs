@@ -5,8 +5,13 @@
 use asi_core::{Algorithm, FmAgent, FmConfig, FmTiming, TOKEN_START_DISCOVERY};
 use asi_core::{DiscoveryRun, TopologyDb};
 use asi_fabric::{DevId, Fabric, FabricConfig, FmRoute, TrafficAgent, TrafficRoute, DSN_BASE};
-use asi_sim::{SimDuration, SimRng};
+use asi_sim::{SimDuration, SimRng, TraceHandle};
 use asi_topo::{routes_from, NodeId, Topology};
+
+/// Simulator-kernel queue-depth sampling period used when a scenario
+/// carries a trace sink (one `queue-sample` record per this many
+/// processed events; the kernel ignores it on a disabled handle).
+const QUEUE_SAMPLE_EVERY: u64 = 4096;
 
 /// Background-traffic settings for the traffic ablation.
 #[derive(Clone, Copy, Debug)]
@@ -34,6 +39,10 @@ pub struct Scenario {
     pub flow_control: bool,
     /// RNG seed (victim selection, traffic arrivals).
     pub seed: u64,
+    /// Observability sink wired into the FM, the discovery engine, the
+    /// fabric model and the simulator kernel. Disabled by default (zero
+    /// overhead); see `docs/TRACE_FORMAT.md`.
+    pub trace: TraceHandle,
 }
 
 impl Scenario {
@@ -47,6 +56,7 @@ impl Scenario {
             traffic: None,
             flow_control: true,
             seed: 0xA51,
+            trace: TraceHandle::disabled(),
         }
     }
 
@@ -60,6 +70,12 @@ impl Scenario {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Scenario {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a trace sink (e.g. `asi_harness::RingCollector::shared`).
+    pub fn with_trace(mut self, trace: TraceHandle) -> Scenario {
+        self.trace = trace;
         self
     }
 }
@@ -98,6 +114,7 @@ impl Bench {
         config.turn_pool_capacity = asi_proto::MAX_POOL_BITS;
         let mut fabric = Fabric::new(topo, config);
         fabric.set_event_limit(2_000_000_000);
+        fabric.set_trace(scenario.trace.clone(), QUEUE_SAMPLE_EVERY);
         for (id, _) in topo.nodes() {
             if !absent.contains(&id) {
                 fabric.schedule_activate(DevId(id.0), SimDuration::ZERO);
@@ -161,6 +178,7 @@ impl Bench {
         let mut fm_cfg = FmConfig::new(scenario.algorithm);
         fm_cfg.timing = FmTiming::default().with_factor(scenario.fm_factor);
         fm_cfg.partial_assimilation = scenario.partial_assimilation;
+        fm_cfg.trace = scenario.trace.clone();
         fabric.set_agent(fm, Box::new(FmAgent::new(fm_cfg)));
         fabric.schedule_agent_timer(fm, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
 
@@ -350,12 +368,16 @@ pub fn distributed_discovery(
     };
     let mut fabric = Fabric::new(topo, config);
     fabric.set_event_limit(2_000_000_000);
+    fabric.set_trace(scenario.trace.clone(), QUEUE_SAMPLE_EVERY);
     fabric.activate_all(SimDuration::ZERO);
     fabric.run_until_idle();
 
     let mut fm_cfg = asi_core::FmConfig::new(scenario.algorithm);
     fm_cfg.timing = asi_core::FmTiming::default().with_factor(scenario.fm_factor);
     fm_cfg.auto_rediscover = false;
+    // All managers (primary and collaborators) share the scenario sink;
+    // the simulation loop is single-threaded, so interleaving is safe.
+    fm_cfg.trace = scenario.trace.clone();
     let primary_cfg = fm_cfg.clone().with_distributed(DistributedRole::Primary {
         expected_reports: collaborators,
     });

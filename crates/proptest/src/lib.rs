@@ -1,0 +1,611 @@
+//! A minimal, dependency-free, deterministic re-implementation of the
+//! subset of the `proptest` API used by this workspace's property tests.
+//!
+//! The build environment is fully offline, so the real `proptest` crate
+//! (and its dependency tree) cannot be fetched from crates.io. This
+//! vendored stand-in keeps every `proptest!` block in the test suites
+//! compiling and running unchanged:
+//!
+//! - [`Strategy`] with `prop_map` / `prop_flat_map` / `prop_filter`;
+//! - integer and `f64` range strategies, tuple strategies, [`Just`];
+//! - [`any`] over an [`Arbitrary`] trait (`bool`, the primitive
+//!   integers, [`sample::Index`]);
+//! - [`collection::vec`] with `usize` / range size specifications;
+//! - the [`proptest!`] macro (with optional
+//!   `#![proptest_config(..)]`), plus [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`].
+//!
+//! Differences from the real crate, deliberately accepted: no shrinking
+//! (a failing case reports the generated values only through the
+//! assertion message), no persisted failure seeds, and a fixed
+//! per-test-name seed so runs are bit-reproducible.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// SplitMix64 generator driving all value generation. Deterministic per
+/// test: the seed is derived from the test's name.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Internal marker: a strategy (or filter) could not produce a value;
+/// the runner retries the whole case with fresh randomness.
+#[derive(Debug)]
+pub struct Rejected;
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` false, filter exhausted).
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A discarded (not failed) case.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+
+    /// A failed case.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Per-`proptest!` configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of value this strategy yields.
+    type Value;
+
+    /// Draws one value. `Err(Rejected)` asks the runner to retry the
+    /// whole case.
+    fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { base: self, f }
+    }
+
+    /// Discards values failing the predicate (bounded local retries).
+    fn prop_filter<W, F>(self, _whence: W, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { base: self, pred: f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<O, Rejected> {
+        Ok((self.f)(self.base.generate(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T::Value, Rejected> {
+        let inner = (self.f)(self.base.generate(rng)?);
+        inner.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    base: S,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<S::Value, Rejected> {
+        for _ in 0..64 {
+            let v = self.base.generate(rng)?;
+            if (self.pred)(&v) {
+                return Ok(v);
+            }
+        }
+        Err(Rejected)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(self.0.clone())
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                let (lo, hi) = (self.start as i128, self.end as i128);
+                if lo >= hi {
+                    return Err(Rejected);
+                }
+                Ok((lo + rng.below((hi - lo) as u64) as i128) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<$t, Rejected> {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                if lo > hi {
+                    return Err(Rejected);
+                }
+                Ok((lo + rng.below((hi - lo + 1) as u64) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<f64, Rejected> {
+        // NaN bounds fall through to the rejection path too.
+        if matches!(
+            self.start.partial_cmp(&self.end),
+            None | Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal)
+        ) {
+            return Err(Rejected);
+        }
+        Ok(self.start + rng.unit_f64() * (self.end - self.start))
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Self::Value, Rejected> {
+                Ok(($(self.$idx.generate(rng)?,)+))
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Types with a canonical unconstrained generator, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// An unconstrained strategy for any [`Arbitrary`] type.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> Result<T, Rejected> {
+        Ok(T::arbitrary(rng))
+    }
+}
+
+/// Collection strategies (`vec`).
+pub mod collection {
+    use super::{Rejected, Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything accepted as the size of a generated collection.
+    pub trait IntoSizeRange {
+        /// Inclusive `(min, max)` length bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end.saturating_sub(1))
+        }
+    }
+
+    impl IntoSizeRange for RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length in `bounds`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// A vector whose elements come from `elem` and whose length falls
+    /// in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, Rejected> {
+            if self.min > self.max {
+                return Err(Rejected);
+            }
+            let span = (self.max - self.min) as u64 + 1;
+            let len = self.min + rng.below(span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers (`Index`).
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An index into a not-yet-known collection; resolved against a
+    /// concrete slice with [`Index::get`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// The index this value selects in a collection of `len`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "cannot index an empty collection");
+            (self.0 % len as u64) as usize
+        }
+
+        /// The element this value selects from `slice`.
+        pub fn get<'a, T>(&self, slice: &'a [T]) -> &'a T {
+            &slice[self.index(slice.len())]
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Common imports for property tests, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[doc(hidden)]
+pub fn __run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // FNV-1a over the test name: a stable per-test seed.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed = (seed ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = u64::from(config.cases).saturating_mul(64).max(256);
+    while accepted < config.cases {
+        attempts += 1;
+        assert!(
+            attempts <= max_attempts,
+            "proptest '{name}': too many rejected cases ({accepted}/{} accepted after {attempts} attempts)",
+            config.cases
+        );
+        let mut rng = TestRng::new(seed ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed (case {accepted}): {msg}")
+            }
+        }
+    }
+}
+
+/// Defines deterministic property tests; see the real `proptest!` docs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($config:expr;) => {};
+    ($config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__run(&$config, stringify!($name), |__proptest_rng| {
+                $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items!($config; $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident,) => {};
+    ($rng:ident, mut $name:ident in $strat:expr) => {
+        $crate::__proptest_bind!($rng, mut $name in $strat,);
+    };
+    ($rng:ident, mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $name = match $crate::Strategy::generate(&($strat), $rng) {
+            ::core::result::Result::Ok(v) => v,
+            ::core::result::Result::Err(_) => {
+                return ::core::result::Result::Err($crate::TestCaseError::reject("generation"))
+            }
+        };
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        $crate::__proptest_bind!($rng, $name in $strat,);
+    };
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = match $crate::Strategy::generate(&($strat), $rng) {
+            ::core::result::Result::Ok(v) => v,
+            ::core::result::Result::Err(_) => {
+                return ::core::result::Result::Err($crate::TestCaseError::reject("generation"))
+            }
+        };
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{}: {:?} != {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{}: {:?} == {:?}", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Discards the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = super::TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng).unwrap();
+            assert!((3..17).contains(&v));
+            let w = (2u8..=16).generate(&mut rng).unwrap();
+            assert!((2..=16).contains(&w));
+            let f = (-1.0f64..1.0).generate(&mut rng).unwrap();
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_lengths_respect_bounds() {
+        let mut rng = super::TestRng::new(9);
+        for _ in 0..200 {
+            let v = crate::collection::vec(0u32..10, 1..5).generate(&mut rng).unwrap();
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn filter_and_flat_map_compose() {
+        let strat = (2u8..=16).prop_flat_map(|ports| {
+            (0..ports, 0..ports, Just(ports)).prop_filter("distinct", |(i, e, _)| i != e)
+        });
+        let mut rng = super::TestRng::new(11);
+        for _ in 0..500 {
+            let (i, e, p) = strat.generate(&mut rng).unwrap();
+            assert!(i < p && e < p && i != e);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, mut bindings, assume, asserts.
+        #[test]
+        fn macro_smoke(a in 0u32..100, mut b in any::<bool>(), idx in any::<prop::sample::Index>()) {
+            b = !b;
+            let xs = [10, 20, 30];
+            prop_assume!(a != 99);
+            prop_assert!(a < 100);
+            prop_assert_eq!(*idx.get(&xs) % 10, 0);
+            prop_assert_ne!(b, !b, "negation must differ {}", a);
+        }
+    }
+}

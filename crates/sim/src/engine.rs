@@ -21,6 +21,7 @@
 
 use crate::queue::{EventId, EventQueue};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceHandle};
 
 /// An event popped from the queue, stamped with its firing time.
 #[derive(Debug)]
@@ -48,6 +49,11 @@ pub struct Simulator<E> {
     /// Hard cap on processed events; guards against accidental event storms
     /// in tests. `u64::MAX` by default.
     event_limit: u64,
+    /// Observability: queue-depth samples go here every `trace_every`
+    /// processed events (0 = never; the hot path then pays one integer
+    /// compare).
+    trace: TraceHandle,
+    trace_every: u64,
 }
 
 impl<E> Default for Simulator<E> {
@@ -64,6 +70,8 @@ impl<E> Simulator<E> {
             now: SimTime::ZERO,
             processed: 0,
             event_limit: u64::MAX,
+            trace: TraceHandle::disabled(),
+            trace_every: 0,
         }
     }
 
@@ -80,6 +88,14 @@ impl<E> Simulator<E> {
     /// feedback loops in tests.
     pub fn set_event_limit(&mut self, limit: u64) {
         self.event_limit = limit;
+    }
+
+    /// Installs a trace sink sampling queue depth every `every` processed
+    /// events ([`TraceEvent::QueueSample`]). `every = 0` disables
+    /// sampling; a disabled `handle` also keeps the hot path free.
+    pub fn set_trace(&mut self, handle: TraceHandle, every: u64) {
+        self.trace_every = if handle.is_enabled() { every } else { 0 };
+        self.trace = handle;
     }
 
     /// Current simulated time.
@@ -161,6 +177,11 @@ impl<E> Simulator<E> {
             "simulation exceeded event limit of {} events",
             self.event_limit
         );
+        if self.trace_every != 0 && self.processed.is_multiple_of(self.trace_every) {
+            let (depth, processed) = (self.queue.len() as u64, self.processed);
+            self.trace
+                .emit(self.now, || TraceEvent::QueueSample { depth, processed });
+        }
         Some(Fired { time, id, event })
     }
 
@@ -294,6 +315,47 @@ mod tests {
             sim.schedule_now(());
         }
         while sim.next_event().is_some() {}
+    }
+
+    #[test]
+    fn queue_depth_sampling_fires_every_n_events() {
+        use crate::trace::{TraceHandle, TraceRecord, TraceSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct VecSink(Vec<TraceRecord>);
+        impl TraceSink for VecSink {
+            fn record(&mut self, record: TraceRecord) {
+                self.0.push(record);
+            }
+        }
+
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let mut sim = Simulator::new();
+        sim.set_trace(TraceHandle::to(sink.clone()), 3);
+        for i in 0..10u64 {
+            sim.schedule_at(SimTime::from_ns(i), i);
+        }
+        while sim.next_event().is_some() {}
+        let records = &sink.borrow().0;
+        // 10 events, sampled at processed = 3, 6, 9.
+        assert_eq!(records.len(), 3);
+        match records[0].event {
+            crate::trace::TraceEvent::QueueSample { depth, processed } => {
+                assert_eq!(processed, 3);
+                assert_eq!(depth, 7);
+            }
+            ref other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_disables_sampling() {
+        let mut sim = Simulator::new();
+        sim.set_trace(crate::trace::TraceHandle::disabled(), 3);
+        sim.schedule_now(());
+        assert!(sim.next_event().is_some());
     }
 
     #[test]

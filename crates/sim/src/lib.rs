@@ -10,7 +10,10 @@
 //! - [`SimRng`] — seedable xoshiro256** generator so every experiment is
 //!   reproducible from a single seed;
 //! - [`stats`] — online statistics, percentiles, histograms and time series
-//!   used by the measurement harness.
+//!   used by the measurement harness;
+//! - [`trace`] — the structured observability layer: typed, sim-timestamped
+//!   [`TraceEvent`]s emitted through a zero-cost-when-disabled
+//!   [`TraceHandle`] by the kernel, the fabric model and the fabric manager.
 //!
 //! The engine is deliberately generic: the ASI fabric model (crate
 //! `asi-fabric`) owns the event payload type and the dispatch loop.
@@ -22,10 +25,12 @@ mod queue;
 mod rng;
 pub mod stats;
 mod time;
+pub mod trace;
 
 pub use engine::{Fired, Simulator};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
+pub use trace::{TraceEvent, TraceHandle, TraceRecord, TraceSink};
 pub use stats::{Histogram, OnlineStats, SampleSet, TimeSeries};
 pub use time::{
     SimDuration, SimTime, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND,

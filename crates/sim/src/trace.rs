@@ -1,0 +1,296 @@
+//! Structured event tracing for discovery runs.
+//!
+//! The paper's whole argument is *measured behavior*; end-of-run
+//! aggregates (`DiscoveryRun` in `asi-core`) say *what* happened but
+//! not *when*. This module defines the typed, sim-timestamped event
+//! stream that the simulator kernel, fabric model and fabric manager
+//! emit so a run's timeline can be reconstructed, diffed and exported.
+//!
+//! Design constraints:
+//!
+//! - **Zero cost when disabled.** Emission points hold a
+//!   [`TraceHandle`]; a disabled handle is a `None` and
+//!   [`TraceHandle::emit`] takes the event as a closure, so no event is
+//!   even *constructed* unless a sink is installed.
+//! - **No upward dependencies.** Event payloads are primitives only
+//!   (`u32` device ids, `u64` DSNs, `&'static str` algorithm names), so
+//!   the kernel crate stays dependency-free and every layer above it
+//!   can emit.
+//! - **Single-threaded by design.** The simulation loop is
+//!   single-threaded (see `asi-fabric`), so the handle is an
+//!   `Rc<RefCell<dyn TraceSink>>`; experiment fan-out (e.g. the Fig. 6
+//!   sweep) builds one fabric — and one sink — per thread.
+//!
+//! Collectors and exporters (ring buffer, JSONL, summaries) live in
+//! `asi-harness::report`; the schema is documented in
+//! `docs/TRACE_FORMAT.md`.
+
+use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// One typed trace event. See `docs/TRACE_FORMAT.md` for the meaning
+/// and the JSONL rendering of every variant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A discovery run began (`asi-core`, fabric manager).
+    RunStarted {
+        /// Algorithm name ("Serial Packet", "Serial Device", "Parallel").
+        algorithm: &'static str,
+        /// What triggered the run ("initial", "change", "partial", "failover").
+        trigger: &'static str,
+    },
+    /// A discovery run finished (`asi-core`, fabric manager).
+    RunFinished {
+        /// Devices in the discovered database.
+        devices_found: u64,
+        /// Links in the discovered database.
+        links_found: u64,
+        /// PI-4 requests the run sent.
+        requests_sent: u64,
+        /// Requests that timed out.
+        timeouts: u64,
+    },
+    /// The FM injected a PI-4 request into the fabric.
+    RequestInjected {
+        /// FM-assigned request id.
+        req_id: u32,
+        /// True for config-space writes, false for reads.
+        write: bool,
+    },
+    /// A PI-4 completion for `req_id` reached the FM.
+    RequestCompleted {
+        /// FM-assigned request id.
+        req_id: u32,
+        /// False if the completion carried an error status.
+        ok: bool,
+    },
+    /// The FM's timeout for `req_id` expired before a completion.
+    RequestTimedOut {
+        /// FM-assigned request id.
+        req_id: u32,
+    },
+    /// A device emitted a PI-5 event packet (`asi-fabric`).
+    Pi5Emitted {
+        /// Reporting device's serial number.
+        dsn: u64,
+        /// Port whose state changed.
+        port: u16,
+        /// True if the port came up, false if it went down.
+        up: bool,
+    },
+    /// The FM received (and de-duplicated) a PI-5 event.
+    Pi5Received {
+        /// Reporting device's serial number.
+        dsn: u64,
+        /// Port whose state changed.
+        port: u16,
+        /// True if the port came up, false if it went down.
+        up: bool,
+    },
+    /// The discovery engine added a device to its database.
+    DeviceDiscovered {
+        /// The device's serial number.
+        dsn: u64,
+        /// True for switches, false for endpoints.
+        switch: bool,
+        /// Number of ports the device reports.
+        ports: u16,
+    },
+    /// The engine's pending-request table changed size.
+    PendingTableSize {
+        /// Requests currently in flight.
+        size: u32,
+    },
+    /// The FM finished processing one packet; the span
+    /// `[time - busy, time]` was busy time.
+    FmBusy {
+        /// Length of the busy span.
+        busy: SimDuration,
+    },
+    /// The FM started processing a packet after sitting idle; the span
+    /// `[time - idle, time]` was idle time.
+    FmIdle {
+        /// Length of the idle span.
+        idle: SimDuration,
+    },
+    /// A fabric device became active (`asi-fabric`).
+    DeviceActivated {
+        /// The device id.
+        device: u32,
+    },
+    /// A fabric device was deactivated or removed (`asi-fabric`).
+    DeviceDeactivated {
+        /// The device id.
+        device: u32,
+    },
+    /// Periodic simulator-kernel sample of event-queue depth.
+    QueueSample {
+        /// Events pending in the simulator queue.
+        depth: u64,
+        /// Events processed so far.
+        processed: u64,
+    },
+}
+
+impl TraceEvent {
+    /// A stable, kebab-case tag naming the variant; used as the JSONL
+    /// `"event"` field and for summary grouping.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStarted { .. } => "run-started",
+            TraceEvent::RunFinished { .. } => "run-finished",
+            TraceEvent::RequestInjected { .. } => "request-injected",
+            TraceEvent::RequestCompleted { .. } => "request-completed",
+            TraceEvent::RequestTimedOut { .. } => "request-timed-out",
+            TraceEvent::Pi5Emitted { .. } => "pi5-emitted",
+            TraceEvent::Pi5Received { .. } => "pi5-received",
+            TraceEvent::DeviceDiscovered { .. } => "device-discovered",
+            TraceEvent::PendingTableSize { .. } => "pending-table-size",
+            TraceEvent::FmBusy { .. } => "fm-busy",
+            TraceEvent::FmIdle { .. } => "fm-idle",
+            TraceEvent::DeviceActivated { .. } => "device-activated",
+            TraceEvent::DeviceDeactivated { .. } => "device-deactivated",
+            TraceEvent::QueueSample { .. } => "queue-sample",
+        }
+    }
+}
+
+/// A trace event stamped with the simulated time it fired at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time of the event.
+    pub time: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Receives trace records. Implemented by collectors (ring buffers,
+/// counters, streaming writers) in higher layers.
+pub trait TraceSink {
+    /// Accepts one record. Called in simulated-time order per emitter.
+    fn record(&mut self, record: TraceRecord);
+}
+
+/// A cheap, cloneable handle to an optional [`TraceSink`].
+///
+/// Every emission point stores one of these. The default handle is
+/// disabled: [`TraceHandle::emit`] then reduces to a null check and the
+/// event-constructing closure is never run.
+#[derive(Clone, Default)]
+pub struct TraceHandle(Option<Rc<RefCell<dyn TraceSink>>>);
+
+impl TraceHandle {
+    /// A handle that drops everything (the default).
+    pub fn disabled() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// A handle feeding `sink`. Keep your own `Rc` clone to read the
+    /// collected records back after the run.
+    pub fn to(sink: Rc<RefCell<dyn TraceSink>>) -> TraceHandle {
+        TraceHandle(Some(sink))
+    }
+
+    /// True if a sink is installed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records `event()` at `time` if a sink is installed. The closure
+    /// is not evaluated on a disabled handle, so emission points may
+    /// compute event fields inside it for free.
+    #[inline]
+    pub fn emit(&self, time: SimTime, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.borrow_mut().record(TraceRecord {
+                time,
+                event: event(),
+            });
+        }
+    }
+}
+
+impl fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "TraceHandle(enabled)"
+        } else {
+            "TraceHandle(disabled)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct VecSink(Vec<TraceRecord>);
+
+    impl TraceSink for VecSink {
+        fn record(&mut self, record: TraceRecord) {
+            self.0.push(record);
+        }
+    }
+
+    #[test]
+    fn disabled_handle_never_runs_the_closure() {
+        let handle = TraceHandle::disabled();
+        assert!(!handle.is_enabled());
+        handle.emit(SimTime::ZERO, || panic!("must not be constructed"));
+    }
+
+    #[test]
+    fn enabled_handle_records_in_order() {
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let handle = TraceHandle::to(sink.clone());
+        assert!(handle.is_enabled());
+        handle.emit(SimTime::from_ns(1), || TraceEvent::PendingTableSize { size: 1 });
+        handle.emit(SimTime::from_ns(2), || TraceEvent::RequestTimedOut { req_id: 7 });
+        let records = &sink.borrow().0;
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].event.kind(), "pending-table-size");
+        assert_eq!(
+            records[1],
+            TraceRecord {
+                time: SimTime::from_ns(2),
+                event: TraceEvent::RequestTimedOut { req_id: 7 },
+            }
+        );
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let sink = Rc::new(RefCell::new(VecSink::default()));
+        let a = TraceHandle::to(sink.clone());
+        let b = a.clone();
+        a.emit(SimTime::ZERO, || TraceEvent::QueueSample { depth: 1, processed: 1 });
+        b.emit(SimTime::ZERO, || TraceEvent::QueueSample { depth: 2, processed: 2 });
+        assert_eq!(sink.borrow().0.len(), 2);
+    }
+
+    #[test]
+    fn every_kind_is_unique() {
+        let events = [
+            TraceEvent::RunStarted { algorithm: "a", trigger: "t" },
+            TraceEvent::RunFinished { devices_found: 0, links_found: 0, requests_sent: 0, timeouts: 0 },
+            TraceEvent::RequestInjected { req_id: 0, write: false },
+            TraceEvent::RequestCompleted { req_id: 0, ok: true },
+            TraceEvent::RequestTimedOut { req_id: 0 },
+            TraceEvent::Pi5Emitted { dsn: 0, port: 0, up: true },
+            TraceEvent::Pi5Received { dsn: 0, port: 0, up: true },
+            TraceEvent::DeviceDiscovered { dsn: 0, switch: false, ports: 0 },
+            TraceEvent::PendingTableSize { size: 0 },
+            TraceEvent::FmBusy { busy: SimDuration::ZERO },
+            TraceEvent::FmIdle { idle: SimDuration::ZERO },
+            TraceEvent::DeviceActivated { device: 0 },
+            TraceEvent::DeviceDeactivated { device: 0 },
+            TraceEvent::QueueSample { depth: 0, processed: 0 },
+        ];
+        let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), events.len());
+    }
+}

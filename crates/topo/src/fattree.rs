@@ -1,6 +1,6 @@
 //! *m*-port *n*-tree generator, following the construction methodology of
 //! Lin, Chung and Huang ("A multiple LID routing scheme for fat-tree-based
-//! InfiniBand networks", the paper's reference [5]).
+//! InfiniBand networks", the paper's reference \[5\]).
 //!
 //! An *m*-port *n*-tree contains:
 //!

@@ -13,11 +13,12 @@
 
 use advanced_switching::core::{Algorithm, FmAgent, FmConfig, FmTiming, TOKEN_START_DISCOVERY};
 use advanced_switching::fabric::{DevId, Fabric, FabricConfig};
-use advanced_switching::harness::{change_experiment, Bench, Scenario};
-use advanced_switching::sim::{SimDuration, SimRng};
+use advanced_switching::harness::{
+    change_experiment, save_trace_jsonl, Bench, Json, RingCollector, Scenario,
+};
+use advanced_switching::sim::{SimDuration, SimRng, TraceHandle};
 use advanced_switching::topo::{fat_tree, irregular, mesh, torus, IrregularSpec, Topology};
 
-#[derive(serde::Serialize)]
 struct RunReport {
     topology: String,
     devices: usize,
@@ -33,6 +34,26 @@ struct RunReport {
     bytes_received: u64,
     mean_fm_processing_us: f64,
     fm_utilization: f64,
+}
+
+impl RunReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .with("topology", self.topology.as_str())
+            .with("devices", self.devices)
+            .with("algorithm", self.algorithm.as_str())
+            .with("scenario", self.scenario.as_str())
+            .with("discovery_time_s", self.discovery_time_s)
+            .with("devices_found", self.devices_found)
+            .with("links_found", self.links_found)
+            .with("requests", self.requests)
+            .with("responses", self.responses)
+            .with("timeouts", self.timeouts)
+            .with("bytes_sent", self.bytes_sent)
+            .with("bytes_received", self.bytes_received)
+            .with("mean_fm_processing_us", self.mean_fm_processing_us)
+            .with("fm_utilization", self.fm_utilization)
+    }
 }
 
 fn usage() -> ! {
@@ -53,6 +74,7 @@ options:
   --loss <p>                   per-hop packet loss probability (default 0)
   --retries <n>                FM request retries under loss (default 0; use >0 with --loss)
   --seed <n>                   RNG seed (default 0xA51)
+  --trace <path>               write a JSONL discovery trace (see docs/TRACE_FORMAT.md)
   --json                       emit JSON instead of a table"
     );
     std::process::exit(2)
@@ -132,13 +154,23 @@ fn main() {
         }
     };
 
+    // One collector for the whole invocation: per-algorithm runs are
+    // delimited by their run-started/run-finished records.
+    let trace_path = arg_value(&args, "--trace");
+    let collector = trace_path.as_ref().map(|_| RingCollector::shared(1 << 20));
+    let trace = collector
+        .as_ref()
+        .map(|c| TraceHandle::to(c.clone()))
+        .unwrap_or_default();
+
     let mut reports = Vec::new();
     for algorithm in algorithms {
         let run = match change.as_str() {
             "none" if loss == 0.0 => {
                 let scenario = Scenario::new(algorithm)
                     .with_factors(fm_factor, device_factor)
-                    .with_seed(seed);
+                    .with_seed(seed)
+                    .with_trace(trace.clone());
                 Bench::start(&topo, &scenario, &[]).last_run()
             }
             "none" => {
@@ -152,6 +184,7 @@ fn main() {
                 };
                 let mut fabric = Fabric::new(&topo, config);
                 fabric.set_event_limit(2_000_000_000);
+                fabric.set_trace(trace.clone(), 4096);
                 fabric.activate_all(SimDuration::ZERO);
                 fabric.run_until_idle();
                 let fm_node =
@@ -161,6 +194,7 @@ fn main() {
                 cfg.timing = FmTiming::default().with_factor(fm_factor);
                 cfg.max_retries = retries;
                 cfg.request_timeout = SimDuration::from_us(800);
+                cfg.trace = trace.clone();
                 fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
                 fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
                 fabric.run_until_idle();
@@ -174,7 +208,8 @@ fn main() {
             "remove" | "add" => {
                 let scenario = Scenario::new(algorithm)
                     .with_factors(fm_factor, device_factor)
-                    .with_seed(seed);
+                    .with_seed(seed)
+                    .with_trace(trace.clone());
                 change_experiment(&topo, &scenario, change == "remove").0
             }
             other => {
@@ -200,8 +235,28 @@ fn main() {
         });
     }
 
+    if let (Some(path), Some(collector)) = (&trace_path, &collector) {
+        let collector = collector.borrow();
+        let path = std::path::Path::new(path);
+        save_trace_jsonl(path, collector.records()).unwrap_or_else(|e| {
+            eprintln!("cannot write trace to {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!(
+            "trace: {} records written to {}{}",
+            collector.len(),
+            path.display(),
+            if collector.dropped() > 0 {
+                format!(" ({} oldest dropped by the ring buffer)", collector.dropped())
+            } else {
+                String::new()
+            }
+        );
+    }
+
     if json {
-        println!("{}", serde_json::to_string_pretty(&reports).unwrap());
+        let arr = Json::Arr(reports.iter().map(RunReport::to_json).collect());
+        println!("{}", arr.to_string_pretty());
     } else {
         println!(
             "{:<16} {:>14} {:>9} {:>9} {:>9} {:>12} {:>8}",

@@ -1,5 +1,6 @@
 //! Integration tests for the `asi-fabric-sim` command-line runner.
 
+use advanced_switching::harness::json::{parse, Json};
 use std::process::Command;
 
 fn run(args: &[&str]) -> (String, String, bool) {
@@ -24,17 +25,17 @@ fn json_output_is_parseable_and_complete() {
         "--json",
     ]);
     assert!(ok);
-    let reports: serde_json::Value = serde_json::from_str(&stdout).expect("valid JSON");
+    let reports: Json = parse(&stdout).expect("valid JSON");
     let arr = reports.as_array().expect("array of reports");
     assert_eq!(arr.len(), 3);
     for r in arr {
-        assert_eq!(r["devices_found"], 18);
-        assert_eq!(r["links_found"], 21);
-        assert_eq!(r["timeouts"], 0);
-        assert!(r["discovery_time_s"].as_f64().unwrap() > 0.0);
+        assert_eq!(*r.get("devices_found"), 18);
+        assert_eq!(*r.get("links_found"), 21);
+        assert_eq!(*r.get("timeouts"), 0);
+        assert!(r.get("discovery_time_s").as_f64().unwrap() > 0.0);
     }
     // Paper ordering holds through the CLI too.
-    let t = |i: usize| arr[i]["discovery_time_s"].as_f64().unwrap();
+    let t = |i: usize| arr[i].get("discovery_time_s").as_f64().unwrap();
     assert!(t(2) < t(1) && t(1) < t(0));
 }
 
@@ -52,10 +53,10 @@ fn change_scenario_reports_the_shrunken_fabric() {
         "5",
     ]);
     assert!(ok);
-    let reports: serde_json::Value = serde_json::from_str(&stdout).unwrap();
+    let reports: Json = parse(&stdout).unwrap();
     // Torus stays connected: exactly the victim switch + its endpoint gone.
-    assert_eq!(reports[0]["devices_found"], 16);
-    assert_eq!(reports[0]["scenario"], "remove");
+    assert_eq!(*reports.idx(0).get("devices_found"), 16);
+    assert_eq!(*reports.idx(0).get("scenario"), "remove");
 }
 
 #[test]
@@ -74,8 +75,8 @@ fn lossy_run_with_retries_recovers() {
         "--json",
     ]);
     assert!(ok);
-    let reports: serde_json::Value = serde_json::from_str(&stdout).unwrap();
-    assert_eq!(reports[0]["devices_found"], 18, "retries must recover");
+    let reports: Json = parse(&stdout).unwrap();
+    assert_eq!(*reports.idx(0).get("devices_found"), 18, "retries must recover");
 }
 
 #[test]
@@ -85,6 +86,44 @@ fn table_output_mentions_all_algorithms() {
     for name in ["Serial Packet", "Serial Device", "Parallel"] {
         assert!(stdout.contains(name), "{name} missing from table output");
     }
+}
+
+#[test]
+fn trace_flag_writes_a_reconciling_jsonl_dump() {
+    use advanced_switching::harness::{trace_from_jsonl, TraceSummary};
+
+    let dir = std::env::temp_dir().join("asi-cli-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    let (stdout, stderr, ok) = run(&[
+        "--topology",
+        "mesh:3x3",
+        "--algorithm",
+        "parallel",
+        "--json",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stderr.contains("records written"), "{stderr}");
+
+    let records = trace_from_jsonl(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let summary = TraceSummary::of(&records);
+    let report = parse(&stdout).unwrap();
+    // The trace reconciles with the CLI's own aggregate report.
+    assert_eq!(
+        summary.count("request-injected"),
+        report.idx(0).get("requests").as_u64().unwrap()
+    );
+    assert_eq!(
+        summary.count("device-discovered"),
+        report.idx(0).get("devices_found").as_u64().unwrap()
+    );
+    assert_eq!(
+        summary.count("request-timed-out"),
+        report.idx(0).get("timeouts").as_u64().unwrap()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
