@@ -30,7 +30,7 @@ use asi_proto::{
     PortState, TurnPool,
 };
 use asi_sim::{SimTime, TraceEvent, TraceHandle};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Engine configuration.
 #[derive(Clone, Debug)]
@@ -106,6 +106,70 @@ struct InFlight {
     retries: u32,
 }
 
+/// In-flight request table specialised for the engine's key pattern.
+///
+/// Request ids come from a monotonically increasing counter and most
+/// requests complete close to FIFO order, so the live ids always span a
+/// narrow window `[head, head + slots.len())`. A sliding window of
+/// `Option` slots makes insert/lookup/remove plain index arithmetic —
+/// no hashing, no probing — which matters because the parallel
+/// algorithm touches this table on every completion and timeout.
+#[derive(Debug, Default)]
+struct PendingTable {
+    /// Slot `i` holds the request with id `head + i`.
+    slots: VecDeque<Option<InFlight>>,
+    /// Request id of `slots[0]`.
+    head: u32,
+    live: usize,
+}
+
+impl PendingTable {
+    fn new() -> Self {
+        PendingTable::default()
+    }
+
+    /// Inserts under `req_id`. Ids must be inserted in increasing order
+    /// (guaranteed by the engine's `next_req` counter, including for
+    /// retries, which are re-issued under fresh ids).
+    fn insert(&mut self, req_id: u32, inflight: InFlight) {
+        if self.slots.is_empty() {
+            self.head = req_id;
+        }
+        let idx = (req_id - self.head) as usize;
+        debug_assert!(idx >= self.slots.len(), "request ids must be monotonic");
+        self.slots.resize_with(idx, || None);
+        self.slots.push_back(Some(inflight));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, req_id: u32) -> Option<InFlight> {
+        let idx = usize::try_from(req_id.checked_sub(self.head)?).ok()?;
+        let taken = self.slots.get_mut(idx)?.take()?;
+        self.live -= 1;
+        // Drop the drained prefix so the window tracks the live range.
+        while matches!(self.slots.front(), Some(None)) {
+            self.slots.pop_front();
+            self.head = self.head.wrapping_add(1);
+        }
+        Some(taken)
+    }
+
+    fn contains(&self, req_id: u32) -> bool {
+        req_id
+            .checked_sub(self.head)
+            .and_then(|off| self.slots.get(off as usize))
+            .is_some_and(|slot| slot.is_some())
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
 /// What an in-flight request was for.
 #[derive(Clone, Debug)]
 enum Pending {
@@ -159,7 +223,7 @@ pub struct Engine {
     /// DSNs of rival managers observed in ownership registers while
     /// claim partitioning (input to the election decision).
     pub rivals: std::collections::BTreeSet<u64>,
-    pending: HashMap<u32, InFlight>,
+    pending: PendingTable,
     next_req: u32,
     probe_queue: VecDeque<ProbeTarget>,
     current: Option<Exploring>,
@@ -200,7 +264,7 @@ impl Engine {
             cfg,
             db,
             rivals: std::collections::BTreeSet::new(),
-            pending: HashMap::new(),
+            pending: PendingTable::new(),
             next_req: 1,
             probe_queue: VecDeque::new(),
             current: None,
@@ -248,7 +312,7 @@ impl Engine {
             cfg,
             db,
             rivals: std::collections::BTreeSet::new(),
-            pending: HashMap::new(),
+            pending: PendingTable::new(),
             next_req: 1,
             probe_queue: VecDeque::new(),
             current: None,
@@ -338,7 +402,7 @@ impl Engine {
 
     /// True if `req_id` is still awaiting a completion.
     pub fn is_pending(&self, req_id: u32) -> bool {
-        self.pending.contains_key(&req_id)
+        self.pending.contains(req_id)
     }
 
     /// Consumes a PI-4 completion. `words` is the data of a successful
@@ -349,7 +413,7 @@ impl Engine {
         req_id: u32,
         result: Result<&[u32], Pi4Status>,
     ) -> Vec<OutRequest> {
-        let Some(inflight) = self.pending.remove(&req_id) else {
+        let Some(inflight) = self.pending.remove(req_id) else {
             return Vec::new(); // stale (timed out earlier)
         };
         self.stats.responses += 1;
@@ -423,7 +487,7 @@ impl Engine {
     /// retry budget lasts, otherwise give the target up (the paper's FM
     /// assumes a removed device).
     pub fn handle_timeout(&mut self, req_id: u32) -> Vec<OutRequest> {
-        let Some(inflight) = self.pending.remove(&req_id) else {
+        let Some(inflight) = self.pending.remove(req_id) else {
             return Vec::new();
         };
         self.stats.timeouts += 1;
@@ -1084,5 +1148,66 @@ mod tests {
         let reads = engine.handle_completion(check[0].req_id, Ok(&[0, 1]));
         assert_eq!(reads.len(), 2, "port reads follow a successful claim");
         assert!(engine.rivals.is_empty());
+    }
+
+    fn flight() -> InFlight {
+        InFlight {
+            kind: Pending::ClaimWrite { dsn: 0 },
+            retries: 0,
+        }
+    }
+
+    #[test]
+    fn pending_table_fifo_and_out_of_order_removal() {
+        let mut t = PendingTable::new();
+        for id in 1..=5u32 {
+            t.insert(id, flight());
+        }
+        assert_eq!(t.len(), 5);
+        assert!(t.contains(3));
+        assert!(!t.contains(0));
+        assert!(!t.contains(6));
+        // Out-of-order removal leaves a hole; the window only slides once
+        // the head drains.
+        assert!(t.remove(3).is_some());
+        assert!(t.remove(3).is_none(), "double remove fails");
+        assert!(!t.contains(3));
+        assert_eq!(t.len(), 4);
+        assert!(t.remove(1).is_some());
+        assert!(t.remove(2).is_some());
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(4) && t.contains(5));
+        assert!(t.remove(5).is_some());
+        assert!(t.remove(4).is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn pending_table_window_stays_bounded_under_fifo_churn() {
+        let mut t = PendingTable::new();
+        let mut next = 1u32;
+        for _ in 0..10_000 {
+            t.insert(next, flight());
+            next += 1;
+            if t.len() > 8 {
+                // remove the oldest live id
+                let oldest = next - t.len() as u32;
+                assert!(t.remove(oldest).is_some());
+            }
+            assert!(t.slots.len() <= 16, "window grew: {}", t.slots.len());
+        }
+    }
+
+    #[test]
+    fn pending_table_restart_after_drain() {
+        let mut t = PendingTable::new();
+        t.insert(1, flight());
+        assert!(t.remove(1).is_some());
+        assert!(t.is_empty());
+        // A much later id after full drain must not materialise the gap.
+        t.insert(1000, flight());
+        assert_eq!(t.slots.len(), 1);
+        assert!(t.contains(1000));
+        assert!(!t.contains(1));
     }
 }

@@ -13,7 +13,17 @@
 //! — the numbers are honest wall-clock means, good enough for the
 //! coarse regression checks this repository performs.
 
+//! ## Environment controls
+//!
+//! - `ASI_BENCH_SMOKE=1` — smoke mode: one measured iteration per
+//!   benchmark and no warm-up budget, so CI can exercise every bench
+//!   body in seconds (the numbers are not comparable to a full run).
+//! - `ASI_BENCH_JSON=<path>` — after all groups finish, write every
+//!   measurement as a machine-readable JSON report (see
+//!   [`write_json_if_requested`] for the schema).
+
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Throughput annotation for a benchmark group.
@@ -134,17 +144,105 @@ fn report(name: &str, settings: Settings, throughput: Option<Throughput>) -> imp
     }
 }
 
-fn run_one<F>(name: &str, settings: Settings, throughput: Option<Throughput>, mut f: F)
+/// True when `ASI_BENCH_SMOKE` requests the 1-iteration CI mode.
+fn smoke_mode() -> bool {
+    std::env::var("ASI_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// One finished measurement, kept for the optional JSON report.
+struct Measurement {
+    name: String,
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+/// Process-wide measurement registry feeding [`write_json_if_requested`].
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+fn run_one<F>(name: &str, mut settings: Settings, throughput: Option<Throughput>, mut f: F)
 where
     F: FnMut(&mut Bencher),
 {
+    if smoke_mode() {
+        settings.sample_size = 1;
+        settings.warm_up_time = Duration::ZERO;
+    }
     let mut result = None;
     let mut bencher = Bencher {
         settings,
         result: &mut result,
     };
     f(&mut bencher);
+    if let Some((elapsed, iters)) = result {
+        if let Ok(mut results) = RESULTS.lock() {
+            results.push(Measurement {
+                name: name.to_string(),
+                ns_per_iter: elapsed.as_nanos() as f64 / iters.max(1) as f64,
+                iters,
+            });
+        }
+    }
     report(name, settings, throughput)(result);
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes every measurement taken so far to the file named by the
+/// `ASI_BENCH_JSON` environment variable (no-op when unset). Invoked by
+/// [`criterion_main!`] after all groups run, so a plain `cargo bench`
+/// with the variable exported produces the committed `BENCH_*.json`
+/// baselines.
+///
+/// Schema (`asi-bench/v1`):
+///
+/// ```json
+/// {
+///   "schema": "asi-bench/v1",
+///   "mode": "full",
+///   "results": [
+///     { "name": "group/bench", "ns_per_iter": 1234.5, "iters": 10 }
+///   ]
+/// }
+/// ```
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("ASI_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let results = match RESULTS.lock() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let mode = if smoke_mode() { "smoke" } else { "full" };
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"asi-bench/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n  \"results\": [\n"));
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {} }}{sep}\n",
+            json_escape(&m.name),
+            m.ns_per_iter,
+            m.iters
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    }
 }
 
 /// The benchmark driver; see the real criterion docs.
@@ -280,12 +378,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Defines `main` running the given groups.
+/// Defines `main` running the given groups, then emitting the optional
+/// `ASI_BENCH_JSON` report.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }

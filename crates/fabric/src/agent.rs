@@ -111,6 +111,13 @@ impl AgentCtx {
     pub fn take_commands(&mut self) -> Vec<AgentCommand> {
         std::mem::take(&mut self.commands)
     }
+
+    /// Replaces the command buffer with a recycled allocation
+    /// (fabric-internal; the buffer is cleared before use).
+    pub fn recycle_commands(&mut self, mut buf: Vec<AgentCommand>) {
+        buf.clear();
+        self.commands = buf;
+    }
 }
 
 /// Management software running on an endpoint.

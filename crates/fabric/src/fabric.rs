@@ -182,6 +182,12 @@ pub struct Fabric {
     counters: FabricCounters,
     rng: SimRng,
     trace: TraceHandle,
+    /// Recycled [`AgentCtx`] port-snapshot buffer: agent callbacks fire on
+    /// every delivered management packet, so allocating a fresh `Vec` per
+    /// callback shows up in discovery profiles.
+    scratch_ports: Vec<PortInfo>,
+    /// Recycled agent command buffer (same rationale).
+    scratch_commands: Vec<AgentCommand>,
 }
 
 /// Base used to derive device serial numbers from indices.
@@ -227,13 +233,21 @@ impl Fabric {
             });
         }
         let rng = SimRng::new(config.seed);
+        // Pre-size the event queue by fabric scale: steady-state discovery
+        // keeps a handful of events in flight per device (arrivals,
+        // serializer retries, credit returns), so growing from a fixed
+        // 1024 caused repeated heap reallocation on the larger Table 1
+        // topologies.
+        let event_capacity = 1024.max(devices.len() * 8);
         Fabric {
-            sim: Simulator::with_capacity(1024),
+            sim: Simulator::with_capacity(event_capacity),
             devices,
             config,
             counters: FabricCounters::default(),
             rng,
             trace: TraceHandle::disabled(),
+            scratch_ports: Vec::new(),
+            scratch_commands: Vec::new(),
         }
     }
 
@@ -825,14 +839,17 @@ impl Fabric {
     }
 
     fn drain_port(&mut self, dev: DevId, port: u8) {
-        let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
-        let entries: Vec<OutEntry> = p
-            .mgmt_q
-            .drain(..)
-            .chain(p.bypass_q.drain(..))
-            .chain(p.data_q.drain(..))
-            .collect();
-        for e in entries {
+        // Pop one entry at a time instead of collecting into an interim
+        // Vec: this runs on every pump() of a downed port.
+        loop {
+            let entry = {
+                let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+                p.mgmt_q
+                    .pop_front()
+                    .or_else(|| p.bypass_q.pop_front())
+                    .or_else(|| p.data_q.pop_front())
+            };
+            let Some(e) = entry else { break };
             self.counters.dropped_link_down += 1;
             if let Some(origin) = e.origin {
                 self.schedule_credit_return(origin);
@@ -1014,7 +1031,7 @@ impl Fabric {
         if let Some(t) = next_delay {
             self.sim.schedule_after(t, Event::AgentDone { dev });
         }
-        self.execute_commands(dev, ctx.take_commands());
+        self.finish_ctx(dev, ctx);
     }
 
     fn on_timer(&mut self, dev: DevId, token: u64) {
@@ -1027,11 +1044,15 @@ impl Fabric {
             let Some(slot) = d.agent.as_mut() else { return };
             slot.agent.on_timer(&mut ctx, token);
         }
-        self.execute_commands(dev, ctx.take_commands());
+        self.finish_ctx(dev, ctx);
     }
 
-    fn execute_commands(&mut self, dev: DevId, commands: Vec<AgentCommand>) {
-        for cmd in commands {
+    /// Executes the commands an agent queued on `ctx`, then reclaims the
+    /// context's buffers for the next callback.
+    fn finish_ctx(&mut self, dev: DevId, mut ctx: AgentCtx) {
+        let mut commands = ctx.take_commands();
+        self.scratch_ports = std::mem::take(&mut ctx.host_ports);
+        for cmd in commands.drain(..) {
             match cmd {
                 AgentCommand::Send { port, packet } => {
                     self.counters.injected += 1;
@@ -1046,16 +1067,23 @@ impl Fabric {
                 }
             }
         }
+        self.scratch_commands = commands;
     }
 
     /// Builds an agent callback context with a snapshot of the host
-    /// endpoint's own configuration.
-    fn make_ctx(&self, dev: DevId) -> AgentCtx {
+    /// endpoint's own configuration, reusing the fabric's scratch buffers
+    /// (returned by [`Fabric::finish_ctx`]) to avoid per-callback
+    /// allocation.
+    fn make_ctx(&mut self, dev: DevId) -> AgentCtx {
+        let mut ports = std::mem::take(&mut self.scratch_ports);
+        ports.clear();
         let d = &self.devices[dev.idx()];
-        let ports = (0..d.info.port_count)
-            .map(|p| *d.config.port(p).expect("port in range"))
-            .collect();
-        AgentCtx::new(self.sim.now(), dev, d.info, ports)
+        for p in 0..d.info.port_count {
+            ports.push(*d.config.port(p).expect("port in range"));
+        }
+        let mut ctx = AgentCtx::new(self.sim.now(), dev, d.info, ports);
+        ctx.recycle_commands(std::mem::take(&mut self.scratch_commands));
+        ctx
     }
 
     // ---------------- activation & port state ----------------
@@ -1201,7 +1229,7 @@ impl Fabric {
                 let slot = d.agent.as_mut().expect("checked");
                 slot.agent.on_port_event(&mut ctx, port, event);
             }
-            self.execute_commands(dev, ctx.take_commands());
+            self.finish_ctx(dev, ctx);
         }
         // PI-5 report.
         let (route, dsn, seq) = {

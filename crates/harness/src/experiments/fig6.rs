@@ -4,10 +4,7 @@
 //! non-default processing factors) for Fig. 9.
 
 use crate::report::{Chart, Series};
-use crate::scenario::{change_experiment, Scenario};
-use asi_core::Algorithm;
-use asi_sim::OnlineStats;
-use asi_topo::Table1;
+use crate::sweep::{self, SweepSpec};
 
 /// Outputs of the change experiment.
 pub struct Fig6Output {
@@ -18,15 +15,21 @@ pub struct Fig6Output {
 }
 
 /// Runs the Fig. 6 experiment at the given processing factors (Fig. 9
-/// passes non-default ones).
+/// passes non-default ones). The grid executes on the deterministic
+/// sweep runner ([`crate::sweep`]), so the charts are identical for any
+/// worker count — including the serial `jobs = 1` case.
 pub fn run_with_factors(
     quick: bool,
     fm_factor: f64,
     device_factor: f64,
     id: &str,
 ) -> Fig6Output {
-    let topos = if quick { Table1::quick() } else { Table1::all() };
-    let reps = if quick { 2 } else { 6 };
+    let spec = SweepSpec::fig6(quick, fm_factor, device_factor);
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let result = sweep::run(&spec, jobs);
+
     let mut scatter = Chart::new(
         format!("{id}a"),
         format!(
@@ -41,55 +44,20 @@ pub fn run_with_factors(
         "Physical Nodes",
         "Discovery Time (sec)",
     );
-    // One task per (algorithm, topology) pair, fanned out with scoped
-    // threads; seeds are fixed per task so the output is identical to the
-    // sequential sweep.
-    let algs = Algorithm::all();
-    let mut tasks: Vec<(usize, usize)> = Vec::new();
-    for a in 0..algs.len() {
-        for t in 0..topos.len() {
-            tasks.push((a, t));
-        }
-    }
-    type TaskResult = (Vec<(f64, f64)>, (f64, f64));
-    let mut results: Vec<Option<TaskResult>> = vec![None; tasks.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for &(a, t) in &tasks {
-            let spec = topos[t];
-            let alg = algs[a];
-            handles.push(scope.spawn(move || {
-                let topo = spec.build();
-                let mut points = Vec::new();
-                let mut stats = OnlineStats::new();
-                for rep in 0..reps {
-                    let remove = rep % 2 == 0;
-                    let scenario = Scenario::new(alg)
-                        .with_factors(fm_factor, device_factor)
-                        .with_seed(0xF16_6000 + rep as u64 * 7919 + spec.switches() as u64);
-                    let (run, active) = change_experiment(&topo, &scenario, remove);
-                    let time = run.discovery_time().as_secs_f64();
-                    points.push((active as f64, time));
-                    stats.push(time);
-                }
-                (points, (spec.total_devices() as f64, stats.mean()))
-            }));
-        }
-        for (slot, handle) in handles.into_iter().enumerate() {
-            results[slot] = Some(handle.join().expect("sweep task panicked"));
-        }
-    });
-
-    for (a, alg) in algs.iter().enumerate() {
+    for &alg in &spec.algorithms {
         let mut s_scatter = Series::new(alg.name());
+        // Cells arrive in canonical order (topologies outer, reps
+        // inner), which is exactly the scatter point order.
+        for c in result.cells.iter().filter(|c| c.algorithm == alg.name()) {
+            s_scatter.push(c.active_nodes as f64, c.discovery_time_s);
+        }
         let mut s_avg = Series::new(alg.name());
-        for t in 0..topos.len() {
-            let idx = tasks.iter().position(|&x| x == (a, t)).expect("task exists");
-            let (points, avg) = results[idx].take().expect("task ran");
-            for (x, y) in points {
-                s_scatter.push(x, y);
-            }
-            s_avg.push(avg.0, avg.1);
+        for a in result
+            .aggregates
+            .iter()
+            .filter(|a| a.algorithm == alg.name())
+        {
+            s_avg.push(a.total_devices as f64, a.mean_time_s);
         }
         scatter.series.push(s_scatter);
         averages.series.push(s_avg);

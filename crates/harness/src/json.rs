@@ -457,7 +457,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     at: *pos,
                     msg: "invalid UTF-8",
                 })?;
-                let c = rest.chars().next().unwrap();
+                let c = rest.chars().next().ok_or(JsonError {
+                    at: *pos,
+                    msg: "unterminated string",
+                })?;
                 out.push(c);
                 *pos += c.len_utf8();
             }
@@ -574,5 +577,129 @@ mod tests {
         assert_eq!(*v.get("devices_found"), 18);
         assert_eq!(*v.get("devices_found"), 18u64);
         assert_eq!(*v.get("scenario"), "remove");
+    }
+
+    #[test]
+    fn malformed_escapes_report_errors_instead_of_panicking() {
+        // Every one of these once reached an `unwrap()` path.
+        assert!(parse(r#""\x""#).is_err()); // unknown escape
+        assert!(parse(r#""\"#).is_err()); // escape at end of input
+        assert!(parse(r#""\u12"#).is_err()); // truncated \u escape
+        assert!(parse(r#""\uZZZZ""#).is_err()); // non-hex \u escape
+        assert!(parse("\"abc").is_err()); // unterminated string
+        // Lone surrogate: documented to decode as U+FFFD, not panic.
+        assert_eq!(
+            parse(r#""\ud800""#).unwrap(),
+            Json::Str("\u{FFFD}".to_string())
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::collection::vec;
+        use proptest::prelude::*;
+        use proptest::{Rejected, TestRng};
+
+        /// Characters biased toward JSON syntax and escape machinery, so
+        /// random strings actually exercise the parser's edge paths.
+        const SPICE: &[char] = &[
+            '"', '\\', 'u', 'n', '{', '}', '[', ']', ':', ',', '0', '9', '-', '.', 'e', ' ',
+            '\t', '\n', 'a', '\u{1}', '\u{FFFD}', '\u{10348}',
+        ];
+
+        fn arb_string(rng: &mut TestRng) -> Result<String, Rejected> {
+            let picks = vec((0usize..SPICE.len(), any::<u32>()), 0..12usize).generate(rng)?;
+            Ok(picks
+                .into_iter()
+                .map(|(i, raw)| {
+                    if raw & 1 == 0 {
+                        SPICE[i]
+                    } else {
+                        char::from_u32(raw % 0x11_0000).unwrap_or('\u{FFFD}')
+                    }
+                })
+                .collect())
+        }
+
+        /// Arbitrary [`Json`] value of bounded depth. Numbers are dyadic
+        /// rationals so text round-trips are exact.
+        struct ArbJson(u8);
+
+        impl Strategy for ArbJson {
+            type Value = Json;
+
+            fn generate(&self, rng: &mut TestRng) -> Result<Json, Rejected> {
+                let variants = if self.0 == 0 { 4u8 } else { 6 };
+                Ok(match (0..variants).generate(rng)? {
+                    0 => Json::Null,
+                    1 => Json::Bool((0u8..2).generate(rng)? == 1),
+                    2 => {
+                        let n = (-1_000_000_000i64..1_000_000_000).generate(rng)?;
+                        let denom = 1u64 << (0u32..8).generate(rng)?;
+                        Json::Num(n as f64 / denom as f64)
+                    }
+                    3 => Json::Str(arb_string(rng)?),
+                    4 => Json::Arr(vec(ArbJson(self.0 - 1), 0..4usize).generate(rng)?),
+                    _ => {
+                        let len = (0usize..4).generate(rng)?;
+                        let mut entries = Vec::with_capacity(len);
+                        for i in 0..len {
+                            // Prefix keeps keys distinct whatever the
+                            // random tail contains.
+                            let key = format!("k{i}{}", arb_string(rng)?);
+                            entries.push((key, ArbJson(self.0 - 1).generate(rng)?));
+                        }
+                        Json::Obj(entries)
+                    }
+                })
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn arbitrary_values_round_trip_both_renderings(v in ArbJson(3)) {
+                prop_assert_eq!(&parse(&v.to_string_compact()).unwrap(), &v);
+                prop_assert_eq!(&parse(&v.to_string_pretty()).unwrap(), &v);
+            }
+
+            /// Any prefix of a serialized document must parse or error —
+            /// never panic — and a strict prefix of a container document
+            /// is always an error (its bracket is unbalanced).
+            #[test]
+            fn truncated_documents_error_cleanly(
+                v in ArbJson(3),
+                cut in any::<prop::sample::Index>(),
+            ) {
+                let text = v.to_string_compact();
+                let mut end = cut.index(text.len().max(1)).min(text.len());
+                while !text.is_char_boundary(end) {
+                    end -= 1;
+                }
+                let result = parse(&text[..end]);
+                if end < text.len() && matches!(v, Json::Arr(_) | Json::Obj(_)) {
+                    prop_assert!(result.is_err(), "prefix {:?} parsed", &text[..end]);
+                }
+            }
+
+            /// Syntax-biased garbage never panics the parser.
+            #[test]
+            fn garbage_input_never_panics(
+                picks in vec((0usize..SPICE.len(), any::<u32>()), 0..24usize),
+            ) {
+                let text: String = picks
+                    .into_iter()
+                    .map(|(i, raw)| {
+                        if raw & 1 == 0 {
+                            SPICE[i]
+                        } else {
+                            char::from_u32(raw % 0x11_0000).unwrap_or('\u{FFFD}')
+                        }
+                    })
+                    .collect();
+                let _ = parse(&text);
+            }
+        }
     }
 }

@@ -4,6 +4,10 @@
 //! - [`scenario`] — fabric bring-up, FM installation, PI-5 route
 //!   configuration, and random switch addition/removal injection (the
 //!   paper's §4.1 methodology);
+//! - [`sweep`] — the deterministic multi-threaded sweep runner: a
+//!   [`SweepSpec`] grid (topology × algorithm × seed) executed across a
+//!   scoped worker pool with per-cell seeding, so results are
+//!   byte-identical for any `--jobs` count;
 //! - [`experiments`] — one module per table/figure plus ablations;
 //! - [`report`] — markdown/CSV renderers for the reproduced outputs,
 //!   plus the discovery-trace collector and JSONL exporters for the
@@ -22,10 +26,15 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 pub use json::Json;
 pub use report::{
     pending_occupancy, save_trace_jsonl, trace_from_jsonl, trace_to_jsonl, Chart, RingCollector,
     Series, TableOut, TraceSummary,
 };
-pub use scenario::{change_experiment, dev_of_dsn, dsn_of_dev, Bench, Scenario, TrafficSpec};
+pub use scenario::{
+    change_experiment, dev_of_dsn, dsn_of_dev, lossy_initial_discovery, Bench, Scenario,
+    TrafficSpec,
+};
+pub use sweep::{ChangeMode, SweepResult, SweepSpec};

@@ -458,6 +458,45 @@ pub fn distributed_discovery(
     )
 }
 
+/// Initial discovery under injected packet loss: builds the fabric with
+/// `loss_rate` applied per hop and gives the FM a `max_retries` budget
+/// per request (the robustness ablation; shared by the CLI's `--loss`
+/// path and lossy sweep grids). Returns the completed run and the
+/// active-node count, or `None` when the retry budget was exhausted and
+/// the FM never finished a run.
+pub fn lossy_initial_discovery(
+    topo: &Topology,
+    scenario: &Scenario,
+    loss_rate: f64,
+    max_retries: u32,
+) -> Option<(DiscoveryRun, usize)> {
+    let config = FabricConfig {
+        device_factor: scenario.device_factor,
+        flow_control: scenario.flow_control,
+        loss_rate,
+        seed: scenario.seed,
+        ..FabricConfig::default()
+    };
+    let mut fabric = Fabric::new(topo, config);
+    fabric.set_event_limit(2_000_000_000);
+    fabric.set_trace(scenario.trace.clone(), QUEUE_SAMPLE_EVERY);
+    fabric.activate_all(SimDuration::ZERO);
+    fabric.run_until_idle();
+    let fm_node = asi_topo::default_fm_endpoint(topo)?;
+    let fm = DevId(fm_node.0);
+    let mut cfg = FmConfig::new(scenario.algorithm);
+    cfg.timing = FmTiming::default().with_factor(scenario.fm_factor);
+    cfg.max_retries = max_retries;
+    cfg.request_timeout = SimDuration::from_us(800);
+    cfg.trace = scenario.trace.clone();
+    fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
+    fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+    fabric.run_until_idle();
+    let active = fabric.active_reachable(fm).len();
+    let run = fabric.agent_as::<FmAgent>(fm)?.last_run()?.clone();
+    Some((run, active))
+}
+
 /// One repetition of the paper's change experiment: bring up the fabric,
 /// discover, inject a random switch removal **or** addition, re-discover.
 /// Returns `(assimilation run, active nodes after the change)`.

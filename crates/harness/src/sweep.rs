@@ -1,0 +1,597 @@
+//! Deterministic multi-threaded experiment sweeps.
+//!
+//! The paper's evaluation is a grid: topology × algorithm × repetition
+//! (× loss/retry configuration for the robustness ablations). A
+//! [`SweepSpec`] names such a grid; [`run`] executes every cell across a
+//! `std::thread::scope` worker pool and merges the results **by cell
+//! index**, with each cell's RNG seed derived from the spec alone — so
+//! the output (and therefore the rendered JSON/CSV) is byte-identical
+//! for any `--jobs` value, including 1.
+//!
+//! The figure generators (`experiments::fig6`, and `fig9` through it)
+//! are built on this module; the `asi-fabric-sim sweep` CLI mode exposes
+//! the same grids from the command line.
+
+use crate::json::Json;
+use crate::scenario::{change_experiment, lossy_initial_discovery, Bench, Scenario};
+use asi_core::Algorithm;
+use asi_sim::OnlineStats;
+use asi_topo::Table1;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// What each cell does after the initial bring-up.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChangeMode {
+    /// Measure the initial discovery only (Figs. 4–5 style).
+    Initial,
+    /// Remove a random switch and measure the assimilation run.
+    Remove,
+    /// Hot-add a previously absent switch and measure the assimilation.
+    Add,
+    /// Alternate per repetition: even reps remove, odd reps add — the
+    /// paper's Fig. 6 change experiment.
+    Alternate,
+}
+
+impl ChangeMode {
+    /// Keyword used by the CLI and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChangeMode::Initial => "initial",
+            ChangeMode::Remove => "remove",
+            ChangeMode::Add => "add",
+            ChangeMode::Alternate => "alternate",
+        }
+    }
+}
+
+/// A full sweep grid: the cartesian product of `algorithms` ×
+/// `topologies` × `reps` repetitions, plus shared scenario knobs.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    /// Grid name (used in reports).
+    pub name: String,
+    /// Topologies to sweep (rows of the paper's Table 1).
+    pub topologies: Vec<Table1>,
+    /// Discovery algorithms to compare.
+    pub algorithms: Vec<Algorithm>,
+    /// Repetitions per (topology, algorithm) pair.
+    pub reps: usize,
+    /// Per-cell seed = `seed_base + rep * seed_stride`
+    /// (+ the topology's switch count when `salt_by_switches`).
+    pub seed_base: u64,
+    /// Seed increment per repetition.
+    pub seed_stride: u64,
+    /// Mix the topology's switch count into the seed, so each topology
+    /// sees different victims/arrival processes (the Fig. 6 convention).
+    pub salt_by_switches: bool,
+    /// What each cell measures.
+    pub change: ChangeMode,
+    /// FM processing-speed factor (Figs. 8–9).
+    pub fm_factor: f64,
+    /// Device processing-speed factor (Figs. 8–9).
+    pub device_factor: f64,
+    /// Per-hop packet loss probability (0 = the paper's loss-free model).
+    pub loss_rate: f64,
+    /// FM retry budget per request (used with `loss_rate > 0`).
+    pub max_retries: u32,
+}
+
+impl SweepSpec {
+    /// A grid with the paper-default knobs.
+    pub fn new(name: impl Into<String>, topologies: Vec<Table1>) -> SweepSpec {
+        SweepSpec {
+            name: name.into(),
+            topologies,
+            algorithms: Algorithm::all().to_vec(),
+            reps: 1,
+            seed_base: 0xA51,
+            seed_stride: 7919,
+            salt_by_switches: false,
+            change: ChangeMode::Initial,
+            fm_factor: 1.0,
+            device_factor: 1.0,
+            loss_rate: 0.0,
+            max_retries: 0,
+        }
+    }
+
+    /// The Fig. 5 grid: initial discovery on the two fabrics the paper
+    /// renders (6×6 mesh, 4-port 3-tree).
+    pub fn fig5(quick: bool) -> SweepSpec {
+        let mut spec = SweepSpec::new(
+            "fig5",
+            vec![Table1::Mesh(6), Table1::FatTree(4, 3)],
+        );
+        spec.reps = if quick { 1 } else { 3 };
+        spec
+    }
+
+    /// The Fig. 6 grid: random change assimilation over Table 1, with
+    /// the exact per-repetition seeding the figure generator uses.
+    /// Fig. 9 reuses it with non-default processing factors.
+    pub fn fig6(quick: bool, fm_factor: f64, device_factor: f64) -> SweepSpec {
+        let mut spec = SweepSpec::new(
+            "fig6",
+            if quick { Table1::quick() } else { Table1::all() },
+        );
+        spec.reps = if quick { 2 } else { 6 };
+        spec.seed_base = 0xF16_6000;
+        spec.salt_by_switches = true;
+        spec.change = ChangeMode::Alternate;
+        spec.fm_factor = fm_factor;
+        spec.device_factor = device_factor;
+        spec
+    }
+
+    /// A small smoke grid for CI end-to-end runs: one quick topology,
+    /// all three algorithms, initial discovery only.
+    pub fn smoke() -> SweepSpec {
+        SweepSpec::new("smoke", vec![Table1::Mesh(3)])
+    }
+
+    /// The RNG seed of cell `(topology, rep)`.
+    pub fn cell_seed(&self, topo: Table1, rep: usize) -> u64 {
+        let salt = if self.salt_by_switches {
+            topo.switches() as u64
+        } else {
+            0
+        };
+        self.seed_base + rep as u64 * self.seed_stride + salt
+    }
+
+    /// Materialises the grid in its canonical order: algorithms outer,
+    /// then topologies, then repetitions. Everything downstream (worker
+    /// scheduling, result merging, aggregation) keys off this order.
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut cells = Vec::with_capacity(
+            self.algorithms.len() * self.topologies.len() * self.reps,
+        );
+        for &algorithm in &self.algorithms {
+            for &topology in &self.topologies {
+                for rep in 0..self.reps {
+                    cells.push(Cell {
+                        topology,
+                        algorithm,
+                        rep,
+                        seed: self.cell_seed(topology, rep),
+                    });
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One point of the grid.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// The fabric under test.
+    pub topology: Table1,
+    /// The algorithm under test.
+    pub algorithm: Algorithm,
+    /// Repetition ordinal within the (topology, algorithm) pair.
+    pub rep: usize,
+    /// Derived RNG seed (see [`SweepSpec::cell_seed`]).
+    pub seed: u64,
+}
+
+/// Measurements of one executed cell.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    /// Topology display name.
+    pub topology: String,
+    /// Total devices in the (intact) topology.
+    pub total_devices: usize,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Repetition ordinal.
+    pub rep: usize,
+    /// The seed the cell ran with.
+    pub seed: u64,
+    /// Whether the measured run completed (lossy runs may exhaust their
+    /// retry budget and never drain the pending table).
+    pub completed: bool,
+    /// Active reachable devices when the measured run finished.
+    pub active_nodes: usize,
+    /// The paper's headline metric, in seconds.
+    pub discovery_time_s: f64,
+    /// Devices in the FM database at the end of the run.
+    pub devices_found: usize,
+    /// Links in the FM database at the end of the run.
+    pub links_found: usize,
+    /// PI-4 requests injected.
+    pub requests: u64,
+    /// Completions processed.
+    pub responses: u64,
+    /// Requests abandoned by timeout.
+    pub timeouts: u64,
+    /// Management bytes sent by the FM.
+    pub bytes_sent: u64,
+    /// Management bytes received by the FM.
+    pub bytes_received: u64,
+    /// Mean per-packet FM processing time (µs).
+    pub mean_fm_processing_us: f64,
+    /// Fraction of the run the FM was busy.
+    pub fm_utilization: f64,
+}
+
+/// Per-(topology, algorithm) summary over the repetitions.
+#[derive(Clone, Debug)]
+pub struct Aggregate {
+    /// Topology display name.
+    pub topology: String,
+    /// Total devices in the intact topology.
+    pub total_devices: usize,
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Completed repetitions aggregated.
+    pub completed: usize,
+    /// Mean discovery time over completed reps (seconds).
+    pub mean_time_s: f64,
+    /// Fastest completed rep (seconds).
+    pub min_time_s: f64,
+    /// Slowest completed rep (seconds).
+    pub max_time_s: f64,
+    /// Mean requests per completed rep.
+    pub mean_requests: f64,
+    /// Mean timeouts per completed rep.
+    pub mean_timeouts: f64,
+}
+
+/// A finished sweep: every cell result in canonical order, plus the
+/// per-(topology, algorithm) aggregates.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Grid name.
+    pub name: String,
+    /// Change mode keyword.
+    pub change: &'static str,
+    /// All cell results, in [`SweepSpec::cells`] order.
+    pub cells: Vec<CellResult>,
+    /// Aggregates, algorithms outer then topologies (canonical order).
+    pub aggregates: Vec<Aggregate>,
+}
+
+/// Executes one cell. Runs on a worker thread; must derive everything
+/// from the cell + spec so results are placement-independent.
+fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
+    let topo = cell.topology.build();
+    let scenario = Scenario::new(cell.algorithm)
+        .with_factors(spec.fm_factor, spec.device_factor)
+        .with_seed(cell.seed);
+    let outcome = if spec.loss_rate > 0.0 {
+        lossy_initial_discovery(&topo, &scenario, spec.loss_rate, spec.max_retries)
+    } else {
+        match spec.change {
+            ChangeMode::Initial => {
+                let bench = Bench::start(&topo, &scenario, &[]);
+                let active = bench.active_nodes();
+                Some((bench.last_run(), active))
+            }
+            ChangeMode::Remove => Some(change_experiment(&topo, &scenario, true)),
+            ChangeMode::Add => Some(change_experiment(&topo, &scenario, false)),
+            ChangeMode::Alternate => {
+                Some(change_experiment(&topo, &scenario, cell.rep.is_multiple_of(2)))
+            }
+        }
+    };
+    match outcome {
+        Some((run, active)) => CellResult {
+            topology: cell.topology.name(),
+            total_devices: cell.topology.total_devices(),
+            algorithm: cell.algorithm.name(),
+            rep: cell.rep,
+            seed: cell.seed,
+            completed: true,
+            active_nodes: active,
+            discovery_time_s: run.discovery_time().as_secs_f64(),
+            devices_found: run.devices_found,
+            links_found: run.links_found,
+            requests: run.requests_sent,
+            responses: run.responses_received,
+            timeouts: run.timeouts,
+            bytes_sent: run.bytes_sent,
+            bytes_received: run.bytes_received,
+            mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
+            fm_utilization: run.fm_utilization(),
+        },
+        None => CellResult {
+            topology: cell.topology.name(),
+            total_devices: cell.topology.total_devices(),
+            algorithm: cell.algorithm.name(),
+            rep: cell.rep,
+            seed: cell.seed,
+            completed: false,
+            active_nodes: 0,
+            discovery_time_s: 0.0,
+            devices_found: 0,
+            links_found: 0,
+            requests: 0,
+            responses: 0,
+            timeouts: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+            mean_fm_processing_us: 0.0,
+            fm_utilization: 0.0,
+        },
+    }
+}
+
+/// Runs the whole grid on `jobs` worker threads (clamped to at least 1
+/// and at most the cell count) and returns the results in canonical
+/// order. The worker pool pulls cell indices from a shared atomic
+/// counter; because every cell is self-seeding and results are merged
+/// by index, the returned [`SweepResult`] — and any JSON/CSV rendered
+/// from it — is byte-identical for every `jobs` value.
+pub fn run(spec: &SweepSpec, jobs: usize) -> SweepResult {
+    let cells = spec.cells();
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let mut results: Vec<Option<CellResult>> = Vec::new();
+    results.resize_with(cells.len(), || None);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(jobs);
+        for _ in 0..jobs {
+            let next = &next;
+            let cells = &cells;
+            handles.push(scope.spawn(move || {
+                let mut mine: Vec<(usize, CellResult)> = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(idx) else { break };
+                    mine.push((idx, run_cell(spec, cell)));
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            for (idx, result) in handle.join().expect("sweep worker panicked") {
+                results[idx] = Some(result);
+            }
+        }
+    });
+    let cells: Vec<CellResult> = results
+        .into_iter()
+        .map(|r| r.expect("every cell executed"))
+        .collect();
+    let aggregates = aggregate(spec, &cells);
+    SweepResult {
+        name: spec.name.clone(),
+        change: spec.change.name(),
+        cells,
+        aggregates,
+    }
+}
+
+/// Folds cell results into per-(topology, algorithm) aggregates, in
+/// canonical order. Pure function of the cell list, so it cannot
+/// reintroduce thread-count dependence.
+fn aggregate(spec: &SweepSpec, cells: &[CellResult]) -> Vec<Aggregate> {
+    let mut out = Vec::new();
+    for &algorithm in &spec.algorithms {
+        for &topology in &spec.topologies {
+            let name = topology.name();
+            let mut stats = OnlineStats::new();
+            let mut requests = 0u64;
+            let mut timeouts = 0u64;
+            let mut completed = 0usize;
+            for c in cells {
+                if c.algorithm == algorithm.name() && c.topology == name && c.completed {
+                    stats.push(c.discovery_time_s);
+                    requests += c.requests;
+                    timeouts += c.timeouts;
+                    completed += 1;
+                }
+            }
+            out.push(Aggregate {
+                topology: name,
+                total_devices: topology.total_devices(),
+                algorithm: algorithm.name(),
+                completed,
+                mean_time_s: if completed == 0 { 0.0 } else { stats.mean() },
+                min_time_s: if completed == 0 { 0.0 } else { stats.min() },
+                max_time_s: if completed == 0 { 0.0 } else { stats.max() },
+                mean_requests: if completed == 0 {
+                    0.0
+                } else {
+                    requests as f64 / completed as f64
+                },
+                mean_timeouts: if completed == 0 {
+                    0.0
+                } else {
+                    timeouts as f64 / completed as f64
+                },
+            });
+        }
+    }
+    out
+}
+
+impl CellResult {
+    /// JSON object for one cell.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("topology", self.topology.as_str())
+            .with("total_devices", self.total_devices)
+            .with("algorithm", self.algorithm)
+            .with("rep", self.rep)
+            .with("seed", self.seed)
+            .with("completed", self.completed)
+            .with("active_nodes", self.active_nodes)
+            .with("discovery_time_s", self.discovery_time_s)
+            .with("devices_found", self.devices_found)
+            .with("links_found", self.links_found)
+            .with("requests", self.requests)
+            .with("responses", self.responses)
+            .with("timeouts", self.timeouts)
+            .with("bytes_sent", self.bytes_sent)
+            .with("bytes_received", self.bytes_received)
+            .with("mean_fm_processing_us", self.mean_fm_processing_us)
+            .with("fm_utilization", self.fm_utilization)
+    }
+}
+
+impl Aggregate {
+    /// JSON object for one aggregate row.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("topology", self.topology.as_str())
+            .with("total_devices", self.total_devices)
+            .with("algorithm", self.algorithm)
+            .with("completed", self.completed)
+            .with("mean_time_s", self.mean_time_s)
+            .with("min_time_s", self.min_time_s)
+            .with("max_time_s", self.max_time_s)
+            .with("mean_requests", self.mean_requests)
+            .with("mean_timeouts", self.mean_timeouts)
+    }
+}
+
+impl SweepResult {
+    /// The whole sweep as one JSON document. Deliberately excludes
+    /// anything execution-dependent (thread count, wall-clock time) so
+    /// two runs of the same spec compare byte-for-byte.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("sweep", self.name.as_str())
+            .with("change", self.change)
+            .with(
+                "aggregates",
+                Json::Arr(self.aggregates.iter().map(Aggregate::to_json).collect()),
+            )
+            .with(
+                "cells",
+                Json::Arr(self.cells.iter().map(CellResult::to_json).collect()),
+            )
+    }
+
+    /// Cell results as CSV (one row per cell, canonical order).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "topology,total_devices,algorithm,rep,seed,completed,active_nodes,\
+             discovery_time_s,devices_found,links_found,requests,responses,\
+             timeouts,bytes_sent,bytes_received,mean_fm_processing_us,fm_utilization\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                c.topology,
+                c.total_devices,
+                c.algorithm,
+                c.rep,
+                c.seed,
+                c.completed,
+                c.active_nodes,
+                c.discovery_time_s,
+                c.devices_found,
+                c.links_found,
+                c.requests,
+                c.responses,
+                c.timeouts,
+                c.bytes_sent,
+                c.bytes_received,
+                c.mean_fm_processing_us,
+                c.fm_utilization
+            ));
+        }
+        out
+    }
+
+    /// Aggregates as a human-readable text table.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "sweep {} ({} cells, change={})\n{:<16} {:<16} {:>5} {:>14} {:>14} {:>12}\n",
+            self.name,
+            self.cells.len(),
+            self.change,
+            "topology",
+            "algorithm",
+            "reps",
+            "mean",
+            "max",
+            "requests"
+        );
+        for a in &self.aggregates {
+            out.push_str(&format!(
+                "{:<16} {:<16} {:>5} {:>12.3}ms {:>12.3}ms {:>12.1}\n",
+                a.topology,
+                a.algorithm,
+                a.completed,
+                a.mean_time_s * 1e3,
+                a.max_time_s * 1e3,
+                a.mean_requests
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::new("tiny", vec![Table1::Mesh(3)]);
+        spec.algorithms = vec![Algorithm::Parallel];
+        spec.reps = 2;
+        spec.change = ChangeMode::Alternate;
+        spec.salt_by_switches = true;
+        spec.seed_base = 0xF16_6000;
+        spec
+    }
+
+    #[test]
+    fn cells_enumerate_canonical_order_with_fig6_seeds() {
+        let spec = SweepSpec::fig6(true, 1.0, 1.0);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 3 * Table1::quick().len() * 2);
+        // First block: first algorithm, first topology, reps in order.
+        assert_eq!(cells[0].algorithm, Algorithm::SerialPacket);
+        assert_eq!(cells[0].rep, 0);
+        assert_eq!(cells[1].rep, 1);
+        // Fig. 6 seed formula preserved exactly.
+        let topo = Table1::quick()[0];
+        assert_eq!(
+            cells[0].seed,
+            0xF16_6000 + topo.switches() as u64
+        );
+        assert_eq!(
+            cells[1].seed,
+            0xF16_6000 + 7919 + topo.switches() as u64
+        );
+    }
+
+    #[test]
+    fn sweep_runs_and_aggregates() {
+        let result = run(&tiny_spec(), 2);
+        assert_eq!(result.cells.len(), 2);
+        assert!(result.cells.iter().all(|c| c.completed));
+        assert_eq!(result.aggregates.len(), 1);
+        let agg = &result.aggregates[0];
+        assert_eq!(agg.completed, 2);
+        assert!(agg.mean_time_s > 0.0);
+        assert!(agg.min_time_s <= agg.max_time_s);
+    }
+
+    #[test]
+    fn json_aggregates_identical_for_one_and_many_jobs() {
+        // The tentpole determinism guarantee, at unit scope (the CLI
+        // integration test covers the full fig5/fig6 grids).
+        let spec = tiny_spec();
+        let sequential = run(&spec, 1).to_json().to_string_pretty();
+        let parallel = run(&spec, 8).to_json().to_string_pretty();
+        assert_eq!(sequential, parallel);
+        let csv_seq = run(&spec, 1).to_csv();
+        let csv_par = run(&spec, 8).to_csv();
+        assert_eq!(csv_seq, csv_par);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_plus_header() {
+        let result = run(&tiny_spec(), 1);
+        let csv = result.to_csv();
+        assert_eq!(csv.lines().count(), 1 + result.cells.len());
+        assert!(csv.starts_with("topology,"));
+    }
+}

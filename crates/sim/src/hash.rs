@@ -1,0 +1,119 @@
+//! A fast, deterministic hasher for small integer keys.
+//!
+//! The kernel's hot paths key hash containers by dense integer ids
+//! (event sequence numbers, request ids). `std`'s default SipHash is
+//! DoS-resistant but an order of magnitude slower than needed for keys
+//! an attacker never controls; this multiplicative hasher (the FxHash
+//! construction used by rustc) removes that overhead while keeping the
+//! `std::collections` container types.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash / Firefox hasher: a 64-bit odd constant
+/// derived from the golden ratio, chosen for good avalanche on low bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style multiplicative hasher. Not DoS-resistant; use only for
+/// keys the program itself allocates (sequence numbers, indices).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&500), Some(&1000));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+        assert!(!s.contains(&8));
+    }
+
+    #[test]
+    fn sequential_keys_spread() {
+        // The whole point: dense sequence numbers must not collide into a
+        // handful of buckets (a plain identity hash would).
+        let hashes: FxHashSet<u64> = (0..10_000u64)
+            .map(|i| {
+                let mut h = FxHasher::default();
+                h.write_u64(i);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(hashes.len(), 10_000, "all distinct");
+    }
+
+    #[test]
+    fn write_bytes_covers_remainders() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world"); // 11 bytes: one full chunk + remainder
+        let mut b = FxHasher::default();
+        b.write(b"hello worle");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod hash;
 mod queue;
 mod rng;
 pub mod stats;
@@ -28,6 +29,7 @@ mod time;
 pub mod trace;
 
 pub use engine::{Fired, Simulator};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
 pub use trace::{TraceEvent, TraceHandle, TraceRecord, TraceSink};

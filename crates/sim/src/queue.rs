@@ -3,11 +3,15 @@
 //! Events are ordered by `(time, sequence number)`: two events scheduled for
 //! the same instant fire in the order they were scheduled, which makes every
 //! simulation run bit-for-bit reproducible regardless of heap internals.
-//! Cancellation is lazy: cancelled entries are skipped at pop time.
+//! Cancellation is lazy: cancelled entries ("tombstones") are skipped at pop
+//! time, and the heap is compacted in place whenever tombstones outnumber
+//! the live events, so `cancel()`-heavy workloads (e.g. an FM cancelling a
+//! timeout per completed request) stay O(log live) instead of O(log total).
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
+use crate::hash::FxHashSet;
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, usable to cancel it later.
@@ -54,9 +58,13 @@ impl<E> Ord for Entry<E> {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     /// Ids currently live in the heap (scheduled, not yet popped/cancelled).
-    pending: HashSet<EventId>,
+    pending: FxHashSet<EventId>,
     next_id: u64,
 }
+
+/// Compaction never triggers below this heap size: rebuilding tiny heaps
+/// costs more than carrying their tombstones to the top.
+const COMPACT_MIN_HEAP: usize = 64;
 
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
@@ -69,7 +77,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            pending: HashSet::new(),
+            pending: FxHashSet::default(),
             next_id: 0,
         }
     }
@@ -78,7 +86,7 @@ impl<E> EventQueue<E> {
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
             heap: BinaryHeap::with_capacity(cap),
-            pending: HashSet::with_capacity(cap),
+            pending: FxHashSet::with_capacity_and_hasher(cap, Default::default()),
             next_id: 0,
         }
     }
@@ -95,7 +103,29 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event. Returns `true` if the event was
     /// still pending (i.e. not yet popped or cancelled).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.pending.remove(&id)
+        let was_pending = self.pending.remove(&id);
+        if was_pending
+            && self.heap.len() >= COMPACT_MIN_HEAP
+            && self.tombstones() > self.pending.len()
+        {
+            self.compact();
+        }
+        was_pending
+    }
+
+    /// Number of cancelled entries still occupying heap slots.
+    pub fn tombstones(&self) -> usize {
+        self.heap.len() - self.pending.len()
+    }
+
+    /// Rebuilds the heap keeping only live entries. O(n); called
+    /// automatically once tombstones outnumber live events, which
+    /// amortizes to O(1) per cancellation.
+    fn compact(&mut self) {
+        let pending = &self.pending;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| pending.contains(&e.id));
+        self.heap = BinaryHeap::from(entries);
     }
 
     /// True if `id` is scheduled and not yet popped or cancelled.
@@ -237,6 +267,82 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 0);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heavy_cancel_churn_keeps_len_correct_and_bounds_tombstones() {
+        // Simulates the FM pattern: every request schedules a timeout that
+        // is almost always cancelled. Without compaction the heap would
+        // grow to ~n entries; with it, tombstones never exceed the live
+        // count (plus the small-heap floor).
+        let mut q = EventQueue::new();
+        let mut live = Vec::new();
+        for i in 0..10_000u64 {
+            let id = q.push(t(i), i);
+            if i % 10 == 0 {
+                live.push(id);
+            } else {
+                assert!(q.cancel(id));
+            }
+            assert_eq!(q.len(), live.len());
+            assert!(
+                q.tombstones() <= q.len().max(COMPACT_MIN_HEAP),
+                "tombstones {} exceed bound at step {}",
+                q.tombstones(),
+                i
+            );
+        }
+        // Everything still pops in order, skipping every cancelled entry.
+        let mut popped = Vec::new();
+        while let Some((_, id, _)) = q.pop() {
+            popped.push(id);
+        }
+        assert_eq!(popped, live);
+        assert_eq!(q.tombstones(), 0);
+    }
+
+    #[test]
+    fn cancel_all_compacts_heap_to_empty() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..1000u64).map(|i| q.push(t(i), i)).collect();
+        for id in ids {
+            assert!(q.cancel(id));
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.tombstones() < COMPACT_MIN_HEAP,
+            "compaction left {} tombstones",
+            q.tombstones()
+        );
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn compaction_preserves_order_and_ids() {
+        // Interleave pushes and cancels so compaction fires mid-stream,
+        // then verify the survivors come out in exact (time, id) order.
+        let mut q = EventQueue::new();
+        let mut survivors = Vec::new();
+        for round in 0..20u64 {
+            let mut batch = Vec::new();
+            for i in 0..50u64 {
+                let time = t((round * 50 + i) % 37); // deliberately colliding times
+                batch.push((q.push(time, round * 50 + i), time));
+            }
+            for (k, (id, time)) in batch.into_iter().enumerate() {
+                if k % 3 == 0 {
+                    survivors.push((time, id));
+                } else {
+                    q.cancel(id);
+                }
+            }
+        }
+        survivors.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut got = Vec::new();
+        while let Some((time, id, _)) = q.pop() {
+            got.push((time, id));
+        }
+        assert_eq!(got, survivors);
     }
 
     #[test]

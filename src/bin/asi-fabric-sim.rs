@@ -9,15 +9,20 @@
 //! asi-fabric-sim --topology torus:8x8 --algorithm all --change remove --json
 //! asi-fabric-sim --topology fattree:4,3 --fm-factor 4 --device-factor 0.2
 //! asi-fabric-sim --topology irregular:20 --seed 7 --loss 0.02 --retries 4
+//! asi-fabric-sim sweep --grid fig6 --quick --jobs 4 --json
 //! ```
+//!
+//! Every malformed flag produces a one-line `error: ...` on stderr plus
+//! the usage text and exit code 2 — never a panic.
 
-use advanced_switching::core::{Algorithm, FmAgent, FmConfig, FmTiming, TOKEN_START_DISCOVERY};
-use advanced_switching::fabric::{DevId, Fabric, FabricConfig};
+use advanced_switching::core::Algorithm;
 use advanced_switching::harness::{
-    change_experiment, save_trace_jsonl, Bench, Json, RingCollector, Scenario,
+    change_experiment, lossy_initial_discovery, save_trace_jsonl, sweep, Bench, Json,
+    RingCollector, Scenario, SweepSpec,
 };
-use advanced_switching::sim::{SimDuration, SimRng, TraceHandle};
+use advanced_switching::sim::{SimRng, TraceHandle};
 use advanced_switching::topo::{fat_tree, irregular, mesh, torus, IrregularSpec, Topology};
+use std::fmt;
 
 struct RunReport {
     topology: String,
@@ -56,50 +61,103 @@ impl RunReport {
     }
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: asi-fabric-sim --topology <spec> [options]
+const USAGE: &str = "usage: asi-fabric-sim --topology <spec> [options]
+       asi-fabric-sim sweep [sweep options]
 
 topology specs:
-  mesh:<W>x<H>        2-D mesh of 16-port switches, one endpoint each
-  torus:<W>x<H>       2-D torus
-  fattree:<m>,<n>     m-port n-tree (Lin et al.)
-  irregular:<N>       random connected fabric with N switches
+  mesh:<W>x<H>        2-D mesh of 16-port switches, one endpoint each (2..=64 per side)
+  torus:<W>x<H>       2-D torus (2..=64 per side)
+  fattree:<m>,<n>     m-port n-tree (m even, 2..=256; n 1..=8)
+  irregular:<N>       random connected fabric with N switches (1..=1024)
 
 options:
   --algorithm serial-packet|serial-device|parallel|all   (default: all)
   --change none|remove|add     measure initial discovery or a change (default: none)
   --fm-factor <f>              FM processing speed factor (default 1)
   --device-factor <f>          device processing speed factor (default 1)
-  --loss <p>                   per-hop packet loss probability (default 0)
+  --loss <p>                   per-hop packet loss probability in [0,1) (default 0)
   --retries <n>                FM request retries under loss (default 0; use >0 with --loss)
   --seed <n>                   RNG seed (default 0xA51)
   --trace <path>               write a JSONL discovery trace (see docs/TRACE_FORMAT.md)
-  --json                       emit JSON instead of a table"
-    );
+  --json                       emit JSON instead of a table
+
+sweep options (deterministic multi-threaded grid; output is byte-identical
+for any --jobs value):
+  --grid fig5|fig6|smoke       named grid (default: smoke)
+  --quick                      smaller topology set / fewer repetitions
+  --jobs <n>                   worker threads (default: all cores)
+  --fm-factor <f>              FM processing speed factor (default 1)
+  --device-factor <f>          device processing speed factor (default 1)
+  --loss <p>                   per-hop loss probability in [0,1) (default 0)
+  --retries <n>                FM request retries under loss (default 0)
+  --json | --csv               machine-readable output (default: text table)";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
     std::process::exit(2)
 }
 
-fn parse_topology(spec: &str, seed: u64) -> Option<Topology> {
-    let (kind, rest) = spec.split_once(':')?;
+/// Friendly fatal error: one line on stderr, then the usage text, exit 2.
+fn fail(msg: impl fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_topology(spec: &str, seed: u64) -> Result<Topology, String> {
+    let Some((kind, rest)) = spec.split_once(':') else {
+        return Err(format!(
+            "topology {spec:?} is missing its parameters (e.g. mesh:3x3)"
+        ));
+    };
     match kind {
         "mesh" | "torus" => {
-            let (w, h) = rest.split_once('x')?;
-            let (w, h) = (w.parse().ok()?, h.parse().ok()?);
-            Some(if kind == "mesh" {
+            let Some((w, h)) = rest.split_once('x') else {
+                return Err(format!("{kind} wants WxH dimensions, got {rest:?}"));
+            };
+            let (w, h): (usize, usize) = match (w.parse(), h.parse()) {
+                (Ok(w), Ok(h)) => (w, h),
+                _ => return Err(format!("{kind} dimensions must be integers, got {rest:?}")),
+            };
+            if !(2..=64).contains(&w) || !(2..=64).contains(&h) {
+                return Err(format!(
+                    "{kind} sides must be between 2 and 64, got {w}x{h}"
+                ));
+            }
+            Ok(if kind == "mesh" {
                 mesh(w, h).topology
             } else {
                 torus(w, h).topology
             })
         }
         "fattree" => {
-            let (m, n) = rest.split_once(',')?;
-            Some(fat_tree(m.parse().ok()?, n.parse().ok()?).topology)
+            let Some((m, n)) = rest.split_once(',') else {
+                return Err(format!("fattree wants m,n parameters, got {rest:?}"));
+            };
+            let (m, n): (u32, u32) = match (m.parse(), n.parse()) {
+                (Ok(m), Ok(n)) => (m, n),
+                _ => return Err(format!("fattree parameters must be integers, got {rest:?}")),
+            };
+            if !(2..=256).contains(&m) || !m.is_multiple_of(2) {
+                return Err(format!("fattree port count must be even and in 2..=256, got {m}"));
+            }
+            if !(1..=8).contains(&n) {
+                return Err(format!("fattree levels must be in 1..=8, got {n}"));
+            }
+            Ok(fat_tree(m, n).topology)
         }
         "irregular" => {
-            let switches = rest.parse().ok()?;
+            let switches: usize = rest
+                .parse()
+                .map_err(|_| format!("irregular wants a switch count, got {rest:?}"))?;
+            if !(1..=1024).contains(&switches) {
+                return Err(format!(
+                    "irregular switch count must be in 1..=1024, got {switches}"
+                ));
+            }
             let mut rng = SimRng::new(seed);
-            Some(irregular(
+            Ok(irregular(
                 IrregularSpec {
                     switches,
                     extra_links: switches / 2,
@@ -108,7 +166,9 @@ fn parse_topology(spec: &str, seed: u64) -> Option<Topology> {
                 &mut rng,
             ))
         }
-        _ => None,
+        other => Err(format!(
+            "unknown topology kind {other:?} (mesh, torus, fattree, irregular)"
+        )),
     }
 }
 
@@ -119,40 +179,92 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parses `--name <value>` with a friendly error instead of a panic.
+fn parse_arg<T: std::str::FromStr>(args: &[String], name: &str, default: T, what: &str) -> T {
+    match arg_value(args, name) {
+        None => default,
+        Some(v) => v
+            .parse()
+            .unwrap_or_else(|_| fail(format!("{name} must be {what}, got {v:?}"))),
+    }
+}
+
+fn parse_loss(args: &[String]) -> f64 {
+    let loss: f64 = parse_arg(args, "--loss", 0.0, "a probability");
+    if !(0.0..1.0).contains(&loss) {
+        fail(format!("--loss must be in [0, 1), got {loss}"));
+    }
+    loss
+}
+
+fn parse_algorithms(args: &[String]) -> Vec<Algorithm> {
+    match arg_value(args, "--algorithm").as_deref() {
+        Some("serial-packet") => vec![Algorithm::SerialPacket],
+        Some("serial-device") => vec![Algorithm::SerialDevice],
+        Some("parallel") => vec![Algorithm::Parallel],
+        Some("all") | None => Algorithm::all().to_vec(),
+        Some(other) => fail(format!(
+            "unknown algorithm {other:?} (serial-packet, serial-device, parallel, all)"
+        )),
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `asi-fabric-sim sweep ...`: run a named deterministic grid.
+fn sweep_main(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let fm_factor: f64 = parse_arg(args, "--fm-factor", 1.0, "a number");
+    let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
+    let mut spec = match arg_value(args, "--grid").as_deref() {
+        Some("fig5") => SweepSpec::fig5(quick),
+        Some("fig6") => SweepSpec::fig6(quick, fm_factor, device_factor),
+        Some("smoke") | None => SweepSpec::smoke(),
+        Some(other) => fail(format!("unknown grid {other:?} (fig5, fig6, smoke)")),
+    };
+    spec.fm_factor = fm_factor;
+    spec.device_factor = device_factor;
+    spec.loss_rate = parse_loss(args);
+    spec.max_retries = parse_arg(args, "--retries", 0, "an integer");
+    let jobs: usize = parse_arg(args, "--jobs", default_jobs(), "an integer");
+    if jobs == 0 {
+        fail("--jobs must be at least 1");
+    }
+    let result = sweep::run(&spec, jobs);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", result.to_json().to_string_pretty());
+    } else if args.iter().any(|a| a == "--csv") {
+        print!("{}", result.to_csv());
+    } else {
+        print!("{}", result.to_text());
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         usage();
     }
-    let seed: u64 = arg_value(&args, "--seed")
-        .map(|v| v.parse().expect("--seed must be an integer"))
-        .unwrap_or(0xA51);
-    let topo_spec = arg_value(&args, "--topology").unwrap_or_else(|| usage());
-    let topo = parse_topology(&topo_spec, seed).unwrap_or_else(|| usage());
-    let fm_factor: f64 = arg_value(&args, "--fm-factor")
-        .map(|v| v.parse().expect("--fm-factor must be a number"))
-        .unwrap_or(1.0);
-    let device_factor: f64 = arg_value(&args, "--device-factor")
-        .map(|v| v.parse().expect("--device-factor must be a number"))
-        .unwrap_or(1.0);
-    let loss: f64 = arg_value(&args, "--loss")
-        .map(|v| v.parse().expect("--loss must be a probability"))
-        .unwrap_or(0.0);
-    let retries: u32 = arg_value(&args, "--retries")
-        .map(|v| v.parse().expect("--retries must be an integer"))
-        .unwrap_or(0);
+    if args[0] == "sweep" {
+        sweep_main(&args[1..]);
+        return;
+    }
+    let seed: u64 = parse_arg(&args, "--seed", 0xA51, "an integer");
+    let Some(topo_spec) = arg_value(&args, "--topology") else {
+        fail("--topology is required (e.g. --topology mesh:3x3)");
+    };
+    let topo = parse_topology(&topo_spec, seed).unwrap_or_else(|e| fail(e));
+    let fm_factor: f64 = parse_arg(&args, "--fm-factor", 1.0, "a number");
+    let device_factor: f64 = parse_arg(&args, "--device-factor", 1.0, "a number");
+    let loss = parse_loss(&args);
+    let retries: u32 = parse_arg(&args, "--retries", 0, "an integer");
     let change = arg_value(&args, "--change").unwrap_or_else(|| "none".into());
     let json = args.iter().any(|a| a == "--json");
-    let algorithms: Vec<Algorithm> = match arg_value(&args, "--algorithm").as_deref() {
-        Some("serial-packet") => vec![Algorithm::SerialPacket],
-        Some("serial-device") => vec![Algorithm::SerialDevice],
-        Some("parallel") => vec![Algorithm::Parallel],
-        Some("all") | None => Algorithm::all().to_vec(),
-        Some(other) => {
-            eprintln!("unknown algorithm {other:?}");
-            usage()
-        }
-    };
+    let algorithms = parse_algorithms(&args);
 
     // One collector for the whole invocation: per-algorithm runs are
     // delimited by their run-started/run-finished records.
@@ -165,57 +277,25 @@ fn main() {
 
     let mut reports = Vec::new();
     for algorithm in algorithms {
+        let scenario = Scenario::new(algorithm)
+            .with_factors(fm_factor, device_factor)
+            .with_seed(seed)
+            .with_trace(trace.clone());
         let run = match change.as_str() {
-            "none" if loss == 0.0 => {
-                let scenario = Scenario::new(algorithm)
-                    .with_factors(fm_factor, device_factor)
-                    .with_seed(seed)
-                    .with_trace(trace.clone());
-                Bench::start(&topo, &scenario, &[]).last_run()
-            }
+            "none" if loss == 0.0 => Bench::start(&topo, &scenario, &[]).last_run(),
             "none" => {
-                // Lossy initial discovery: build the fabric directly so the
-                // loss rate and retry budget apply.
-                let config = FabricConfig {
-                    device_factor,
-                    loss_rate: loss,
-                    seed,
-                    ..FabricConfig::default()
-                };
-                let mut fabric = Fabric::new(&topo, config);
-                fabric.set_event_limit(2_000_000_000);
-                fabric.set_trace(trace.clone(), 4096);
-                fabric.activate_all(SimDuration::ZERO);
-                fabric.run_until_idle();
-                let fm_node =
-                    advanced_switching::topo::default_fm_endpoint(&topo).expect("endpoint");
-                let fm = DevId(fm_node.0);
-                let mut cfg = FmConfig::new(algorithm);
-                cfg.timing = FmTiming::default().with_factor(fm_factor);
-                cfg.max_retries = retries;
-                cfg.request_timeout = SimDuration::from_us(800);
-                cfg.trace = trace.clone();
-                fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
-                fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
-                fabric.run_until_idle();
-                fabric
-                    .agent_as::<FmAgent>(fm)
-                    .unwrap()
-                    .last_run()
-                    .expect("run terminates")
-                    .clone()
+                // Lossy initial discovery: the loss rate and retry budget
+                // apply (shared helper with the sweep runner).
+                match lossy_initial_discovery(&topo, &scenario, loss, retries) {
+                    Some((run, _active)) => run,
+                    None => fail(format!(
+                        "discovery did not complete under loss {loss} with {retries} \
+                         retries (give the FM a larger --retries budget)"
+                    )),
+                }
             }
-            "remove" | "add" => {
-                let scenario = Scenario::new(algorithm)
-                    .with_factors(fm_factor, device_factor)
-                    .with_seed(seed)
-                    .with_trace(trace.clone());
-                change_experiment(&topo, &scenario, change == "remove").0
-            }
-            other => {
-                eprintln!("unknown change {other:?}");
-                usage()
-            }
+            "remove" | "add" => change_experiment(&topo, &scenario, change == "remove").0,
+            other => fail(format!("unknown change {other:?} (none, remove, add)")),
         };
         reports.push(RunReport {
             topology: topo.name.clone(),

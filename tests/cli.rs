@@ -4,6 +4,11 @@ use advanced_switching::harness::json::{parse, Json};
 use std::process::Command;
 
 fn run(args: &[&str]) -> (String, String, bool) {
+    let (stdout, stderr, code) = run_coded(args);
+    (stdout, stderr, code == Some(0))
+}
+
+fn run_coded(args: &[&str]) -> (String, String, Option<i32>) {
     let out = Command::new(env!("CARGO_BIN_EXE_asi-fabric-sim"))
         .args(args)
         .output()
@@ -11,7 +16,7 @@ fn run(args: &[&str]) -> (String, String, bool) {
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
-        out.status.success(),
+        out.status.code(),
     )
 }
 
@@ -131,4 +136,100 @@ fn bad_arguments_exit_nonzero_with_usage() {
     let (_, stderr, ok) = run(&["--topology", "klein-bottle:4"]);
     assert!(!ok);
     assert!(stderr.contains("usage:"));
+}
+
+/// Asserts `args` dies with exit code 2 and a friendly one-line error
+/// (never a panic: panics abort with code 101 and a backtrace-style
+/// message on stderr).
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let (stdout, stderr, code) = run_coded(args);
+    assert_eq!(code, Some(2), "args {args:?}: stderr = {stderr}");
+    assert!(stdout.is_empty(), "args {args:?} wrote to stdout: {stdout}");
+    assert!(
+        stderr.contains(needle),
+        "args {args:?}: expected {needle:?} in stderr, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked"),
+        "args {args:?} panicked: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_flags_report_friendly_errors_not_panics() {
+    fn with<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+        [&["--topology", "mesh:3x3"], extra].concat()
+    }
+    assert_usage_error(&with(&["--seed", "banana"]), "--seed must be an integer");
+    assert_usage_error(&with(&["--seed", "-3"]), "--seed must be an integer");
+    assert_usage_error(&with(&["--fm-factor", "fast"]), "--fm-factor must be a number");
+    assert_usage_error(
+        &with(&["--device-factor", "2x"]),
+        "--device-factor must be a number",
+    );
+    assert_usage_error(&with(&["--loss", "lots"]), "--loss must be a probability");
+    assert_usage_error(&with(&["--loss", "1.5"]), "--loss must be in [0, 1)");
+    assert_usage_error(&with(&["--retries", "many"]), "--retries must be an integer");
+    assert_usage_error(&with(&["--algorithm", "psychic"]), "unknown algorithm");
+    assert_usage_error(&with(&["--change", "rename"]), "unknown change");
+}
+
+#[test]
+fn invalid_topologies_report_friendly_errors_not_builder_panics() {
+    // Each of these previously tripped an `assert!` inside the topology
+    // builders (exit code 101); they must now be usage errors.
+    assert_usage_error(&["--topology", "mesh:1x5"], "sides must be between 2 and 64");
+    assert_usage_error(&["--topology", "torus:0x0"], "sides must be between 2 and 64");
+    assert_usage_error(&["--topology", "mesh:3"], "wants WxH dimensions");
+    assert_usage_error(&["--topology", "mesh:axb"], "dimensions must be integers");
+    assert_usage_error(&["--topology", "fattree:3,2"], "port count must be even");
+    assert_usage_error(&["--topology", "fattree:4,0"], "levels must be in 1..=8");
+    assert_usage_error(&["--topology", "fattree:4"], "wants m,n parameters");
+    assert_usage_error(&["--topology", "irregular:0"], "switch count must be in");
+    assert_usage_error(&["--topology", "mesh"], "missing its parameters");
+    assert_usage_error(&["--topology", "ring:9"], "unknown topology kind");
+}
+
+#[test]
+fn missing_topology_is_a_usage_error() {
+    assert_usage_error(&["--algorithm", "parallel"], "--topology is required");
+}
+
+#[test]
+fn sweep_rejects_bad_grid_and_jobs() {
+    assert_usage_error(&["sweep", "--grid", "fig99"], "unknown grid");
+    assert_usage_error(&["sweep", "--jobs", "zero"], "--jobs must be an integer");
+    assert_usage_error(&["sweep", "--jobs", "0"], "--jobs must be at least 1");
+}
+
+#[test]
+fn sweep_output_is_identical_for_any_job_count() {
+    // The tentpole guarantee: worker count never changes the bytes.
+    let (json1, stderr1, ok1) = run(&["sweep", "--grid", "smoke", "--jobs", "1", "--json"]);
+    let (json8, _, ok8) = run(&["sweep", "--grid", "smoke", "--jobs", "8", "--json"]);
+    assert!(ok1 && ok8, "{stderr1}");
+    assert_eq!(json1, json8, "sweep JSON must not depend on --jobs");
+
+    let (csv1, _, c1) = run(&["sweep", "--grid", "smoke", "--jobs", "1", "--csv"]);
+    let (csv4, _, c4) = run(&["sweep", "--grid", "smoke", "--jobs", "4", "--csv"]);
+    assert!(c1 && c4);
+    assert_eq!(csv1, csv4, "sweep CSV must not depend on --jobs");
+
+    // And the JSON is well-formed with one cell per grid point.
+    let v = parse(&json1).unwrap();
+    let cells = v.get("cells").as_array().expect("cells array");
+    assert!(!cells.is_empty());
+    for c in cells {
+        assert_eq!(c.get("completed"), &Json::Bool(true));
+        assert!(c.get("discovery_time_s").as_f64().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn sweep_text_table_names_every_algorithm() {
+    let (stdout, _, ok) = run(&["sweep", "--grid", "smoke"]);
+    assert!(ok);
+    for name in ["Serial Packet", "Serial Device", "Parallel"] {
+        assert!(stdout.contains(name), "{name} missing from sweep table");
+    }
 }
