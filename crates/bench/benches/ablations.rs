@@ -19,8 +19,7 @@ fn bench_traffic(c: &mut Criterion) {
         })
     });
     group.bench_function("loaded", |b| {
-        let mut s = Scenario::new(Algorithm::Parallel);
-        s.traffic = Some(TrafficSpec {
+        let s = Scenario::new(Algorithm::Parallel).with_traffic(TrafficSpec {
             mean_gap: SimDuration::from_us(30),
             payload: 512,
         });
@@ -37,8 +36,7 @@ fn bench_flow_control(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/flow_control");
     for (label, fc) in [("credits_on", true), ("credits_off", false)] {
         group.bench_function(label, |b| {
-            let mut s = Scenario::new(Algorithm::Parallel);
-            s.flow_control = fc;
+            let s = Scenario::new(Algorithm::Parallel).with_flow_control(fc);
             b.iter(|| {
                 let bench = Bench::start(&g.topology, &s, &[]);
                 std::hint::black_box(bench.last_run().discovery_time().as_secs_f64())
@@ -55,8 +53,9 @@ fn bench_assimilation(c: &mut Criterion) {
     for (label, partial) in [("full_rediscovery", false), ("partial_region", true)] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut s = Scenario::new(Algorithm::Parallel).with_seed(0xCAFE);
-                s.partial_assimilation = partial;
+                let s = Scenario::new(Algorithm::Parallel)
+                    .with_seed(0xCAFE)
+                    .with_partial_assimilation(partial);
                 let mut bench = Bench::start(&g.topology, &s, &[]);
                 let victim = bench.pick_victim_switch();
                 let run = bench.remove_switch(victim);

@@ -24,12 +24,13 @@
 
 use crate::db::{DeviceRoute, TopologyDb};
 use crate::metrics::Algorithm;
+use crate::retry::RetryPolicy;
 use asi_proto::{
     config::{general_info_read, port_info_reads, CAP_OWNERSHIP},
     turn_for, turn_width, CapabilityAddr, DeviceInfo, DeviceType, Pi4Status, PortInfo,
     PortState, TurnPool,
 };
-use asi_sim::{SimTime, TraceEvent, TraceHandle};
+use asi_sim::{SimDuration, SimTime, TraceEvent, TraceHandle};
 use std::collections::VecDeque;
 
 /// Engine configuration.
@@ -42,9 +43,13 @@ pub struct EngineConfig {
     /// Distributed-discovery extension: claim each new device's ownership
     /// register and stop exploring past devices claimed by a rival FM.
     pub claim_partitioning: bool,
-    /// How many times a timed-out request is re-issued before the engine
-    /// gives up on its target (0 = the paper's loss-free assumption).
-    pub max_retries: u32,
+    /// When (and for how long) a timed-out request is re-issued before
+    /// the engine gives up on its target (the default never retries —
+    /// the paper's loss-free assumption).
+    pub retry: RetryPolicy,
+    /// Base per-request timeout the retry policy scales from; the FM
+    /// copies its `request_timeout` here.
+    pub base_timeout: SimDuration,
 }
 
 impl EngineConfig {
@@ -54,7 +59,8 @@ impl EngineConfig {
             algorithm,
             pool_capacity,
             claim_partitioning: false,
-            max_retries: 0,
+            retry: RetryPolicy::default(),
+            base_timeout: SimDuration::from_ms(5),
         }
     }
 }
@@ -70,6 +76,10 @@ pub struct OutRequest {
     pub pool: TurnPool,
     /// What to ask.
     pub op: OutOp,
+    /// How long the issuer should wait for the completion before
+    /// reporting a timeout (computed by the engine's [`RetryPolicy`]
+    /// from the attempt number).
+    pub timeout: SimDuration,
 }
 
 /// Request payload shapes the engine issues.
@@ -104,6 +114,10 @@ struct ProbeTarget {
 struct InFlight {
     kind: Pending,
     retries: u32,
+    /// Request id of the operation's *first* attempt; seeds the retry
+    /// policy's deterministic jitter so all attempts of one operation
+    /// share a jitter stream.
+    salt: u32,
 }
 
 /// In-flight request table specialised for the engine's key pattern.
@@ -205,6 +219,9 @@ pub struct EngineStats {
     /// Devices whose exploration was ceded to a rival manager
     /// (claim partitioning only).
     pub ceded_devices: u64,
+    /// Requests the retry policy gave up on (timed out with no budget
+    /// left) — the engine's graceful-degradation signal.
+    pub abandoned: u64,
 }
 
 /// The device currently being explored by a serial algorithm.
@@ -494,12 +511,17 @@ impl Engine {
         self.trace
             .emit(self.trace_now, || TraceEvent::RequestTimedOut { req_id });
         self.trace_pending();
-        if inflight.retries < self.cfg.max_retries {
-            if let Some(req) = self.reissue(inflight.kind.clone(), inflight.retries + 1) {
+        if self.cfg.retry.allows_retry(self.cfg.base_timeout, inflight.retries) {
+            if let Some(req) =
+                self.reissue(inflight.kind.clone(), inflight.retries + 1, inflight.salt)
+            {
                 self.stats.retries += 1;
                 return vec![req];
             }
         }
+        self.stats.abandoned += 1;
+        self.trace
+            .emit(self.trace_now, || TraceEvent::RequestAbandoned { req_id });
         match inflight.kind {
             Pending::General(_) => {}
             Pending::Ports { dsn, .. }
@@ -512,7 +534,7 @@ impl Engine {
     }
 
     /// Rebuilds the request for a timed-out operation.
-    fn reissue(&mut self, kind: Pending, retries: u32) -> Option<OutRequest> {
+    fn reissue(&mut self, kind: Pending, retries: u32, salt: u32) -> Option<OutRequest> {
         let (route, op) = match &kind {
             Pending::General(target) => {
                 let (addr, dwords) = general_info_read();
@@ -564,7 +586,7 @@ impl Engine {
                 )
             }
         };
-        Some(self.issue_with_retries(route, op, kind, retries))
+        Some(self.issue_attempt(route, op, kind, retries, Some(salt)))
     }
 
     // ------------------------------------------------------------------
@@ -833,23 +855,33 @@ impl Engine {
     }
 
     fn issue(&mut self, route: DeviceRoute, op: OutOp, pending: Pending) -> OutRequest {
-        self.issue_with_retries(route, op, pending, 0)
+        self.issue_attempt(route, op, pending, 0, None)
     }
 
-    fn issue_with_retries(
+    /// Issues attempt `retries` of an operation; `salt` is the first
+    /// attempt's request id (`None` for a fresh operation, whose own id
+    /// becomes the salt).
+    fn issue_attempt(
         &mut self,
         route: DeviceRoute,
         op: OutOp,
         pending: Pending,
         retries: u32,
+        salt: Option<u32>,
     ) -> OutRequest {
         let req_id = self.next_req;
         self.next_req += 1;
+        let salt = salt.unwrap_or(req_id);
+        let timeout = self
+            .cfg
+            .retry
+            .attempt_timeout(self.cfg.base_timeout, retries, salt);
         self.pending.insert(
             req_id,
             InFlight {
                 kind: pending,
                 retries,
+                salt,
             },
         );
         self.stats.requests += 1;
@@ -860,6 +892,7 @@ impl Engine {
             egress: route.egress,
             pool: route.pool,
             op,
+            timeout,
         }
     }
 }
@@ -1154,6 +1187,7 @@ mod tests {
         InFlight {
             kind: Pending::ClaimWrite { dsn: 0 },
             retries: 0,
+            salt: 0,
         }
     }
 

@@ -9,6 +9,7 @@ use crate::engine::{Engine, EngineConfig, OutOp, OutRequest};
 use crate::mcast::plan_multicast;
 use crate::metrics::{Algorithm, DiscoveryRun, DiscoveryTrigger, DistributionRun};
 use crate::pathdist::plan_distribution;
+use crate::retry::RetryPolicy;
 use crate::timing::FmTiming;
 use asi_fabric::{AgentCtx, FabricAgent};
 use asi_proto::{
@@ -38,7 +39,13 @@ const DIST_REQ_BASE: u32 = 0xE000_0000;
 const MCAST_REQ_BASE: u32 = 0xD000_0000;
 
 /// Fabric-manager configuration.
+///
+/// Construct with [`FmConfig::new`] and refine with the `with_*`
+/// builder methods; the struct is `#[non_exhaustive]`, so new knobs can
+/// be added without breaking callers. Fields stay public for reading
+/// and in-place mutation.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct FmConfig {
     /// Discovery algorithm to run.
     pub algorithm: Algorithm,
@@ -46,7 +53,8 @@ pub struct FmConfig {
     pub timing: FmTiming,
     /// Turn-pool capacity for computed routes.
     pub pool_capacity: u16,
-    /// How long to wait for a completion before abandoning a request.
+    /// Base timeout for a request's *first* attempt; the retry policy
+    /// derives every later attempt's timeout from it.
     pub request_timeout: SimDuration,
     /// Re-discover automatically when PI-5 events arrive.
     pub auto_rediscover: bool,
@@ -55,9 +63,9 @@ pub struct FmConfig {
     pub partial_assimilation: bool,
     /// Distributed-discovery claim partitioning.
     pub claim_partitioning: bool,
-    /// Timed-out requests are re-issued up to this many times (0 = the
-    /// paper's loss-free assumption).
-    pub max_retries: u32,
+    /// When (and for how long) timed-out requests are re-issued. The
+    /// default never retries — the paper's loss-free assumption.
+    pub retry: RetryPolicy,
     /// Distributed-discovery role (implies claim partitioning).
     pub distributed: Option<DistributedRole>,
     /// Secondary-manager (failover) configuration.
@@ -109,7 +117,7 @@ impl FmConfig {
             auto_rediscover: true,
             partial_assimilation: false,
             claim_partitioning: false,
-            max_retries: 0,
+            retry: RetryPolicy::default(),
             distributed: None,
             standby: None,
             distribute_paths: false,
@@ -121,6 +129,42 @@ impl FmConfig {
     pub fn with_distributed(mut self, role: DistributedRole) -> FmConfig {
         self.claim_partitioning = true;
         self.distributed = Some(role);
+        self
+    }
+
+    /// Sets the per-packet processing-time model.
+    pub fn with_timing(mut self, timing: FmTiming) -> FmConfig {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the base timeout for a request's first attempt.
+    pub fn with_request_timeout(mut self, timeout: SimDuration) -> FmConfig {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Sets the retry/backoff policy for timed-out requests.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> FmConfig {
+        self.retry = retry;
+        self
+    }
+
+    /// Enables or disables automatic re-discovery on PI-5 events.
+    pub fn with_auto_rediscover(mut self, on: bool) -> FmConfig {
+        self.auto_rediscover = on;
+        self
+    }
+
+    /// Enables partial (affected-region) assimilation.
+    pub fn with_partial_assimilation(mut self, on: bool) -> FmConfig {
+        self.partial_assimilation = on;
+        self
+    }
+
+    /// Attaches a trace sink to the manager.
+    pub fn with_trace(mut self, trace: TraceHandle) -> FmConfig {
+        self.trace = trace;
         self
     }
 }
@@ -244,6 +288,11 @@ impl FmAgent {
         self.runs.last()
     }
 
+    /// Every completed run, in order.
+    pub fn runs(&self) -> &[DiscoveryRun] {
+        &self.runs
+    }
+
     /// True while a discovery is in flight.
     pub fn discovering(&self) -> bool {
         self.engine.is_some()
@@ -259,7 +308,8 @@ impl FmAgent {
             algorithm: self.cfg.algorithm,
             pool_capacity: self.cfg.pool_capacity,
             claim_partitioning: self.cfg.claim_partitioning,
-            max_retries: self.cfg.max_retries,
+            retry: self.cfg.retry,
+            base_timeout: self.cfg.request_timeout,
         }
     }
 
@@ -386,7 +436,7 @@ impl FmAgent {
             }
             ctx.send(req.egress, packet);
             ctx.set_timer(
-                self.cfg.request_timeout,
+                req.timeout,
                 TIMEOUT_FLAG | (self.epoch << 32) | u64::from(req.req_id),
             );
         }
@@ -410,6 +460,8 @@ impl FmAgent {
             requests_sent: stats.requests,
             responses_received: stats.responses,
             timeouts: stats.timeouts,
+            retries: stats.retries,
+            abandoned: stats.abandoned,
             bytes_sent: acc.bytes_sent,
             bytes_received: acc.bytes_received,
             devices_found: db.device_count(),

@@ -16,6 +16,8 @@
 //!   route computation;
 //! - [`FmTiming`] — the calibrated per-packet FM processing-time model
 //!   (paper Fig. 4) with the speed factors of Figs. 8–9;
+//! - [`RetryPolicy`] — pluggable retry/backoff for timed-out requests
+//!   (fixed, exponential with deterministic jitter, or deadline-bounded);
 //! - [`election`] — FM election claims, roles and failover rules.
 
 #![warn(missing_docs)]
@@ -28,6 +30,7 @@ pub mod fm;
 pub mod mcast;
 pub mod metrics;
 pub mod pathdist;
+pub mod retry;
 pub mod timing;
 
 pub use db::{DbDevice, DbDiff, DeviceRoute, TopologyDb};
@@ -38,4 +41,5 @@ pub use fm::{FmAgent, FmConfig, StandbyConfig, TOKEN_CONFIGURE_MCAST, TOKEN_STAR
 pub use mcast::{plan_multicast, McastError, McastWrite};
 pub use metrics::{Algorithm, DiscoveryRun, DiscoveryTrigger, DistributionRun};
 pub use pathdist::{decode_route_table, plan_distribution, PlannedWrite, RouteTableEntry};
+pub use retry::RetryPolicy;
 pub use timing::{ideal, FmTiming};

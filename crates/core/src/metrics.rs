@@ -78,6 +78,10 @@ pub struct DiscoveryRun {
     pub responses_received: u64,
     /// Requests that timed out without a completion.
     pub timeouts: u64,
+    /// Timed-out requests the retry policy re-issued.
+    pub retries: u64,
+    /// Requests abandoned after exhausting the retry policy's budget.
+    pub abandoned: u64,
     /// Management bytes the FM injected.
     pub bytes_sent: u64,
     /// Management bytes the FM received.
@@ -157,6 +161,8 @@ mod tests {
             requests_sent: 10,
             responses_received: 10,
             timeouts: 0,
+            retries: 0,
+            abandoned: 0,
             bytes_sent: 260,
             bytes_received: 520,
             devices_found: 5,

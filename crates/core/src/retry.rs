@@ -1,0 +1,200 @@
+//! Pluggable retry/backoff policies for PI-4 requests.
+//!
+//! The paper's FM retries a timed-out request a fixed number of times
+//! with a fixed timeout. Under bursty loss that is the worst possible
+//! shape: every retry lands back in the same loss burst. A
+//! [`RetryPolicy`] generalizes the budget *and* the per-attempt timeout
+//! while keeping the discovery engine clockless and deterministic:
+//!
+//! - the retry *budget* is a pure function of how many retries have
+//!   already happened (plus, for [`RetryPolicy::Deadline`], the base
+//!   timeout), and
+//! - the per-attempt *timeout* is a pure function of
+//!   `(base, attempt, salt)`, where the salt is the request id of the
+//!   first attempt. Jitter comes from hashing `(salt, attempt)` — no
+//!   RNG, no wall clock — so identical runs replay identically.
+
+use asi_sim::SimDuration;
+
+/// When (and for how long) a timed-out PI-4 request is retried.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RetryPolicy {
+    /// The paper's scheme: up to `max_retries` re-issues, every attempt
+    /// with the same base timeout.
+    Fixed {
+        /// Re-issues allowed after the first attempt (0 = never retry).
+        max_retries: u32,
+    },
+    /// Exponential backoff: attempt `n` (0-based) waits
+    /// `base * 2^min(n, 10)`, optionally spread by deterministic
+    /// jitter so a fleet of retries does not re-synchronize into the
+    /// same loss burst.
+    Exponential {
+        /// Re-issues allowed after the first attempt.
+        max_retries: u32,
+        /// Jitter amplitude in `[0, 1]`: attempt timeouts are scaled by
+        /// a factor drawn deterministically from
+        /// `[1 - jitter, 1 + jitter]`. 0 disables jitter.
+        jitter: f64,
+    },
+    /// Per-request deadline: keep retrying (at the base timeout) while
+    /// the *next* attempt would still finish within `budget` of total
+    /// waiting time.
+    Deadline {
+        /// Total timeout budget across all attempts of one request.
+        budget: SimDuration,
+    },
+}
+
+impl Default for RetryPolicy {
+    /// The paper's default: no retries at all.
+    fn default() -> Self {
+        RetryPolicy::Fixed { max_retries: 0 }
+    }
+}
+
+/// SplitMix64-style integer hash; the finalizer alone is a good mixer
+/// for the small structured inputs we feed it.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Exponent cap: beyond `2^10` the backoff is longer than any
+/// plausible discovery run, and capping avoids u64 overflow.
+const MAX_BACKOFF_SHIFT: u32 = 10;
+
+impl RetryPolicy {
+    /// A fixed policy with `max_retries` re-issues.
+    pub fn fixed(max_retries: u32) -> RetryPolicy {
+        RetryPolicy::Fixed { max_retries }
+    }
+
+    /// Exponential backoff with the default jitter amplitude (±25%).
+    pub fn exponential(max_retries: u32) -> RetryPolicy {
+        RetryPolicy::Exponential {
+            max_retries,
+            jitter: 0.25,
+        }
+    }
+
+    /// A per-request deadline policy.
+    pub fn deadline(budget: SimDuration) -> RetryPolicy {
+        RetryPolicy::Deadline { budget }
+    }
+
+    /// Whether a request that already burned `retries_done` re-issues
+    /// may be re-issued once more. `base` is the FM's base request
+    /// timeout (only the deadline policy consults it).
+    pub fn allows_retry(&self, base: SimDuration, retries_done: u32) -> bool {
+        match *self {
+            RetryPolicy::Fixed { max_retries }
+            | RetryPolicy::Exponential { max_retries, .. } => retries_done < max_retries,
+            RetryPolicy::Deadline { budget } => {
+                // Attempts 0..=retries_done have spent base * (retries_done
+                // + 1) of the budget; allow another only if it still fits.
+                base * u64::from(retries_done) + base * 2 <= budget
+            }
+        }
+    }
+
+    /// Timeout of attempt `attempt` (0-based; attempt 0 is the first
+    /// issue). `salt` individualizes jitter per request — the engine
+    /// passes the request id of the first attempt — and the result is a
+    /// pure function of `(base, attempt, salt)`.
+    pub fn attempt_timeout(&self, base: SimDuration, attempt: u32, salt: u32) -> SimDuration {
+        match *self {
+            RetryPolicy::Fixed { .. } | RetryPolicy::Deadline { .. } => base,
+            RetryPolicy::Exponential { jitter, .. } => {
+                if attempt == 0 {
+                    // The first attempt is not a retry: issue it with the
+                    // plain base timeout so a loss-free run is untouched.
+                    return base;
+                }
+                let shift = attempt.min(MAX_BACKOFF_SHIFT);
+                let backed_off = base * (1u64 << shift);
+                if jitter <= 0.0 {
+                    return backed_off;
+                }
+                // u ∈ [0, 1) from 53 hash bits; factor ∈ [1-j, 1+j).
+                let bits = mix64((u64::from(salt) << 32) | u64::from(attempt));
+                let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+                let factor = 1.0 + jitter * (2.0 * u - 1.0);
+                backed_off.scaled(factor)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: SimDuration = SimDuration::from_us(500);
+
+    #[test]
+    fn default_is_the_papers_no_retry_scheme() {
+        let p = RetryPolicy::default();
+        assert_eq!(p, RetryPolicy::Fixed { max_retries: 0 });
+        assert!(!p.allows_retry(BASE, 0));
+        assert_eq!(p.attempt_timeout(BASE, 0, 7), BASE);
+    }
+
+    #[test]
+    fn fixed_budget_counts_reissues() {
+        let p = RetryPolicy::fixed(3);
+        assert!(p.allows_retry(BASE, 0));
+        assert!(p.allows_retry(BASE, 2));
+        assert!(!p.allows_retry(BASE, 3));
+        for attempt in 0..4 {
+            assert_eq!(p.attempt_timeout(BASE, attempt, 9), BASE);
+        }
+    }
+
+    #[test]
+    fn exponential_doubles_and_caps() {
+        let p = RetryPolicy::Exponential {
+            max_retries: 20,
+            jitter: 0.0,
+        };
+        assert_eq!(p.attempt_timeout(BASE, 0, 0), BASE);
+        assert_eq!(p.attempt_timeout(BASE, 1, 0), BASE * 2);
+        assert_eq!(p.attempt_timeout(BASE, 3, 0), BASE * 8);
+        assert_eq!(p.attempt_timeout(BASE, 10, 0), BASE * 1024);
+        // Capped: attempt 15 backs off no further than attempt 10.
+        assert_eq!(p.attempt_timeout(BASE, 15, 0), BASE * 1024);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_salted() {
+        let p = RetryPolicy::exponential(8);
+        let a = p.attempt_timeout(BASE, 2, 41);
+        let b = p.attempt_timeout(BASE, 2, 41);
+        assert_eq!(a, b, "same (base, attempt, salt) must replay");
+        let other_salt = p.attempt_timeout(BASE, 2, 42);
+        assert_ne!(a, other_salt, "different requests spread apart");
+        // Bounded by the ±25% default amplitude around base * 4.
+        let nominal = BASE * 4;
+        assert!(a >= nominal.scaled(0.75) && a <= nominal.scaled(1.25));
+        // Attempt 0 is always exactly the base timeout.
+        assert_eq!(p.attempt_timeout(BASE, 0, 41), BASE);
+    }
+
+    #[test]
+    fn deadline_budget_gates_the_next_attempt() {
+        // Budget of 3 base timeouts: attempts 0, 1 and 2 fit.
+        let p = RetryPolicy::deadline(BASE * 3);
+        assert!(p.allows_retry(BASE, 0), "second attempt fits");
+        assert!(p.allows_retry(BASE, 1), "third attempt fits");
+        assert!(!p.allows_retry(BASE, 2), "fourth attempt would overrun");
+        assert_eq!(p.attempt_timeout(BASE, 5, 0), BASE);
+    }
+
+    #[test]
+    fn zero_budget_deadline_never_retries() {
+        let p = RetryPolicy::deadline(SimDuration::ZERO);
+        assert!(!p.allows_retry(BASE, 0));
+    }
+}

@@ -318,8 +318,7 @@ fn partial_assimilation_is_cheaper_than_full() {
         fabric.activate_all(SimDuration::ZERO);
         fabric.run_until_idle();
         let fm = DevId(g.endpoint_at(0, 0).0);
-        let mut cfg = FmConfig::new(Algorithm::Parallel);
-        cfg.partial_assimilation = partial;
+        let cfg = FmConfig::new(Algorithm::Parallel).with_partial_assimilation(partial);
         fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
         fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
         fabric.run_until_idle();

@@ -6,6 +6,7 @@
 //! device processing time that is small and independent of the algorithm
 //! and fabric size (paper §4.1 / Fig. 4).
 
+use crate::faults::FaultPlan;
 use asi_sim::SimDuration;
 
 /// Fabric-wide model parameters.
@@ -40,15 +41,17 @@ pub struct FabricConfig {
     /// When false, credit flow control is disabled (infinite credits) —
     /// used by the flow-control ablation bench.
     pub flow_control: bool,
-    /// Per-traversal packet-loss probability (receiver-side CRC drop).
-    /// 0.0 models the paper's loss-free OPNET links; non-zero exercises
-    /// the manager's timeout/retry machinery.
-    pub loss_rate: f64,
+    /// Fault-injection plan: per-link loss model, scheduled link
+    /// flaps / device hangs, and completion corruption/duplication.
+    /// The default plan is inert and models the paper's loss-free
+    /// OPNET links; see [`crate::FaultPlan`].
+    pub faults: FaultPlan,
     /// Optional endpoint source injection rate limit in bytes/second for
     /// *data-class* traffic (one of the ASI congestion-management options
     /// the paper lists in §2). Management traffic is never limited.
     pub injection_rate_limit: Option<f64>,
-    /// Seed for the fabric's own randomness (loss draws).
+    /// Seed for the fabric's own randomness (loss, corruption and
+    /// duplication draws).
     pub seed: u64,
 }
 
@@ -70,7 +73,7 @@ impl Default for FabricConfig {
             // pool (DESIGN.md §2), so the default is the extended pool.
             turn_pool_capacity: asi_proto::MAX_POOL_BITS,
             flow_control: true,
-            loss_rate: 0.0,
+            faults: FaultPlan::none(),
             injection_rate_limit: None,
             seed: 0x1055,
         }

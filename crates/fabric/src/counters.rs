@@ -26,6 +26,13 @@ pub struct FabricCounters {
     pub data_bytes: u64,
     /// PI-5 events emitted by devices.
     pub pi5_emitted: u64,
+    /// PI-4 completions discarded at delivery by injected corruption
+    /// (also counted in `dropped_corrupted`).
+    pub completions_corrupted: u64,
+    /// PI-4 completions duplicated in flight by injected faults.
+    pub completions_duplicated: u64,
+    /// Scheduled link flaps that fired on an existing link.
+    pub link_flaps: u64,
 }
 
 impl FabricCounters {

@@ -21,6 +21,7 @@
 use crate::agent::{AgentCommand, AgentCtx, DevId, FabricAgent};
 use crate::config::FabricConfig;
 use crate::counters::FabricCounters;
+use crate::faults::{FaultKind, LossModel};
 use asi_proto::{
     turn_width, apply_backward, apply_forward, DeviceInfo, DeviceType, Packet, Payload, Pi4,
     Pi5, PortEvent, PortInfo, PortState, ProtocolInterface, RouteHeader, TurnCursor,
@@ -87,6 +88,9 @@ struct Port {
     rate_next: SimTime,
     /// Credits available at the peer's input buffer, per class.
     peer_credits: [u32; 2],
+    /// Gilbert–Elliott loss state of the outgoing link: true while the
+    /// link is in its bad (bursty-loss) state.
+    ge_bad: bool,
 }
 
 impl Port {
@@ -133,6 +137,13 @@ struct Device {
     agent: Option<AgentSlot>,
     fm_route: Option<FmRoute>,
     pi5_seq: u32,
+    /// While `now < hang_until` the PI-4 responder is frozen: requests
+    /// queue but no completion leaves (injected fault).
+    hang_until: SimTime,
+    /// While `now < slow_until` the responder's servicing time is
+    /// multiplied by `slow_factor` (injected fault).
+    slow_until: SimTime,
+    slow_factor: f64,
 }
 
 /// Serialized delivery stage in front of an endpoint agent.
@@ -172,6 +183,22 @@ enum Event {
     Activate { dev: DevId },
     /// Device removal / failure.
     Deactivate { dev: DevId },
+    /// Scheduled fault: take a link down, retrain after `down_for`.
+    FaultLinkDown {
+        dev: DevId,
+        port: u8,
+        down_for: SimDuration,
+    },
+    /// Scheduled fault: a flapped link comes back and retrains.
+    FaultLinkUp { dev: DevId, port: u8 },
+    /// Scheduled fault: freeze a device's PI-4 responder.
+    FaultDeviceHang { dev: DevId, duration: SimDuration },
+    /// Scheduled fault: slow a device's PI-4 responder.
+    FaultDeviceSlow {
+        dev: DevId,
+        factor: f64,
+        duration: SimDuration,
+    },
 }
 
 /// The simulated ASI fabric.
@@ -218,6 +245,7 @@ impl Fabric {
                     busy_until: SimTime::ZERO,
                     rate_next: SimTime::ZERO,
                     peer_credits: [config.mgmt_credits, config.data_credits],
+                    ge_bad: false,
                 })
                 .collect();
             devices.push(Device {
@@ -230,6 +258,9 @@ impl Fabric {
                 agent: None,
                 fm_route: None,
                 pi5_seq: 0,
+                hang_until: SimTime::ZERO,
+                slow_until: SimTime::ZERO,
+                slow_factor: 1.0,
             });
         }
         let rng = SimRng::new(config.seed);
@@ -239,8 +270,38 @@ impl Fabric {
         // 1024 caused repeated heap reallocation on the larger Table 1
         // topologies.
         let event_capacity = 1024.max(devices.len() * 8);
+        let mut sim = Simulator::with_capacity(event_capacity);
+        // Scheduled faults go on the clock up front; the plan is pure
+        // data, so replaying the same (seed, plan) replays these too.
+        for fault in &config.faults.events {
+            let event = match fault.kind {
+                FaultKind::LinkFlap {
+                    device,
+                    port,
+                    down_for,
+                } => Event::FaultLinkDown {
+                    dev: DevId(device),
+                    port,
+                    down_for,
+                },
+                FaultKind::DeviceHang { device, duration } => Event::FaultDeviceHang {
+                    dev: DevId(device),
+                    duration,
+                },
+                FaultKind::DeviceSlow {
+                    device,
+                    factor,
+                    duration,
+                } => Event::FaultDeviceSlow {
+                    dev: DevId(device),
+                    factor,
+                    duration,
+                },
+            };
+            sim.schedule_after(fault.at, event);
+        }
         Fabric {
-            sim: Simulator::with_capacity(event_capacity),
+            sim,
             devices,
             config,
             counters: FabricCounters::default(),
@@ -473,6 +534,18 @@ impl Fabric {
             Event::PortTrained { dev, port } => self.on_port_trained(dev, port),
             Event::Activate { dev } => self.on_activate(dev),
             Event::Deactivate { dev } => self.on_deactivate(dev),
+            Event::FaultLinkDown {
+                dev,
+                port,
+                down_for,
+            } => self.on_fault_link_down(dev, port, down_for),
+            Event::FaultLinkUp { dev, port } => self.on_fault_link_up(dev, port),
+            Event::FaultDeviceHang { dev, duration } => self.on_fault_device_hang(dev, duration),
+            Event::FaultDeviceSlow {
+                dev,
+                factor,
+                duration,
+            } => self.on_fault_device_slow(dev, factor, duration),
         }
     }
 
@@ -799,10 +872,13 @@ impl Fabric {
                     // Injected loss: the receiver's CRC discards the
                     // packet. Its input buffer is freed immediately, so
                     // the consumed credits bounce straight back.
-                    let lost = self.config.loss_rate > 0.0
-                        && self.rng.gen_bool(self.config.loss_rate);
+                    let lost = self.draw_loss(dev, port);
                     if lost {
                         self.counters.dropped_corrupted += 1;
+                        self.trace.emit(now, || TraceEvent::FaultPacketLost {
+                            device: dev.0,
+                            port: u16::from(port),
+                        });
                         if self.config.flow_control {
                             self.sim.schedule_after(
                                 self.config.propagation * 2,
@@ -838,6 +914,36 @@ impl Fabric {
         }
     }
 
+    /// Draws the loss decision for one transmission on `(dev, port)`,
+    /// advancing the link's Gilbert–Elliott state if the model is
+    /// bursty. Zero probabilities short-circuit before consuming a
+    /// random draw where the decision is already known, and a draw
+    /// never changes scheduling — so a lossless model replays the
+    /// loss-free run byte-for-byte.
+    fn draw_loss(&mut self, dev: DevId, port: u8) -> bool {
+        match self.config.faults.loss {
+            LossModel::None => false,
+            LossModel::Uniform { p } => p > 0.0 && self.rng.gen_bool(p),
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                let was_bad = self.devices[dev.idx()].ports[usize::from(port)].ge_bad;
+                let flip_p = if was_bad { p_exit_bad } else { p_enter_bad };
+                let now_bad = if flip_p > 0.0 && self.rng.gen_bool(flip_p) {
+                    !was_bad
+                } else {
+                    was_bad
+                };
+                self.devices[dev.idx()].ports[usize::from(port)].ge_bad = now_bad;
+                let p = if now_bad { loss_bad } else { loss_good };
+                p > 0.0 && self.rng.gen_bool(p)
+            }
+        }
+    }
+
     fn drain_port(&mut self, dev: DevId, port: u8) {
         // Pop one entry at a time instead of collecting into an interim
         // Vec: this runs on every pump() of a downed port.
@@ -863,14 +969,43 @@ impl Fabric {
             self.counters.dropped_inactive += 1;
             return;
         }
-        self.counters.delivered += 1;
         // The packet has been copied out of the input buffer: release it.
         self.release_origin_now(dev, port, &packet);
 
         let is_request = matches!(&packet.payload, Payload::Pi4(p) if p.is_request());
+        let is_completion = !is_request && matches!(packet.payload, Payload::Pi4(_));
+        if is_completion {
+            // Injected completion corruption: the end-to-end CRC catches
+            // the mangled payload at delivery, so the completion is
+            // discarded whole and the requester times out (a silently
+            // garbled completion would leave a permanent hole instead).
+            let p_corrupt = self.config.faults.corrupt_completions;
+            if p_corrupt > 0.0 && self.rng.gen_bool(p_corrupt) {
+                self.counters.dropped_corrupted += 1;
+                self.counters.completions_corrupted += 1;
+                self.trace.emit(self.sim.now(), || {
+                    TraceEvent::FaultCompletionCorrupted { device: dev.0 }
+                });
+                return;
+            }
+        }
+        self.counters.delivered += 1;
         if is_request {
             self.responder_enqueue(dev, port, packet);
         } else {
+            if is_completion {
+                // Injected duplication: the requester sees the completion
+                // twice; the second copy carries a since-retired req_id
+                // and must be ignored upstream.
+                let p_dup = self.config.faults.duplicate_completions;
+                if p_dup > 0.0 && self.rng.gen_bool(p_dup) {
+                    self.counters.completions_duplicated += 1;
+                    self.trace.emit(self.sim.now(), || {
+                        TraceEvent::FaultCompletionDuplicated { device: dev.0 }
+                    });
+                    self.ingress_enqueue(dev, packet.clone());
+                }
+            }
             self.ingress_enqueue(dev, packet);
         }
     }
@@ -910,6 +1045,18 @@ impl Fabric {
 
     // ---------------- PI-4 responder ----------------
 
+    /// Per-request responder servicing time, including any active
+    /// slow-device fault.
+    fn responder_service_time(&self, dev: DevId) -> SimDuration {
+        let base = self.config.effective_device_time();
+        let d = &self.devices[dev.idx()];
+        if self.sim.now() < d.slow_until {
+            base.scaled(d.slow_factor)
+        } else {
+            base
+        }
+    }
+
     fn responder_enqueue(&mut self, dev: DevId, port: u8, packet: Packet) {
         let busy = {
             let r = &mut self.devices[dev.idx()].responder;
@@ -918,13 +1065,21 @@ impl Fabric {
         };
         if !busy {
             self.devices[dev.idx()].responder.busy = true;
-            let t = self.config.effective_device_time();
+            let t = self.responder_service_time(dev);
             self.sim.schedule_after(t, Event::ResponderDone { dev });
         }
     }
 
     fn on_responder_done(&mut self, dev: DevId) {
         if !self.devices[dev.idx()].active {
+            return;
+        }
+        // A hung responder holds every serviced request until the hang
+        // ends; the pending completion (and the rest of the queue) is
+        // deferred, not lost.
+        let hang_until = self.devices[dev.idx()].hang_until;
+        if self.sim.now() < hang_until {
+            self.sim.schedule_at(hang_until, Event::ResponderDone { dev });
             return;
         }
         let item = self.devices[dev.idx()].responder.queue.pop_front();
@@ -944,7 +1099,7 @@ impl Fabric {
         // Continue with the next request, if any.
         let more = !self.devices[dev.idx()].responder.queue.is_empty();
         if more {
-            let t = self.config.effective_device_time();
+            let t = self.responder_service_time(dev);
             self.sim.schedule_after(t, Event::ResponderDone { dev });
         } else {
             self.devices[dev.idx()].responder.busy = false;
@@ -1271,5 +1426,97 @@ impl Fabric {
             packet,
             origin: None,
         });
+    }
+
+    // ---------------- injected faults ----------------
+
+    /// True when a scheduled fault names a `(dev, port)` that exists.
+    /// Plans are user data, so out-of-range targets are ignored rather
+    /// than crashing the run.
+    fn fault_link_exists(&self, dev: DevId, port: u8) -> bool {
+        dev.idx() < self.devices.len()
+            && usize::from(port) < self.devices[dev.idx()].ports.len()
+    }
+
+    /// A link flap's down edge: both ends lose carrier and drain their
+    /// queues, and — unlike [`Fabric::on_deactivate`], where the dying
+    /// device is silent — *both* sides report a PI-5 `PortDown`, since
+    /// both devices stay alive. The up edge is scheduled `down_for`
+    /// later.
+    fn on_fault_link_down(&mut self, dev: DevId, port: u8, down_for: SimDuration) {
+        if !self.fault_link_exists(dev, port) {
+            return;
+        }
+        let Some((peer_dev, peer_port)) = self.devices[dev.idx()].ports[usize::from(port)].peer
+        else {
+            return;
+        };
+        self.counters.link_flaps += 1;
+        self.trace.emit(self.sim.now(), || TraceEvent::FaultLinkDown {
+            device: dev.0,
+            port: u16::from(port),
+        });
+        for (d, p) in [(dev, port), (peer_dev, peer_port)] {
+            let alive = self.devices[d.idx()].active;
+            let state = self.devices[d.idx()].ports[usize::from(p)].state;
+            if state != PortState::Down {
+                self.devices[d.idx()].ports[usize::from(p)].state = PortState::Down;
+                self.sync_port_config(d, p);
+                self.drain_port(d, p);
+                if alive {
+                    self.notify_port_change(d, p, PortEvent::PortDown);
+                }
+            }
+        }
+        self.sim
+            .schedule_after(down_for, Event::FaultLinkUp { dev, port });
+    }
+
+    /// A link flap's up edge: retrain both ends (training only starts
+    /// from `Down`, so a link that was re-activated meanwhile is left
+    /// alone). The resulting `PortTrained` → PI-5 `PortUp` path is the
+    /// same one device activation uses.
+    fn on_fault_link_up(&mut self, dev: DevId, port: u8) {
+        if !self.fault_link_exists(dev, port) {
+            return;
+        }
+        let Some((peer_dev, peer_port)) = self.devices[dev.idx()].ports[usize::from(port)].peer
+        else {
+            return;
+        };
+        if !self.devices[dev.idx()].active || !self.devices[peer_dev.idx()].active {
+            return;
+        }
+        self.trace.emit(self.sim.now(), || TraceEvent::FaultLinkUp {
+            device: dev.0,
+            port: u16::from(port),
+        });
+        self.begin_training(dev, port);
+        self.begin_training(peer_dev, peer_port);
+    }
+
+    fn on_fault_device_hang(&mut self, dev: DevId, duration: SimDuration) {
+        if dev.idx() >= self.devices.len() {
+            return;
+        }
+        let until = self.sim.now() + duration;
+        let d = &mut self.devices[dev.idx()];
+        if until > d.hang_until {
+            d.hang_until = until;
+        }
+        self.trace
+            .emit(self.sim.now(), || TraceEvent::FaultDeviceHang { device: dev.0 });
+    }
+
+    fn on_fault_device_slow(&mut self, dev: DevId, factor: f64, duration: SimDuration) {
+        if dev.idx() >= self.devices.len() {
+            return;
+        }
+        let until = self.sim.now() + duration;
+        let d = &mut self.devices[dev.idx()];
+        d.slow_until = until;
+        d.slow_factor = factor;
+        self.trace
+            .emit(self.sim.now(), || TraceEvent::FaultDeviceSlow { device: dev.0 });
     }
 }

@@ -1,0 +1,360 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] describes everything that can go wrong during a run:
+//! a per-link [`LossModel`] (uniform or bursty Gilbert–Elliott),
+//! scheduled link flaps and device hangs/slow-downs on the sim clock,
+//! and completion corruption/duplication. The plan is *data*, not code:
+//! the fabric draws every random decision from its own seeded RNG, so
+//! identical `(seed, plan)` pairs replay byte-identically — including
+//! across sweep `--jobs` counts, because each sweep cell builds its own
+//! fabric and RNG.
+//!
+//! Determinism guarantee: a model whose loss probabilities are all zero
+//! never changes scheduling. Loss draws happen *after* a transmission is
+//! committed and only decide whether the packet is discarded at the
+//! receiver, so `LossModel::bursty(0.0)` reproduces the loss-free run
+//! byte-for-byte (a property test in `asi-core` enforces this).
+
+use asi_sim::SimDuration;
+
+/// Per-link packet-loss model, applied to every link traversal.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum LossModel {
+    /// Loss-free links (the paper's OPNET model; the default).
+    #[default]
+    None,
+    /// Independent per-traversal drop probability.
+    Uniform {
+        /// Drop probability per transmission, in `[0, 1)`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott bursty loss. Each link keeps its own
+    /// good/bad state; the state transitions once per transmission and
+    /// the drop probability depends on the current state.
+    GilbertElliott {
+        /// Probability of moving good → bad per transmission.
+        p_enter_bad: f64,
+        /// Probability of moving bad → good per transmission.
+        p_exit_bad: f64,
+        /// Drop probability while the link is in the good state.
+        loss_good: f64,
+        /// Drop probability while the link is in the bad state.
+        loss_bad: f64,
+    },
+}
+
+fn check_probability(name: &str, p: f64) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{name} must be a probability in [0, 1], got {p}"
+    );
+}
+
+impl LossModel {
+    /// Dwell parameters of [`LossModel::bursty`]: per-transmission
+    /// probability of entering the bad state (mean good dwell 50
+    /// transmissions) …
+    pub const BURSTY_P_ENTER_BAD: f64 = 0.02;
+    /// … and of leaving it (mean burst length 5 transmissions). The
+    /// stationary bad-state fraction is `0.02 / 0.22 ≈ 9.1%`.
+    pub const BURSTY_P_EXIT_BAD: f64 = 0.2;
+
+    /// Uniform per-traversal loss with probability `p`.
+    pub fn uniform(p: f64) -> LossModel {
+        check_probability("loss probability", p);
+        LossModel::Uniform { p }
+    }
+
+    /// A Gilbert–Elliott model with fixed burst dynamics
+    /// ([`BURSTY_P_ENTER_BAD`](Self::BURSTY_P_ENTER_BAD) /
+    /// [`BURSTY_P_EXIT_BAD`](Self::BURSTY_P_EXIT_BAD)) whose loss
+    /// probabilities are derived so the *stationary mean* loss equals
+    /// `mean_loss`. Losses concentrate in the bad state; once the bad
+    /// state saturates (`mean_loss` above its stationary fraction) the
+    /// remainder spills into the good state, preserving the mean for
+    /// any `mean_loss` in `[0, 1)`.
+    pub fn bursty(mean_loss: f64) -> LossModel {
+        assert!(
+            (0.0..1.0).contains(&mean_loss),
+            "mean loss must be in [0, 1), got {mean_loss}"
+        );
+        let pi_bad =
+            Self::BURSTY_P_ENTER_BAD / (Self::BURSTY_P_ENTER_BAD + Self::BURSTY_P_EXIT_BAD);
+        let loss_bad = (mean_loss / pi_bad).min(1.0);
+        let loss_good = if mean_loss > pi_bad {
+            (mean_loss - pi_bad) / (1.0 - pi_bad)
+        } else {
+            0.0
+        };
+        LossModel::GilbertElliott {
+            p_enter_bad: Self::BURSTY_P_ENTER_BAD,
+            p_exit_bad: Self::BURSTY_P_EXIT_BAD,
+            loss_good,
+            loss_bad,
+        }
+    }
+
+    /// Long-run expected loss fraction of this model.
+    pub fn mean_loss(&self) -> f64 {
+        match *self {
+            LossModel::None => 0.0,
+            LossModel::Uniform { p } => p,
+            LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            } => {
+                if p_enter_bad <= 0.0 {
+                    loss_good
+                } else if p_exit_bad <= 0.0 {
+                    loss_bad
+                } else {
+                    let pi_bad = p_enter_bad / (p_enter_bad + p_exit_bad);
+                    loss_bad * pi_bad + loss_good * (1.0 - pi_bad)
+                }
+            }
+        }
+    }
+
+    /// True when this model can never drop a packet.
+    pub fn is_lossless(&self) -> bool {
+        match *self {
+            LossModel::None => true,
+            LossModel::Uniform { p } => p <= 0.0,
+            LossModel::GilbertElliott {
+                loss_good, loss_bad, ..
+            } => loss_good <= 0.0 && loss_bad <= 0.0,
+        }
+    }
+}
+
+/// What a scheduled fault does when it fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Take one link down (both directions lose carrier, both sides see
+    /// a PI-5 `PortDown`), then retrain it after `down_for`.
+    LinkFlap {
+        /// Device owning the flapped port.
+        device: u32,
+        /// The port to flap.
+        port: u8,
+        /// How long the link stays down before retraining.
+        down_for: SimDuration,
+    },
+    /// Freeze a device's PI-4 responder: packets queue but no
+    /// completion leaves until the hang ends.
+    DeviceHang {
+        /// The device to hang.
+        device: u32,
+        /// How long the responder stays frozen.
+        duration: SimDuration,
+    },
+    /// Multiply a device's PI-4 servicing time by `factor` for
+    /// `duration` (models a busy or degraded management CPU).
+    DeviceSlow {
+        /// The device to slow.
+        device: u32,
+        /// Service-time multiplier (> 0; values > 1 slow the device).
+        factor: f64,
+        /// How long the slow-down lasts.
+        duration: SimDuration,
+    },
+}
+
+/// One scheduled fault on the sim clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires, relative to fabric construction.
+    pub at: SimDuration,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A complete, replayable description of the faults a run is subjected
+/// to. Build with the `with_*` / scheduling methods; the default plan
+/// is fault-free and reproduces the loss-free simulation exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+#[non_exhaustive]
+pub struct FaultPlan {
+    /// Per-link loss model.
+    pub loss: LossModel,
+    /// Probability that a delivered PI-4 completion is corrupted in
+    /// flight and discarded by the receiver's CRC check (the requester
+    /// then times out and may retry).
+    pub corrupt_completions: f64,
+    /// Probability that a delivered PI-4 completion is duplicated; the
+    /// requester must ignore the stale second copy.
+    pub duplicate_completions: f64,
+    /// Scheduled link-flap / device-hang / device-slow events.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan (same as `FaultPlan::default()`).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Replaces the loss model.
+    pub fn with_loss(mut self, loss: LossModel) -> FaultPlan {
+        self.loss = loss;
+        self
+    }
+
+    /// Sets the completion-corruption probability.
+    pub fn with_corruption(mut self, p: f64) -> FaultPlan {
+        check_probability("corruption probability", p);
+        self.corrupt_completions = p;
+        self
+    }
+
+    /// Sets the completion-duplication probability.
+    pub fn with_duplication(mut self, p: f64) -> FaultPlan {
+        check_probability("duplication probability", p);
+        self.duplicate_completions = p;
+        self
+    }
+
+    /// Schedules a link flap: `device`'s `port` goes down at `at` and
+    /// retrains after `down_for`.
+    pub fn with_link_flap(
+        mut self,
+        at: SimDuration,
+        device: u32,
+        port: u8,
+        down_for: SimDuration,
+    ) -> FaultPlan {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::LinkFlap {
+                device,
+                port,
+                down_for,
+            },
+        });
+        self
+    }
+
+    /// Schedules a device hang: `device`'s responder freezes at `at`
+    /// for `duration`.
+    pub fn with_device_hang(mut self, at: SimDuration, device: u32, duration: SimDuration) -> FaultPlan {
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::DeviceHang { device, duration },
+        });
+        self
+    }
+
+    /// Schedules a device slow-down: `device`'s PI-4 servicing time is
+    /// multiplied by `factor` from `at` for `duration`.
+    pub fn with_device_slow(
+        mut self,
+        at: SimDuration,
+        device: u32,
+        factor: f64,
+        duration: SimDuration,
+    ) -> FaultPlan {
+        assert!(factor > 0.0, "slow factor must be positive, got {factor}");
+        self.events.push(FaultEvent {
+            at,
+            kind: FaultKind::DeviceSlow {
+                device,
+                factor,
+                duration,
+            },
+        });
+        self
+    }
+
+    /// True when the plan cannot affect the simulation at all: no
+    /// scheduled events, no corruption/duplication, and a loss model
+    /// that never drops. An inert plan replays the fault-free run
+    /// byte-for-byte.
+    pub fn is_inert(&self) -> bool {
+        self.loss.is_lossless()
+            && self.corrupt_completions <= 0.0
+            && self.duplicate_completions <= 0.0
+            && self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert() {
+        assert!(FaultPlan::default().is_inert());
+        assert!(FaultPlan::none().is_inert());
+        assert_eq!(LossModel::default().mean_loss(), 0.0);
+    }
+
+    #[test]
+    fn bursty_preserves_the_mean_below_and_above_saturation() {
+        for &mean in &[0.0, 0.01, 0.05, 0.0909, 0.25, 0.5, 0.9] {
+            let model = LossModel::bursty(mean);
+            assert!(
+                (model.mean_loss() - mean).abs() < 1e-12,
+                "mean {mean} reproduced as {}",
+                model.mean_loss()
+            );
+        }
+    }
+
+    #[test]
+    fn bursty_concentrates_loss_in_the_bad_state() {
+        let LossModel::GilbertElliott {
+            loss_good, loss_bad, ..
+        } = LossModel::bursty(0.05)
+        else {
+            panic!("bursty must build a Gilbert–Elliott model");
+        };
+        assert_eq!(loss_good, 0.0);
+        assert!(loss_bad > 0.5, "5% mean loss ⇒ bad state drops {loss_bad}");
+    }
+
+    #[test]
+    fn zero_mean_bursty_is_lossless() {
+        let model = LossModel::bursty(0.0);
+        assert!(model.is_lossless());
+        assert!(FaultPlan::none().with_loss(model).is_inert());
+    }
+
+    #[test]
+    fn scheduled_events_make_the_plan_active() {
+        let plan = FaultPlan::none().with_link_flap(
+            SimDuration::from_us(10),
+            3,
+            1,
+            SimDuration::from_us(50),
+        );
+        assert!(!plan.is_inert());
+        assert_eq!(plan.events.len(), 1);
+
+        let plan = FaultPlan::none()
+            .with_device_hang(SimDuration::from_us(5), 2, SimDuration::from_us(20))
+            .with_device_slow(SimDuration::from_us(9), 4, 8.0, SimDuration::from_us(40));
+        assert_eq!(plan.events.len(), 2);
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn corruption_and_duplication_activate_the_plan() {
+        assert!(!FaultPlan::none().with_corruption(0.1).is_inert());
+        assert!(!FaultPlan::none().with_duplication(0.1).is_inert());
+        assert!(FaultPlan::none().with_corruption(0.0).with_duplication(0.0).is_inert());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_corruption_rejected() {
+        let _ = FaultPlan::none().with_corruption(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1)")]
+    fn full_mean_loss_rejected() {
+        let _ = LossModel::bursty(1.0);
+    }
+}

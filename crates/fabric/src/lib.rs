@@ -13,6 +13,8 @@
 //!   run the event loop;
 //! - [`FabricConfig`] — link/switch/device timing parameters, including
 //!   the device processing-speed factor of the paper's Figs. 8–9;
+//! - [`FaultPlan`]/[`LossModel`] — deterministic fault injection
+//!   (per-link loss, link flaps, device hangs, completion corruption);
 //! - [`FabricAgent`]/[`AgentCtx`] — endpoint management software hooks;
 //! - [`TrafficAgent`] — Poisson background traffic for the
 //!   "traffic scarcely influences discovery" ablation.
@@ -23,10 +25,12 @@ mod agent;
 mod config;
 mod counters;
 mod fabric;
+mod faults;
 mod traffic;
 
 pub use agent::{AgentCommand, AgentCtx, DevId, FabricAgent};
 pub use config::{FabricConfig, CREDIT_UNIT};
 pub use counters::FabricCounters;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, LossModel};
 pub use fabric::{CreditClass, Fabric, FmRoute, DSN_BASE};
 pub use traffic::{TrafficAgent, TrafficRoute};

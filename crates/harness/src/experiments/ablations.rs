@@ -30,8 +30,7 @@ pub fn traffic(quick: bool) -> TableOut {
         let quiet = Bench::start(&g.topology, &Scenario::new(alg), &[])
             .last_run()
             .discovery_time();
-        let mut s = Scenario::new(alg);
-        s.traffic = Some(TrafficSpec {
+        let s = Scenario::new(alg).with_traffic(TrafficSpec {
             mean_gap: SimDuration::from_us(30),
             payload: 512,
         });
@@ -57,8 +56,9 @@ pub fn partial_assimilation(quick: bool) -> TableOut {
         &["Mode", "Assimilation time (ms)", "PI-4 requests"],
     );
     for partial in [false, true] {
-        let mut scenario = Scenario::new(Algorithm::Parallel).with_seed(0xAB1);
-        scenario.partial_assimilation = partial;
+        let scenario = Scenario::new(Algorithm::Parallel)
+            .with_seed(0xAB1)
+            .with_partial_assimilation(partial);
         let mut bench = Bench::start(&g.topology, &scenario, &[]);
         let victim = bench.pick_victim_switch();
         let run = bench.remove_switch(victim);
@@ -83,8 +83,7 @@ pub fn flow_control(quick: bool) -> TableOut {
         let on = Bench::start(&g.topology, &Scenario::new(alg), &[])
             .last_run()
             .discovery_time();
-        let mut s = Scenario::new(alg);
-        s.flow_control = false;
+        let s = Scenario::new(alg).with_flow_control(false);
         let off = Bench::start(&g.topology, &s, &[]).last_run().discovery_time();
         t.push_row(vec![
             alg.name().to_string(),

@@ -33,8 +33,24 @@ pub use report::{
     pending_occupancy, save_trace_jsonl, trace_from_jsonl, trace_to_jsonl, Chart, RingCollector,
     Series, TableOut, TraceSummary,
 };
-pub use scenario::{
-    change_experiment, dev_of_dsn, dsn_of_dev, lossy_initial_discovery, Bench, Scenario,
-    TrafficSpec,
-};
+pub use scenario::{change_experiment, dev_of_dsn, dsn_of_dev, Bench, Scenario, TrafficSpec};
 pub use sweep::{ChangeMode, SweepResult, SweepSpec};
+
+/// One-stop imports for writing experiments: the scenario builder with
+/// its fault/retry vocabulary, the sweep grid types, and the algorithm
+/// enum.
+///
+/// ```
+/// use asi_harness::prelude::*;
+///
+/// let scenario = Scenario::new(Algorithm::Parallel)
+///     .with_faults(FaultPlan::none().with_loss(LossModel::uniform(0.02)))
+///     .with_retry(RetryPolicy::fixed(4));
+/// assert_eq!(scenario.faults.loss.mean_loss(), 0.02);
+/// ```
+pub mod prelude {
+    pub use crate::scenario::{change_experiment, Bench, Scenario, TrafficSpec};
+    pub use crate::sweep::{ChangeMode, SweepResult, SweepSpec};
+    pub use asi_core::{Algorithm, RetryPolicy};
+    pub use asi_fabric::{FaultPlan, LossModel};
+}

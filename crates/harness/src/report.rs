@@ -371,6 +371,16 @@ pub fn trace_record_to_json(record: &TraceRecord) -> Json {
         TraceEvent::QueueSample { depth, processed } => {
             obj.with("depth", *depth).with("processed", *processed)
         }
+        TraceEvent::FaultLinkDown { device, port }
+        | TraceEvent::FaultLinkUp { device, port }
+        | TraceEvent::FaultPacketLost { device, port } => {
+            obj.with("device", *device).with("port", *port)
+        }
+        TraceEvent::FaultDeviceHang { device }
+        | TraceEvent::FaultDeviceSlow { device }
+        | TraceEvent::FaultCompletionCorrupted { device }
+        | TraceEvent::FaultCompletionDuplicated { device } => obj.with("device", *device),
+        TraceEvent::RequestAbandoned { req_id } => obj.with("req_id", *req_id),
     }
 }
 
@@ -450,6 +460,28 @@ pub fn trace_record_from_json(json: &Json) -> Option<TraceRecord> {
             depth: json.get("depth").as_u64()?,
             processed: json.get("processed").as_u64()?,
         },
+        kind @ ("fault-link-down" | "fault-link-up" | "fault-packet-lost") => {
+            let device = json.get("device").as_u64()? as u32;
+            let port = json.get("port").as_u64()? as u16;
+            match kind {
+                "fault-link-down" => TraceEvent::FaultLinkDown { device, port },
+                "fault-link-up" => TraceEvent::FaultLinkUp { device, port },
+                _ => TraceEvent::FaultPacketLost { device, port },
+            }
+        }
+        kind @ ("fault-device-hang"
+        | "fault-device-slow"
+        | "fault-completion-corrupted"
+        | "fault-completion-duplicated") => {
+            let device = json.get("device").as_u64()? as u32;
+            match kind {
+                "fault-device-hang" => TraceEvent::FaultDeviceHang { device },
+                "fault-device-slow" => TraceEvent::FaultDeviceSlow { device },
+                "fault-completion-corrupted" => TraceEvent::FaultCompletionCorrupted { device },
+                _ => TraceEvent::FaultCompletionDuplicated { device },
+            }
+        }
+        "request-abandoned" => TraceEvent::RequestAbandoned { req_id: req_id()? },
         _ => return None,
     };
     Some(TraceRecord { time, event })

@@ -2,9 +2,11 @@
 //! initial discovery, PI-5 configuration, and topological-change
 //! injection — the exact procedure of the paper's §4.1.
 
-use asi_core::{Algorithm, FmAgent, FmConfig, FmTiming, TOKEN_START_DISCOVERY};
+use asi_core::{Algorithm, FmAgent, FmConfig, FmTiming, RetryPolicy, TOKEN_START_DISCOVERY};
 use asi_core::{DiscoveryRun, TopologyDb};
-use asi_fabric::{DevId, Fabric, FabricConfig, FmRoute, TrafficAgent, TrafficRoute, DSN_BASE};
+use asi_fabric::{
+    DevId, Fabric, FabricConfig, FaultPlan, FmRoute, TrafficAgent, TrafficRoute, DSN_BASE,
+};
 use asi_sim::{SimDuration, SimRng, TraceHandle};
 use asi_topo::{routes_from, NodeId, Topology};
 
@@ -23,7 +25,26 @@ pub struct TrafficSpec {
 }
 
 /// Scenario parameters.
+///
+/// Construct with [`Scenario::new`] and refine with the `with_*`
+/// builder methods:
+///
+/// ```
+/// use asi_harness::prelude::*;
+/// use asi_sim::SimDuration;
+///
+/// let s = Scenario::new(Algorithm::Parallel)
+///     .with_faults(FaultPlan::none().with_loss(LossModel::bursty(0.05)))
+///     .with_retry(RetryPolicy::exponential(10))
+///     .with_seed(7);
+/// assert!(!s.faults.is_inert());
+/// ```
+///
+/// The struct is `#[non_exhaustive]` so new knobs can be added without
+/// breaking callers; fields stay public for reading and in-place
+/// mutation.
 #[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct Scenario {
     /// Discovery algorithm under test.
     pub algorithm: Algorithm,
@@ -37,8 +58,15 @@ pub struct Scenario {
     pub traffic: Option<TrafficSpec>,
     /// Disable credit flow control (ablation).
     pub flow_control: bool,
-    /// RNG seed (victim selection, traffic arrivals).
+    /// RNG seed (victim selection, traffic arrivals, fault draws).
     pub seed: u64,
+    /// Deterministic fault-injection plan applied to the fabric
+    /// (loss, completion corruption/duplication, scheduled events).
+    pub faults: FaultPlan,
+    /// FM retry/backoff policy for timed-out requests.
+    pub retry: RetryPolicy,
+    /// Base timeout for a request's first attempt.
+    pub request_timeout: SimDuration,
     /// Observability sink wired into the FM, the discovery engine, the
     /// fabric model and the simulator kernel. Disabled by default (zero
     /// overhead); see `docs/TRACE_FORMAT.md`.
@@ -56,6 +84,9 @@ impl Scenario {
             traffic: None,
             flow_control: true,
             seed: 0xA51,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            request_timeout: SimDuration::from_ms(5),
             trace: TraceHandle::disabled(),
         }
     }
@@ -73,10 +104,100 @@ impl Scenario {
         self
     }
 
+    /// Enables Poisson background traffic from every non-FM endpoint.
+    pub fn with_traffic(mut self, traffic: TrafficSpec) -> Scenario {
+        self.traffic = Some(traffic);
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Scenario {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the FM's retry/backoff policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Scenario {
+        self.retry = retry;
+        self
+    }
+
+    /// Sets the FM's base request timeout.
+    pub fn with_request_timeout(mut self, timeout: SimDuration) -> Scenario {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Enables partial (affected-region) assimilation.
+    pub fn with_partial_assimilation(mut self, on: bool) -> Scenario {
+        self.partial_assimilation = on;
+        self
+    }
+
+    /// Enables or disables credit flow control.
+    pub fn with_flow_control(mut self, on: bool) -> Scenario {
+        self.flow_control = on;
+        self
+    }
+
     /// Installs a trace sink (e.g. `asi_harness::RingCollector::shared`).
     pub fn with_trace(mut self, trace: TraceHandle) -> Scenario {
         self.trace = trace;
         self
+    }
+
+    /// The fabric configuration this scenario implies.
+    fn fabric_config(&self) -> FabricConfig {
+        FabricConfig {
+            device_factor: self.device_factor,
+            flow_control: self.flow_control,
+            faults: self.faults.clone(),
+            seed: self.seed,
+            ..FabricConfig::default()
+        }
+    }
+
+    /// The FM configuration this scenario implies.
+    fn fm_config(&self) -> FmConfig {
+        FmConfig::new(self.algorithm)
+            .with_timing(FmTiming::default().with_factor(self.fm_factor))
+            .with_partial_assimilation(self.partial_assimilation)
+            .with_retry(self.retry)
+            .with_request_timeout(self.request_timeout)
+            .with_trace(self.trace.clone())
+    }
+
+    /// Runs a single initial discovery under this scenario's fault plan
+    /// and retry policy, without the [`Bench`] settling machinery — the
+    /// robustness path shared by the CLI's faults mode and the fault
+    /// sweep grids. Returns the completed run and the active-node
+    /// count, or `None` when the FM never finished a run.
+    pub fn initial_discovery(&self, topo: &Topology) -> Option<(DiscoveryRun, usize)> {
+        let mut fabric = Fabric::new(topo, self.fabric_config());
+        fabric.set_event_limit(2_000_000_000);
+        fabric.set_trace(self.trace.clone(), QUEUE_SAMPLE_EVERY);
+        fabric.activate_all(SimDuration::ZERO);
+        run_bringup(&mut fabric, &self.faults);
+        let fm_node = asi_topo::default_fm_endpoint(topo)?;
+        let fm = DevId(fm_node.0);
+        fabric.set_agent(fm, Box::new(FmAgent::new(self.fm_config())));
+        fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
+        fabric.run_until_idle();
+        let active = fabric.active_reachable(fm).len();
+        let run = fabric.agent_as::<FmAgent>(fm)?.last_run()?.clone();
+        Some((run, active))
+    }
+}
+
+/// Drains the bring-up phase. With scheduled fault events in the plan,
+/// `run_until_idle` would fast-forward through them before the FM is
+/// even installed, so stop at the first scheduled fault instead (the
+/// fabric trains in microseconds; fault schedules target discovery
+/// time).
+fn run_bringup(fabric: &mut Fabric, faults: &FaultPlan) {
+    match faults.events.iter().map(|e| e.at).min() {
+        Some(first) => fabric.run_until(asi_sim::SimTime::ZERO + first),
+        None => fabric.run_until_idle(),
     }
 }
 
@@ -106,11 +227,7 @@ impl Bench {
     /// installs the FM on the first endpoint and runs the initial
     /// discovery to completion.
     pub fn start(topo: &Topology, scenario: &Scenario, absent: &[NodeId]) -> Bench {
-        let mut config = FabricConfig {
-            device_factor: scenario.device_factor,
-            flow_control: scenario.flow_control,
-            ..FabricConfig::default()
-        };
+        let mut config = scenario.fabric_config();
         config.turn_pool_capacity = asi_proto::MAX_POOL_BITS;
         let mut fabric = Fabric::new(topo, config);
         fabric.set_event_limit(2_000_000_000);
@@ -120,7 +237,7 @@ impl Bench {
                 fabric.schedule_activate(DevId(id.0), SimDuration::ZERO);
             }
         }
-        fabric.run_until_idle();
+        run_bringup(&mut fabric, &scenario.faults);
 
         let fm_node = asi_topo::default_fm_endpoint(topo).expect("topology has endpoints");
         assert!(
@@ -175,11 +292,7 @@ impl Bench {
             }
         }
 
-        let mut fm_cfg = FmConfig::new(scenario.algorithm);
-        fm_cfg.timing = FmTiming::default().with_factor(scenario.fm_factor);
-        fm_cfg.partial_assimilation = scenario.partial_assimilation;
-        fm_cfg.trace = scenario.trace.clone();
-        fabric.set_agent(fm, Box::new(FmAgent::new(fm_cfg)));
+        fabric.set_agent(fm, Box::new(FmAgent::new(scenario.fm_config())));
         fabric.schedule_agent_timer(fm, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
 
         let mut bench = Bench {
@@ -361,23 +474,15 @@ pub fn distributed_discovery(
         .map(|i| endpoints[i * (endpoints.len() - 1) / collaborators.max(1)])
         .collect();
 
-    let config = FabricConfig {
-        device_factor: scenario.device_factor,
-        flow_control: scenario.flow_control,
-        ..FabricConfig::default()
-    };
-    let mut fabric = Fabric::new(topo, config);
+    let mut fabric = Fabric::new(topo, scenario.fabric_config());
     fabric.set_event_limit(2_000_000_000);
     fabric.set_trace(scenario.trace.clone(), QUEUE_SAMPLE_EVERY);
     fabric.activate_all(SimDuration::ZERO);
-    fabric.run_until_idle();
+    run_bringup(&mut fabric, &scenario.faults);
 
-    let mut fm_cfg = asi_core::FmConfig::new(scenario.algorithm);
-    fm_cfg.timing = asi_core::FmTiming::default().with_factor(scenario.fm_factor);
-    fm_cfg.auto_rediscover = false;
     // All managers (primary and collaborators) share the scenario sink;
     // the simulation loop is single-threaded, so interleaving is safe.
-    fm_cfg.trace = scenario.trace.clone();
+    let fm_cfg = scenario.fm_config().with_auto_rediscover(false);
     let primary_cfg = fm_cfg.clone().with_distributed(DistributedRole::Primary {
         expected_reports: collaborators,
     });
@@ -456,45 +561,6 @@ pub fn distributed_discovery(
             per_manager_devices,
         },
     )
-}
-
-/// Initial discovery under injected packet loss: builds the fabric with
-/// `loss_rate` applied per hop and gives the FM a `max_retries` budget
-/// per request (the robustness ablation; shared by the CLI's `--loss`
-/// path and lossy sweep grids). Returns the completed run and the
-/// active-node count, or `None` when the retry budget was exhausted and
-/// the FM never finished a run.
-pub fn lossy_initial_discovery(
-    topo: &Topology,
-    scenario: &Scenario,
-    loss_rate: f64,
-    max_retries: u32,
-) -> Option<(DiscoveryRun, usize)> {
-    let config = FabricConfig {
-        device_factor: scenario.device_factor,
-        flow_control: scenario.flow_control,
-        loss_rate,
-        seed: scenario.seed,
-        ..FabricConfig::default()
-    };
-    let mut fabric = Fabric::new(topo, config);
-    fabric.set_event_limit(2_000_000_000);
-    fabric.set_trace(scenario.trace.clone(), QUEUE_SAMPLE_EVERY);
-    fabric.activate_all(SimDuration::ZERO);
-    fabric.run_until_idle();
-    let fm_node = asi_topo::default_fm_endpoint(topo)?;
-    let fm = DevId(fm_node.0);
-    let mut cfg = FmConfig::new(scenario.algorithm);
-    cfg.timing = FmTiming::default().with_factor(scenario.fm_factor);
-    cfg.max_retries = max_retries;
-    cfg.request_timeout = SimDuration::from_us(800);
-    cfg.trace = scenario.trace.clone();
-    fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
-    fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
-    fabric.run_until_idle();
-    let active = fabric.active_reachable(fm).len();
-    let run = fabric.agent_as::<FmAgent>(fm)?.last_run()?.clone();
-    Some((run, active))
 }
 
 /// One repetition of the paper's change experiment: bring up the fabric,
@@ -576,8 +642,7 @@ mod tests {
     #[test]
     fn traffic_scenario_runs() {
         let g = mesh(3, 3);
-        let mut s = Scenario::new(Algorithm::Parallel);
-        s.traffic = Some(TrafficSpec {
+        let s = Scenario::new(Algorithm::Parallel).with_traffic(TrafficSpec {
             mean_gap: SimDuration::from_us(50),
             payload: 256,
         });

@@ -13,9 +13,10 @@
 //! the same grids from the command line.
 
 use crate::json::Json;
-use crate::scenario::{change_experiment, lossy_initial_discovery, Bench, Scenario};
-use asi_core::Algorithm;
-use asi_sim::OnlineStats;
+use crate::scenario::{change_experiment, Bench, Scenario};
+use asi_core::{Algorithm, RetryPolicy};
+use asi_fabric::{FaultPlan, LossModel};
+use asi_sim::{OnlineStats, SimDuration};
 use asi_topo::Table1;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -71,10 +72,14 @@ pub struct SweepSpec {
     pub fm_factor: f64,
     /// Device processing-speed factor (Figs. 8–9).
     pub device_factor: f64,
-    /// Per-hop packet loss probability (0 = the paper's loss-free model).
-    pub loss_rate: f64,
-    /// FM retry budget per request (used with `loss_rate > 0`).
-    pub max_retries: u32,
+    /// Fault-injection plan applied to every cell (inert = the paper's
+    /// loss-free model). Non-inert plans measure the initial discovery
+    /// through [`Scenario::initial_discovery`].
+    pub faults: FaultPlan,
+    /// FM retry/backoff policy (meaningful with a non-inert plan).
+    pub retry: RetryPolicy,
+    /// FM base request timeout for fault cells.
+    pub request_timeout: SimDuration,
 }
 
 impl SweepSpec {
@@ -91,8 +96,9 @@ impl SweepSpec {
             change: ChangeMode::Initial,
             fm_factor: 1.0,
             device_factor: 1.0,
-            loss_rate: 0.0,
-            max_retries: 0,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+            request_timeout: SimDuration::from_ms(5),
         }
     }
 
@@ -128,6 +134,24 @@ impl SweepSpec {
     /// all three algorithms, initial discovery only.
     pub fn smoke() -> SweepSpec {
         SweepSpec::new("smoke", vec![Table1::Mesh(3)])
+    }
+
+    /// The robustness grid: initial discovery under 5% bursty
+    /// (Gilbert–Elliott) loss with exponential backoff, for every
+    /// algorithm. All cells must converge to the full topology; the
+    /// retry/abandon columns quantify the degradation on the way there.
+    pub fn faults(quick: bool) -> SweepSpec {
+        let mut spec = SweepSpec::new(
+            "faults",
+            if quick { Table1::quick() } else { Table1::all() },
+        );
+        spec.reps = if quick { 1 } else { 3 };
+        spec.seed_base = 0xFA_0175;
+        spec.salt_by_switches = true;
+        spec.faults = FaultPlan::none().with_loss(LossModel::bursty(0.05));
+        spec.retry = RetryPolicy::exponential(10);
+        spec.request_timeout = SimDuration::from_us(800);
+        spec
     }
 
     /// The RNG seed of cell `(topology, rep)`.
@@ -204,8 +228,12 @@ pub struct CellResult {
     pub requests: u64,
     /// Completions processed.
     pub responses: u64,
-    /// Requests abandoned by timeout.
+    /// Request attempts that timed out.
     pub timeouts: u64,
+    /// Timed-out requests the retry policy re-issued.
+    pub retries: u64,
+    /// Requests abandoned after exhausting the retry budget.
+    pub abandoned: u64,
     /// Management bytes sent by the FM.
     pub bytes_sent: u64,
     /// Management bytes received by the FM.
@@ -237,6 +265,10 @@ pub struct Aggregate {
     pub mean_requests: f64,
     /// Mean timeouts per completed rep.
     pub mean_timeouts: f64,
+    /// Mean retries per completed rep (degradation under faults).
+    pub mean_retries: f64,
+    /// Reps that found every device of the (intact) topology.
+    pub full_topology: usize,
 }
 
 /// A finished sweep: every cell result in canonical order, plus the
@@ -259,9 +291,12 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
     let topo = cell.topology.build();
     let scenario = Scenario::new(cell.algorithm)
         .with_factors(spec.fm_factor, spec.device_factor)
+        .with_faults(spec.faults.clone())
+        .with_retry(spec.retry)
+        .with_request_timeout(spec.request_timeout)
         .with_seed(cell.seed);
-    let outcome = if spec.loss_rate > 0.0 {
-        lossy_initial_discovery(&topo, &scenario, spec.loss_rate, spec.max_retries)
+    let outcome = if !spec.faults.is_inert() {
+        scenario.initial_discovery(&topo)
     } else {
         match spec.change {
             ChangeMode::Initial => {
@@ -291,6 +326,8 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             requests: run.requests_sent,
             responses: run.responses_received,
             timeouts: run.timeouts,
+            retries: run.retries,
+            abandoned: run.abandoned,
             bytes_sent: run.bytes_sent,
             bytes_received: run.bytes_received,
             mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
@@ -310,6 +347,8 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             requests: 0,
             responses: 0,
             timeouts: 0,
+            retries: 0,
+            abandoned: 0,
             bytes_sent: 0,
             bytes_received: 0,
             mean_fm_processing_us: 0.0,
@@ -375,13 +414,19 @@ fn aggregate(spec: &SweepSpec, cells: &[CellResult]) -> Vec<Aggregate> {
             let mut stats = OnlineStats::new();
             let mut requests = 0u64;
             let mut timeouts = 0u64;
+            let mut retries = 0u64;
             let mut completed = 0usize;
+            let mut full_topology = 0usize;
             for c in cells {
                 if c.algorithm == algorithm.name() && c.topology == name && c.completed {
                     stats.push(c.discovery_time_s);
                     requests += c.requests;
                     timeouts += c.timeouts;
+                    retries += c.retries;
                     completed += 1;
+                    if c.devices_found == c.total_devices {
+                        full_topology += 1;
+                    }
                 }
             }
             out.push(Aggregate {
@@ -402,6 +447,12 @@ fn aggregate(spec: &SweepSpec, cells: &[CellResult]) -> Vec<Aggregate> {
                 } else {
                     timeouts as f64 / completed as f64
                 },
+                mean_retries: if completed == 0 {
+                    0.0
+                } else {
+                    retries as f64 / completed as f64
+                },
+                full_topology,
             });
         }
     }
@@ -425,6 +476,8 @@ impl CellResult {
             .with("requests", self.requests)
             .with("responses", self.responses)
             .with("timeouts", self.timeouts)
+            .with("retries", self.retries)
+            .with("abandoned", self.abandoned)
             .with("bytes_sent", self.bytes_sent)
             .with("bytes_received", self.bytes_received)
             .with("mean_fm_processing_us", self.mean_fm_processing_us)
@@ -445,6 +498,8 @@ impl Aggregate {
             .with("max_time_s", self.max_time_s)
             .with("mean_requests", self.mean_requests)
             .with("mean_timeouts", self.mean_timeouts)
+            .with("mean_retries", self.mean_retries)
+            .with("full_topology", self.full_topology)
     }
 }
 
@@ -471,11 +526,12 @@ impl SweepResult {
         let mut out = String::from(
             "topology,total_devices,algorithm,rep,seed,completed,active_nodes,\
              discovery_time_s,devices_found,links_found,requests,responses,\
-             timeouts,bytes_sent,bytes_received,mean_fm_processing_us,fm_utilization\n",
+             timeouts,retries,abandoned,bytes_sent,bytes_received,\
+             mean_fm_processing_us,fm_utilization\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.topology,
                 c.total_devices,
                 c.algorithm,
@@ -489,6 +545,8 @@ impl SweepResult {
                 c.requests,
                 c.responses,
                 c.timeouts,
+                c.retries,
+                c.abandoned,
                 c.bytes_sent,
                 c.bytes_received,
                 c.mean_fm_processing_us,
@@ -585,6 +643,28 @@ mod tests {
         let csv_seq = run(&spec, 1).to_csv();
         let csv_par = run(&spec, 8).to_csv();
         assert_eq!(csv_seq, csv_par);
+    }
+
+    #[test]
+    fn fault_sweep_is_deterministic_across_jobs_and_converges() {
+        // Same (seed, FaultPlan), different worker counts: byte-equal
+        // output. One Table 1 topology keeps the unit test cheap; the
+        // CLI integration test covers the whole quick grid.
+        let mut spec = SweepSpec::faults(true);
+        spec.topologies = vec![Table1::Mesh(3)];
+        let sequential = run(&spec, 1);
+        let parallel = run(&spec, 4);
+        assert_eq!(
+            sequential.to_json().to_string_pretty(),
+            parallel.to_json().to_string_pretty()
+        );
+        assert_eq!(sequential.to_csv(), parallel.to_csv());
+        // Convergence under the grid's bursty loss + exponential
+        // backoff: full topology everywhere, with real degradation.
+        for agg in &sequential.aggregates {
+            assert_eq!(agg.full_topology, agg.completed, "{}", agg.algorithm);
+            assert!(agg.mean_retries > 0.0, "{}", agg.algorithm);
+        }
     }
 
     #[test]

@@ -132,6 +132,54 @@ pub enum TraceEvent {
         /// Events processed so far.
         processed: u64,
     },
+    /// A scheduled fault took a link down (`asi-fabric`).
+    FaultLinkDown {
+        /// Device owning the flapped port.
+        device: u32,
+        /// The flapped port.
+        port: u16,
+    },
+    /// A flapped link came back up and re-entered training.
+    FaultLinkUp {
+        /// Device owning the flapped port.
+        device: u32,
+        /// The flapped port.
+        port: u16,
+    },
+    /// A scheduled fault hung a device's responder.
+    FaultDeviceHang {
+        /// The hung device.
+        device: u32,
+    },
+    /// A scheduled fault slowed a device's responder.
+    FaultDeviceSlow {
+        /// The slowed device.
+        device: u32,
+    },
+    /// The loss model dropped a packet on a link.
+    FaultPacketLost {
+        /// Transmitting device.
+        device: u32,
+        /// Transmitting port.
+        port: u16,
+    },
+    /// A PI-4 completion was corrupted in flight and discarded at
+    /// delivery (the CRC check catches it, so the requester times out).
+    FaultCompletionCorrupted {
+        /// Device whose ingress discarded the completion.
+        device: u32,
+    },
+    /// A PI-4 completion was duplicated in flight; the requester sees
+    /// it twice and must ignore the stale copy.
+    FaultCompletionDuplicated {
+        /// Device whose ingress received the duplicate.
+        device: u32,
+    },
+    /// The FM's retry policy gave up on a request.
+    RequestAbandoned {
+        /// FM-assigned request id of the abandoned attempt.
+        req_id: u32,
+    },
 }
 
 impl TraceEvent {
@@ -153,6 +201,14 @@ impl TraceEvent {
             TraceEvent::DeviceActivated { .. } => "device-activated",
             TraceEvent::DeviceDeactivated { .. } => "device-deactivated",
             TraceEvent::QueueSample { .. } => "queue-sample",
+            TraceEvent::FaultLinkDown { .. } => "fault-link-down",
+            TraceEvent::FaultLinkUp { .. } => "fault-link-up",
+            TraceEvent::FaultDeviceHang { .. } => "fault-device-hang",
+            TraceEvent::FaultDeviceSlow { .. } => "fault-device-slow",
+            TraceEvent::FaultPacketLost { .. } => "fault-packet-lost",
+            TraceEvent::FaultCompletionCorrupted { .. } => "fault-completion-corrupted",
+            TraceEvent::FaultCompletionDuplicated { .. } => "fault-completion-duplicated",
+            TraceEvent::RequestAbandoned { .. } => "request-abandoned",
         }
     }
 }
@@ -289,6 +345,14 @@ mod tests {
             TraceEvent::DeviceActivated { device: 0 },
             TraceEvent::DeviceDeactivated { device: 0 },
             TraceEvent::QueueSample { depth: 0, processed: 0 },
+            TraceEvent::FaultLinkDown { device: 0, port: 0 },
+            TraceEvent::FaultLinkUp { device: 0, port: 0 },
+            TraceEvent::FaultDeviceHang { device: 0 },
+            TraceEvent::FaultDeviceSlow { device: 0 },
+            TraceEvent::FaultPacketLost { device: 0, port: 0 },
+            TraceEvent::FaultCompletionCorrupted { device: 0 },
+            TraceEvent::FaultCompletionDuplicated { device: 0 },
+            TraceEvent::RequestAbandoned { req_id: 0 },
         ];
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len());

@@ -31,8 +31,7 @@ fn main() {
 
         // Every endpoint injects 512-byte data packets, mean gap 30 us —
         // roughly 17% sustained load per source on a 2 Gb/s lane.
-        let mut loaded_scenario = Scenario::new(algorithm);
-        loaded_scenario.traffic = Some(TrafficSpec {
+        let loaded_scenario = Scenario::new(algorithm).with_traffic(TrafficSpec {
             mean_gap: SimDuration::from_us(30),
             payload: 512,
         });

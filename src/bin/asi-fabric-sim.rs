@@ -9,18 +9,20 @@
 //! asi-fabric-sim --topology torus:8x8 --algorithm all --change remove --json
 //! asi-fabric-sim --topology fattree:4,3 --fm-factor 4 --device-factor 0.2
 //! asi-fabric-sim --topology irregular:20 --seed 7 --loss 0.02 --retries 4
-//! asi-fabric-sim sweep --grid fig6 --quick --jobs 4 --json
+//! asi-fabric-sim faults --topology mesh:3x3 --loss 0.05 --loss-model bursty \
+//!     --retry-policy exponential --retries 10
+//! asi-fabric-sim sweep --grid faults --quick --jobs 4 --json
 //! ```
 //!
 //! Every malformed flag produces a one-line `error: ...` on stderr plus
 //! the usage text and exit code 2 — never a panic.
 
-use advanced_switching::core::Algorithm;
+use advanced_switching::core::{Algorithm, RetryPolicy};
+use advanced_switching::fabric::{FaultPlan, LossModel};
 use advanced_switching::harness::{
-    change_experiment, lossy_initial_discovery, save_trace_jsonl, sweep, Bench, Json,
-    RingCollector, Scenario, SweepSpec,
+    change_experiment, save_trace_jsonl, sweep, Bench, Json, RingCollector, Scenario, SweepSpec,
 };
-use advanced_switching::sim::{SimRng, TraceHandle};
+use advanced_switching::sim::{SimDuration, SimRng, TraceHandle};
 use advanced_switching::topo::{fat_tree, irregular, mesh, torus, IrregularSpec, Topology};
 use std::fmt;
 
@@ -35,6 +37,8 @@ struct RunReport {
     requests: u64,
     responses: u64,
     timeouts: u64,
+    retries: u64,
+    abandoned: u64,
     bytes_sent: u64,
     bytes_received: u64,
     mean_fm_processing_us: f64,
@@ -54,6 +58,8 @@ impl RunReport {
             .with("requests", self.requests)
             .with("responses", self.responses)
             .with("timeouts", self.timeouts)
+            .with("retries", self.retries)
+            .with("abandoned", self.abandoned)
             .with("bytes_sent", self.bytes_sent)
             .with("bytes_received", self.bytes_received)
             .with("mean_fm_processing_us", self.mean_fm_processing_us)
@@ -62,6 +68,7 @@ impl RunReport {
 }
 
 const USAGE: &str = "usage: asi-fabric-sim --topology <spec> [options]
+       asi-fabric-sim faults --topology <spec> [options]
        asi-fabric-sim sweep [sweep options]
 
 topology specs:
@@ -75,21 +82,32 @@ options:
   --change none|remove|add     measure initial discovery or a change (default: none)
   --fm-factor <f>              FM processing speed factor (default 1)
   --device-factor <f>          device processing speed factor (default 1)
-  --loss <p>                   per-hop packet loss probability in [0,1) (default 0)
-  --retries <n>                FM request retries under loss (default 0; use >0 with --loss)
   --seed <n>                   RNG seed (default 0xA51)
   --trace <path>               write a JSONL discovery trace (see docs/TRACE_FORMAT.md)
   --json                       emit JSON instead of a table
 
+fault options (compose a deterministic fault plan; accepted by every mode,
+and the `faults` mode reports the robustness metrics — see docs/FAULTS.md):
+  --loss <p>                   mean per-hop packet loss probability in [0,1) (default 0)
+  --loss-model uniform|bursty  loss process for --loss (default: uniform)
+  --corrupt <p>                completion corruption (CRC drop) probability (default 0)
+  --duplicate <p>              completion duplication probability (default 0)
+  --flap <at_us>:<dev>:<port>:<down_us>   schedule a link flap (repeatable)
+  --hang <at_us>:<dev>:<dur_us>           schedule a device hang (repeatable)
+  --slow <at_us>:<dev>:<factor>:<dur_us>  schedule a device slowdown (repeatable)
+  --retry-policy fixed|exponential|deadline   retry/backoff policy (default: fixed)
+  --retries <n>                retry budget for fixed/exponential (default 0)
+  --deadline-us <n>            per-request budget for --retry-policy deadline
+  --timeout-us <n>             base request timeout under faults (default 800)
+
 sweep options (deterministic multi-threaded grid; output is byte-identical
 for any --jobs value):
-  --grid fig5|fig6|smoke       named grid (default: smoke)
+  --grid fig5|fig6|faults|smoke   named grid (default: smoke)
   --quick                      smaller topology set / fewer repetitions
   --jobs <n>                   worker threads (default: all cores)
   --fm-factor <f>              FM processing speed factor (default 1)
   --device-factor <f>          device processing speed factor (default 1)
-  --loss <p>                   per-hop loss probability in [0,1) (default 0)
-  --retries <n>                FM request retries under loss (default 0)
+  plus any fault option above, applied to every cell
   --json | --csv               machine-readable output (default: text table)";
 
 fn usage() -> ! {
@@ -179,6 +197,20 @@ fn arg_value(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Every value of a repeatable `--name <value>` flag, in order.
+fn arg_values(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            match args.get(i + 1) {
+                Some(v) => out.push(v.clone()),
+                None => fail(format!("{name} is missing its value")),
+            }
+        }
+    }
+    out
+}
+
 /// Parses `--name <value>` with a friendly error instead of a panic.
 fn parse_arg<T: std::str::FromStr>(args: &[String], name: &str, default: T, what: &str) -> T {
     match arg_value(args, name) {
@@ -195,6 +227,115 @@ fn parse_loss(args: &[String]) -> f64 {
         fail(format!("--loss must be in [0, 1), got {loss}"));
     }
     loss
+}
+
+/// Parses `--name <p>` as a probability in [0, 1].
+fn parse_prob(args: &[String], name: &str) -> f64 {
+    let p: f64 = parse_arg(args, name, 0.0, "a probability");
+    if !(0.0..=1.0).contains(&p) {
+        fail(format!("{name} must be in [0, 1], got {p}"));
+    }
+    p
+}
+
+/// Splits a colon-separated fault-event spec into exactly `n` fields.
+fn split_spec<'a>(flag: &str, spec: &'a str, shape: &str, n: usize) -> Vec<&'a str> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != n {
+        fail(format!("{flag} wants {shape}, got {spec:?}"));
+    }
+    parts
+}
+
+/// Parses one colon-separated field with a friendly error.
+fn spec_field<T: std::str::FromStr>(flag: &str, field: &str, what: &str) -> T {
+    field
+        .parse()
+        .unwrap_or_else(|_| fail(format!("{flag}: {field:?} is not {what}")))
+}
+
+/// Composes the fault plan from `--loss`/`--loss-model`, the completion
+/// corruption/duplication probabilities, and any scheduled
+/// `--flap`/`--hang`/`--slow` events.
+fn parse_fault_plan(args: &[String]) -> FaultPlan {
+    let loss = parse_loss(args);
+    let model = match arg_value(args, "--loss-model").as_deref() {
+        Some("uniform") | None => LossModel::uniform(loss),
+        Some("bursty") => LossModel::bursty(loss),
+        Some(other) => fail(format!("unknown loss model {other:?} (uniform, bursty)")),
+    };
+    let mut plan = FaultPlan::none()
+        .with_loss(model)
+        .with_corruption(parse_prob(args, "--corrupt"))
+        .with_duplication(parse_prob(args, "--duplicate"));
+    for spec in arg_values(args, "--flap") {
+        let shape = "<at_us>:<device>:<port>:<down_us>";
+        let p = split_spec("--flap", &spec, shape, 4);
+        plan = plan.with_link_flap(
+            SimDuration::from_us(spec_field("--flap", p[0], "a time in µs")),
+            spec_field("--flap", p[1], "a device id"),
+            spec_field("--flap", p[2], "a port number"),
+            SimDuration::from_us(spec_field("--flap", p[3], "a duration in µs")),
+        );
+    }
+    for spec in arg_values(args, "--hang") {
+        let shape = "<at_us>:<device>:<dur_us>";
+        let p = split_spec("--hang", &spec, shape, 3);
+        plan = plan.with_device_hang(
+            SimDuration::from_us(spec_field("--hang", p[0], "a time in µs")),
+            spec_field("--hang", p[1], "a device id"),
+            SimDuration::from_us(spec_field("--hang", p[2], "a duration in µs")),
+        );
+    }
+    for spec in arg_values(args, "--slow") {
+        let shape = "<at_us>:<device>:<factor>:<dur_us>";
+        let p = split_spec("--slow", &spec, shape, 4);
+        let factor: f64 = spec_field("--slow", p[2], "a number");
+        if factor <= 0.0 {
+            fail(format!("--slow factor must be positive, got {factor}"));
+        }
+        plan = plan.with_device_slow(
+            SimDuration::from_us(spec_field("--slow", p[0], "a time in µs")),
+            spec_field("--slow", p[1], "a device id"),
+            factor,
+            SimDuration::from_us(spec_field("--slow", p[3], "a duration in µs")),
+        );
+    }
+    plan
+}
+
+/// Parses the retry policy from `--retry-policy`, `--retries` and
+/// `--deadline-us`.
+fn parse_retry(args: &[String]) -> RetryPolicy {
+    let retries: u32 = parse_arg(args, "--retries", 0, "an integer");
+    let deadline_us = arg_value(args, "--deadline-us");
+    let policy = arg_value(args, "--retry-policy");
+    match policy.as_deref() {
+        Some("deadline") => {
+            let Some(us) = deadline_us else {
+                fail("--retry-policy deadline needs --deadline-us <n>");
+            };
+            let us: u64 = us
+                .parse()
+                .unwrap_or_else(|_| fail(format!("--deadline-us must be an integer, got {us:?}")));
+            RetryPolicy::deadline(SimDuration::from_us(us))
+        }
+        Some("fixed") | None => {
+            if deadline_us.is_some() {
+                fail("--deadline-us only applies with --retry-policy deadline");
+            }
+            RetryPolicy::fixed(retries)
+        }
+        Some("exponential") => {
+            if deadline_us.is_some() {
+                fail("--deadline-us only applies with --retry-policy deadline");
+            }
+            RetryPolicy::exponential(retries)
+        }
+        Some(other) => fail(format!(
+            "unknown retry policy {other:?} (fixed, exponential, deadline)"
+        )),
+    }
 }
 
 fn parse_algorithms(args: &[String]) -> Vec<Algorithm> {
@@ -223,13 +364,26 @@ fn sweep_main(args: &[String]) {
     let mut spec = match arg_value(args, "--grid").as_deref() {
         Some("fig5") => SweepSpec::fig5(quick),
         Some("fig6") => SweepSpec::fig6(quick, fm_factor, device_factor),
+        Some("faults") => SweepSpec::faults(quick),
         Some("smoke") | None => SweepSpec::smoke(),
-        Some(other) => fail(format!("unknown grid {other:?} (fig5, fig6, smoke)")),
+        Some(other) => fail(format!("unknown grid {other:?} (fig5, fig6, faults, smoke)")),
     };
     spec.fm_factor = fm_factor;
     spec.device_factor = device_factor;
-    spec.loss_rate = parse_loss(args);
-    spec.max_retries = parse_arg(args, "--retries", 0, "an integer");
+    // Fault flags override the grid's plan (the `faults` grid carries
+    // its own defaults; any other grid stays loss-free unless asked).
+    let plan = parse_fault_plan(args);
+    let has_retry_flags = ["--retries", "--retry-policy", "--deadline-us"]
+        .iter()
+        .any(|f| args.iter().any(|a| a == *f));
+    if !plan.is_inert() {
+        spec.faults = plan;
+        spec.request_timeout =
+            SimDuration::from_us(parse_arg(args, "--timeout-us", 800, "an integer"));
+    }
+    if has_retry_flags {
+        spec.retry = parse_retry(args);
+    }
     let jobs: usize = parse_arg(args, "--jobs", default_jobs(), "an integer");
     if jobs == 0 {
         fail("--jobs must be at least 1");
@@ -244,78 +398,34 @@ fn sweep_main(args: &[String]) {
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        usage();
-    }
-    if args[0] == "sweep" {
-        sweep_main(&args[1..]);
-        return;
-    }
-    let seed: u64 = parse_arg(&args, "--seed", 0xA51, "an integer");
-    let Some(topo_spec) = arg_value(&args, "--topology") else {
-        fail("--topology is required (e.g. --topology mesh:3x3)");
-    };
-    let topo = parse_topology(&topo_spec, seed).unwrap_or_else(|e| fail(e));
-    let fm_factor: f64 = parse_arg(&args, "--fm-factor", 1.0, "a number");
-    let device_factor: f64 = parse_arg(&args, "--device-factor", 1.0, "a number");
-    let loss = parse_loss(&args);
-    let retries: u32 = parse_arg(&args, "--retries", 0, "an integer");
-    let change = arg_value(&args, "--change").unwrap_or_else(|| "none".into());
-    let json = args.iter().any(|a| a == "--json");
-    let algorithms = parse_algorithms(&args);
+/// Shared `--trace <path>` wiring: one collector for the whole
+/// invocation; per-algorithm runs are delimited by their
+/// run-started/run-finished records.
+struct TraceOut {
+    path: Option<String>,
+    collector: Option<std::rc::Rc<std::cell::RefCell<RingCollector>>>,
+    handle: TraceHandle,
+}
 
-    // One collector for the whole invocation: per-algorithm runs are
-    // delimited by their run-started/run-finished records.
-    let trace_path = arg_value(&args, "--trace");
-    let collector = trace_path.as_ref().map(|_| RingCollector::shared(1 << 20));
-    let trace = collector
+fn trace_out(args: &[String]) -> TraceOut {
+    let path = arg_value(args, "--trace");
+    let collector = path.as_ref().map(|_| RingCollector::shared(1 << 20));
+    let handle = collector
         .as_ref()
         .map(|c| TraceHandle::to(c.clone()))
         .unwrap_or_default();
-
-    let mut reports = Vec::new();
-    for algorithm in algorithms {
-        let scenario = Scenario::new(algorithm)
-            .with_factors(fm_factor, device_factor)
-            .with_seed(seed)
-            .with_trace(trace.clone());
-        let run = match change.as_str() {
-            "none" if loss == 0.0 => Bench::start(&topo, &scenario, &[]).last_run(),
-            "none" => {
-                // Lossy initial discovery: the loss rate and retry budget
-                // apply (shared helper with the sweep runner).
-                match lossy_initial_discovery(&topo, &scenario, loss, retries) {
-                    Some((run, _active)) => run,
-                    None => fail(format!(
-                        "discovery did not complete under loss {loss} with {retries} \
-                         retries (give the FM a larger --retries budget)"
-                    )),
-                }
-            }
-            "remove" | "add" => change_experiment(&topo, &scenario, change == "remove").0,
-            other => fail(format!("unknown change {other:?} (none, remove, add)")),
-        };
-        reports.push(RunReport {
-            topology: topo.name.clone(),
-            devices: topo.node_count(),
-            algorithm: algorithm.name().to_string(),
-            scenario: change.clone(),
-            discovery_time_s: run.discovery_time().as_secs_f64(),
-            devices_found: run.devices_found,
-            links_found: run.links_found,
-            requests: run.requests_sent,
-            responses: run.responses_received,
-            timeouts: run.timeouts,
-            bytes_sent: run.bytes_sent,
-            bytes_received: run.bytes_received,
-            mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
-            fm_utilization: run.fm_utilization(),
-        });
+    TraceOut {
+        path,
+        collector,
+        handle,
     }
+}
 
-    if let (Some(path), Some(collector)) = (&trace_path, &collector) {
+impl TraceOut {
+    fn save(&self) {
+        let (Some(path), Some(collector)) = (&self.path, &self.collector) else {
+            return;
+        };
         let collector = collector.borrow();
         let path = std::path::Path::new(path);
         save_trace_jsonl(path, collector.records()).unwrap_or_else(|e| {
@@ -333,26 +443,159 @@ fn main() {
             }
         );
     }
+}
 
+fn report_run(
+    topo: &Topology,
+    algorithm: Algorithm,
+    scenario_name: &str,
+    run: &advanced_switching::core::DiscoveryRun,
+) -> RunReport {
+    RunReport {
+        topology: topo.name.clone(),
+        devices: topo.node_count(),
+        algorithm: algorithm.name().to_string(),
+        scenario: scenario_name.to_string(),
+        discovery_time_s: run.discovery_time().as_secs_f64(),
+        devices_found: run.devices_found,
+        links_found: run.links_found,
+        requests: run.requests_sent,
+        responses: run.responses_received,
+        timeouts: run.timeouts,
+        retries: run.retries,
+        abandoned: run.abandoned,
+        bytes_sent: run.bytes_sent,
+        bytes_received: run.bytes_received,
+        mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
+        fm_utilization: run.fm_utilization(),
+    }
+}
+
+fn print_reports(reports: &[RunReport], json: bool) {
     if json {
         let arr = Json::Arr(reports.iter().map(RunReport::to_json).collect());
         println!("{}", arr.to_string_pretty());
     } else {
         println!(
-            "{:<16} {:>14} {:>9} {:>9} {:>9} {:>12} {:>8}",
-            "algorithm", "discovery", "devices", "links", "requests", "FM us/pkt", "FM util"
+            "{:<16} {:>14} {:>9} {:>9} {:>9} {:>8} {:>9} {:>12} {:>8}",
+            "algorithm",
+            "discovery",
+            "devices",
+            "links",
+            "requests",
+            "retries",
+            "abandoned",
+            "FM us/pkt",
+            "FM util"
         );
-        for r in &reports {
+        for r in reports {
             println!(
-                "{:<16} {:>12.3}ms {:>9} {:>9} {:>9} {:>12.2} {:>7.0}%",
+                "{:<16} {:>12.3}ms {:>9} {:>9} {:>9} {:>8} {:>9} {:>12.2} {:>7.0}%",
                 r.algorithm,
                 r.discovery_time_s * 1e3,
                 r.devices_found,
                 r.links_found,
                 r.requests,
+                r.retries,
+                r.abandoned,
                 r.mean_fm_processing_us,
                 r.fm_utilization * 100.0
             );
         }
     }
+}
+
+/// `asi-fabric-sim faults ...`: initial discovery under a composed
+/// fault plan, reporting the robustness/degradation metrics.
+fn faults_main(args: &[String]) {
+    let seed: u64 = parse_arg(args, "--seed", 0xA51, "an integer");
+    let Some(topo_spec) = arg_value(args, "--topology") else {
+        fail("--topology is required (e.g. faults --topology mesh:3x3)");
+    };
+    let topo = parse_topology(&topo_spec, seed).unwrap_or_else(|e| fail(e));
+    let fm_factor: f64 = parse_arg(args, "--fm-factor", 1.0, "a number");
+    let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
+    let faults = parse_fault_plan(args);
+    let retry = parse_retry(args);
+    let timeout_us: u64 = parse_arg(args, "--timeout-us", 800, "an integer");
+    let json = args.iter().any(|a| a == "--json");
+    let algorithms = parse_algorithms(args);
+    let trace = trace_out(args);
+
+    let mut reports = Vec::new();
+    for algorithm in algorithms {
+        let scenario = Scenario::new(algorithm)
+            .with_factors(fm_factor, device_factor)
+            .with_seed(seed)
+            .with_faults(faults.clone())
+            .with_retry(retry)
+            .with_request_timeout(SimDuration::from_us(timeout_us))
+            .with_trace(trace.handle.clone());
+        let Some((run, _active)) = scenario.initial_discovery(&topo) else {
+            fail("discovery never completed a run under the fault plan");
+        };
+        reports.push(report_run(&topo, algorithm, "faults", &run));
+    }
+    trace.save();
+    print_reports(&reports, json);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        usage();
+    }
+    if args[0] == "sweep" {
+        sweep_main(&args[1..]);
+        return;
+    }
+    if args[0] == "faults" {
+        faults_main(&args[1..]);
+        return;
+    }
+    let seed: u64 = parse_arg(&args, "--seed", 0xA51, "an integer");
+    let Some(topo_spec) = arg_value(&args, "--topology") else {
+        fail("--topology is required (e.g. --topology mesh:3x3)");
+    };
+    let topo = parse_topology(&topo_spec, seed).unwrap_or_else(|e| fail(e));
+    let fm_factor: f64 = parse_arg(&args, "--fm-factor", 1.0, "a number");
+    let device_factor: f64 = parse_arg(&args, "--device-factor", 1.0, "a number");
+    let faults = parse_fault_plan(&args);
+    let retry = parse_retry(&args);
+    let timeout_us: u64 = parse_arg(&args, "--timeout-us", 800, "an integer");
+    let change = arg_value(&args, "--change").unwrap_or_else(|| "none".into());
+    let json = args.iter().any(|a| a == "--json");
+    let algorithms = parse_algorithms(&args);
+    let trace = trace_out(&args);
+
+    let mut reports = Vec::new();
+    for algorithm in algorithms {
+        let mut scenario = Scenario::new(algorithm)
+            .with_factors(fm_factor, device_factor)
+            .with_seed(seed)
+            .with_faults(faults.clone())
+            .with_retry(retry)
+            .with_trace(trace.handle.clone());
+        let run = match change.as_str() {
+            "none" if faults.is_inert() => Bench::start(&topo, &scenario, &[]).last_run(),
+            "none" => {
+                // Faulty initial discovery: the unified robustness path
+                // shared with the `faults` mode and the sweep runner.
+                scenario = scenario.with_request_timeout(SimDuration::from_us(timeout_us));
+                match scenario.initial_discovery(&topo) {
+                    Some((run, _active)) => run,
+                    None => fail(
+                        "discovery did not complete under the fault plan (give the FM \
+                         a larger --retries budget)",
+                    ),
+                }
+            }
+            "remove" | "add" => change_experiment(&topo, &scenario, change == "remove").0,
+            other => fail(format!("unknown change {other:?} (none, remove, add)")),
+        };
+        reports.push(report_run(&topo, algorithm, &change, &run));
+    }
+
+    trace.save();
+    print_reports(&reports, json);
 }

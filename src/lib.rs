@@ -41,10 +41,11 @@ pub use asi_topo as topo;
 pub mod prelude {
     pub use asi_core::{
         Algorithm, DiscoveryRun, DiscoveryTrigger, Engine, EngineConfig, FmAgent, FmConfig,
-        FmTiming, TopologyDb, TOKEN_START_DISCOVERY,
+        FmTiming, RetryPolicy, TopologyDb, TOKEN_START_DISCOVERY,
     };
     pub use asi_fabric::{
-        AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, FmRoute, TrafficAgent,
+        AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, FaultPlan, FmRoute, LossModel,
+        TrafficAgent,
     };
     pub use asi_harness::{change_experiment, Bench, Scenario, TrafficSpec};
     pub use asi_proto::{

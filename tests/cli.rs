@@ -175,6 +175,116 @@ fn malformed_flags_report_friendly_errors_not_panics() {
 }
 
 #[test]
+fn malformed_fault_flags_report_friendly_errors_not_panics() {
+    fn with<'a>(extra: &[&'a str]) -> Vec<&'a str> {
+        [&["--topology", "mesh:3x3"], extra].concat()
+    }
+    assert_usage_error(&with(&["--loss-model", "gaussian"]), "unknown loss model");
+    assert_usage_error(&with(&["--corrupt", "1.5"]), "--corrupt must be in [0, 1]");
+    assert_usage_error(&with(&["--corrupt", "often"]), "--corrupt must be a probability");
+    assert_usage_error(&with(&["--duplicate", "2"]), "--duplicate must be in [0, 1]");
+    assert_usage_error(
+        &with(&["--flap", "100:3"]),
+        "--flap wants <at_us>:<device>:<port>:<down_us>",
+    );
+    assert_usage_error(&with(&["--flap", "soon:3:0:200"]), "is not a time in \u{b5}s");
+    assert_usage_error(
+        &with(&["--hang", "100:3:50:9"]),
+        "--hang wants <at_us>:<device>:<dur_us>",
+    );
+    assert_usage_error(&with(&["--slow", "100:3:0:50"]), "--slow factor must be positive");
+    assert_usage_error(&with(&["--slow", "100:3:-2:50"]), "--slow factor must be positive");
+    assert_usage_error(&with(&["--retry-policy", "psychic"]), "unknown retry policy");
+    assert_usage_error(
+        &with(&["--retry-policy", "deadline"]),
+        "--retry-policy deadline needs --deadline-us",
+    );
+    assert_usage_error(
+        &with(&["--retry-policy", "deadline", "--deadline-us", "soon"]),
+        "--deadline-us must be an integer",
+    );
+    assert_usage_error(
+        &with(&["--deadline-us", "5000"]),
+        "--deadline-us only applies with --retry-policy deadline",
+    );
+    assert_usage_error(&with(&["--timeout-us", "fast"]), "--timeout-us must be an integer");
+    // The `faults` subcommand shares the same validation.
+    assert_usage_error(&["faults"], "--topology is required");
+    assert_usage_error(
+        &["faults", "--topology", "mesh:3x3", "--loss-model", "gaussian"],
+        "unknown loss model",
+    );
+}
+
+#[test]
+fn faults_mode_converges_for_every_algorithm_under_bursty_loss() {
+    // The acceptance scenario: 5% bursty (Gilbert-Elliott) loss on a
+    // Table 1 topology, exponential backoff — every algorithm must
+    // still discover the full topology, visibly exercising retries.
+    let (stdout, stderr, ok) = run(&[
+        "faults",
+        "--topology",
+        "mesh:3x3",
+        "--algorithm",
+        "all",
+        "--loss",
+        "0.05",
+        "--loss-model",
+        "bursty",
+        "--retry-policy",
+        "exponential",
+        "--retries",
+        "10",
+        "--seed",
+        "1",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let reports: Json = parse(&stdout).unwrap();
+    let arr = reports.as_array().unwrap();
+    assert_eq!(arr.len(), 3);
+    for r in arr {
+        assert_eq!(*r.get("scenario"), "faults");
+        assert_eq!(*r.get("devices_found"), 18, "degraded: {r:?}");
+        assert_eq!(*r.get("links_found"), 21);
+        assert!(r.get("retries").as_u64().unwrap() > 0, "loss never bit: {r:?}");
+    }
+}
+
+#[test]
+fn zero_probability_fault_plan_reproduces_the_loss_free_run_bytes() {
+    // An armed Gilbert-Elliott model with mean loss 0 must not perturb
+    // the simulation: same stdout, same trace, byte for byte.
+    let dir = std::env::temp_dir().join("asi-cli-ge-zero-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let clean = dir.join("clean.jsonl");
+    let armed = dir.join("armed.jsonl");
+    let base = [
+        "faults",
+        "--topology",
+        "mesh:3x3",
+        "--algorithm",
+        "all",
+        "--json",
+        "--trace",
+    ];
+    let (out_clean, _, ok1) = run(&[&base[..], &[clean.to_str().unwrap()]].concat());
+    let (out_armed, _, ok2) = run(&[
+        &base[..],
+        &[armed.to_str().unwrap(), "--loss", "0", "--loss-model", "bursty"],
+    ]
+    .concat());
+    assert!(ok1 && ok2);
+    assert_eq!(out_clean, out_armed, "GE(p=0) must replay the loss-free run");
+    assert_eq!(
+        std::fs::read(&clean).unwrap(),
+        std::fs::read(&armed).unwrap(),
+        "GE(p=0) trace must be byte-identical to the loss-free trace"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn invalid_topologies_report_friendly_errors_not_builder_panics() {
     // Each of these previously tripped an `assert!` inside the topology
     // builders (exit code 101); they must now be usage errors.
@@ -222,6 +332,38 @@ fn sweep_output_is_identical_for_any_job_count() {
     for c in cells {
         assert_eq!(c.get("completed"), &Json::Bool(true));
         assert!(c.get("discovery_time_s").as_f64().unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn fault_sweep_is_identical_for_any_job_count_and_converges() {
+    // Identical (seed, FaultPlan) must sweep byte-identically whatever
+    // the worker count — fault and RNG state is all per-cell.
+    let (json1, stderr1, ok1) = run(&[
+        "sweep", "--grid", "faults", "--quick", "--jobs", "1", "--json",
+    ]);
+    let (json4, _, ok4) = run(&[
+        "sweep", "--grid", "faults", "--quick", "--jobs", "4", "--json",
+    ]);
+    assert!(ok1 && ok4, "{stderr1}");
+    assert_eq!(json1, json4, "fault sweep JSON must not depend on --jobs");
+
+    // Convergence under the grid's 5% bursty loss: every aggregate
+    // reaches the full topology on every rep, and the degradation
+    // metrics show the loss was real.
+    let v = parse(&json1).unwrap();
+    let aggregates = v.get("aggregates").as_array().expect("aggregates");
+    assert!(!aggregates.is_empty());
+    for a in aggregates {
+        assert_eq!(
+            a.get("full_topology"),
+            a.get("completed"),
+            "partial topology in {a:?}"
+        );
+        assert!(
+            a.get("mean_retries").as_f64().unwrap() > 0.0,
+            "no retries in {a:?}"
+        );
     }
 }
 
