@@ -105,14 +105,20 @@ impl TopologyDb {
         self.devices.get_mut(&dsn)
     }
 
-    /// Iterates all devices.
+    /// Iterates all devices, in DSN order. Map iteration order is
+    /// per-instance random, so anything user-visible (reports, traces,
+    /// snapshots) must not see it.
     pub fn devices(&self) -> impl Iterator<Item = &DbDevice> {
-        self.devices.values()
+        let mut v: Vec<&DbDevice> = self.devices.values().collect();
+        v.sort_unstable_by_key(|d| d.info.dsn);
+        v.into_iter()
     }
 
-    /// Iterates all links.
+    /// Iterates all links, in canonical-key order.
     pub fn links(&self) -> impl Iterator<Item = ((u64, u8), (u64, u8))> + '_ {
-        self.links.iter().map(|&(a, ap, b, bp)| ((a, ap), (b, bp)))
+        let mut v: Vec<_> = self.links.iter().copied().collect();
+        v.sort_unstable();
+        v.into_iter().map(|(a, ap, b, bp)| ((a, ap), (b, bp)))
     }
 
     /// DSNs of all discovered endpoints.
@@ -215,12 +221,13 @@ impl TopologyDb {
                 }
             }
         }
-        let doomed: Vec<u64> = self
+        let mut doomed: Vec<u64> = self
             .devices
             .keys()
             .copied()
             .filter(|d| !seen.contains(d))
             .collect();
+        doomed.sort_unstable();
         for d in &doomed {
             self.remove_device(*d);
         }
@@ -323,21 +330,27 @@ impl TopologyDb {
     }
 
     /// Differences between two databases (for assimilation reports).
+    /// All lists come back sorted, so equal databases always produce
+    /// byte-identical reports.
     pub fn diff(&self, newer: &TopologyDb) -> DbDiff {
-        let added_devices = newer
+        let mut added_devices: Vec<u64> = newer
             .devices
             .keys()
             .filter(|d| !self.devices.contains_key(d))
             .copied()
             .collect();
-        let removed_devices = self
+        let mut removed_devices: Vec<u64> = self
             .devices
             .keys()
             .filter(|d| !newer.devices.contains_key(d))
             .copied()
             .collect();
-        let added_links = newer.links.difference(&self.links).copied().collect();
-        let removed_links = self.links.difference(&newer.links).copied().collect();
+        let mut added_links: Vec<_> = newer.links.difference(&self.links).copied().collect();
+        let mut removed_links: Vec<_> = self.links.difference(&newer.links).copied().collect();
+        added_devices.sort_unstable();
+        removed_devices.sort_unstable();
+        added_links.sort_unstable();
+        removed_links.sort_unstable();
         DbDiff {
             added_devices,
             removed_devices,
@@ -450,6 +463,28 @@ mod tests {
         let d = db.device(2).unwrap();
         assert!(d.ports_complete());
         assert_eq!(d.active_ports(), 2);
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let db = line_db();
+        let dsns: Vec<u64> = db.devices().map(|d| d.info.dsn).collect();
+        assert_eq!(dsns, vec![1, 2, 3]);
+        let links: Vec<_> = db.links().collect();
+        assert_eq!(links, vec![((1, 0), (2, 4)), ((2, 5), (3, 0))]);
+    }
+
+    #[test]
+    fn diff_lists_are_sorted() {
+        let old = line_db();
+        let mut new = line_db();
+        for dsn in [30, 10, 20] {
+            new.insert_device(info(dsn, DeviceType::Endpoint, 1), route0());
+            new.add_link((2, 6 + dsn as u8 / 10), (dsn, 0));
+        }
+        let d = old.diff(&new);
+        assert_eq!(d.added_devices, vec![10, 20, 30]);
+        assert!(d.added_links.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

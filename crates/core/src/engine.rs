@@ -198,6 +198,11 @@ enum Pending {
     ClaimCheck {
         dsn: u64,
     },
+    /// Warm start: a targeted general-information read that checks a
+    /// snapshotted device is still there and unchanged.
+    Verify {
+        dsn: u64,
+    },
 }
 
 /// Per-run counters.
@@ -247,6 +252,9 @@ pub struct Engine {
     stats: EngineStats,
     done: bool,
     my_dsn: u64,
+    /// Warm-start verification outcomes (empty outside verify runs).
+    verified: Vec<u64>,
+    mismatched: Vec<u64>,
     /// Observability sink (disabled by default; see [`Engine::set_trace`]).
     trace: TraceHandle,
     /// The engine is clockless: the caller stamps the current simulated
@@ -288,6 +296,8 @@ impl Engine {
             stats: EngineStats::default(),
             done: false,
             my_dsn: host_info.dsn,
+            verified: Vec::new(),
+            mismatched: Vec::new(),
             trace: TraceHandle::disabled(),
             trace_now: SimTime::ZERO,
         };
@@ -336,6 +346,8 @@ impl Engine {
             stats: EngineStats::default(),
             done: false,
             my_dsn,
+            verified: Vec::new(),
+            mismatched: Vec::new(),
             trace: TraceHandle::disabled(),
             trace_now: SimTime::ZERO,
         };
@@ -377,6 +389,61 @@ impl Engine {
             engine.done = true;
         }
         (engine, out)
+    }
+
+    /// Starts a warm-start *verification* pass: `db` is a snapshot-seeded
+    /// database whose routes have already been refreshed; one targeted
+    /// general-information read per non-host device is issued eagerly in
+    /// propagation order (closest first, Parallel-style). Devices whose
+    /// responses match the cached record land in [`Engine::verified`];
+    /// devices that answer differently, answer with an error, or never
+    /// answer land in [`Engine::mismatched`] — the engine does **not**
+    /// forget them, the fabric manager decides how to re-discover.
+    pub fn verify(cfg: EngineConfig, db: TopologyDb) -> (Engine, Vec<OutRequest>) {
+        let my_dsn = db.host_dsn();
+        let mut engine = Engine {
+            cfg,
+            db,
+            rivals: std::collections::BTreeSet::new(),
+            pending: PendingTable::new(),
+            next_req: 1,
+            probe_queue: VecDeque::new(),
+            current: None,
+            stats: EngineStats::default(),
+            done: false,
+            my_dsn,
+            verified: Vec::new(),
+            mismatched: Vec::new(),
+            trace: TraceHandle::disabled(),
+            trace_now: SimTime::ZERO,
+        };
+        let mut targets: Vec<(u16, u64)> = engine
+            .db
+            .devices()
+            .filter(|d| d.info.dsn != my_dsn)
+            .map(|d| (d.route.hops, d.info.dsn))
+            .collect();
+        targets.sort_unstable();
+        let mut out = Vec::new();
+        for (_, dsn) in targets {
+            let route = engine.db.device(dsn).expect("present").route.clone();
+            let (addr, dwords) = general_info_read();
+            out.push(engine.issue(route, OutOp::Read { addr, dwords }, Pending::Verify { dsn }));
+        }
+        engine.update_done();
+        (engine, out)
+    }
+
+    /// DSNs confirmed unchanged by a verification pass, in completion
+    /// order.
+    pub fn verified(&self) -> &[u64] {
+        &self.verified
+    }
+
+    /// DSNs a verification pass could not confirm (changed, erroring, or
+    /// silent), in detection order.
+    pub fn mismatched(&self) -> &[u64] {
+        &self.mismatched
     }
 
     /// Installs a trace sink. Emits [`TraceEvent::DeviceDiscovered`] on
@@ -494,6 +561,21 @@ impl Engine {
             (Pending::ClaimCheck { dsn }, Err(_)) => {
                 self.forget(dsn);
             }
+            (Pending::Verify { dsn }, result) => {
+                let matches = matches!(
+                    result.ok().and_then(DeviceInfo::from_words),
+                    Some(info) if self.db.device(dsn).is_some_and(|d| d.info == info)
+                );
+                if matches {
+                    self.verified.push(dsn);
+                    self.trace
+                        .emit(self.trace_now, || TraceEvent::WarmVerified { dsn });
+                } else {
+                    self.mismatched.push(dsn);
+                    self.trace
+                        .emit(self.trace_now, || TraceEvent::VerifyMismatch { dsn });
+                }
+            }
         }
         out.extend(self.advance());
         self.update_done();
@@ -527,6 +609,13 @@ impl Engine {
             Pending::Ports { dsn, .. }
             | Pending::ClaimWrite { dsn }
             | Pending::ClaimCheck { dsn } => self.forget(dsn),
+            Pending::Verify { dsn } => {
+                // A silent device is a mismatch, not a removal: the FM
+                // owns the decision to re-discover around it.
+                self.mismatched.push(dsn);
+                self.trace
+                    .emit(self.trace_now, || TraceEvent::VerifyMismatch { dsn });
+            }
         }
         let out = self.advance();
         self.update_done();
@@ -584,6 +673,11 @@ impl Engine {
                         dwords: 2,
                     },
                 )
+            }
+            Pending::Verify { dsn } => {
+                let d = self.db.device(*dsn)?;
+                let (addr, dwords) = general_info_read();
+                (d.route.clone(), OutOp::Read { addr, dwords })
             }
         };
         Some(self.issue_attempt(route, op, kind, retries, Some(salt)))

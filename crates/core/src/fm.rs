@@ -5,11 +5,12 @@
 
 use crate::db::TopologyDb;
 use crate::distributed::{report_messages, DistributedRole, MergeState};
-use crate::engine::{Engine, EngineConfig, OutOp, OutRequest};
+use crate::engine::{Engine, EngineConfig, EngineStats, OutOp, OutRequest};
 use crate::mcast::plan_multicast;
 use crate::metrics::{Algorithm, DiscoveryRun, DiscoveryTrigger, DistributionRun};
 use crate::pathdist::plan_distribution;
 use crate::retry::RetryPolicy;
+use crate::snapshot::db_from_snapshot;
 use crate::timing::FmTiming;
 use asi_fabric::{AgentCtx, FabricAgent};
 use asi_proto::{
@@ -17,6 +18,7 @@ use asi_proto::{
     RouteHeader, MANAGEMENT_TC,
 };
 use asi_sim::{SimDuration, SimTime, TimeSeries, TraceEvent, TraceHandle};
+use asi_state::Snapshot;
 use std::any::Any;
 use std::collections::HashMap;
 
@@ -37,6 +39,19 @@ const KEEPALIVE_REQ_BASE: u32 = 0xF000_0000;
 const DIST_REQ_BASE: u32 = 0xE000_0000;
 /// Multicast-table write ids.
 const MCAST_REQ_BASE: u32 = 0xD000_0000;
+
+/// How the manager's *initial* discovery runs.
+#[derive(Clone, Debug, Default)]
+pub enum DiscoveryMode {
+    /// Full cold discovery — the paper's flow.
+    #[default]
+    Cold,
+    /// Warm start from a cached topology snapshot: one targeted
+    /// verification probe per known device, escalating to a scoped
+    /// re-discovery around mismatches and to a full cold run when the
+    /// snapshot is too wrong (see `FmConfig::warm_fallback_threshold`).
+    WarmStart(Box<Snapshot>),
+}
 
 /// Fabric-manager configuration.
 ///
@@ -76,6 +91,12 @@ pub struct FmConfig {
     /// Observability sink shared with the discovery engine. Disabled by
     /// default; see `asi_sim::trace` and `docs/TRACE_FORMAT.md`.
     pub trace: TraceHandle,
+    /// How the initial discovery runs (cold, or warm from a snapshot).
+    pub mode: DiscoveryMode,
+    /// Warm start only: the run falls back to a full cold discovery when
+    /// the number of unverifiable devices exceeds this fraction of the
+    /// snapshot's device count (default 0.25).
+    pub warm_fallback_threshold: f64,
 }
 
 /// How a secondary manager watches the primary.
@@ -122,7 +143,23 @@ impl FmConfig {
             standby: None,
             distribute_paths: false,
             trace: TraceHandle::disabled(),
+            mode: DiscoveryMode::Cold,
+            warm_fallback_threshold: 0.25,
         }
+    }
+
+    /// Makes the initial discovery a warm start from `snapshot`.
+    pub fn with_warm_start(mut self, snapshot: Snapshot) -> FmConfig {
+        self.mode = DiscoveryMode::WarmStart(Box::new(snapshot));
+        self
+    }
+
+    /// Sets the warm-start fallback threshold (fraction of snapshot
+    /// devices that may fail verification before the snapshot is
+    /// abandoned for a full cold discovery).
+    pub fn with_warm_fallback_threshold(mut self, fraction: f64) -> FmConfig {
+        self.warm_fallback_threshold = fraction;
+        self
     }
 
     /// Configures this manager for a distributed discovery role.
@@ -169,7 +206,10 @@ impl FmConfig {
     }
 }
 
-/// Accumulates per-run measurements while a discovery is in flight.
+/// Accumulates per-run measurements while a discovery is in flight. A
+/// warm-start run spans up to three engine phases (verify → scoped
+/// re-discovery → cold fallback); `base` folds in the stats of phases
+/// already finished so the final [`DiscoveryRun`] covers the whole run.
 struct RunAcc {
     trigger: DiscoveryTrigger,
     started_at: SimTime,
@@ -178,6 +218,49 @@ struct RunAcc {
     timeline: TimeSeries,
     fm_busy: SimDuration,
     packets_processed: u64,
+    /// True while the current engine is a warm-start verification pass.
+    warm_verifying: bool,
+    /// Devices in the warm-start snapshot (threshold denominator).
+    snapshot_devices: u64,
+    /// Engine stats of completed phases of this run.
+    base: EngineStats,
+    probes_verified: u64,
+    verify_mismatches: u64,
+    warm_fallback: bool,
+}
+
+impl RunAcc {
+    fn new(trigger: DiscoveryTrigger, started_at: SimTime) -> RunAcc {
+        RunAcc {
+            trigger,
+            started_at,
+            bytes_sent: 0,
+            bytes_received: 0,
+            timeline: TimeSeries::new(),
+            fm_busy: SimDuration::ZERO,
+            packets_processed: 0,
+            warm_verifying: false,
+            snapshot_devices: 0,
+            base: EngineStats::default(),
+            probes_verified: 0,
+            verify_mismatches: 0,
+            warm_fallback: false,
+        }
+    }
+}
+
+/// Sums two phases' engine counters.
+fn add_stats(a: EngineStats, b: EngineStats) -> EngineStats {
+    EngineStats {
+        requests: a.requests + b.requests,
+        responses: a.responses + b.responses,
+        timeouts: a.timeouts + b.timeouts,
+        max_outstanding: a.max_outstanding.max(b.max_outstanding),
+        retries: a.retries + b.retries,
+        duplicate_probes: a.duplicate_probes + b.duplicate_probes,
+        ceded_devices: a.ceded_devices + b.ceded_devices,
+        abandoned: a.abandoned + b.abandoned,
+    }
 }
 
 /// The fabric manager.
@@ -234,6 +317,7 @@ fn trigger_tag(trigger: DiscoveryTrigger) -> &'static str {
         DiscoveryTrigger::ChangeAssimilation => "change",
         DiscoveryTrigger::Partial => "partial",
         DiscoveryTrigger::Failover => "failover",
+        DiscoveryTrigger::WarmStart => "warm-start",
     }
 }
 
@@ -337,15 +421,53 @@ impl FmAgent {
         self.cfg
             .trace
             .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
-        self.acc = Some(RunAcc {
-            trigger,
-            started_at: ctx.now,
-            bytes_sent: 0,
-            bytes_received: 0,
-            timeline: TimeSeries::new(),
-            fm_busy: SimDuration::ZERO,
-            packets_processed: 0,
+        self.acc = Some(RunAcc::new(trigger, ctx.now));
+        self.engine = Some(engine);
+        self.dispatch(ctx, out);
+        self.maybe_finish(ctx);
+    }
+
+    /// Warm start: seed a database from the snapshot, verify it with one
+    /// targeted probe per device. Escalation (scoped re-discovery, cold
+    /// fallback) happens in [`FmAgent::maybe_finish`] when the verify
+    /// phase drains.
+    fn begin_warm(&mut self, ctx: &mut AgentCtx, snapshot: &Snapshot) {
+        if snapshot.host_dsn != ctx.host_info.dsn || snapshot.device(snapshot.host_dsn).is_none()
+        {
+            // The snapshot was taken on a different host: useless here.
+            self.begin_full(ctx, DiscoveryTrigger::Initial);
+            return;
+        }
+        self.epoch += 1;
+        let mut db = db_from_snapshot(snapshot);
+        // The live host record is authoritative over the cached one.
+        for (p, info) in ctx.host_ports.iter().enumerate() {
+            db.set_port(db.host_dsn(), p as u16, *info);
+        }
+        // Recompute routes over the snapshot's link set so stale stored
+        // routes cannot mask an intact topology.
+        db.refresh_routes(self.cfg.pool_capacity);
+        let (mut engine, out) = Engine::verify(self.engine_cfg(), db);
+        engine.set_trace(self.cfg.trace.clone());
+        engine.set_trace_time(ctx.now);
+        let algorithm = self.cfg.algorithm.name();
+        self.cfg.trace.emit(ctx.now, || TraceEvent::RunStarted {
+            algorithm,
+            trigger: trigger_tag(DiscoveryTrigger::WarmStart),
         });
+        let (sdev, slink) = (snapshot.device_count() as u64, snapshot.link_count() as u64);
+        self.cfg.trace.emit(ctx.now, || TraceEvent::SnapshotLoaded {
+            devices: sdev,
+            links: slink,
+        });
+        let outstanding = engine.outstanding() as u32;
+        self.cfg
+            .trace
+            .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
+        let mut acc = RunAcc::new(DiscoveryTrigger::WarmStart, ctx.now);
+        acc.warm_verifying = true;
+        acc.snapshot_devices = sdev;
+        self.acc = Some(acc);
         self.engine = Some(engine);
         self.dispatch(ctx, out);
         self.maybe_finish(ctx);
@@ -392,15 +514,7 @@ impl FmAgent {
         self.cfg
             .trace
             .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
-        self.acc = Some(RunAcc {
-            trigger: DiscoveryTrigger::Partial,
-            started_at: ctx.now,
-            bytes_sent: 0,
-            bytes_received: 0,
-            timeline: TimeSeries::new(),
-            fm_busy: SimDuration::ZERO,
-            packets_processed: 0,
-        });
+        self.acc = Some(RunAcc::new(DiscoveryTrigger::Partial, ctx.now));
         self.engine = Some(engine);
         self.dispatch(ctx, out);
         self.maybe_finish(ctx);
@@ -442,16 +556,115 @@ impl FmAgent {
         }
     }
 
+    /// The warm-start verify phase drained: fold its stats into the run
+    /// accumulator and decide how the run continues. Returns `Some(db)`
+    /// when every device verified (the run is finished); `None` when a
+    /// scoped re-discovery or cold fallback engine took over.
+    fn escalate_warm(&mut self, ctx: &mut AgentCtx, engine: Engine) -> Option<TopologyDb> {
+        let stats = engine.stats();
+        let verified = engine.verified().len() as u64;
+        let mismatched: Vec<u64> = engine.mismatched().to_vec();
+        let mut db = engine.db;
+        let threshold = {
+            let acc = self.acc.as_mut().expect("run accumulator present");
+            acc.warm_verifying = false;
+            acc.base = add_stats(acc.base, stats);
+            acc.probes_verified += verified;
+            acc.verify_mismatches += mismatched.len() as u64;
+            (self.cfg.warm_fallback_threshold * acc.snapshot_devices as f64).floor() as u64
+        };
+        if mismatched.is_empty() {
+            return Some(db);
+        }
+        // A follow-up engine reuses request ids starting from 1; a fresh
+        // epoch keeps the verify phase's still-scheduled timeout timers
+        // from hitting the new engine's in-flight requests.
+        self.epoch += 1;
+        if mismatched.len() as u64 > threshold {
+            // The snapshot is too wrong to patch: full cold discovery,
+            // accounted to the same run.
+            self.acc.as_mut().expect("present").warm_fallback = true;
+            let (m, t) = (mismatched.len() as u64, threshold);
+            self.cfg.trace.emit(ctx.now, || TraceEvent::WarmFallback {
+                mismatches: m,
+                threshold: t,
+            });
+            let (mut engine, out) =
+                Engine::start(self.engine_cfg(), ctx.host_info, &ctx.host_ports);
+            engine.set_trace(self.cfg.trace.clone());
+            engine.set_trace_time(ctx.now);
+            self.engine = Some(engine);
+            self.dispatch(ctx, out);
+            return None;
+        }
+        // Scoped re-discovery: drop the mismatching devices, re-read
+        // their surviving neighbours' port blocks (which re-probes
+        // whatever actually sits behind those ports), and probe straight
+        // through host ports that faced a mismatching device.
+        let host = db.host_dsn();
+        let mut rereads: Vec<u64> = Vec::new();
+        let mut probe_via: Vec<(u64, u8)> = Vec::new();
+        let links: Vec<_> = db.links().collect();
+        for &dsn in &mismatched {
+            for &((a, ap), (b, bp)) in &links {
+                let other = if a == dsn {
+                    Some((b, bp))
+                } else if b == dsn {
+                    Some((a, ap))
+                } else {
+                    None
+                };
+                if let Some((n, np)) = other {
+                    if n == host {
+                        probe_via.push((n, np));
+                    } else {
+                        rereads.push(n);
+                    }
+                }
+            }
+        }
+        for &dsn in &mismatched {
+            db.remove_device(dsn);
+        }
+        db.prune_unreachable();
+        rereads.sort_unstable();
+        rereads.dedup();
+        rereads.retain(|d| db.contains(*d));
+        probe_via.sort_unstable();
+        probe_via.dedup();
+        let (mut engine, out) = Engine::seeded(self.engine_cfg(), db, &rereads, &probe_via);
+        engine.set_trace(self.cfg.trace.clone());
+        engine.set_trace_time(ctx.now);
+        self.engine = Some(engine);
+        self.dispatch(ctx, out);
+        None
+    }
+
     fn maybe_finish(&mut self, ctx: &mut AgentCtx) {
         let done = self.engine.as_ref().is_some_and(Engine::is_done);
         if !done {
             return;
         }
         let engine = self.engine.take().expect("checked");
-        let acc = self.acc.take().expect("run accumulator present");
-        let stats = engine.stats();
         self.rivals.extend(engine.rivals.iter().copied());
-        let db = engine.db;
+        let warm_verifying = self.acc.as_ref().is_some_and(|a| a.warm_verifying);
+        let (db, stats) = if warm_verifying {
+            match self.escalate_warm(ctx, engine) {
+                // Clean verification: phase stats live in `acc.base`.
+                Some(db) => (db, EngineStats::default()),
+                // A follow-up engine took over; its own drain re-enters
+                // maybe_finish.
+                None => {
+                    self.maybe_finish(ctx);
+                    return;
+                }
+            }
+        } else {
+            let stats = engine.stats();
+            (engine.db, stats)
+        };
+        let acc = self.acc.take().expect("run accumulator present");
+        let stats = add_stats(acc.base, stats);
         let run = DiscoveryRun {
             algorithm: self.cfg.algorithm,
             trigger: acc.trigger,
@@ -468,6 +681,9 @@ impl FmAgent {
             links_found: db.link_count(),
             fm_timeline: acc.timeline,
             fm_busy: acc.fm_busy,
+            probes_verified: acc.probes_verified,
+            verify_mismatches: acc.verify_mismatches,
+            warm_fallback: acc.warm_fallback,
         };
         self.cfg.trace.emit(ctx.now, || TraceEvent::RunFinished {
             devices_found: run.devices_found as u64,
@@ -902,7 +1118,13 @@ impl FabricAgent for FmAgent {
     fn on_timer(&mut self, ctx: &mut AgentCtx, token: u64) {
         if token == TOKEN_START_DISCOVERY {
             if self.engine.is_none() {
-                self.begin_full(ctx, DiscoveryTrigger::Initial);
+                match &self.cfg.mode {
+                    DiscoveryMode::Cold => self.begin_full(ctx, DiscoveryTrigger::Initial),
+                    DiscoveryMode::WarmStart(snapshot) => {
+                        let snapshot = snapshot.clone();
+                        self.begin_warm(ctx, &snapshot);
+                    }
+                }
             }
             return;
         }

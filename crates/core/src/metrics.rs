@@ -59,6 +59,9 @@ pub enum DiscoveryTrigger {
     Partial,
     /// FM failover: the secondary took over.
     Failover,
+    /// Warm start: verification of a cached topology snapshot —
+    /// extension.
+    WarmStart,
 }
 
 /// Everything measured during one discovery run.
@@ -95,6 +98,15 @@ pub struct DiscoveryRun {
     pub fm_timeline: TimeSeries,
     /// Cumulative FM busy time (occupancy) during the run.
     pub fm_busy: SimDuration,
+    /// Warm start only: snapshotted devices a verification probe
+    /// confirmed unchanged (zero on cold runs).
+    pub probes_verified: u64,
+    /// Warm start only: snapshotted devices the verification pass could
+    /// not confirm (changed, erroring, or silent).
+    pub verify_mismatches: u64,
+    /// Warm start only: true when the mismatch count exceeded the
+    /// fallback threshold and the run completed as a full cold discovery.
+    pub warm_fallback: bool,
 }
 
 impl DiscoveryRun {
@@ -169,6 +181,9 @@ mod tests {
             links_found: 4,
             fm_timeline: TimeSeries::new(),
             fm_busy: SimDuration::from_us(130),
+            probes_verified: 0,
+            verify_mismatches: 0,
+            warm_fallback: false,
         }
     }
 

@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod json;
 pub mod report;
 pub mod scenario;
+pub mod snapshot;
 pub mod sweep;
 
 pub use json::Json;
@@ -34,6 +35,9 @@ pub use report::{
     Series, TableOut, TraceSummary,
 };
 pub use scenario::{change_experiment, dev_of_dsn, dsn_of_dev, Bench, Scenario, TrafficSpec};
+pub use snapshot::{
+    load_snapshot, save_snapshot, snapshot_from_jsonl, snapshot_to_jsonl, SnapshotFormat,
+};
 pub use sweep::{ChangeMode, SweepResult, SweepSpec};
 
 /// One-stop imports for writing experiments: the scenario builder with
@@ -50,7 +54,9 @@ pub use sweep::{ChangeMode, SweepResult, SweepSpec};
 /// ```
 pub mod prelude {
     pub use crate::scenario::{change_experiment, Bench, Scenario, TrafficSpec};
+    pub use crate::snapshot::{load_snapshot, save_snapshot, SnapshotFormat};
     pub use crate::sweep::{ChangeMode, SweepResult, SweepSpec};
     pub use asi_core::{Algorithm, RetryPolicy};
     pub use asi_fabric::{FaultPlan, LossModel};
+    pub use asi_state::Snapshot;
 }

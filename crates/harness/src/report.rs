@@ -74,7 +74,7 @@ impl Chart {
             .iter()
             .flat_map(|s| s.points.iter().map(|&(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         xs.dedup();
         let mut out = String::new();
         let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
@@ -381,6 +381,19 @@ pub fn trace_record_to_json(record: &TraceRecord) -> Json {
         | TraceEvent::FaultCompletionCorrupted { device }
         | TraceEvent::FaultCompletionDuplicated { device } => obj.with("device", *device),
         TraceEvent::RequestAbandoned { req_id } => obj.with("req_id", *req_id),
+        TraceEvent::SnapshotLoaded { devices, links }
+        | TraceEvent::SnapshotSaved { devices, links } => {
+            obj.with("devices", *devices).with("links", *links)
+        }
+        TraceEvent::WarmVerified { dsn } | TraceEvent::VerifyMismatch { dsn } => {
+            obj.with("dsn", *dsn)
+        }
+        TraceEvent::WarmFallback {
+            mismatches,
+            threshold,
+        } => obj
+            .with("mismatches", *mismatches)
+            .with("threshold", *threshold),
     }
 }
 
@@ -393,7 +406,7 @@ fn static_algorithm(name: &str) -> Option<&'static str> {
 
 /// Interns a run-trigger tag back to its `'static` spelling.
 fn static_trigger(tag: &str) -> Option<&'static str> {
-    ["initial", "change", "partial", "failover"]
+    ["initial", "change", "partial", "failover", "warm-start"]
         .into_iter()
         .find(|t| *t == tag)
 }
@@ -482,6 +495,27 @@ pub fn trace_record_from_json(json: &Json) -> Option<TraceRecord> {
             }
         }
         "request-abandoned" => TraceEvent::RequestAbandoned { req_id: req_id()? },
+        kind @ ("snapshot-loaded" | "snapshot-saved") => {
+            let devices = json.get("devices").as_u64()?;
+            let links = json.get("links").as_u64()?;
+            if kind == "snapshot-loaded" {
+                TraceEvent::SnapshotLoaded { devices, links }
+            } else {
+                TraceEvent::SnapshotSaved { devices, links }
+            }
+        }
+        kind @ ("warm-verified" | "verify-mismatch") => {
+            let dsn = json.get("dsn").as_u64()?;
+            if kind == "warm-verified" {
+                TraceEvent::WarmVerified { dsn }
+            } else {
+                TraceEvent::VerifyMismatch { dsn }
+            }
+        }
+        "warm-fallback" => TraceEvent::WarmFallback {
+            mismatches: json.get("mismatches").as_u64()?,
+            threshold: json.get("threshold").as_u64()?,
+        },
         _ => return None,
     };
     Some(TraceRecord { time, event })
@@ -737,6 +771,12 @@ mod tests {
             rec(11, TraceEvent::DeviceDeactivated { device: 5 }),
             rec(12, TraceEvent::QueueSample { depth: 7, processed: 4096 }),
             rec(13, TraceEvent::RunFinished { devices_found: 18, links_found: 24, requests_sent: 90, timeouts: 1 }),
+            rec(14, TraceEvent::RequestAbandoned { req_id: 9 }),
+            rec(15, TraceEvent::SnapshotLoaded { devices: 18, links: 21 }),
+            rec(16, TraceEvent::SnapshotSaved { devices: 18, links: 21 }),
+            rec(17, TraceEvent::WarmVerified { dsn: 0xa51_0000_0007 }),
+            rec(18, TraceEvent::VerifyMismatch { dsn: 0xa51_0000_0008 }),
+            rec(19, TraceEvent::WarmFallback { mismatches: 5, threshold: 4 }),
         ]
     }
 
@@ -817,9 +857,9 @@ mod tests {
         assert_eq!(s.count("request-injected"), 1);
         assert_eq!(s.count("pi5-emitted"), 1);
         assert_eq!(s.count("no-such-kind"), 0);
-        assert_eq!(s.counts.values().sum::<u64>(), 14);
+        assert_eq!(s.counts.values().sum::<u64>(), 20);
         assert_eq!(s.first, Some(SimTime::ZERO));
-        assert_eq!(s.last, Some(SimTime::from_ps(13)));
+        assert_eq!(s.last, Some(SimTime::from_ps(19)));
         assert_eq!(s.max_pending, 3);
         assert_eq!(s.fm_busy, SimDuration::from_ps(1500));
         assert_eq!(s.fm_idle, SimDuration::from_ps(2500));

@@ -8,6 +8,7 @@ use asi_fabric::{
     DevId, Fabric, FabricConfig, FaultPlan, FmRoute, TrafficAgent, TrafficRoute, DSN_BASE,
 };
 use asi_sim::{SimDuration, SimRng, TraceHandle};
+use asi_state::Snapshot;
 use asi_topo::{routes_from, NodeId, Topology};
 
 /// Simulator-kernel queue-depth sampling period used when a scenario
@@ -71,6 +72,13 @@ pub struct Scenario {
     /// fabric model and the simulator kernel. Disabled by default (zero
     /// overhead); see `docs/TRACE_FORMAT.md`.
     pub trace: TraceHandle,
+    /// Cached topology snapshot seeding a warm-start discovery; `None`
+    /// runs the ordinary cold discovery.
+    pub snapshot: Option<Snapshot>,
+    /// Fraction of snapshot devices that may mismatch during a
+    /// warm-start verification before the FM abandons the scoped repair
+    /// and falls back to a full cold discovery.
+    pub warm_fallback_threshold: f64,
 }
 
 impl Scenario {
@@ -88,6 +96,8 @@ impl Scenario {
             retry: RetryPolicy::default(),
             request_timeout: SimDuration::from_ms(5),
             trace: TraceHandle::disabled(),
+            snapshot: None,
+            warm_fallback_threshold: 0.25,
         }
     }
 
@@ -146,6 +156,21 @@ impl Scenario {
         self
     }
 
+    /// Seeds the FM with a cached topology snapshot: the initial run
+    /// becomes a warm-start verification pass instead of a cold
+    /// discovery (see `asi_core::DiscoveryMode`).
+    pub fn with_snapshot(mut self, snapshot: Snapshot) -> Scenario {
+        self.snapshot = Some(snapshot);
+        self
+    }
+
+    /// Sets the warm-start fallback threshold (see
+    /// [`Scenario::warm_fallback_threshold`]).
+    pub fn with_warm_fallback_threshold(mut self, fraction: f64) -> Scenario {
+        self.warm_fallback_threshold = fraction;
+        self
+    }
+
     /// The fabric configuration this scenario implies.
     fn fabric_config(&self) -> FabricConfig {
         FabricConfig {
@@ -159,12 +184,18 @@ impl Scenario {
 
     /// The FM configuration this scenario implies.
     fn fm_config(&self) -> FmConfig {
-        FmConfig::new(self.algorithm)
+        let cfg = FmConfig::new(self.algorithm)
             .with_timing(FmTiming::default().with_factor(self.fm_factor))
             .with_partial_assimilation(self.partial_assimilation)
             .with_retry(self.retry)
             .with_request_timeout(self.request_timeout)
-            .with_trace(self.trace.clone())
+            .with_trace(self.trace.clone());
+        match &self.snapshot {
+            Some(snapshot) => cfg
+                .with_warm_start(snapshot.clone())
+                .with_warm_fallback_threshold(self.warm_fallback_threshold),
+            None => cfg,
+        }
     }
 
     /// Runs a single initial discovery under this scenario's fault plan
@@ -637,6 +668,21 @@ mod tests {
             let v = bench.pick_victim_switch();
             assert_ne!(v, g.switch_at(0, 0), "FM's own switch chosen");
         }
+    }
+
+    #[test]
+    fn warm_scenario_verifies_instead_of_rediscovering() {
+        let g = mesh(3, 3);
+        let cold = Bench::start(&g.topology, &Scenario::new(Algorithm::Parallel), &[]);
+        let snapshot = asi_core::snapshot_db(cold.db());
+        let warm = Scenario::new(Algorithm::Parallel).with_snapshot(snapshot);
+        let bench = Bench::start(&g.topology, &warm, &[]);
+        let run = bench.last_run();
+        assert_eq!(run.trigger, asi_core::DiscoveryTrigger::WarmStart);
+        assert_eq!(run.probes_verified, 17);
+        assert_eq!(run.verify_mismatches, 0);
+        assert!(!run.warm_fallback);
+        assert_eq!(bench.db().device_count(), 18);
     }
 
     #[test]

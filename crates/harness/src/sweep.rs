@@ -14,7 +14,7 @@
 
 use crate::json::Json;
 use crate::scenario::{change_experiment, Bench, Scenario};
-use asi_core::{Algorithm, RetryPolicy};
+use asi_core::{snapshot_db, Algorithm, RetryPolicy};
 use asi_fabric::{FaultPlan, LossModel};
 use asi_sim::{OnlineStats, SimDuration};
 use asi_topo::Table1;
@@ -80,6 +80,14 @@ pub struct SweepSpec {
     pub retry: RetryPolicy,
     /// FM base request timeout for fault cells.
     pub request_timeout: SimDuration,
+    /// Adds a warm-start axis: every `(algorithm, topology, rep)` point
+    /// runs twice, cold and warm. The warm twin first runs an unmeasured
+    /// cold discovery to produce a snapshot, then measures the
+    /// warm-start verification pass seeded from it, with the **same**
+    /// cell seed as its cold twin so the pair is directly comparable.
+    /// Warm cells always measure the initial run (the change modes stay
+    /// cold-only).
+    pub warm_axis: bool,
 }
 
 impl SweepSpec {
@@ -99,6 +107,7 @@ impl SweepSpec {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             request_timeout: SimDuration::from_ms(5),
+            warm_axis: false,
         }
     }
 
@@ -136,6 +145,22 @@ impl SweepSpec {
         SweepSpec::new("smoke", vec![Table1::Mesh(3)])
     }
 
+    /// The warm-vs-cold grid: Parallel initial discovery over the Table 1
+    /// quick set (the full set when not `quick`), every point run both
+    /// cold and snapshot-seeded, so the report quantifies what a cached
+    /// topology buys on unchanged fabrics.
+    pub fn warmstart(quick: bool) -> SweepSpec {
+        let mut spec = SweepSpec::new(
+            "warmstart",
+            if quick { Table1::quick() } else { Table1::all() },
+        );
+        spec.algorithms = vec![Algorithm::Parallel];
+        spec.reps = if quick { 1 } else { 3 };
+        spec.seed_base = 0x5AF_0000;
+        spec.warm_axis = true;
+        spec
+    }
+
     /// The robustness grid: initial discovery under 5% bursty
     /// (Gilbert–Elliott) loss with exponential backoff, for every
     /// algorithm. All cells must converge to the full topology; the
@@ -164,22 +189,35 @@ impl SweepSpec {
         self.seed_base + rep as u64 * self.seed_stride + salt
     }
 
+    /// The warm-axis values this grid sweeps (cold only by default).
+    fn warm_modes(&self) -> &'static [bool] {
+        if self.warm_axis {
+            &[false, true]
+        } else {
+            &[false]
+        }
+    }
+
     /// Materialises the grid in its canonical order: algorithms outer,
-    /// then topologies, then repetitions. Everything downstream (worker
-    /// scheduling, result merging, aggregation) keys off this order.
+    /// then topologies, then cold-before-warm, then repetitions.
+    /// Everything downstream (worker scheduling, result merging,
+    /// aggregation) keys off this order.
     pub fn cells(&self) -> Vec<Cell> {
         let mut cells = Vec::with_capacity(
-            self.algorithms.len() * self.topologies.len() * self.reps,
+            self.algorithms.len() * self.topologies.len() * self.warm_modes().len() * self.reps,
         );
         for &algorithm in &self.algorithms {
             for &topology in &self.topologies {
-                for rep in 0..self.reps {
-                    cells.push(Cell {
-                        topology,
-                        algorithm,
-                        rep,
-                        seed: self.cell_seed(topology, rep),
-                    });
+                for &warm in self.warm_modes() {
+                    for rep in 0..self.reps {
+                        cells.push(Cell {
+                            topology,
+                            algorithm,
+                            warm,
+                            rep,
+                            seed: self.cell_seed(topology, rep),
+                        });
+                    }
                 }
             }
         }
@@ -194,6 +232,8 @@ pub struct Cell {
     pub topology: Table1,
     /// The algorithm under test.
     pub algorithm: Algorithm,
+    /// Whether this cell measures the snapshot-seeded warm start.
+    pub warm: bool,
     /// Repetition ordinal within the (topology, algorithm) pair.
     pub rep: usize,
     /// Derived RNG seed (see [`SweepSpec::cell_seed`]).
@@ -209,6 +249,8 @@ pub struct CellResult {
     pub total_devices: usize,
     /// Algorithm name.
     pub algorithm: &'static str,
+    /// True for the warm-start twin of a cold cell.
+    pub warm: bool,
     /// Repetition ordinal.
     pub rep: usize,
     /// The seed the cell ran with.
@@ -242,6 +284,12 @@ pub struct CellResult {
     pub mean_fm_processing_us: f64,
     /// Fraction of the run the FM was busy.
     pub fm_utilization: f64,
+    /// Warm runs: snapshotted devices a verification probe confirmed.
+    pub probes_verified: u64,
+    /// Warm runs: snapshotted devices that failed verification.
+    pub verify_mismatches: u64,
+    /// Warm runs: whether the run fell back to a full cold discovery.
+    pub warm_fallback: bool,
 }
 
 /// Per-(topology, algorithm) summary over the repetitions.
@@ -253,6 +301,8 @@ pub struct Aggregate {
     pub total_devices: usize,
     /// Algorithm name.
     pub algorithm: &'static str,
+    /// True for the warm-start row of a warm-axis grid.
+    pub warm: bool,
     /// Completed repetitions aggregated.
     pub completed: usize,
     /// Mean discovery time over completed reps (seconds).
@@ -295,7 +345,19 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
         .with_retry(spec.retry)
         .with_request_timeout(spec.request_timeout)
         .with_seed(cell.seed);
-    let outcome = if !spec.faults.is_inert() {
+    let outcome = if cell.warm {
+        // Warm twin: an unmeasured cold bench produces the snapshot the
+        // measured warm-start verification run is seeded from.
+        let snapshot = snapshot_db(Bench::start(&topo, &scenario, &[]).db());
+        let warm = scenario.clone().with_snapshot(snapshot);
+        if !spec.faults.is_inert() {
+            warm.initial_discovery(&topo)
+        } else {
+            let bench = Bench::start(&topo, &warm, &[]);
+            let active = bench.active_nodes();
+            Some((bench.last_run(), active))
+        }
+    } else if !spec.faults.is_inert() {
         scenario.initial_discovery(&topo)
     } else {
         match spec.change {
@@ -316,6 +378,7 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             topology: cell.topology.name(),
             total_devices: cell.topology.total_devices(),
             algorithm: cell.algorithm.name(),
+            warm: cell.warm,
             rep: cell.rep,
             seed: cell.seed,
             completed: true,
@@ -332,11 +395,15 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             bytes_received: run.bytes_received,
             mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
             fm_utilization: run.fm_utilization(),
+            probes_verified: run.probes_verified,
+            verify_mismatches: run.verify_mismatches,
+            warm_fallback: run.warm_fallback,
         },
         None => CellResult {
             topology: cell.topology.name(),
             total_devices: cell.topology.total_devices(),
             algorithm: cell.algorithm.name(),
+            warm: cell.warm,
             rep: cell.rep,
             seed: cell.seed,
             completed: false,
@@ -353,6 +420,9 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             bytes_received: 0,
             mean_fm_processing_us: 0.0,
             fm_utilization: 0.0,
+            probes_verified: 0,
+            verify_mismatches: 0,
+            warm_fallback: false,
         },
     }
 }
@@ -410,53 +480,71 @@ fn aggregate(spec: &SweepSpec, cells: &[CellResult]) -> Vec<Aggregate> {
     let mut out = Vec::new();
     for &algorithm in &spec.algorithms {
         for &topology in &spec.topologies {
-            let name = topology.name();
-            let mut stats = OnlineStats::new();
-            let mut requests = 0u64;
-            let mut timeouts = 0u64;
-            let mut retries = 0u64;
-            let mut completed = 0usize;
-            let mut full_topology = 0usize;
-            for c in cells {
-                if c.algorithm == algorithm.name() && c.topology == name && c.completed {
-                    stats.push(c.discovery_time_s);
-                    requests += c.requests;
-                    timeouts += c.timeouts;
-                    retries += c.retries;
-                    completed += 1;
-                    if c.devices_found == c.total_devices {
-                        full_topology += 1;
+            for &warm in spec.warm_modes() {
+                let name = topology.name();
+                let mut stats = OnlineStats::new();
+                let mut requests = 0u64;
+                let mut timeouts = 0u64;
+                let mut retries = 0u64;
+                let mut completed = 0usize;
+                let mut full_topology = 0usize;
+                for c in cells {
+                    if c.algorithm == algorithm.name()
+                        && c.topology == name
+                        && c.warm == warm
+                        && c.completed
+                    {
+                        stats.push(c.discovery_time_s);
+                        requests += c.requests;
+                        timeouts += c.timeouts;
+                        retries += c.retries;
+                        completed += 1;
+                        if c.devices_found == c.total_devices {
+                            full_topology += 1;
+                        }
                     }
                 }
+                out.push(Aggregate {
+                    topology: name,
+                    total_devices: topology.total_devices(),
+                    algorithm: algorithm.name(),
+                    warm,
+                    completed,
+                    mean_time_s: if completed == 0 { 0.0 } else { stats.mean() },
+                    min_time_s: if completed == 0 { 0.0 } else { stats.min() },
+                    max_time_s: if completed == 0 { 0.0 } else { stats.max() },
+                    mean_requests: if completed == 0 {
+                        0.0
+                    } else {
+                        requests as f64 / completed as f64
+                    },
+                    mean_timeouts: if completed == 0 {
+                        0.0
+                    } else {
+                        timeouts as f64 / completed as f64
+                    },
+                    mean_retries: if completed == 0 {
+                        0.0
+                    } else {
+                        retries as f64 / completed as f64
+                    },
+                    full_topology,
+                });
             }
-            out.push(Aggregate {
-                topology: name,
-                total_devices: topology.total_devices(),
-                algorithm: algorithm.name(),
-                completed,
-                mean_time_s: if completed == 0 { 0.0 } else { stats.mean() },
-                min_time_s: if completed == 0 { 0.0 } else { stats.min() },
-                max_time_s: if completed == 0 { 0.0 } else { stats.max() },
-                mean_requests: if completed == 0 {
-                    0.0
-                } else {
-                    requests as f64 / completed as f64
-                },
-                mean_timeouts: if completed == 0 {
-                    0.0
-                } else {
-                    timeouts as f64 / completed as f64
-                },
-                mean_retries: if completed == 0 {
-                    0.0
-                } else {
-                    retries as f64 / completed as f64
-                },
-                full_topology,
-            });
         }
     }
     out
+}
+
+/// Escapes one CSV field per RFC 4180: fields containing a comma, a
+/// double quote, or a line break are wrapped in double quotes, with
+/// embedded quotes doubled. Anything else passes through untouched.
+pub fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
 }
 
 impl CellResult {
@@ -466,6 +554,7 @@ impl CellResult {
             .with("topology", self.topology.as_str())
             .with("total_devices", self.total_devices)
             .with("algorithm", self.algorithm)
+            .with("warm", self.warm)
             .with("rep", self.rep)
             .with("seed", self.seed)
             .with("completed", self.completed)
@@ -482,6 +571,9 @@ impl CellResult {
             .with("bytes_received", self.bytes_received)
             .with("mean_fm_processing_us", self.mean_fm_processing_us)
             .with("fm_utilization", self.fm_utilization)
+            .with("probes_verified", self.probes_verified)
+            .with("verify_mismatches", self.verify_mismatches)
+            .with("warm_fallback", self.warm_fallback)
     }
 }
 
@@ -492,6 +584,7 @@ impl Aggregate {
             .with("topology", self.topology.as_str())
             .with("total_devices", self.total_devices)
             .with("algorithm", self.algorithm)
+            .with("warm", self.warm)
             .with("completed", self.completed)
             .with("mean_time_s", self.mean_time_s)
             .with("min_time_s", self.min_time_s)
@@ -521,20 +614,23 @@ impl SweepResult {
             )
     }
 
-    /// Cell results as CSV (one row per cell, canonical order).
+    /// Cell results as CSV (one row per cell, canonical order). Fields
+    /// containing commas, quotes or newlines are quoted per RFC 4180.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "topology,total_devices,algorithm,rep,seed,completed,active_nodes,\
+            "topology,total_devices,algorithm,warm,rep,seed,completed,active_nodes,\
              discovery_time_s,devices_found,links_found,requests,responses,\
              timeouts,retries,abandoned,bytes_sent,bytes_received,\
-             mean_fm_processing_us,fm_utilization\n",
+             mean_fm_processing_us,fm_utilization,probes_verified,\
+             verify_mismatches,warm_fallback\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-                c.topology,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                csv_field(&c.topology),
                 c.total_devices,
-                c.algorithm,
+                csv_field(c.algorithm),
+                c.warm,
                 c.rep,
                 c.seed,
                 c.completed,
@@ -550,7 +646,10 @@ impl SweepResult {
                 c.bytes_sent,
                 c.bytes_received,
                 c.mean_fm_processing_us,
-                c.fm_utilization
+                c.fm_utilization,
+                c.probes_verified,
+                c.verify_mismatches,
+                c.warm_fallback
             ));
         }
         out
@@ -559,12 +658,13 @@ impl SweepResult {
     /// Aggregates as a human-readable text table.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "sweep {} ({} cells, change={})\n{:<16} {:<16} {:>5} {:>14} {:>14} {:>12}\n",
+            "sweep {} ({} cells, change={})\n{:<16} {:<16} {:<5} {:>5} {:>14} {:>14} {:>12}\n",
             self.name,
             self.cells.len(),
             self.change,
             "topology",
             "algorithm",
+            "mode",
             "reps",
             "mean",
             "max",
@@ -572,9 +672,10 @@ impl SweepResult {
         );
         for a in &self.aggregates {
             out.push_str(&format!(
-                "{:<16} {:<16} {:>5} {:>12.3}ms {:>12.3}ms {:>12.1}\n",
+                "{:<16} {:<16} {:<5} {:>5} {:>12.3}ms {:>12.3}ms {:>12.1}\n",
                 a.topology,
                 a.algorithm,
+                if a.warm { "warm" } else { "cold" },
                 a.completed,
                 a.mean_time_s * 1e3,
                 a.max_time_s * 1e3,
@@ -673,5 +774,103 @@ mod tests {
         let csv = result.to_csv();
         assert_eq!(csv.lines().count(), 1 + result.cells.len());
         assert!(csv.starts_with("topology,"));
+    }
+
+    /// Minimal RFC 4180 row parser, for the quoting round-trip test.
+    fn parse_csv_row(row: &str) -> Vec<String> {
+        let mut fields = Vec::new();
+        let mut cur = String::new();
+        let mut chars = row.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if cur.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        fields.push(cur);
+        fields
+    }
+
+    #[test]
+    fn csv_fields_with_metacharacters_round_trip() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let nasty = "mesh, 3x3 \"wide\"";
+        let mut result = run(&tiny_spec(), 1);
+        result.cells[0].topology = nasty.to_string();
+        let csv = result.to_csv();
+        let row = csv.lines().nth(1).unwrap();
+        let fields = parse_csv_row(row);
+        assert_eq!(fields[0], nasty, "row: {row}");
+        // Every row still has exactly one field per header column.
+        let columns = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(parse_csv_row(line).len(), columns, "{line}");
+        }
+    }
+
+    #[test]
+    fn warm_axis_doubles_the_grid_and_beats_cold() {
+        let mut spec = SweepSpec::warmstart(true);
+        spec.topologies = vec![Table1::Mesh(3)];
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2);
+        assert!(!cells[0].warm && cells[1].warm, "cold twin first");
+        assert_eq!(cells[0].seed, cells[1].seed, "twins share the seed");
+        let result = run(&spec, 2);
+        let cold = &result.cells[0];
+        let warm = &result.cells[1];
+        assert!(!cold.warm && warm.warm);
+        assert_eq!(cold.probes_verified, 0);
+        assert_eq!(warm.probes_verified, warm.total_devices as u64 - 1);
+        assert_eq!(warm.verify_mismatches, 0);
+        assert!(!warm.warm_fallback);
+        assert_eq!(warm.devices_found, cold.devices_found);
+        assert!(
+            warm.discovery_time_s < cold.discovery_time_s,
+            "warm {} vs cold {}",
+            warm.discovery_time_s,
+            cold.discovery_time_s
+        );
+        // One aggregate row per mode.
+        assert_eq!(result.aggregates.len(), 2);
+        assert!(!result.aggregates[0].warm && result.aggregates[1].warm);
+    }
+
+    #[test]
+    fn warm_sweep_is_byte_identical_across_jobs() {
+        let mut spec = SweepSpec::warmstart(true);
+        spec.topologies = vec![Table1::Mesh(3)];
+        let sequential = run(&spec, 1);
+        let parallel = run(&spec, 4);
+        assert_eq!(
+            sequential.to_json().to_string_pretty(),
+            parallel.to_json().to_string_pretty()
+        );
+        assert_eq!(sequential.to_csv(), parallel.to_csv());
+    }
+
+    #[test]
+    fn identical_runs_render_byte_identical_reports() {
+        // Determinism regression: two fresh executions of the same spec
+        // (not just two renderings of one result) must agree on every
+        // byte of JSON, CSV and text output.
+        let spec = tiny_spec();
+        let a = run(&spec, 2);
+        let b = run(&spec, 2);
+        assert_eq!(a.to_json().to_string_pretty(), b.to_json().to_string_pretty());
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_text(), b.to_text());
     }
 }

@@ -180,6 +180,39 @@ pub enum TraceEvent {
         /// FM-assigned request id of the abandoned attempt.
         req_id: u32,
     },
+    /// A topology snapshot was loaded as a warm-start seed (`asi-core`).
+    SnapshotLoaded {
+        /// Devices in the snapshot.
+        devices: u64,
+        /// Links in the snapshot.
+        links: u64,
+    },
+    /// A topology snapshot was saved from a discovered database.
+    SnapshotSaved {
+        /// Devices in the snapshot.
+        devices: u64,
+        /// Links in the snapshot.
+        links: u64,
+    },
+    /// A warm-start verification probe confirmed a cached device.
+    WarmVerified {
+        /// The confirmed device's serial number.
+        dsn: u64,
+    },
+    /// A warm-start verification probe found a cached device changed,
+    /// erroring, or silent.
+    VerifyMismatch {
+        /// The mismatching device's serial number.
+        dsn: u64,
+    },
+    /// Warm start gave up on the snapshot (too many mismatches) and fell
+    /// back to a full cold discovery.
+    WarmFallback {
+        /// Devices the verification pass could not confirm.
+        mismatches: u64,
+        /// Mismatch count at which the snapshot is abandoned.
+        threshold: u64,
+    },
 }
 
 impl TraceEvent {
@@ -209,6 +242,11 @@ impl TraceEvent {
             TraceEvent::FaultCompletionCorrupted { .. } => "fault-completion-corrupted",
             TraceEvent::FaultCompletionDuplicated { .. } => "fault-completion-duplicated",
             TraceEvent::RequestAbandoned { .. } => "request-abandoned",
+            TraceEvent::SnapshotLoaded { .. } => "snapshot-loaded",
+            TraceEvent::SnapshotSaved { .. } => "snapshot-saved",
+            TraceEvent::WarmVerified { .. } => "warm-verified",
+            TraceEvent::VerifyMismatch { .. } => "verify-mismatch",
+            TraceEvent::WarmFallback { .. } => "warm-fallback",
         }
     }
 }
@@ -353,6 +391,11 @@ mod tests {
             TraceEvent::FaultCompletionCorrupted { device: 0 },
             TraceEvent::FaultCompletionDuplicated { device: 0 },
             TraceEvent::RequestAbandoned { req_id: 0 },
+            TraceEvent::SnapshotLoaded { devices: 0, links: 0 },
+            TraceEvent::SnapshotSaved { devices: 0, links: 0 },
+            TraceEvent::WarmVerified { dsn: 0 },
+            TraceEvent::VerifyMismatch { dsn: 0 },
+            TraceEvent::WarmFallback { mismatches: 0, threshold: 0 },
         ];
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len());

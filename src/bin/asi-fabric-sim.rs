@@ -12,19 +12,24 @@
 //! asi-fabric-sim faults --topology mesh:3x3 --loss 0.05 --loss-model bursty \
 //!     --retry-policy exponential --retries 10
 //! asi-fabric-sim sweep --grid faults --quick --jobs 4 --json
+//! asi-fabric-sim snapshot save --topology mesh:3x3 --out fabric.snap
+//! asi-fabric-sim snapshot verify --topology mesh:3x3 --in fabric.snap --json
 //! ```
 //!
 //! Every malformed flag produces a one-line `error: ...` on stderr plus
 //! the usage text and exit code 2 — never a panic.
 
-use advanced_switching::core::{Algorithm, RetryPolicy};
+use advanced_switching::core::{snapshot_db, Algorithm, RetryPolicy};
 use advanced_switching::fabric::{FaultPlan, LossModel};
 use advanced_switching::harness::{
-    change_experiment, save_trace_jsonl, sweep, Bench, Json, RingCollector, Scenario, SweepSpec,
+    change_experiment, load_snapshot, save_snapshot, save_trace_jsonl, sweep, Bench, Json,
+    RingCollector, Scenario, SnapshotFormat, SweepSpec,
 };
 use advanced_switching::sim::{SimDuration, SimRng, TraceHandle};
+use advanced_switching::state::{checksum_of, Snapshot, TopologyDelta};
 use advanced_switching::topo::{fat_tree, irregular, mesh, torus, IrregularSpec, Topology};
 use std::fmt;
+use std::path::Path;
 
 struct RunReport {
     topology: String,
@@ -70,6 +75,10 @@ impl RunReport {
 const USAGE: &str = "usage: asi-fabric-sim --topology <spec> [options]
        asi-fabric-sim faults --topology <spec> [options]
        asi-fabric-sim sweep [sweep options]
+       asi-fabric-sim snapshot save --topology <spec> --out <path> [options]
+       asi-fabric-sim snapshot load --in <path> [--resave <path>] [options]
+       asi-fabric-sim snapshot diff --old <path> --new <path> [--json]
+       asi-fabric-sim snapshot verify --topology <spec> --in <path> [options]
 
 topology specs:
   mesh:<W>x<H>        2-D mesh of 16-port switches, one endpoint each (2..=64 per side)
@@ -102,13 +111,24 @@ and the `faults` mode reports the robustness metrics — see docs/FAULTS.md):
 
 sweep options (deterministic multi-threaded grid; output is byte-identical
 for any --jobs value):
-  --grid fig5|fig6|faults|smoke   named grid (default: smoke)
+  --grid fig5|fig6|faults|warmstart|smoke   named grid (default: smoke)
   --quick                      smaller topology set / fewer repetitions
   --jobs <n>                   worker threads (default: all cores)
   --fm-factor <f>              FM processing speed factor (default 1)
   --device-factor <f>          device processing speed factor (default 1)
   plus any fault option above, applied to every cell
-  --json | --csv               machine-readable output (default: text table)";
+  --json | --csv               machine-readable output (default: text table)
+
+snapshot options (cached-topology workflows — see docs/ARCHITECTURE.md):
+  save    run a cold discovery and write the resulting snapshot to --out
+  load    read a snapshot, print its summary; --resave <path> rewrites it
+  diff    structural delta between --old and --new snapshots
+  verify  warm-start discovery on --topology seeded from --in: one probe
+          per cached device, escalating around mismatches
+  --format binary|jsonl        output format for save/--resave (default: binary)
+  --threshold <f>              mismatch fraction that triggers the full
+                               cold fallback during verify (default 0.25)
+  plus --algorithm/--seed/--fm-factor/--device-factor/--json where relevant";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -365,8 +385,11 @@ fn sweep_main(args: &[String]) {
         Some("fig5") => SweepSpec::fig5(quick),
         Some("fig6") => SweepSpec::fig6(quick, fm_factor, device_factor),
         Some("faults") => SweepSpec::faults(quick),
+        Some("warmstart") => SweepSpec::warmstart(quick),
         Some("smoke") | None => SweepSpec::smoke(),
-        Some(other) => fail(format!("unknown grid {other:?} (fig5, fig6, faults, smoke)")),
+        Some(other) => fail(format!(
+            "unknown grid {other:?} (fig5, fig6, faults, warmstart, smoke)"
+        )),
     };
     spec.fm_factor = fm_factor;
     spec.device_factor = device_factor;
@@ -395,6 +418,204 @@ fn sweep_main(args: &[String]) {
         print!("{}", result.to_csv());
     } else {
         print!("{}", result.to_text());
+    }
+}
+
+fn parse_snapshot_format(args: &[String]) -> SnapshotFormat {
+    match arg_value(args, "--format").as_deref() {
+        Some("binary") | None => SnapshotFormat::Binary,
+        Some("jsonl") => SnapshotFormat::Jsonl,
+        Some(other) => fail(format!("unknown snapshot format {other:?} (binary, jsonl)")),
+    }
+}
+
+/// Snapshot workflows run one concrete discovery, so `all` is rejected.
+fn parse_snapshot_algorithm(args: &[String]) -> Algorithm {
+    match arg_value(args, "--algorithm").as_deref() {
+        Some("serial-packet") => Algorithm::SerialPacket,
+        Some("serial-device") => Algorithm::SerialDevice,
+        Some("parallel") | None => Algorithm::Parallel,
+        Some(other) => fail(format!(
+            "snapshot mode wants one algorithm, got {other:?} \
+             (serial-packet, serial-device, parallel)"
+        )),
+    }
+}
+
+fn require_arg(args: &[String], name: &str, hint: &str) -> String {
+    arg_value(args, name).unwrap_or_else(|| fail(format!("{name} is required ({hint})")))
+}
+
+fn load_snapshot_or_fail(path: &str) -> Snapshot {
+    load_snapshot(Path::new(path)).unwrap_or_else(|e| fail(format!("cannot load snapshot: {e}")))
+}
+
+fn snapshot_summary(path: &str, snap: &Snapshot) -> Json {
+    Json::object()
+        .with("path", path)
+        .with("devices", snap.device_count())
+        .with("links", snap.link_count())
+        .with("host_dsn", format!("{:#x}", snap.host_dsn).as_str())
+        .with("checksum", format!("{:#x}", checksum_of(snap)).as_str())
+}
+
+fn print_snapshot_summary(path: &str, snap: &Snapshot, json: bool) {
+    if json {
+        println!("{}", snapshot_summary(path, snap).to_string_pretty());
+    } else {
+        println!(
+            "snapshot {path}: {} devices, {} links, host {:#x}, checksum {:#x}",
+            snap.device_count(),
+            snap.link_count(),
+            snap.host_dsn,
+            checksum_of(snap)
+        );
+    }
+}
+
+fn hex_arr(dsns: &[u64]) -> Json {
+    Json::Arr(
+        dsns.iter()
+            .map(|d| Json::Str(format!("{d:#x}")))
+            .collect(),
+    )
+}
+
+fn link_arr(links: &[(u64, u8, u64, u8)]) -> Json {
+    Json::Arr(
+        links
+            .iter()
+            .map(|&(a, ap, b, bp)| {
+                Json::object()
+                    .with("a", format!("{a:#x}").as_str())
+                    .with("a_port", ap)
+                    .with("b", format!("{b:#x}").as_str())
+                    .with("b_port", bp)
+            })
+            .collect(),
+    )
+}
+
+/// `asi-fabric-sim snapshot <save|load|diff|verify> ...`: cached-topology
+/// workflows on the asi-state snapshot format.
+fn snapshot_main(args: &[String]) {
+    let Some(subcommand) = args.first() else {
+        fail("snapshot wants a subcommand (save, load, diff, verify)");
+    };
+    let json = args.iter().any(|a| a == "--json");
+    match subcommand.as_str() {
+        "save" => {
+            let seed: u64 = parse_arg(args, "--seed", 0xA51, "an integer");
+            let spec = require_arg(args, "--topology", "e.g. snapshot save --topology mesh:3x3");
+            let out = require_arg(args, "--out", "where to write the snapshot");
+            let topo = parse_topology(&spec, seed).unwrap_or_else(|e| fail(e));
+            let fm_factor: f64 = parse_arg(args, "--fm-factor", 1.0, "a number");
+            let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
+            let trace = trace_out(args);
+            let scenario = Scenario::new(parse_snapshot_algorithm(args))
+                .with_factors(fm_factor, device_factor)
+                .with_seed(seed)
+                .with_trace(trace.handle.clone());
+            let bench = Bench::start(&topo, &scenario, &[]);
+            let snap = snapshot_db(bench.db());
+            trace.handle.emit(bench.fabric.now(), || {
+                advanced_switching::sim::trace::TraceEvent::SnapshotSaved {
+                    devices: snap.device_count() as u64,
+                    links: snap.link_count() as u64,
+                }
+            });
+            trace.save();
+            save_snapshot(Path::new(&out), &snap, parse_snapshot_format(args))
+                .unwrap_or_else(|e| fail(format!("cannot write {out}: {e}")));
+            print_snapshot_summary(&out, &snap, json);
+        }
+        "load" => {
+            let input = require_arg(args, "--in", "the snapshot to read");
+            let snap = load_snapshot_or_fail(&input);
+            if let Some(resave) = arg_value(args, "--resave") {
+                save_snapshot(Path::new(&resave), &snap, parse_snapshot_format(args))
+                    .unwrap_or_else(|e| fail(format!("cannot write {resave}: {e}")));
+            }
+            print_snapshot_summary(&input, &snap, json);
+        }
+        "diff" => {
+            let old = require_arg(args, "--old", "the baseline snapshot");
+            let new = require_arg(args, "--new", "the newer snapshot");
+            let delta = TopologyDelta::between(&load_snapshot_or_fail(&old), &load_snapshot_or_fail(&new));
+            if json {
+                let out = Json::object()
+                    .with("identical", delta.is_empty())
+                    .with("change_count", delta.change_count())
+                    .with("added_devices", hex_arr(&delta.added_devices))
+                    .with("removed_devices", hex_arr(&delta.removed_devices))
+                    .with("recabled_devices", hex_arr(&delta.recabled_devices))
+                    .with("added_links", link_arr(&delta.added_links))
+                    .with("removed_links", link_arr(&delta.removed_links));
+                println!("{}", out.to_string_pretty());
+            } else if delta.is_empty() {
+                println!("identical");
+            } else {
+                println!("{delta}");
+            }
+        }
+        "verify" => {
+            let seed: u64 = parse_arg(args, "--seed", 0xA51, "an integer");
+            let spec = require_arg(args, "--topology", "the live fabric to verify against");
+            let input = require_arg(args, "--in", "the cached snapshot");
+            let topo = parse_topology(&spec, seed).unwrap_or_else(|e| fail(e));
+            let threshold: f64 = parse_arg(args, "--threshold", 0.25, "a number");
+            if !(0.0..=1.0).contains(&threshold) {
+                fail(format!("--threshold must be in [0, 1], got {threshold}"));
+            }
+            let fm_factor: f64 = parse_arg(args, "--fm-factor", 1.0, "a number");
+            let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
+            let snap = load_snapshot_or_fail(&input);
+            let trace = trace_out(args);
+            let scenario = Scenario::new(parse_snapshot_algorithm(args))
+                .with_factors(fm_factor, device_factor)
+                .with_seed(seed)
+                .with_snapshot(snap)
+                .with_warm_fallback_threshold(threshold)
+                .with_trace(trace.handle.clone());
+            let bench = Bench::start(&topo, &scenario, &[]);
+            trace.save();
+            let run = bench.last_run();
+            let trigger = match run.trigger {
+                advanced_switching::core::DiscoveryTrigger::WarmStart => "warm-start",
+                _ => "cold",
+            };
+            if json {
+                let out = Json::object()
+                    .with("topology", topo.name.as_str())
+                    .with("snapshot", input.as_str())
+                    .with("trigger", trigger)
+                    .with("probes_verified", run.probes_verified)
+                    .with("verify_mismatches", run.verify_mismatches)
+                    .with("warm_fallback", run.warm_fallback)
+                    .with("devices_found", run.devices_found)
+                    .with("links_found", run.links_found)
+                    .with("requests", run.requests_sent)
+                    .with("discovery_time_s", run.discovery_time().as_secs_f64());
+                println!("{}", out.to_string_pretty());
+            } else {
+                println!(
+                    "{trigger}: {} verified, {} mismatched{}; {} devices, {} links in {:.3}ms",
+                    run.probes_verified,
+                    run.verify_mismatches,
+                    if run.warm_fallback {
+                        " (fell back to cold discovery)"
+                    } else {
+                        ""
+                    },
+                    run.devices_found,
+                    run.links_found,
+                    run.discovery_time().as_secs_f64() * 1e3
+                );
+            }
+        }
+        other => fail(format!(
+            "unknown snapshot subcommand {other:?} (save, load, diff, verify)"
+        )),
     }
 }
 
@@ -551,6 +772,10 @@ fn main() {
     }
     if args[0] == "faults" {
         faults_main(&args[1..]);
+        return;
+    }
+    if args[0] == "snapshot" {
+        snapshot_main(&args[1..]);
         return;
     }
     let seed: u64 = parse_arg(&args, "--seed", 0xA51, "an integer");

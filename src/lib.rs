@@ -15,6 +15,7 @@
 //! | [`topo`] | topology generators (meshes, tori, *m*-port *n*-trees, irregular) and ground-truth paths |
 //! | [`fabric`] | the packet-level fabric: cut-through switches, credit flow control, device responders, PI-5, hot add/remove |
 //! | [`core`] | **the paper's contribution**: the fabric manager with Serial Packet / Serial Device / Parallel discovery, change assimilation, election |
+//! | [`state`] | versioned topology snapshots (binary + JSONL), structural diffing, warm-start seeds |
 //! | [`harness`] | scenario runner + regenerators for every table and figure |
 //!
 //! ## Quickstart
@@ -35,6 +36,7 @@ pub use asi_fabric as fabric;
 pub use asi_harness as harness;
 pub use asi_proto as proto;
 pub use asi_sim as sim;
+pub use asi_state as state;
 pub use asi_topo as topo;
 
 /// The most commonly used items, re-exported flat.
@@ -47,7 +49,12 @@ pub mod prelude {
         AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, FaultPlan, FmRoute, LossModel,
         TrafficAgent,
     };
-    pub use asi_harness::{change_experiment, Bench, Scenario, TrafficSpec};
+    pub use asi_core::{db_from_snapshot, snapshot_db};
+    pub use asi_harness::{
+        change_experiment, load_snapshot, save_snapshot, Bench, Scenario, SnapshotFormat,
+        TrafficSpec,
+    };
+    pub use asi_state::{Snapshot, TopologyDelta};
     pub use asi_proto::{
         DeviceInfo, DeviceType, Packet, Payload, Pi4, Pi5, PortEvent, PortInfo, PortState,
         TurnPool,

@@ -368,6 +368,213 @@ fn fault_sweep_is_identical_for_any_job_count_and_converges() {
 }
 
 #[test]
+fn snapshot_save_load_verify_round_trip() {
+    let dir = std::env::temp_dir().join("asi-cli-snapshot-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = dir.join("fabric.snap");
+    let jsonl = dir.join("fabric.jsonl");
+    let resaved = dir.join("resaved.snap");
+
+    // save: cold discovery → snapshot on disk, summary on stdout.
+    let (stdout, stderr, ok) = run(&[
+        "snapshot", "save", "--topology", "mesh:3x3",
+        "--out", bin.to_str().unwrap(), "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let summary = parse(&stdout).unwrap();
+    assert_eq!(*summary.get("devices"), 18);
+    assert_eq!(*summary.get("links"), 21);
+
+    // Same discovery in JSONL form.
+    let (_, _, ok) = run(&[
+        "snapshot", "save", "--topology", "mesh:3x3",
+        "--out", jsonl.to_str().unwrap(), "--format", "jsonl",
+    ]);
+    assert!(ok);
+
+    // load sniffs both formats and reports the same checksum.
+    let (sum_bin, _, ok1) = run(&["snapshot", "load", "--in", bin.to_str().unwrap(), "--json"]);
+    let (sum_jsonl, _, ok2) =
+        run(&["snapshot", "load", "--in", jsonl.to_str().unwrap(), "--json"]);
+    assert!(ok1 && ok2);
+    assert_eq!(
+        parse(&sum_bin).unwrap().get("checksum"),
+        parse(&sum_jsonl).unwrap().get("checksum"),
+        "binary and JSONL renderings must describe the same snapshot"
+    );
+
+    // load --resave: JSONL → binary re-save is byte-identical to the
+    // directly saved binary file.
+    let (_, _, ok) = run(&[
+        "snapshot", "load", "--in", jsonl.to_str().unwrap(),
+        "--resave", resaved.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert_eq!(
+        std::fs::read(&bin).unwrap(),
+        std::fs::read(&resaved).unwrap(),
+        "re-saved snapshot must be byte-identical"
+    );
+
+    // diff against itself: identical.
+    let (stdout, _, ok) = run(&[
+        "snapshot", "diff",
+        "--old", bin.to_str().unwrap(), "--new", jsonl.to_str().unwrap(), "--json",
+    ]);
+    assert!(ok);
+    let delta = parse(&stdout).unwrap();
+    assert_eq!(*delta.get("identical"), Json::Bool(true));
+    assert_eq!(*delta.get("change_count"), 0);
+
+    // verify on the unchanged fabric: every cached device verified with
+    // one probe, no mismatches, no fallback.
+    let (stdout, stderr, ok) = run(&[
+        "snapshot", "verify", "--topology", "mesh:3x3",
+        "--in", bin.to_str().unwrap(), "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let report = parse(&stdout).unwrap();
+    assert_eq!(*report.get("trigger"), "warm-start");
+    assert_eq!(*report.get("probes_verified"), 17);
+    assert_eq!(*report.get("verify_mismatches"), 0);
+    assert_eq!(*report.get("warm_fallback"), Json::Bool(false));
+    assert_eq!(*report.get("devices_found"), 18);
+    assert_eq!(*report.get("requests"), 17);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_workflows_emit_reconciling_traces() {
+    use advanced_switching::harness::{trace_from_jsonl, TraceSummary};
+
+    let dir = std::env::temp_dir().join("asi-cli-snapshot-trace-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("fabric.snap");
+    let save_trace = dir.join("save.jsonl");
+    let verify_trace = dir.join("verify.jsonl");
+
+    let (_, stderr, ok) = run(&[
+        "snapshot", "save", "--topology", "mesh:3x3",
+        "--out", snap.to_str().unwrap(),
+        "--trace", save_trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let records = trace_from_jsonl(&std::fs::read_to_string(&save_trace).unwrap()).unwrap();
+    let summary = TraceSummary::of(&records);
+    assert_eq!(summary.count("snapshot-saved"), 1);
+
+    let (stdout, stderr, ok) = run(&[
+        "snapshot", "verify", "--topology", "mesh:3x3",
+        "--in", snap.to_str().unwrap(), "--json",
+        "--trace", verify_trace.to_str().unwrap(),
+    ]);
+    assert!(ok, "{stderr}");
+    let report = parse(&stdout).unwrap();
+    let records = trace_from_jsonl(&std::fs::read_to_string(&verify_trace).unwrap()).unwrap();
+    let summary = TraceSummary::of(&records);
+    assert_eq!(summary.count("snapshot-loaded"), 1);
+    assert_eq!(
+        summary.count("warm-verified"),
+        report.get("probes_verified").as_u64().unwrap()
+    );
+    assert_eq!(summary.count("verify-mismatch"), 0);
+    assert_eq!(summary.count("warm-fallback"), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_diff_reports_a_removed_switch() {
+    let dir = std::env::temp_dir().join("asi-cli-snapshot-diff-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let full = dir.join("full.snap");
+    let small = dir.join("small.snap");
+    let (_, _, ok1) = run(&[
+        "snapshot", "save", "--topology", "mesh:3x3", "--out", full.to_str().unwrap(),
+    ]);
+    let (_, _, ok2) = run(&[
+        "snapshot", "save", "--topology", "mesh:2x3", "--out", small.to_str().unwrap(),
+    ]);
+    assert!(ok1 && ok2);
+    let (stdout, _, ok) = run(&[
+        "snapshot", "diff",
+        "--old", full.to_str().unwrap(), "--new", small.to_str().unwrap(), "--json",
+    ]);
+    assert!(ok);
+    let delta = parse(&stdout).unwrap();
+    assert_eq!(*delta.get("identical"), Json::Bool(false));
+    assert_eq!(delta.get("removed_devices").as_array().unwrap().len(), 6);
+    assert!(delta.get("change_count").as_u64().unwrap() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_mode_rejects_malformed_invocations() {
+    assert_usage_error(&["snapshot"], "snapshot wants a subcommand");
+    assert_usage_error(&["snapshot", "freeze"], "unknown snapshot subcommand");
+    assert_usage_error(&["snapshot", "save", "--topology", "mesh:3x3"], "--out is required");
+    assert_usage_error(&["snapshot", "save", "--out", "x.snap"], "--topology is required");
+    assert_usage_error(
+        &["snapshot", "save", "--topology", "mesh:3x3", "--out", "x", "--format", "yaml"],
+        "unknown snapshot format",
+    );
+    assert_usage_error(
+        &["snapshot", "save", "--topology", "mesh:3x3", "--out", "x", "--algorithm", "all"],
+        "snapshot mode wants one algorithm",
+    );
+    assert_usage_error(&["snapshot", "load"], "--in is required");
+    assert_usage_error(
+        &["snapshot", "load", "--in", "/nonexistent/fabric.snap"],
+        "cannot load snapshot",
+    );
+    assert_usage_error(&["snapshot", "diff", "--old", "a.snap"], "--new is required");
+    assert_usage_error(
+        &["snapshot", "verify", "--topology", "mesh:3x3"],
+        "--in is required",
+    );
+    let dir = std::env::temp_dir().join("asi-cli-snapshot-err-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("t.snap");
+    let (_, _, ok) = run(&[
+        "snapshot", "save", "--topology", "mesh:2x2", "--out", snap.to_str().unwrap(),
+    ]);
+    assert!(ok);
+    assert_usage_error(
+        &[
+            "snapshot", "verify", "--topology", "mesh:2x2",
+            "--in", snap.to_str().unwrap(), "--threshold", "1.5",
+        ],
+        "--threshold must be in [0, 1]",
+    );
+    // Corrupt snapshots die with the friendly error, not a panic.
+    let garbled = dir.join("garbled.snap");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&garbled, &bytes).unwrap();
+    assert_usage_error(
+        &["snapshot", "load", "--in", garbled.to_str().unwrap()],
+        "cannot load snapshot",
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warmstart_sweep_grid_runs_and_is_jobs_invariant() {
+    let (csv1, stderr, ok1) = run(&[
+        "sweep", "--grid", "warmstart", "--quick", "--jobs", "1", "--csv",
+    ]);
+    let (csv2, _, ok2) = run(&[
+        "sweep", "--grid", "warmstart", "--quick", "--jobs", "2", "--csv",
+    ]);
+    assert!(ok1 && ok2, "{stderr}");
+    assert_eq!(csv1, csv2, "warm sweep CSV must not depend on --jobs");
+    let header = csv1.lines().next().unwrap();
+    for col in ["warm", "probes_verified", "verify_mismatches", "warm_fallback"] {
+        assert!(header.contains(col), "{col} missing from CSV header");
+    }
+}
+
+#[test]
 fn sweep_text_table_names_every_algorithm() {
     let (stdout, _, ok) = run(&["sweep", "--grid", "smoke"]);
     assert!(ok);
