@@ -152,10 +152,8 @@ impl TopologyDb {
             return false;
         }
         let ports = vec![None; usize::from(info.port_count)];
-        self.devices.insert(
-            info.dsn,
-            DbDevice { info, route, ports },
-        );
+        self.devices
+            .insert(info.dsn, DbDevice { info, route, ports });
         true
     }
 
@@ -182,8 +180,7 @@ impl TopologyDb {
     /// existed.
     pub fn remove_device(&mut self, dsn: u64) -> bool {
         let existed = self.devices.remove(&dsn).is_some();
-        self.links
-            .retain(|&(a, _, b, _)| a != dsn && b != dsn);
+        self.links.retain(|&(a, _, b, _)| a != dsn && b != dsn);
         existed
     }
 
@@ -234,6 +231,175 @@ impl TopologyDb {
         doomed
     }
 
+    /// Adjacency over the discovered links: `dsn -> sorted [(own port,
+    /// neighbour, neighbour port)]`. Built once per BFS; the sort keeps
+    /// neighbour exploration deterministic.
+    fn adjacency(&self) -> HashMap<u64, Vec<(u8, u64, u8)>> {
+        let mut adj: HashMap<u64, Vec<(u8, u64, u8)>> = HashMap::with_capacity(self.devices.len());
+        for &(a, ap, b, bp) in &self.links {
+            adj.entry(a).or_default().push((ap, b, bp));
+            adj.entry(b).or_default().push((bp, a, ap));
+        }
+        for v in adj.values_mut() {
+            v.sort_unstable();
+        }
+        adj
+    }
+
+    /// BFS parent tree rooted at `from`: `node -> (parent, parent's
+    /// egress port, entry port at node)`.
+    fn bfs_tree(
+        &self,
+        from: u64,
+        adj: &HashMap<u64, Vec<(u8, u64, u8)>>,
+    ) -> HashMap<u64, (u64, u8, u8)> {
+        let mut prev: HashMap<u64, (u64, u8, u8)> = HashMap::with_capacity(self.devices.len());
+        let mut queue = VecDeque::new();
+        queue.push_back(from);
+        let mut seen: HashSet<u64> = HashSet::with_capacity(self.devices.len());
+        seen.insert(from);
+        while let Some(n) = queue.pop_front() {
+            for &(p, m, mp) in adj.get(&n).into_iter().flatten() {
+                if self.contains(m) && seen.insert(m) {
+                    prev.insert(m, (n, p, mp));
+                    queue.push_back(m);
+                }
+            }
+        }
+        prev
+    }
+
+    /// The `from → to` chain of `(node, egress at node, entry at next)`
+    /// recovered from a `from`-rooted BFS tree, or `None` when `to` is
+    /// unreachable.
+    fn chain_to(
+        from: u64,
+        to: u64,
+        prev: &HashMap<u64, (u64, u8, u8)>,
+    ) -> Option<Vec<(u64, u8, u8)>> {
+        prev.get(&to)?;
+        let mut chain: Vec<(u64, u8, u8)> = Vec::new();
+        let mut cur = to;
+        while cur != from {
+            let &(parent, egress, entry) = prev.get(&cur)?;
+            chain.push((parent, egress, entry));
+            cur = parent;
+        }
+        chain.reverse();
+        Some(chain)
+    }
+
+    /// Encodes the route along a forward chain (see [`Self::chain_to`]).
+    fn route_of_chain(
+        &self,
+        chain: &[(u64, u8, u8)],
+        pool_capacity: u16,
+    ) -> Result<DeviceRoute, TurnError> {
+        let egress = chain[0].1;
+        let entry_port = chain.last().unwrap().2;
+        let mut pool = TurnPool::with_capacity(pool_capacity);
+        let mut hops = 0;
+        for i in 1..chain.len() {
+            let (switch_dsn, out, _) = chain[i];
+            let ingress = chain[i - 1].2;
+            let ports = self.devices[&switch_dsn].info.port_count as u8;
+            let turn = turn_for(ingress, out, ports);
+            pool.push_turn(turn, turn_width(ports))?;
+            hops += 1;
+        }
+        Ok(DeviceRoute {
+            egress,
+            pool,
+            entry_port,
+            hops,
+        })
+    }
+
+    /// Routes from `from` to every other reachable device, computed with
+    /// a single BFS — the batched form of [`Self::route_between`], with
+    /// identical per-target results (same deterministic tie-breaking) at
+    /// O(devices + links) instead of one BFS per target. Targets whose
+    /// path cannot be encoded map to the `TurnError`.
+    pub fn routes_from(
+        &self,
+        from: u64,
+        pool_capacity: u16,
+    ) -> HashMap<u64, Result<DeviceRoute, TurnError>> {
+        let mut out = HashMap::new();
+        if !self.contains(from) {
+            return out;
+        }
+        let adj = self.adjacency();
+        let prev = self.bfs_tree(from, &adj);
+        for &dsn in self.devices.keys() {
+            if dsn == from {
+                continue;
+            }
+            if let Some(chain) = Self::chain_to(from, dsn, &prev) {
+                out.insert(dsn, self.route_of_chain(&chain, pool_capacity));
+            }
+        }
+        out
+    }
+
+    /// Routes from every reachable device *to* `to`, derived by
+    /// reversing the `to`-rooted BFS tree with one traversal. Each route
+    /// is a shortest path of the same length [`Self::route_between`]
+    /// would find, but ties may break differently (the reversal of the
+    /// tree path rather than a fresh source-rooted search).
+    pub fn routes_to(
+        &self,
+        to: u64,
+        pool_capacity: u16,
+    ) -> HashMap<u64, Result<DeviceRoute, TurnError>> {
+        let mut out = HashMap::new();
+        if !self.contains(to) {
+            return out;
+        }
+        let adj = self.adjacency();
+        let prev = self.bfs_tree(to, &adj);
+        for &dsn in self.devices.keys() {
+            if dsn == to {
+                continue;
+            }
+            let Some(chain) = Self::chain_to(to, dsn, &prev) else {
+                continue;
+            };
+            // `chain` runs to → dsn; walk it backwards to route dsn → to.
+            // Forward, switch chain[i] is entered on chain[i-1]'s entry
+            // port and leaves on its own egress port; reversed, those two
+            // swap roles.
+            let egress = chain.last().unwrap().2;
+            let entry_port = chain[0].1;
+            let mut pool = TurnPool::with_capacity(pool_capacity);
+            let mut hops = 0;
+            let mut err = None;
+            for i in (1..chain.len()).rev() {
+                let (switch_dsn, out_fwd, _) = chain[i];
+                let ingress = out_fwd;
+                let out_rev = chain[i - 1].2;
+                let ports = self.devices[&switch_dsn].info.port_count as u8;
+                let turn = turn_for(ingress, out_rev, ports);
+                if let Err(e) = pool.push_turn(turn, turn_width(ports)) {
+                    err = Some(e);
+                    break;
+                }
+                hops += 1;
+            }
+            let route = match err {
+                Some(e) => Err(e),
+                None => Ok(DeviceRoute {
+                    egress,
+                    pool,
+                    entry_port,
+                    hops,
+                }),
+            };
+            out.insert(dsn, route);
+        }
+        out
+    }
+
     /// BFS route from the host to `to`, or from `from` to the host —
     /// computed over the discovered links. Returns `(egress at from,
     /// pool, entry port at to)`.
@@ -246,62 +412,10 @@ impl TopologyDb {
         if from == to || !self.contains(from) || !self.contains(to) {
             return None;
         }
-        // BFS over (dsn) space using the link set.
-        let mut adj: HashMap<u64, Vec<(u8, u64, u8)>> = HashMap::new();
-        for &(a, ap, b, bp) in &self.links {
-            adj.entry(a).or_default().push((ap, b, bp));
-            adj.entry(b).or_default().push((bp, a, ap));
-        }
-        // Deterministic neighbour order.
-        for v in adj.values_mut() {
-            v.sort_unstable();
-        }
-        let mut prev: HashMap<u64, (u64, u8, u8)> = HashMap::new(); // node -> (parent, parent_egress, entry)
-        let mut queue = VecDeque::new();
-        queue.push_back(from);
-        let mut seen: HashSet<u64> = HashSet::new();
-        seen.insert(from);
-        while let Some(n) = queue.pop_front() {
-            if n == to {
-                break;
-            }
-            for &(p, m, mp) in adj.get(&n).into_iter().flatten() {
-                if self.contains(m) && seen.insert(m) {
-                    prev.insert(m, (n, p, mp));
-                    queue.push_back(m);
-                }
-            }
-        }
-        prev.get(&to)?;
-        // Reconstruct the chain of (node, egress, entry-at-next).
-        let mut chain: Vec<(u64, u8, u8)> = Vec::new();
-        let mut cur = to;
-        while cur != from {
-            let &(parent, egress, entry) = prev.get(&cur)?;
-            chain.push((parent, egress, entry));
-            cur = parent;
-        }
-        chain.reverse();
-        let egress = chain[0].1;
-        let entry_port = chain.last().unwrap().2;
-        let mut pool = TurnPool::with_capacity(pool_capacity);
-        let mut hops = 0;
-        for i in 1..chain.len() {
-            let (switch_dsn, out, _) = chain[i];
-            let ingress = chain[i - 1].2;
-            let ports = self.devices[&switch_dsn].info.port_count as u8;
-            let turn = turn_for(ingress, out, ports);
-            if let Err(e) = pool.push_turn(turn, turn_width(ports)) {
-                return Some(Err(e));
-            }
-            hops += 1;
-        }
-        Some(Ok(DeviceRoute {
-            egress,
-            pool,
-            entry_port,
-            hops,
-        }))
+        let adj = self.adjacency();
+        let prev = self.bfs_tree(from, &adj);
+        let chain = Self::chain_to(from, to, &prev)?;
+        Some(self.route_of_chain(&chain, pool_capacity))
     }
 
     /// Recomputes every device's stored route from the host over the
@@ -310,13 +424,14 @@ impl TopologyDb {
     /// stale one; returns the DSNs whose route could not be refreshed.
     pub fn refresh_routes(&mut self, pool_capacity: u16) -> Vec<u64> {
         let host = self.host_dsn;
+        let mut routes = self.routes_from(host, pool_capacity);
         let dsns: Vec<u64> = self.devices.keys().copied().collect();
         let mut stale = Vec::new();
         for dsn in dsns {
             if dsn == host {
                 continue;
             }
-            match self.route_between(host, dsn, pool_capacity) {
+            match routes.remove(&dsn) {
                 Some(Ok(route)) => {
                     if let Some(d) = self.devices.get_mut(&dsn) {
                         d.route = route;
@@ -453,7 +568,11 @@ mod tests {
                 2,
                 p,
                 PortInfo {
-                    state: if p < 2 { PortState::Active } else { PortState::Down },
+                    state: if p < 2 {
+                        PortState::Active
+                    } else {
+                        PortState::Down
+                    },
                     link_width: 1,
                     link_speed: 10,
                     peer_port: 0,

@@ -177,7 +177,11 @@ mod tests {
                 100,
                 p,
                 PortInfo {
-                    state: if p == 0 { PortState::Active } else { PortState::Down },
+                    state: if p == 0 {
+                        PortState::Active
+                    } else {
+                        PortState::Down
+                    },
                     link_width: 1,
                     link_speed: 10,
                     peer_port: 0,
@@ -197,7 +201,14 @@ mod tests {
         assert!(matches!(msgs[1], FmMessage::Device { .. }));
         assert!(matches!(msgs[2], FmMessage::Link { .. }));
         assert!(
-            matches!(msgs[3], FmMessage::Complete { sender: 1, devices: 2, links: 1 }),
+            matches!(
+                msgs[3],
+                FmMessage::Complete {
+                    sender: 1,
+                    devices: 2,
+                    links: 1
+                }
+            ),
             "{:?}",
             msgs[3]
         );

@@ -60,10 +60,7 @@ pub fn elect(candidates: &[Claim]) -> Option<ElectionResult> {
     sorted.sort_unstable();
     sorted.dedup();
     let primary = *sorted.last()?;
-    let secondary = sorted
-        .len()
-        .checked_sub(2)
-        .map(|i| sorted[i]);
+    let secondary = sorted.len().checked_sub(2).map(|i| sorted[i]);
     Some(ElectionResult { primary, secondary })
 }
 

@@ -27,8 +27,8 @@ use crate::metrics::Algorithm;
 use crate::retry::RetryPolicy;
 use asi_proto::{
     config::{general_info_read, port_info_reads, CAP_OWNERSHIP},
-    turn_for, turn_width, CapabilityAddr, DeviceInfo, DeviceType, Pi4Status, PortInfo,
-    PortState, TurnPool,
+    turn_for, turn_width, CapabilityAddr, DeviceInfo, DeviceType, Pi4Status, PortInfo, PortState,
+    TurnPool,
 };
 use asi_sim::{SimDuration, SimTime, TraceEvent, TraceHandle};
 use std::collections::VecDeque;
@@ -384,8 +384,7 @@ impl Engine {
             }
         }
         out.extend(engine.advance());
-        if engine.pending.is_empty() && engine.probe_queue.is_empty() && engine.current.is_none()
-        {
+        if engine.pending.is_empty() && engine.probe_queue.is_empty() && engine.current.is_none() {
             engine.done = true;
         }
         (engine, out)
@@ -503,7 +502,10 @@ impl Engine {
         self.stats.responses += 1;
         let ok = result.is_ok();
         self.trace
-            .emit(self.trace_now, || TraceEvent::RequestCompleted { req_id, ok });
+            .emit(self.trace_now, || TraceEvent::RequestCompleted {
+                req_id,
+                ok,
+            });
         self.trace_pending();
         let mut out = Vec::new();
         match (inflight.kind, result) {
@@ -593,7 +595,11 @@ impl Engine {
         self.trace
             .emit(self.trace_now, || TraceEvent::RequestTimedOut { req_id });
         self.trace_pending();
-        if self.cfg.retry.allows_retry(self.cfg.base_timeout, inflight.retries) {
+        if self
+            .cfg
+            .retry
+            .allows_retry(self.cfg.base_timeout, inflight.retries)
+        {
             if let Some(req) =
                 self.reissue(inflight.kind.clone(), inflight.retries + 1, inflight.salt)
             {
@@ -631,19 +637,20 @@ impl Engine {
             }
             Pending::Ports { dsn, first_port } => {
                 let d = self.db.device(*dsn)?;
-                let remaining =
-                    d.info.port_count.checked_sub(*first_port)?.min(u16::from(
-                        asi_proto::PORTS_PER_READ,
-                    ));
+                let remaining = d
+                    .info
+                    .port_count
+                    .checked_sub(*first_port)?
+                    .min(u16::from(asi_proto::PORTS_PER_READ));
                 if remaining == 0 {
                     return None;
                 }
                 (
                     d.route.clone(),
                     OutOp::Read {
-                        addr: CapabilityAddr::baseline(
-                            asi_proto::config::port_block_offset(*first_port),
-                        ),
+                        addr: CapabilityAddr::baseline(asi_proto::config::port_block_offset(
+                            *first_port,
+                        )),
                         dwords: (remaining * asi_proto::PORT_BLOCK_WORDS) as u8,
                     },
                 )
@@ -705,11 +712,12 @@ impl Engine {
             return;
         }
         self.db.insert_device(info, target.route.clone());
-        self.trace.emit(self.trace_now, || TraceEvent::DeviceDiscovered {
-            dsn: info.dsn,
-            switch: info.device_type == DeviceType::Switch,
-            ports: info.port_count,
-        });
+        self.trace
+            .emit(self.trace_now, || TraceEvent::DeviceDiscovered {
+                dsn: info.dsn,
+                switch: info.device_type == DeviceType::Switch,
+                ports: info.port_count,
+            });
         if self.cfg.claim_partitioning {
             let dsn = info.dsn;
             let claim = vec![(self.my_dsn >> 32) as u32, self.my_dsn as u32];
@@ -1208,26 +1216,20 @@ mod tests {
                 },
             );
         }
-        let (mut engine, out) =
-            Engine::seeded(cfg(Algorithm::Parallel), db, &[], &[(7, 1)]);
+        let (mut engine, out) = Engine::seeded(cfg(Algorithm::Parallel), db, &[], &[(7, 1)]);
         assert_eq!(out.len(), 1, "one probe through (7, 1)");
         assert!(!engine.is_done());
         // The probe's pool carries the turn through switch 7 (entry 2 →
         // egress 1 on a 4-port switch).
         let mut expect = TurnPool::with_capacity(asi_proto::MAX_POOL_BITS);
-        expect
-            .push_turn(turn_for(2, 1, 4), turn_width(4))
-            .unwrap();
+        expect.push_turn(turn_for(2, 1, 4), turn_width(4)).unwrap();
         assert_eq!(out[0].pool, expect);
         // Answer with a fresh endpoint: discovery extends and completes.
         let mut ep9 = endpoint_info(9);
         ep9.fm_capable = false;
         let reads = engine.handle_completion(out[0].req_id, Ok(&ep9.to_words()));
         assert_eq!(reads.len(), 1, "one port-block read for the endpoint");
-        let done = engine.handle_completion(
-            reads[0].req_id,
-            Ok(&active_port(1).to_words()),
-        );
+        let done = engine.handle_completion(reads[0].req_id, Ok(&active_port(1).to_words()));
         assert!(done.is_empty());
         assert!(engine.is_done());
         assert!(engine.db.contains(9));
@@ -1238,8 +1240,7 @@ mod tests {
     fn claim_flow_cedes_to_rival() {
         let mut c = cfg(Algorithm::Parallel);
         c.claim_partitioning = true;
-        let (mut engine, out) =
-            Engine::start(c, endpoint_info(1), &[active_port(2)]);
+        let (mut engine, out) = Engine::start(c, endpoint_info(1), &[active_port(2)]);
         // General info answered: engine must claim before reading ports.
         let claim = engine.handle_completion(out[0].req_id, Ok(&switch_words(7)));
         assert_eq!(claim.len(), 1);
@@ -1250,10 +1251,8 @@ mod tests {
         assert!(matches!(check[0].op, OutOp::Read { .. }));
         // Read-back shows a rival owner: cede, no port reads, done.
         let rival = 0xBEEFu64;
-        let out = engine.handle_completion(
-            check[0].req_id,
-            Ok(&[(rival >> 32) as u32, rival as u32]),
-        );
+        let out =
+            engine.handle_completion(check[0].req_id, Ok(&[(rival >> 32) as u32, rival as u32]));
         assert!(out.is_empty());
         assert!(engine.is_done());
         assert_eq!(engine.stats().ceded_devices, 1);
@@ -1267,8 +1266,7 @@ mod tests {
     fn claim_flow_owns_and_explores() {
         let mut c = cfg(Algorithm::Parallel);
         c.claim_partitioning = true;
-        let (mut engine, out) =
-            Engine::start(c, endpoint_info(1), &[active_port(2)]);
+        let (mut engine, out) = Engine::start(c, endpoint_info(1), &[active_port(2)]);
         let claim = engine.handle_completion(out[0].req_id, Ok(&switch_words(7)));
         let check = engine.handle_completion(claim[0].req_id, Ok(&[]));
         // Read-back shows our own DSN (1): proceed with port reads.

@@ -14,8 +14,8 @@ use crate::snapshot::db_from_snapshot;
 use crate::timing::FmTiming;
 use asi_fabric::{AgentCtx, FabricAgent};
 use asi_proto::{
-    DeviceType, FmMessage, Packet, Payload, Pi4, Pi5, PortEvent, ProtocolInterface,
-    RouteHeader, MANAGEMENT_TC,
+    DeviceType, FmMessage, Packet, Payload, Pi4, Pi5, PortEvent, ProtocolInterface, RouteHeader,
+    MANAGEMENT_TC,
 };
 use asi_sim::{SimDuration, SimTime, TimeSeries, TraceEvent, TraceHandle};
 use asi_state::Snapshot;
@@ -399,8 +399,7 @@ impl FmAgent {
 
     fn begin_full(&mut self, ctx: &mut AgentCtx, trigger: DiscoveryTrigger) {
         self.epoch += 1;
-        let (mut engine, out) =
-            Engine::start(self.engine_cfg(), ctx.host_info, &ctx.host_ports);
+        let (mut engine, out) = Engine::start(self.engine_cfg(), ctx.host_info, &ctx.host_ports);
         engine.set_trace(self.cfg.trace.clone());
         engine.set_trace_time(ctx.now);
         let algorithm = self.cfg.algorithm.name();
@@ -412,15 +411,19 @@ impl FmAgent {
         // sink is installed on the engine: emit its discovery here so the
         // device-discovered count reconciles with `devices_found`.
         let host = ctx.host_info;
-        self.cfg.trace.emit(ctx.now, || TraceEvent::DeviceDiscovered {
-            dsn: host.dsn,
-            switch: host.device_type == DeviceType::Switch,
-            ports: host.port_count,
-        });
+        self.cfg
+            .trace
+            .emit(ctx.now, || TraceEvent::DeviceDiscovered {
+                dsn: host.dsn,
+                switch: host.device_type == DeviceType::Switch,
+                ports: host.port_count,
+            });
         let outstanding = engine.outstanding() as u32;
         self.cfg
             .trace
-            .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
+            .emit(ctx.now, || TraceEvent::PendingTableSize {
+                size: outstanding,
+            });
         self.acc = Some(RunAcc::new(trigger, ctx.now));
         self.engine = Some(engine);
         self.dispatch(ctx, out);
@@ -432,8 +435,7 @@ impl FmAgent {
     /// fallback) happens in [`FmAgent::maybe_finish`] when the verify
     /// phase drains.
     fn begin_warm(&mut self, ctx: &mut AgentCtx, snapshot: &Snapshot) {
-        if snapshot.host_dsn != ctx.host_info.dsn || snapshot.device(snapshot.host_dsn).is_none()
-        {
+        if snapshot.host_dsn != ctx.host_info.dsn || snapshot.device(snapshot.host_dsn).is_none() {
             // The snapshot was taken on a different host: useless here.
             self.begin_full(ctx, DiscoveryTrigger::Initial);
             return;
@@ -463,7 +465,9 @@ impl FmAgent {
         let outstanding = engine.outstanding() as u32;
         self.cfg
             .trace
-            .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
+            .emit(ctx.now, || TraceEvent::PendingTableSize {
+                size: outstanding,
+            });
         let mut acc = RunAcc::new(DiscoveryTrigger::WarmStart, ctx.now);
         acc.warm_verifying = true;
         acc.snapshot_devices = sdev;
@@ -513,7 +517,9 @@ impl FmAgent {
         let outstanding = engine.outstanding() as u32;
         self.cfg
             .trace
-            .emit(ctx.now, || TraceEvent::PendingTableSize { size: outstanding });
+            .emit(ctx.now, || TraceEvent::PendingTableSize {
+                size: outstanding,
+            });
         self.acc = Some(RunAcc::new(DiscoveryTrigger::Partial, ctx.now));
         self.engine = Some(engine);
         self.dispatch(ctx, out);
@@ -527,11 +533,8 @@ impl FmAgent {
             self.cfg
                 .trace
                 .emit(ctx.now, || TraceEvent::RequestInjected { req_id, write });
-            let header = RouteHeader::forward(
-                ProtocolInterface::DeviceManagement,
-                MANAGEMENT_TC,
-                req.pool,
-            );
+            let header =
+                RouteHeader::forward(ProtocolInterface::DeviceManagement, MANAGEMENT_TC, req.pool);
             let payload = match req.op {
                 OutOp::Read { addr, dwords } => Pi4::ReadRequest {
                     req_id: req.req_id,
@@ -675,6 +678,7 @@ impl FmAgent {
             timeouts: stats.timeouts,
             retries: stats.retries,
             abandoned: stats.abandoned,
+            peak_outstanding: stats.max_outstanding,
             bytes_sent: acc.bytes_sent,
             bytes_received: acc.bytes_received,
             devices_found: db.device_count(),
@@ -750,14 +754,15 @@ impl FmAgent {
             unencodable: failed.len() as u64,
             bytes_sent: 0,
         };
+        // One BFS from the host serves every write's delivery route.
+        let host_routes = db.routes_from(host, self.cfg.pool_capacity);
         let mut planned = Vec::new();
         for w in writes {
-            let Some(Ok(route)) = db.route_between(host, w.target_dsn, self.cfg.pool_capacity)
-            else {
+            let Some(Ok(route)) = host_routes.get(&w.target_dsn) else {
                 acc.failures += 1;
                 continue;
             };
-            planned.push((w, route));
+            planned.push((w, route.clone()));
         }
         // The writes are fully pipelined, so the *last* completion sits
         // behind every earlier one in the FM's inbound queue: the timeout
@@ -766,8 +771,7 @@ impl FmAgent {
             .cfg
             .timing
             .pi4_time(self.cfg.algorithm, db.device_count());
-        let dist_timeout =
-            self.cfg.request_timeout + per_packet * (planned.len() as u64 + 1) * 2;
+        let dist_timeout = self.cfg.request_timeout + per_packet * (planned.len() as u64 + 1) * 2;
         for (w, route) in planned {
             self.dist_next_req += 1;
             let req_id = self.dist_next_req;
@@ -914,22 +918,26 @@ impl FmAgent {
         match pi4 {
             Pi4::WriteCompletion { req_id }
                 if (MCAST_REQ_BASE..DIST_REQ_BASE).contains(req_id)
-                && self.mcast_complete(*req_id, true) => {
-                    return;
-                }
+                    && self.mcast_complete(*req_id, true) =>
+            {
+                return;
+            }
             Pi4::ReadError { req_id, .. }
                 if (MCAST_REQ_BASE..DIST_REQ_BASE).contains(req_id)
-                && self.mcast_complete(*req_id, false) => {
-                    return;
-                }
-            Pi4::WriteCompletion { req_id } if *req_id >= DIST_REQ_BASE
-                && self.dist_complete(ctx, *req_id, true) => {
-                    return;
-                }
-            Pi4::ReadError { req_id, .. } if *req_id >= DIST_REQ_BASE
-                && self.dist_complete(ctx, *req_id, false) => {
-                    return;
-                }
+                    && self.mcast_complete(*req_id, false) =>
+            {
+                return;
+            }
+            Pi4::WriteCompletion { req_id }
+                if *req_id >= DIST_REQ_BASE && self.dist_complete(ctx, *req_id, true) =>
+            {
+                return;
+            }
+            Pi4::ReadError { req_id, .. }
+                if *req_id >= DIST_REQ_BASE && self.dist_complete(ctx, *req_id, false) =>
+            {
+                return;
+            }
             _ => {}
         }
         let Some(engine) = self.engine.as_mut() else {
@@ -1092,8 +1100,7 @@ impl FabricAgent for FmAgent {
         // was busy and any gap back to the previous completion was idle.
         if self.cfg.trace.is_enabled() {
             let busy = self.last_processing;
-            let started =
-                SimTime::from_ps(ctx.now.as_ps().saturating_sub(busy.as_ps()));
+            let started = SimTime::from_ps(ctx.now.as_ps().saturating_sub(busy.as_ps()));
             if started > self.busy_until {
                 let idle = started.saturating_since(self.busy_until);
                 self.cfg.trace.emit(started, || TraceEvent::FmIdle { idle });
@@ -1298,12 +1305,11 @@ mod tests {
     fn collaborator_reports_after_discovery() {
         let mut pool = TurnPool::new_spec();
         pool.push_turn(1, 4).unwrap();
-        let cfg = FmConfig::new(Algorithm::Parallel).with_distributed(
-            DistributedRole::Collaborator {
+        let cfg =
+            FmConfig::new(Algorithm::Parallel).with_distributed(DistributedRole::Collaborator {
                 report_egress: 0,
                 report_pool: pool,
-            },
-        );
+            });
         let mut fm = FmAgent::new(cfg);
         let mut c = ctx();
         fm.on_timer(&mut c, TOKEN_START_DISCOVERY);
@@ -1318,8 +1324,9 @@ mod tests {
 
     #[test]
     fn primary_buffers_reports_until_its_own_run_finishes() {
-        let cfg = FmConfig::new(Algorithm::Parallel)
-            .with_distributed(DistributedRole::Primary { expected_reports: 1 });
+        let cfg = FmConfig::new(Algorithm::Parallel).with_distributed(DistributedRole::Primary {
+            expected_reports: 1,
+        });
         let mut fm = FmAgent::new(cfg);
         let mut c = ctx();
         // Report arrives before the primary even started: buffered.

@@ -38,7 +38,10 @@ pub use db::{DbDevice, DbDiff, DeviceRoute, TopologyDb};
 pub use distributed::{report_messages, DistributedRole, MergeState};
 pub use election::{elect, role_of, Claim, ElectionResult, FmRole};
 pub use engine::{Engine, EngineConfig, EngineStats, OutOp, OutRequest};
-pub use fm::{DiscoveryMode, FmAgent, FmConfig, StandbyConfig, TOKEN_CONFIGURE_MCAST, TOKEN_START_DISCOVERY, TOKEN_START_STANDBY};
+pub use fm::{
+    DiscoveryMode, FmAgent, FmConfig, StandbyConfig, TOKEN_CONFIGURE_MCAST, TOKEN_START_DISCOVERY,
+    TOKEN_START_STANDBY,
+};
 pub use mcast::{plan_multicast, McastError, McastWrite};
 pub use metrics::{Algorithm, DiscoveryRun, DiscoveryTrigger, DistributionRun};
 pub use pathdist::{decode_route_table, plan_distribution, PlannedWrite, RouteTableEntry};

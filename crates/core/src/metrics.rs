@@ -85,6 +85,10 @@ pub struct DiscoveryRun {
     pub retries: u64,
     /// Requests abandoned after exhausting the retry policy's budget.
     pub abandoned: u64,
+    /// Largest number of simultaneously outstanding requests — the peak
+    /// pending-table occupancy (1 for the serial algorithms by
+    /// construction; the scale sweeps report this per cell).
+    pub peak_outstanding: usize,
     /// Management bytes the FM injected.
     pub bytes_sent: u64,
     /// Management bytes the FM received.
@@ -175,6 +179,7 @@ mod tests {
             timeouts: 0,
             retries: 0,
             abandoned: 0,
+            peak_outstanding: 1,
             bytes_sent: 260,
             bytes_received: 520,
             devices_found: 5,

@@ -71,7 +71,10 @@ impl RouteTableEntry {
         }
         let w0 = u64::from(words[3]) | (u64::from(words[4]) << 32);
         let w1 = u64::from(words[5]);
-        let pool = TurnPool::from_words([w0, w1, 0, 0], len, ENTRY_POOL_BITS).ok()?;
+        let mut pool_words = [0u64; asi_proto::POOL_WORDS];
+        pool_words[0] = w0;
+        pool_words[1] = w1;
+        let pool = TurnPool::from_words(pool_words, len, ENTRY_POOL_BITS).ok()?;
         Some(RouteTableEntry {
             dest_dsn,
             egress,
@@ -122,13 +125,16 @@ pub fn plan_distribution(
         if owner == db.host_dsn() {
             continue;
         }
+        // One BFS per owner; per-(owner, dest) route_between calls would
+        // be cubic in the endpoint count.
+        let mut owner_routes = db.routes_from(owner, pool_capacity.min(ENTRY_POOL_BITS));
         let mut index = 0u16;
         for &dest in &endpoints {
             if dest == owner {
                 continue;
             }
-            let entry = db
-                .route_between(owner, dest, pool_capacity.min(ENTRY_POOL_BITS))
+            let entry = owner_routes
+                .remove(&dest)
                 .and_then(Result::ok)
                 .map(|r| RouteTableEntry {
                     dest_dsn: dest,
@@ -273,8 +279,7 @@ mod tests {
         let (writes, _) = plan_distribution(&d, 96);
         let mut table = vec![0u32; 18];
         for w in writes.iter().filter(|w| w.target_dsn == 3) {
-            table[usize::from(w.offset)..usize::from(w.offset) + 6]
-                .copy_from_slice(&w.data);
+            table[usize::from(w.offset)..usize::from(w.offset) + 6].copy_from_slice(&w.data);
         }
         let entries = decode_route_table(&table);
         assert_eq!(entries.len(), 2);

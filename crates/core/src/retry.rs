@@ -90,8 +90,9 @@ impl RetryPolicy {
     /// timeout (only the deadline policy consults it).
     pub fn allows_retry(&self, base: SimDuration, retries_done: u32) -> bool {
         match *self {
-            RetryPolicy::Fixed { max_retries }
-            | RetryPolicy::Exponential { max_retries, .. } => retries_done < max_retries,
+            RetryPolicy::Fixed { max_retries } | RetryPolicy::Exponential { max_retries, .. } => {
+                retries_done < max_retries
+            }
             RetryPolicy::Deadline { budget } => {
                 // Attempts 0..=retries_done have spent base * (retries_done
                 // + 1) of the budget; allow another only if it still fits.

@@ -32,7 +32,10 @@ fn discover(topo: &Topology, algorithm: Algorithm) -> (Fabric, DevId) {
 type LinkKey = (u64, u8, u64, u8);
 
 fn ground_truth(topo: &Topology) -> (BTreeSet<u64>, BTreeSet<LinkKey>) {
-    let devices: BTreeSet<u64> = topo.nodes().map(|(id, _)| DSN_BASE | u64::from(id.0)).collect();
+    let devices: BTreeSet<u64> = topo
+        .nodes()
+        .map(|(id, _)| DSN_BASE | u64::from(id.0))
+        .collect();
     let links: BTreeSet<(u64, u8, u64, u8)> = topo
         .links()
         .iter()
@@ -159,7 +162,10 @@ fn discovery_time_ordering_matches_the_paper() {
     let sp = times[0].1;
     let sd = times[1].1;
     let pa = times[2].1;
-    assert!(sd < sp, "Serial Device ({sd}) must beat Serial Packet ({sp})");
+    assert!(
+        sd < sp,
+        "Serial Device ({sd}) must beat Serial Packet ({sp})"
+    );
     assert!(pa < sd, "Parallel ({pa}) must beat Serial Device ({sd})");
 }
 
@@ -233,7 +239,10 @@ fn rediscovery_after_switch_addition() {
     fabric.run_until_idle();
 
     let fm = DevId(g.endpoint_at(0, 0).0);
-    fabric.set_agent(fm, Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))));
+    fabric.set_agent(
+        fm,
+        Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))),
+    );
     fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
     fabric.run_until_idle();
 
@@ -355,12 +364,7 @@ fn partial_assimilation_is_cheaper_than_full() {
             .into_iter()
             .map(|d| DSN_BASE | u64::from(d.0))
             .collect();
-        let found: BTreeSet<u64> = agent
-            .db()
-            .unwrap()
-            .devices()
-            .map(|d| d.info.dsn)
-            .collect();
+        let found: BTreeSet<u64> = agent.db().unwrap().devices().map(|d| d.info.dsn).collect();
         assert_eq!(found, expected, "partial={partial} database wrong");
         (last.requests_sent, agent.db().unwrap().device_count())
     };

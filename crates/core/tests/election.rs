@@ -24,8 +24,10 @@ fn contenders_observe_each_other_and_elect_by_dsn() {
     let a = DevId(g.endpoint_at(0, 0).0);
     let b = DevId(g.endpoint_at(3, 3).0);
     for dev in [a, b] {
-        let mut cfg = FmConfig::new(Algorithm::Parallel)
-            .with_distributed(DistributedRole::Primary { expected_reports: 0 });
+        let mut cfg =
+            FmConfig::new(Algorithm::Parallel).with_distributed(DistributedRole::Primary {
+                expected_reports: 0,
+            });
         cfg.auto_rediscover = false;
         fabric.set_agent(dev, Box::new(FmAgent::new(cfg)));
         fabric.schedule_agent_timer(dev, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
@@ -68,8 +70,9 @@ fn lone_contender_becomes_primary_without_rivals() {
     fabric.activate_all(SimDuration::ZERO);
     fabric.run_until_idle();
     let a = DevId(g.endpoint_at(0, 0).0);
-    let mut cfg = FmConfig::new(Algorithm::Parallel)
-        .with_distributed(DistributedRole::Primary { expected_reports: 0 });
+    let mut cfg = FmConfig::new(Algorithm::Parallel).with_distributed(DistributedRole::Primary {
+        expected_reports: 0,
+    });
     cfg.auto_rediscover = false;
     fabric.set_agent(a, Box::new(FmAgent::new(cfg)));
     fabric.schedule_agent_timer(a, SimDuration::ZERO, TOKEN_START_DISCOVERY);

@@ -109,11 +109,7 @@ fn dsn_of(id: NodeId) -> u64 {
 
 /// Runs a full discovery over the mock fabric, delivering completions in
 /// an order chosen by `shuffler` (None = FIFO).
-fn drive(
-    topo: &Topology,
-    algorithm: Algorithm,
-    mut shuffler: Option<SimRng>,
-) -> (Engine, u64) {
+fn drive(topo: &Topology, algorithm: Algorithm, mut shuffler: Option<SimRng>) -> (Engine, u64) {
     let mut fabric = MockFabric::new(topo);
     let host = fabric.host;
     let host_info = *fabric.configs[host.idx()].info();
@@ -140,7 +136,10 @@ fn drive(
         steps += 1;
         assert!(steps < 1_000_000, "discovery did not converge");
     }
-    assert!(inbox.is_empty(), "engine finished with undelivered requests");
+    assert!(
+        inbox.is_empty(),
+        "engine finished with undelivered requests"
+    );
     if matches!(algorithm, Algorithm::SerialPacket) {
         assert_eq!(max_outstanding, 1, "Serial Packet overlapped requests");
     }
@@ -151,7 +150,11 @@ fn assert_matches_truth(engine: &Engine, topo: &Topology) {
     let truth: BTreeSet<u64> = topo.nodes().map(|(id, _)| dsn_of(id)).collect();
     let found: BTreeSet<u64> = engine.db.devices().map(|d| d.info.dsn).collect();
     assert_eq!(found, truth, "device sets differ");
-    assert_eq!(engine.db.link_count(), topo.links().len(), "link counts differ");
+    assert_eq!(
+        engine.db.link_count(),
+        topo.links().len(),
+        "link counts differ"
+    );
     for d in engine.db.devices() {
         assert!(d.ports_complete(), "{:x} ports incomplete", d.info.dsn);
     }

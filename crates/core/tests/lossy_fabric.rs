@@ -186,11 +186,8 @@ fn device_hang_defers_but_does_not_lose_discovery() {
     // but the full topology must still come back.
     let g = mesh(3, 3);
     let hung = g.switch_at(1, 1).0;
-    let plan = FaultPlan::none().with_device_hang(
-        SimDuration::from_us(10),
-        hung,
-        SimDuration::from_ms(2),
-    );
+    let plan =
+        FaultPlan::none().with_device_hang(SimDuration::from_us(10), hung, SimDuration::from_ms(2));
     let (devices, timeouts, _, retries, _) = run_faulty(plan, RetryPolicy::exponential(10), 1);
     assert_eq!(devices, 18);
     assert!(timeouts > 0, "hang never forced a timeout");
@@ -201,12 +198,8 @@ fn device_hang_defers_but_does_not_lose_discovery() {
 fn device_slow_stretches_but_completes_discovery() {
     let g = mesh(3, 3);
     let slow = g.switch_at(1, 1).0;
-    let plan = FaultPlan::none().with_device_slow(
-        SimDuration::ZERO,
-        slow,
-        20.0,
-        SimDuration::from_ms(50),
-    );
+    let plan =
+        FaultPlan::none().with_device_slow(SimDuration::ZERO, slow, 20.0, SimDuration::from_ms(50));
     let (devices, ..) = run_faulty(plan, RetryPolicy::exponential(10), 1);
     assert_eq!(devices, 18);
 }
@@ -237,8 +230,7 @@ fn scheduled_link_flap_is_assimilated() {
     // installed (run_until_idle would drain the scheduled fault too).
     fabric.run_until(asi_sim::SimTime::from_ms(5));
     let fm = DevId(g.endpoint_at(0, 0).0);
-    let cfg = FmConfig::new(Algorithm::Parallel)
-        .with_request_timeout(SimDuration::from_us(500));
+    let cfg = FmConfig::new(Algorithm::Parallel).with_request_timeout(SimDuration::from_us(500));
     fabric.set_agent(fm, Box::new(FmAgent::new(cfg)));
     fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
     // Let the initial discovery finish (well before the 40 ms flap),

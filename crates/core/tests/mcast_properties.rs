@@ -49,11 +49,7 @@ fn db_of(topo: &Topology) -> TopologyDb {
 
 /// Abstract replication over the planned tables: returns per-member copy
 /// counts when `source` injects, or None when a loop guard trips.
-fn simulate(
-    topo: &Topology,
-    plan: &[McastWrite],
-    source: NodeId,
-) -> Option<HashMap<NodeId, u32>> {
+fn simulate(topo: &Topology, plan: &[McastWrite], source: NodeId) -> Option<HashMap<NodeId, u32>> {
     let masks: HashMap<u64, u32> = plan.iter().map(|w| (w.target_dsn, w.mask)).collect();
     let mut delivered: HashMap<NodeId, u32> = HashMap::new();
     // (node, ingress port) frontier; source injects on its single port.
@@ -99,8 +95,7 @@ fn check_exactly_once(topo: &Topology, members: &[NodeId]) {
     let dsns: Vec<u64> = members.iter().map(|&m| dsn_of(m)).collect();
     let plan = plan_multicast(&db, 0, &dsns).expect("plan succeeds");
     for &source in members {
-        let delivered =
-            simulate(topo, &plan, source).expect("loop guard must not trip");
+        let delivered = simulate(topo, &plan, source).expect("loop guard must not trip");
         for &m in members {
             let copies = delivered.get(&m).copied().unwrap_or(0);
             if m == source {

@@ -28,11 +28,8 @@ impl FabricAgent for Member {
     }
     fn on_timer(&mut self, ctx: &mut AgentCtx, _token: u64) {
         if let Some(group) = self.inject.take() {
-            let header = RouteHeader::forward(
-                ProtocolInterface::Multicast,
-                0,
-                TurnPool::new_spec(),
-            );
+            let header =
+                RouteHeader::forward(ProtocolInterface::Multicast, 0, TurnPool::new_spec());
             ctx.send(
                 0,
                 Packet::new(
@@ -69,7 +66,10 @@ fn multicast_group_configuration_and_delivery() {
 
     // Discovery first.
     let fm = dev(g.endpoint_at(0, 0));
-    fabric.set_agent(fm, Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))));
+    fabric.set_agent(
+        fm,
+        Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))),
+    );
     fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
     fabric.run_until_idle();
 
@@ -156,11 +156,18 @@ fn any_member_can_be_the_source() {
     fabric.run_until_idle();
 
     let fm = dev(g.endpoint_at(0, 0));
-    fabric.set_agent(fm, Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))));
+    fabric.set_agent(
+        fm,
+        Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))),
+    );
     fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
     fabric.run_until_idle();
 
-    let members = [g.endpoint_at(2, 0), g.endpoint_at(0, 2), g.endpoint_at(2, 2)];
+    let members = [
+        g.endpoint_at(2, 0),
+        g.endpoint_at(0, 2),
+        g.endpoint_at(2, 2),
+    ];
     let member_dsns: Vec<u64> = members.iter().map(|m| DSN_BASE | u64::from(m.0)).collect();
     fabric
         .agent_as_mut::<FmAgent>(fm)

@@ -4,9 +4,7 @@
 //! packets across the fabric.
 
 use asi_core::{decode_route_table, Algorithm, FmAgent, FmConfig, TOKEN_START_DISCOVERY};
-use asi_fabric::{
-    AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, DSN_BASE,
-};
+use asi_fabric::{AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, DSN_BASE};
 use asi_proto::{CapabilityAddr, Packet, Payload, ProtocolInterface, RouteHeader, CAP_ROUTE_TABLE};
 use asi_sim::{SimDuration, SimTime};
 use asi_topo::mesh;
@@ -71,10 +69,7 @@ fn distribution_phase_writes_every_endpoint_table() {
         let entries = decode_route_table(&words);
         assert_eq!(entries.len(), 8, "endpoint {ep_dsn:x}");
         for e in &entries {
-            let expected = db
-                .route_between(ep_dsn, e.dest_dsn, 96)
-                .unwrap()
-                .unwrap();
+            let expected = db.route_between(ep_dsn, e.dest_dsn, 96).unwrap().unwrap();
             assert_eq!(e.pool, expected.pool, "{ep_dsn:x} -> {:x}", e.dest_dsn);
             assert_eq!(e.egress, expected.egress);
         }

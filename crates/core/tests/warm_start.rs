@@ -5,8 +5,7 @@
 //! threshold — when the fabric changed behind its back.
 
 use asi_core::{
-    snapshot_db, Algorithm, DiscoveryTrigger, FmAgent, FmConfig, RetryPolicy,
-    TOKEN_START_DISCOVERY,
+    snapshot_db, Algorithm, DiscoveryTrigger, FmAgent, FmConfig, RetryPolicy, TOKEN_START_DISCOVERY,
 };
 use asi_fabric::{DevId, Fabric, FabricConfig, FaultPlan, FmRoute, LossModel, DSN_BASE};
 use asi_sim::SimDuration;
@@ -48,12 +47,7 @@ fn snapshot_of(fabric: &Fabric, fm: DevId) -> Snapshot {
 
 fn device_set(fabric: &Fabric, fm: DevId) -> BTreeSet<u64> {
     let agent = fabric.agent_as::<FmAgent>(fm).unwrap();
-    agent
-        .db()
-        .unwrap()
-        .devices()
-        .map(|d| d.info.dsn)
-        .collect()
+    agent.db().unwrap().devices().map(|d| d.info.dsn).collect()
 }
 
 fn link_set(fabric: &Fabric, fm: DevId) -> BTreeSet<(u64, u8, u64, u8)> {
@@ -78,8 +72,11 @@ fn warm_start_verifies_unchanged_topologies_cheaply() {
         let topo = spec.build();
         let n = topo.nodes().count() as u64;
 
-        let (cold_fabric, cold_fm) =
-            run_fm(bring_up(&topo, None), &topo, FmConfig::new(Algorithm::Parallel));
+        let (cold_fabric, cold_fm) = run_fm(
+            bring_up(&topo, None),
+            &topo,
+            FmConfig::new(Algorithm::Parallel),
+        );
         let cold_run = cold_fabric
             .agent_as::<FmAgent>(cold_fm)
             .unwrap()
@@ -116,8 +113,14 @@ fn warm_start_verifies_unchanged_topologies_cheaply() {
             cold_run.discovery_time()
         );
         // The verified database is the cold database.
-        assert_eq!(device_set(&warm_fabric, warm_fm), device_set(&cold_fabric, cold_fm));
-        assert_eq!(link_set(&warm_fabric, warm_fm), link_set(&cold_fabric, cold_fm));
+        assert_eq!(
+            device_set(&warm_fabric, warm_fm),
+            device_set(&cold_fabric, cold_fm)
+        );
+        assert_eq!(
+            link_set(&warm_fabric, warm_fm),
+            link_set(&cold_fabric, cold_fm)
+        );
     }
 }
 
@@ -128,8 +131,11 @@ fn warm_start_after_switch_removal_converges_to_cold_database() {
     let victim = DevId(g.switch_at(1, 1).0);
 
     // Snapshot the intact fabric.
-    let (full_fabric, full_fm) =
-        run_fm(bring_up(topo, None), topo, FmConfig::new(Algorithm::Parallel));
+    let (full_fabric, full_fm) = run_fm(
+        bring_up(topo, None),
+        topo,
+        FmConfig::new(Algorithm::Parallel),
+    );
     let snapshot = snapshot_of(&full_fabric, full_fm);
 
     // Cold baseline on the degraded fabric.
@@ -155,8 +161,14 @@ fn warm_start_after_switch_removal_converges_to_cold_database() {
     assert!(run.probes_verified > 0, "untouched devices must verify");
 
     // Same database as the cold run on the same fabric.
-    assert_eq!(device_set(&warm_fabric, warm_fm), device_set(&cold_fabric, cold_fm));
-    assert_eq!(link_set(&warm_fabric, warm_fm), link_set(&cold_fabric, cold_fm));
+    assert_eq!(
+        device_set(&warm_fabric, warm_fm),
+        device_set(&cold_fabric, cold_fm)
+    );
+    assert_eq!(
+        link_set(&warm_fabric, warm_fm),
+        link_set(&cold_fabric, cold_fm)
+    );
     assert!(!device_set(&warm_fabric, warm_fm).contains(&(DSN_BASE | u64::from(victim.0))));
     for d in agent.db().unwrap().devices() {
         assert!(d.ports_complete(), "ports of {:x} incomplete", d.info.dsn);
@@ -169,8 +181,11 @@ fn warm_start_falls_back_when_snapshot_is_too_wrong() {
     let topo = &g.topology;
     let victim = DevId(g.switch_at(1, 1).0);
 
-    let (full_fabric, full_fm) =
-        run_fm(bring_up(topo, None), topo, FmConfig::new(Algorithm::Parallel));
+    let (full_fabric, full_fm) = run_fm(
+        bring_up(topo, None),
+        topo,
+        FmConfig::new(Algorithm::Parallel),
+    );
     let snapshot = snapshot_of(&full_fabric, full_fm);
 
     // Threshold 0.0: a single mismatch abandons the snapshot.
@@ -186,11 +201,20 @@ fn warm_start_falls_back_when_snapshot_is_too_wrong() {
 
     let agent = warm_fabric.agent_as::<FmAgent>(warm_fm).unwrap();
     let run = agent.last_run().unwrap();
-    assert!(run.warm_fallback, "mismatches above threshold must fall back");
+    assert!(
+        run.warm_fallback,
+        "mismatches above threshold must fall back"
+    );
     assert_eq!(run.trigger, DiscoveryTrigger::WarmStart);
     assert!(run.verify_mismatches >= 1);
-    assert_eq!(device_set(&warm_fabric, warm_fm), device_set(&cold_fabric, cold_fm));
-    assert_eq!(link_set(&warm_fabric, warm_fm), link_set(&cold_fabric, cold_fm));
+    assert_eq!(
+        device_set(&warm_fabric, warm_fm),
+        device_set(&cold_fabric, cold_fm)
+    );
+    assert_eq!(
+        link_set(&warm_fabric, warm_fm),
+        link_set(&cold_fabric, cold_fm)
+    );
 }
 
 #[test]
@@ -215,8 +239,11 @@ fn warm_start_converges_under_loss() {
     // retries or via scoped re-discovery of falsely-mismatched devices.
     let g = mesh(3, 3);
     let topo = &g.topology;
-    let (full_fabric, full_fm) =
-        run_fm(bring_up(topo, None), topo, FmConfig::new(Algorithm::Parallel));
+    let (full_fabric, full_fm) = run_fm(
+        bring_up(topo, None),
+        topo,
+        FmConfig::new(Algorithm::Parallel),
+    );
     let snapshot = snapshot_of(&full_fabric, full_fm);
     let truth_devices = device_set(&full_fabric, full_fm);
     let truth_links = link_set(&full_fabric, full_fm);
@@ -258,8 +285,11 @@ fn warm_start_then_partial_assimilation_of_a_change() {
     // with partial assimilation on, the change run is the scoped kind.
     let g = mesh(3, 3);
     let topo = &g.topology;
-    let (full_fabric, full_fm) =
-        run_fm(bring_up(topo, None), topo, FmConfig::new(Algorithm::Parallel));
+    let (full_fabric, full_fm) = run_fm(
+        bring_up(topo, None),
+        topo,
+        FmConfig::new(Algorithm::Parallel),
+    );
     let snapshot = snapshot_of(&full_fabric, full_fm);
 
     let mut fabric = bring_up(topo, None);

@@ -162,10 +162,7 @@ mod tests {
         let cmds = ctx.take_commands();
         assert_eq!(cmds.len(), 2);
         match (&cmds[0], &cmds[1]) {
-            (
-                AgentCommand::Timer { token: 11, .. },
-                AgentCommand::Timer { token: 22, .. },
-            ) => {}
+            (AgentCommand::Timer { token: 11, .. }, AgentCommand::Timer { token: 22, .. }) => {}
             other => panic!("unexpected commands: {other:?}"),
         }
         // Drained.

@@ -23,9 +23,9 @@ use crate::config::FabricConfig;
 use crate::counters::FabricCounters;
 use crate::faults::{FaultKind, LossModel};
 use asi_proto::{
-    turn_width, apply_backward, apply_forward, DeviceInfo, DeviceType, Packet, Payload, Pi4,
-    Pi5, PortEvent, PortInfo, PortState, ProtocolInterface, RouteHeader, TurnCursor,
-    TurnPool, MANAGEMENT_TC,
+    apply_backward, apply_forward, turn_width, DeviceInfo, DeviceType, Packet, Payload, Pi4, Pi5,
+    PortEvent, PortInfo, PortState, ProtocolInterface, RouteHeader, TurnCursor, TurnPool,
+    MANAGEMENT_TC,
 };
 use asi_sim::{SimDuration, SimRng, SimTime, Simulator, TraceEvent, TraceHandle};
 use asi_topo::Topology;
@@ -67,9 +67,14 @@ struct CreditOrigin {
 }
 
 /// A packet waiting on an output port.
+///
+/// The packet is boxed: entries move through per-port `VecDeque`s and the
+/// simulator's binary heap, and a [`Packet`] is ~136 bytes inline — keeping
+/// it behind a pointer makes those moves (and heap sift-up/down) cheap on
+/// large fabrics.
 struct OutEntry {
     ready: SimTime,
-    packet: Packet,
+    packet: Box<Packet>,
     origin: Option<CreditOrigin>,
 }
 
@@ -102,14 +107,14 @@ impl Port {
 /// PI-4 responder state (every device).
 #[derive(Default)]
 struct Responder {
-    queue: VecDeque<(u8, Packet)>,
+    queue: VecDeque<(u8, Box<Packet>)>,
     busy: bool,
 }
 
 /// Endpoint agent hosting state.
 struct AgentSlot {
     agent: Box<dyn FabricAgent>,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     busy: bool,
 }
 
@@ -149,7 +154,7 @@ struct Device {
 /// Serialized delivery stage in front of an endpoint agent.
 #[derive(Default)]
 struct IngressPipe {
-    queue: VecDeque<Packet>,
+    queue: VecDeque<Box<Packet>>,
     busy: bool,
 }
 
@@ -157,9 +162,17 @@ struct IngressPipe {
 #[derive(Debug)]
 enum Event {
     /// Routing header fully received at `(dev, port)`.
-    Arrive { dev: DevId, port: u8, packet: Packet },
+    Arrive {
+        dev: DevId,
+        port: u8,
+        packet: Box<Packet>,
+    },
     /// Entire packet received; hand to the local consumer.
-    Deliver { dev: DevId, port: u8, packet: Packet },
+    Deliver {
+        dev: DevId,
+        port: u8,
+        packet: Box<Packet>,
+    },
     /// Output serializer / queue retry.
     TryTx { dev: DevId, port: u8 },
     /// Flow-control credits coming back from the downstream input buffer.
@@ -340,6 +353,14 @@ impl Fabric {
     /// Packet accounting.
     pub fn counters(&self) -> &FabricCounters {
         &self.counters
+    }
+
+    /// Total simulator events processed so far (arrivals, deliveries,
+    /// serializer retries, credit returns, timers, …). The `stress` CLI
+    /// mode divides this by wall time for an events/sec throughput
+    /// figure.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
     }
 
     /// Number of devices.
@@ -549,7 +570,7 @@ impl Fabric {
         }
     }
 
-    fn on_arrive(&mut self, dev: DevId, port: u8, mut packet: Packet) {
+    fn on_arrive(&mut self, dev: DevId, port: u8, mut packet: Box<Packet>) {
         let now = self.sim.now();
         let d = &self.devices[dev.idx()];
         if !d.active || d.ports[usize::from(port)].state != PortState::Active {
@@ -568,7 +589,7 @@ impl Fabric {
             // This device is the destination: wait for the tail.
             let remaining = packet
                 .wire_size()
-                .saturating_sub(packet.header.wire_size() + 2);
+                .saturating_sub(packet.header.wire_size() + 4);
             let at = now + self.config.tx_time(remaining);
             self.sim
                 .schedule_at(at, Event::Deliver { dev, port, packet });
@@ -604,17 +625,21 @@ impl Fabric {
         self.counters.forwarded += 1;
         let origin = self.origin_of(dev, port, &packet);
         let ready = now + self.config.switch_latency;
-        self.enqueue_out(dev, egress, OutEntry {
-            ready,
-            packet,
-            origin,
-        });
+        self.enqueue_out(
+            dev,
+            egress,
+            OutEntry {
+                ready,
+                packet,
+                origin,
+            },
+        );
     }
 
     /// Multicast forwarding: switches replicate along their configured
     /// group mask (a spanning tree installed by the FM's multicast group
     /// management); member endpoints consume.
-    fn on_arrive_mcast(&mut self, dev: DevId, port: u8, packet: Packet) {
+    fn on_arrive_mcast(&mut self, dev: DevId, port: u8, packet: Box<Packet>) {
         let now = self.sim.now();
         let Payload::Mcast { group, len, hops } = packet.payload else {
             unreachable!("caller checked");
@@ -632,14 +657,14 @@ impl Fabric {
                 }
                 let mask = self.devices[dev.idx()].config.mcast_entry(group);
                 let nports = self.devices[dev.idx()].ports.len() as u8;
-                let replica = Packet::new(
+                let replica = Box::new(Packet::new(
                     packet.header.clone(),
                     Payload::Mcast {
                         group,
                         len,
                         hops: hops - 1,
                     },
-                );
+                ));
                 let mut replicated = false;
                 for p in 0..nports.min(32) {
                     if p == port || (mask >> p) & 1 == 0 {
@@ -647,11 +672,15 @@ impl Fabric {
                     }
                     replicated = true;
                     self.counters.forwarded += 1;
-                    self.enqueue_out(dev, p, OutEntry {
-                        ready: now + self.config.switch_latency,
-                        packet: replica.clone(),
-                        origin: None,
-                    });
+                    self.enqueue_out(
+                        dev,
+                        p,
+                        OutEntry {
+                            ready: now + self.config.switch_latency,
+                            packet: replica.clone(),
+                            origin: None,
+                        },
+                    );
                 }
                 if !replicated {
                     // Arrived at a switch with no onward branches: the
@@ -663,7 +692,7 @@ impl Fabric {
                 if self.devices[dev.idx()].config.mcast_entry(group) != 0 {
                     let remaining = packet
                         .wire_size()
-                        .saturating_sub(packet.header.wire_size() + 2);
+                        .saturating_sub(packet.header.wire_size() + 4);
                     let at = now + self.config.tx_time(remaining);
                     self.sim
                         .schedule_at(at, Event::Deliver { dev, port, packet });
@@ -758,14 +787,12 @@ impl Fabric {
                     let (class, entry) = match (p.mgmt_q.front(), p.bypass_q.front()) {
                         (Some(e), _) => (CreditClass::Mgmt, e),
                         (None, Some(e)) => (CreditClass::Data, e),
-                        (None, None) => {
-                            (CreditClass::Data, p.data_q.front().expect("queued > 0"))
-                        }
+                        (None, None) => (CreditClass::Data, p.data_q.front().expect("queued > 0")),
                     };
                     // Source injection rate limiting applies to data
                     // leaving an endpoint.
-                    let is_endpoint = self.devices[dev.idx()].info.device_type
-                        == DeviceType::Endpoint;
+                    let is_endpoint =
+                        self.devices[dev.idx()].info.device_type == DeviceType::Endpoint;
                     let rate_gate = if class == CreditClass::Data
                         && is_endpoint
                         && self.config.injection_rate_limit.is_some()
@@ -789,9 +816,7 @@ impl Fabric {
                             // The packet can never fit the downstream
                             // buffer: drop instead of stalling forever.
                             Action::Oversized(class)
-                        } else if self.config.flow_control
-                            && p.peer_credits[class.idx()] < cost
-                        {
+                        } else if self.config.flow_control && p.peer_credits[class.idx()] < cost {
                             Action::Stall
                         } else {
                             Action::Tx(class)
@@ -848,12 +873,12 @@ impl Fabric {
                     let cost = self.config.credits_for(size);
                     let tx = self.config.tx_time(size);
                     {
-                        let is_endpoint = self.devices[dev.idx()].info.device_type
-                            == DeviceType::Endpoint;
+                        let is_endpoint =
+                            self.devices[dev.idx()].info.device_type == DeviceType::Endpoint;
                         let rate_debit = match (class, self.config.injection_rate_limit) {
-                            (CreditClass::Data, Some(rate)) if is_endpoint => Some(
-                                SimDuration::from_secs_f64(size as f64 / rate.max(1.0)),
-                            ),
+                            (CreditClass::Data, Some(rate)) if is_endpoint => {
+                                Some(SimDuration::from_secs_f64(size as f64 / rate.max(1.0)))
+                            }
                             _ => None,
                         };
                         let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
@@ -892,7 +917,7 @@ impl Fabric {
                         }
                     } else {
                         // Header arrival downstream (virtual cut-through).
-                        let header_bytes = entry.packet.header.wire_size() + 2;
+                        let header_bytes = entry.packet.header.wire_size() + 4;
                         let arrive_at =
                             now + self.config.tx_time(header_bytes) + self.config.propagation;
                         self.sim.schedule_at(
@@ -963,7 +988,7 @@ impl Fabric {
         }
     }
 
-    fn on_deliver(&mut self, dev: DevId, port: u8, packet: Packet) {
+    fn on_deliver(&mut self, dev: DevId, port: u8, packet: Box<Packet>) {
         let d = &self.devices[dev.idx()];
         if !d.active {
             self.counters.dropped_inactive += 1;
@@ -983,9 +1008,10 @@ impl Fabric {
             if p_corrupt > 0.0 && self.rng.gen_bool(p_corrupt) {
                 self.counters.dropped_corrupted += 1;
                 self.counters.completions_corrupted += 1;
-                self.trace.emit(self.sim.now(), || {
-                    TraceEvent::FaultCompletionCorrupted { device: dev.0 }
-                });
+                self.trace
+                    .emit(self.sim.now(), || TraceEvent::FaultCompletionCorrupted {
+                        device: dev.0,
+                    });
                 return;
             }
         }
@@ -1000,9 +1026,10 @@ impl Fabric {
                 let p_dup = self.config.faults.duplicate_completions;
                 if p_dup > 0.0 && self.rng.gen_bool(p_dup) {
                     self.counters.completions_duplicated += 1;
-                    self.trace.emit(self.sim.now(), || {
-                        TraceEvent::FaultCompletionDuplicated { device: dev.0 }
-                    });
+                    self.trace
+                        .emit(self.sim.now(), || TraceEvent::FaultCompletionDuplicated {
+                            device: dev.0,
+                        });
                     self.ingress_enqueue(dev, packet.clone());
                 }
             }
@@ -1012,7 +1039,7 @@ impl Fabric {
 
     /// Inbound management pipe: one device-time per received packet, then
     /// the agent queue.
-    fn ingress_enqueue(&mut self, dev: DevId, packet: Packet) {
+    fn ingress_enqueue(&mut self, dev: DevId, packet: Box<Packet>) {
         let busy = {
             let pipe = &mut self.devices[dev.idx()].ingress;
             pipe.queue.push_back(packet);
@@ -1057,7 +1084,7 @@ impl Fabric {
         }
     }
 
-    fn responder_enqueue(&mut self, dev: DevId, port: u8, packet: Packet) {
+    fn responder_enqueue(&mut self, dev: DevId, port: u8, packet: Box<Packet>) {
         let busy = {
             let r = &mut self.devices[dev.idx()].responder;
             r.queue.push_back((port, packet));
@@ -1079,7 +1106,8 @@ impl Fabric {
         // deferred, not lost.
         let hang_until = self.devices[dev.idx()].hang_until;
         if self.sim.now() < hang_until {
-            self.sim.schedule_at(hang_until, Event::ResponderDone { dev });
+            self.sim
+                .schedule_at(hang_until, Event::ResponderDone { dev });
             return;
         }
         let item = self.devices[dev.idx()].responder.queue.pop_front();
@@ -1090,11 +1118,15 @@ impl Fabric {
         let reply = self.service_pi4(dev, &packet);
         if let Some(reply) = reply {
             self.counters.injected += 1;
-            self.enqueue_out(dev, port, OutEntry {
-                ready: self.sim.now(),
-                packet: reply,
-                origin: None,
-            });
+            self.enqueue_out(
+                dev,
+                port,
+                OutEntry {
+                    ready: self.sim.now(),
+                    packet: Box::new(reply),
+                    origin: None,
+                },
+            );
         }
         // Continue with the next request, if any.
         let more = !self.devices[dev.idx()].responder.queue.is_empty();
@@ -1141,7 +1173,7 @@ impl Fabric {
 
     // ---------------- endpoint agents ----------------
 
-    fn agent_enqueue(&mut self, dev: DevId, packet: Packet) {
+    fn agent_enqueue(&mut self, dev: DevId, packet: Box<Packet>) {
         let d = &mut self.devices[dev.idx()];
         let Some(slot) = d.agent.as_mut() else {
             // No consumer: a completion for a dead manager, or data to a
@@ -1171,7 +1203,7 @@ impl Fabric {
                 slot.busy = false;
                 return;
             };
-            slot.agent.on_packet(&mut ctx, packet);
+            slot.agent.on_packet(&mut ctx, *packet);
             match slot.queue.front() {
                 Some(next) => {
                     let t = slot.agent.processing_time(next);
@@ -1211,11 +1243,15 @@ impl Fabric {
             match cmd {
                 AgentCommand::Send { port, packet } => {
                     self.counters.injected += 1;
-                    self.enqueue_out(dev, port, OutEntry {
-                        ready: self.sim.now(),
-                        packet,
-                        origin: None,
-                    });
+                    self.enqueue_out(
+                        dev,
+                        port,
+                        OutEntry {
+                            ready: self.sim.now(),
+                            packet: Box::new(packet),
+                            origin: None,
+                        },
+                    );
                 }
                 AgentCommand::Timer { delay, token } => {
                     self.sim.schedule_after(delay, Event::Timer { dev, token });
@@ -1249,7 +1285,9 @@ impl Fabric {
         }
         self.devices[dev.idx()].active = true;
         self.trace
-            .emit(self.sim.now(), || TraceEvent::DeviceActivated { device: dev.0 });
+            .emit(self.sim.now(), || TraceEvent::DeviceActivated {
+                device: dev.0,
+            });
         // Train every link whose peer is already active.
         let nports = self.devices[dev.idx()].ports.len() as u8;
         for port in 0..nports {
@@ -1310,9 +1348,10 @@ impl Fabric {
             return;
         }
         self.devices[dev.idx()].active = false;
-        self.trace.emit(self.sim.now(), || TraceEvent::DeviceDeactivated {
-            device: dev.0,
-        });
+        self.trace
+            .emit(self.sim.now(), || TraceEvent::DeviceDeactivated {
+                device: dev.0,
+            });
         let nports = self.devices[dev.idx()].ports.len() as u8;
         for port in 0..nports {
             // Own side: silent death.
@@ -1326,8 +1365,7 @@ impl Fabric {
             let peer = self.devices[dev.idx()].ports[usize::from(port)].peer;
             if let Some((peer_dev, peer_port)) = peer {
                 let peer_active = self.devices[peer_dev.idx()].active;
-                let peer_state =
-                    self.devices[peer_dev.idx()].ports[usize::from(peer_port)].state;
+                let peer_state = self.devices[peer_dev.idx()].ports[usize::from(peer_port)].state;
                 if peer_active && peer_state != PortState::Down {
                     self.devices[peer_dev.idx()].ports[usize::from(peer_port)].state =
                         PortState::Down;
@@ -1399,11 +1437,8 @@ impl Fabric {
         if route.egress == port && event == PortEvent::PortDown {
             return;
         }
-        let header = RouteHeader::forward(
-            ProtocolInterface::EventReporting,
-            MANAGEMENT_TC,
-            route.pool,
-        );
+        let header =
+            RouteHeader::forward(ProtocolInterface::EventReporting, MANAGEMENT_TC, route.pool);
         let packet = Packet::new(
             header,
             Payload::Pi5(Pi5 {
@@ -1421,11 +1456,15 @@ impl Fabric {
             port: u16::from(port),
             up,
         });
-        self.enqueue_out(dev, route.egress, OutEntry {
-            ready: self.sim.now(),
-            packet,
-            origin: None,
-        });
+        self.enqueue_out(
+            dev,
+            route.egress,
+            OutEntry {
+                ready: self.sim.now(),
+                packet: Box::new(packet),
+                origin: None,
+            },
+        );
     }
 
     // ---------------- injected faults ----------------
@@ -1434,8 +1473,7 @@ impl Fabric {
     /// Plans are user data, so out-of-range targets are ignored rather
     /// than crashing the run.
     fn fault_link_exists(&self, dev: DevId, port: u8) -> bool {
-        dev.idx() < self.devices.len()
-            && usize::from(port) < self.devices[dev.idx()].ports.len()
+        dev.idx() < self.devices.len() && usize::from(port) < self.devices[dev.idx()].ports.len()
     }
 
     /// A link flap's down edge: both ends lose carrier and drain their
@@ -1452,10 +1490,11 @@ impl Fabric {
             return;
         };
         self.counters.link_flaps += 1;
-        self.trace.emit(self.sim.now(), || TraceEvent::FaultLinkDown {
-            device: dev.0,
-            port: u16::from(port),
-        });
+        self.trace
+            .emit(self.sim.now(), || TraceEvent::FaultLinkDown {
+                device: dev.0,
+                port: u16::from(port),
+            });
         for (d, p) in [(dev, port), (peer_dev, peer_port)] {
             let alive = self.devices[d.idx()].active;
             let state = self.devices[d.idx()].ports[usize::from(p)].state;
@@ -1505,7 +1544,9 @@ impl Fabric {
             d.hang_until = until;
         }
         self.trace
-            .emit(self.sim.now(), || TraceEvent::FaultDeviceHang { device: dev.0 });
+            .emit(self.sim.now(), || TraceEvent::FaultDeviceHang {
+                device: dev.0,
+            });
     }
 
     fn on_fault_device_slow(&mut self, dev: DevId, factor: f64, duration: SimDuration) {
@@ -1517,6 +1558,8 @@ impl Fabric {
         d.slow_until = until;
         d.slow_factor = factor;
         self.trace
-            .emit(self.sim.now(), || TraceEvent::FaultDeviceSlow { device: dev.0 });
+            .emit(self.sim.now(), || TraceEvent::FaultDeviceSlow {
+                device: dev.0,
+            });
     }
 }

@@ -123,7 +123,9 @@ impl LossModel {
             LossModel::None => true,
             LossModel::Uniform { p } => p <= 0.0,
             LossModel::GilbertElliott {
-                loss_good, loss_bad, ..
+                loss_good,
+                loss_bad,
+                ..
             } => loss_good <= 0.0 && loss_bad <= 0.0,
         }
     }
@@ -238,7 +240,12 @@ impl FaultPlan {
 
     /// Schedules a device hang: `device`'s responder freezes at `at`
     /// for `duration`.
-    pub fn with_device_hang(mut self, at: SimDuration, device: u32, duration: SimDuration) -> FaultPlan {
+    pub fn with_device_hang(
+        mut self,
+        at: SimDuration,
+        device: u32,
+        duration: SimDuration,
+    ) -> FaultPlan {
         self.events.push(FaultEvent {
             at,
             kind: FaultKind::DeviceHang { device, duration },
@@ -305,7 +312,9 @@ mod tests {
     #[test]
     fn bursty_concentrates_loss_in_the_bad_state() {
         let LossModel::GilbertElliott {
-            loss_good, loss_bad, ..
+            loss_good,
+            loss_bad,
+            ..
         } = LossModel::bursty(0.05)
         else {
             panic!("bursty must build a Gilbert–Elliott model");
@@ -343,7 +352,10 @@ mod tests {
     fn corruption_and_duplication_activate_the_plan() {
         assert!(!FaultPlan::none().with_corruption(0.1).is_inert());
         assert!(!FaultPlan::none().with_duplication(0.1).is_inert());
-        assert!(FaultPlan::none().with_corruption(0.0).with_duplication(0.0).is_inert());
+        assert!(FaultPlan::none()
+            .with_corruption(0.0)
+            .with_duplication(0.0)
+            .is_inert());
     }
 
     #[test]

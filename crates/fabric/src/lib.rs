@@ -31,6 +31,6 @@ mod traffic;
 pub use agent::{AgentCommand, AgentCtx, DevId, FabricAgent};
 pub use config::{FabricConfig, CREDIT_UNIT};
 pub use counters::FabricCounters;
-pub use faults::{FaultEvent, FaultKind, FaultPlan, LossModel};
 pub use fabric::{CreditClass, Fabric, FmRoute, DSN_BASE};
+pub use faults::{FaultEvent, FaultKind, FaultPlan, LossModel};
 pub use traffic::{TrafficAgent, TrafficRoute};

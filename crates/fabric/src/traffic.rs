@@ -110,18 +110,15 @@ impl FabricAgent for TrafficAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asi_sim::SimTime;
     use crate::agent::DevId;
+    use asi_sim::SimTime;
 
     #[test]
     fn timer_injects_and_rearms() {
         let mut pool = TurnPool::new_spec();
         pool.push_turn(1, 4).unwrap();
         let mut agent = TrafficAgent::new(
-            vec![TrafficRoute {
-                egress: 0,
-                pool,
-            }],
+            vec![TrafficRoute { egress: 0, pool }],
             SimDuration::from_us(10),
             128,
             SimRng::new(5),
@@ -149,7 +146,10 @@ mod tests {
         let mut agent = TrafficAgent::new(vec![], SimDuration::from_us(1), 64, SimRng::new(1));
         let mut ctx = AgentCtx::detached(SimTime::ZERO, DevId(0));
         let hdr = RouteHeader::forward(asi_proto::ProtocolInterface::Data, 0, pool);
-        agent.on_packet(&mut ctx, Packet::new(hdr.clone(), Payload::Data { len: 64 }));
+        agent.on_packet(
+            &mut ctx,
+            Packet::new(hdr.clone(), Payload::Data { len: 64 }),
+        );
         assert_eq!(agent.received, 1);
         agent.on_packet(
             &mut ctx,

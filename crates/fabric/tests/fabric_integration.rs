@@ -56,7 +56,14 @@ fn up(topo: &Topology) -> Fabric {
 }
 
 /// A PI-4 read-request packet along a ground-truth route.
-fn read_request(topo: &Topology, src: NodeId, dst: NodeId, req_id: u32, addr: CapabilityAddr, dwords: u8) -> (u8, Packet) {
+fn read_request(
+    topo: &Topology,
+    src: NodeId,
+    dst: NodeId,
+    req_id: u32,
+    addr: CapabilityAddr,
+    dwords: u8,
+) -> (u8, Packet) {
     let route = shortest_route(topo, src, dst).expect("route exists");
     let pool = route
         .encode(topo, asi_proto::MAX_POOL_BITS)
@@ -91,7 +98,10 @@ fn bring_up_activates_all_links() {
         }
     }
     // Unwired ports stay down.
-    assert_eq!(fabric.port_state(dev(g.switch_at(0, 0)), 9), PortState::Down);
+    assert_eq!(
+        fabric.port_state(dev(g.switch_at(0, 0)), 9),
+        PortState::Down
+    );
 }
 
 #[test]
@@ -167,14 +177,7 @@ fn out_of_range_read_yields_error_completion() {
     let mut fabric = up(&g.topology);
     let src = g.endpoint_at(0, 0);
     let dst = g.endpoint_at(1, 0);
-    let (port, pkt) = read_request(
-        &g.topology,
-        src,
-        dst,
-        9,
-        CapabilityAddr::baseline(5000),
-        4,
-    );
+    let (port, pkt) = read_request(&g.topology, src, dst, 9, CapabilityAddr::baseline(5000), 4);
     let mut prober = Prober::default();
     prober.outbox.push((port, pkt));
     fabric.set_agent(dev(src), Box::new(prober));
@@ -243,14 +246,7 @@ fn request_to_dead_device_gets_no_answer() {
     let mut fabric = up(&g.topology);
     let src = g.endpoint_at(0, 0);
     let dst = g.endpoint_at(2, 2);
-    let (port, pkt) = read_request(
-        &g.topology,
-        src,
-        dst,
-        1,
-        CapabilityAddr::baseline(0),
-        1,
-    );
+    let (port, pkt) = read_request(&g.topology, src, dst, 1, CapabilityAddr::baseline(0), 1);
     // Kill the destination before probing.
     fabric.schedule_deactivate(dev(dst), SimDuration::ZERO);
     fabric.run_until_idle();
@@ -300,7 +296,10 @@ fn removal_triggers_pi5_from_neighbors() {
     // reports are suppressed/lost — exactly the failure mode the paper's
     // event mechanism tolerates), but several must get through.
     let emitted = fabric.counters().pi5_emitted;
-    assert!(emitted >= 3, "expected PI-5 reports from neighbours, got {emitted}");
+    assert!(
+        emitted >= 3,
+        "expected PI-5 reports from neighbours, got {emitted}"
+    );
 
     let prober = fabric.agent_as::<Prober>(dev(fm)).unwrap();
     let pi5s: Vec<_> = prober
@@ -386,7 +385,9 @@ fn background_traffic_flows_between_endpoints() {
 
     let routes_a = routes_from(&g.topology, a);
     let route_ab = routes_a[b.idx()].as_ref().unwrap();
-    let pool_ab = route_ab.encode(&g.topology, asi_proto::MAX_POOL_BITS).unwrap();
+    let pool_ab = route_ab
+        .encode(&g.topology, asi_proto::MAX_POOL_BITS)
+        .unwrap();
 
     fabric.set_agent(
         dev(a),
@@ -402,7 +403,12 @@ fn background_traffic_flows_between_endpoints() {
     );
     fabric.set_agent(
         dev(b),
-        Box::new(TrafficAgent::new(vec![], SimDuration::from_us(20), 256, SimRng::new(12))),
+        Box::new(TrafficAgent::new(
+            vec![],
+            SimDuration::from_us(20),
+            256,
+            SimRng::new(12),
+        )),
     );
     fabric.schedule_agent_timer(dev(a), SimDuration::ZERO, TrafficAgent::start_token());
     fabric.run_until(SimTime::from_ms(2));
@@ -439,14 +445,8 @@ fn completions_retrace_the_request_path_credits_balance() {
     let dst = g.endpoint_at(2, 2);
 
     for round in 0..2 {
-        let (port, pkt) = read_request(
-            &g.topology,
-            src,
-            dst,
-            round,
-            CapabilityAddr::baseline(0),
-            1,
-        );
+        let (port, pkt) =
+            read_request(&g.topology, src, dst, round, CapabilityAddr::baseline(0), 1);
         if round == 0 {
             let mut prober = Prober::default();
             prober.outbox.push((port, pkt));

@@ -2,9 +2,7 @@
 //! bypass queues (two of the ASI congestion-management mechanisms the
 //! paper lists in §2).
 
-use asi_fabric::{
-    AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, TrafficAgent, TrafficRoute,
-};
+use asi_fabric::{AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, TrafficAgent, TrafficRoute};
 use asi_proto::{Packet, Payload, ProtocolInterface, RouteHeader};
 use asi_sim::{SimDuration, SimRng, SimTime};
 use asi_topo::{mesh, shortest_route};
@@ -43,7 +41,12 @@ fn injection_rate_limit_throttles_data() {
         );
         fabric.set_agent(
             DevId(dst.0),
-            Box::new(TrafficAgent::new(vec![], SimDuration::from_us(2), 64, SimRng::new(6))),
+            Box::new(TrafficAgent::new(
+                vec![],
+                SimDuration::from_us(2),
+                64,
+                SimRng::new(6),
+            )),
         );
         fabric.schedule_agent_timer(DevId(src.0), SimDuration::ZERO, TrafficAgent::start_token());
         fabric.run_until(SimTime::from_ms(10));
@@ -174,10 +177,16 @@ impl FabricAgent for BypassProbe {
     fn on_timer(&mut self, ctx: &mut AgentCtx, _t: u64) {
         // Big ordered packet…
         let hdr = RouteHeader::forward(ProtocolInterface::Data, 0, self.pool.clone());
-        ctx.send(self.egress, Packet::new(hdr.clone(), Payload::Data { len: 1500 }));
+        ctx.send(
+            self.egress,
+            Packet::new(hdr.clone(), Payload::Data { len: 1500 }),
+        );
         // …then nine more to keep the port busy…
         for _ in 0..9 {
-            ctx.send(self.egress, Packet::new(hdr.clone(), Payload::Data { len: 1500 }));
+            ctx.send(
+                self.egress,
+                Packet::new(hdr.clone(), Payload::Data { len: 1500 }),
+            );
         }
         // …then a small bypassable one.
         let mut oo_hdr = hdr;

@@ -1,8 +1,6 @@
 //! Fabric stress tests: churn, floods, and priority under load.
 
-use asi_fabric::{
-    AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, TrafficAgent, TrafficRoute,
-};
+use asi_fabric::{AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, TrafficAgent, TrafficRoute};
 use asi_proto::{Packet, Payload, PortState, ProtocolInterface, RouteHeader, MANAGEMENT_TC};
 use asi_sim::{SimDuration, SimRng, SimTime};
 use asi_topo::{mesh, routes_from, shortest_route, torus, NodeId};
@@ -152,11 +150,7 @@ fn management_latency_survives_data_floods() {
                     SimRng::new(3),
                 )),
             );
-            fabric.schedule_agent_timer(
-                dev(src),
-                SimDuration::ZERO,
-                TrafficAgent::start_token(),
-            );
+            fabric.schedule_agent_timer(dev(src), SimDuration::ZERO, TrafficAgent::start_token());
         }
 
         // Probe from (0,1) to the far endpoint (2,1): crosses (1,1).
@@ -176,12 +170,7 @@ fn management_latency_survives_data_floods() {
 
         let probe = fabric.agent_as::<LatencyProbe>(dev(src)).unwrap();
         assert!(probe.latencies.len() >= 20, "not enough samples");
-        probe
-            .latencies
-            .iter()
-            .map(|l| l.as_secs_f64())
-            .sum::<f64>()
-            / probe.latencies.len() as f64
+        probe.latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>() / probe.latencies.len() as f64
     };
 
     let quiet = measure(false);

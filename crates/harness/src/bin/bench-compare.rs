@@ -1,0 +1,129 @@
+//! `bench-compare` — the CI perf-regression gate.
+//!
+//! Diffs two `asi-bench/v1` JSON reports (a committed baseline and a
+//! freshly measured candidate) with per-benchmark noise thresholds and
+//! exits non-zero when any baseline benchmark regresses beyond its
+//! threshold or is missing from the candidate:
+//!
+//! ```text
+//! ASI_BENCH_STABLE=1 ASI_BENCH_JSON=fresh.json cargo bench -p asi-bench --bench micro
+//! bench-compare BENCH_micro_stable.json fresh.json
+//! ```
+//!
+//! Exit codes: 0 = pass, 1 = regression, 2 = usage or malformed input.
+
+use asi_harness::compare::{compare, parse_report, Thresholds};
+
+const USAGE: &str = "usage: bench-compare <baseline.json> <candidate.json> [options]
+
+Diffs two asi-bench/v1 reports and fails on regression. Benchmarks
+named micro/* are the stable tier; everything else (end-to-end
+discovery) varies up to +/-40% between runs and gets the loose
+threshold.
+
+options:
+  --stable-pct <p>   regression threshold %% for micro/* benches (default 50)
+  --loose-pct <p>    regression threshold %% for the rest (default 100)
+  --stable-only      gate only the micro/* benches
+  --json             machine-readable report on stdout
+
+exit codes: 0 pass, 1 regression or missing benchmark, 2 bad invocation";
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!();
+    eprintln!("{USAGE}");
+    std::process::exit(2)
+}
+
+fn parse_pct(args: &[String], name: &str, default: f64) -> f64 {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return default;
+    };
+    let Some(v) = args.get(i + 1) else {
+        fail(format!("{name} is missing its value"));
+    };
+    match v.parse::<f64>() {
+        Ok(p) if p.is_finite() && p >= 0.0 => p,
+        _ => fail(format!(
+            "{name} must be a non-negative percentage, got {v:?}"
+        )),
+    }
+}
+
+fn read_report(path: &str) -> asi_harness::compare::BenchReport {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    parse_report(&text).unwrap_or_else(|e| fail(format!("{path}: {e}")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let positional: Vec<&String> = {
+        // Everything not a flag and not a flag's value.
+        let mut out = Vec::new();
+        let mut skip = false;
+        for (i, a) in args.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            match a.as_str() {
+                "--stable-pct" | "--loose-pct" => skip = true,
+                "--stable-only" | "--json" => {}
+                _ if a.starts_with("--") => {
+                    fail(format!("unknown flag {a:?}"));
+                }
+                _ => out.push(a),
+            }
+            let _ = i;
+        }
+        out
+    };
+    let [baseline_path, candidate_path] = positional.as_slice() else {
+        fail(format!(
+            "want exactly two report paths (baseline, candidate), got {}",
+            positional.len()
+        ));
+    };
+    let thresholds = Thresholds {
+        stable_pct: parse_pct(&args, "--stable-pct", Thresholds::default().stable_pct),
+        loose_pct: parse_pct(&args, "--loose-pct", Thresholds::default().loose_pct),
+    };
+    let mut baseline = read_report(baseline_path);
+    let mut candidate = read_report(candidate_path);
+    if baseline.mode != candidate.mode {
+        eprintln!(
+            "warning: comparing a {:?} baseline against a {:?} candidate — \
+             numbers from different modes are not directly comparable",
+            baseline.mode, candidate.mode
+        );
+    }
+    if args.iter().any(|a| a == "--stable-only") {
+        baseline.results.retain(|m| Thresholds::is_stable(&m.name));
+        candidate.results.retain(|m| Thresholds::is_stable(&m.name));
+        if baseline.results.is_empty() {
+            fail(format!(
+                "{baseline_path}: no micro/* benches to gate with --stable-only"
+            ));
+        }
+    }
+    let result = compare(&baseline, &candidate, &thresholds);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", result.to_json().to_string_pretty());
+    } else {
+        print!("{}", result.to_text());
+    }
+    if !result.is_pass() {
+        eprintln!(
+            "bench-compare: {} of {} benchmarks regressed beyond threshold",
+            result.regressions().len(),
+            result.rows.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -8,7 +8,9 @@
 //! `<id>.md` + `<id>.csv` under the output directory (default
 //! `results/`).
 
-use asi_harness::experiments::{ablations, distributed, fig4, fig5, fig6, fig7, fig8, fig9, pathdist, table1};
+use asi_harness::experiments::{
+    ablations, distributed, fig4, fig5, fig6, fig7, fig8, fig9, pathdist, table1,
+};
 use asi_harness::{Chart, TableOut};
 use std::path::PathBuf;
 use std::time::Instant;

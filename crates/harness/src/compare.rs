@@ -1,0 +1,390 @@
+//! Regression comparison of two `asi-bench/v1` reports.
+//!
+//! The vendored criterion shim writes one JSON report per `cargo bench`
+//! invocation (`ASI_BENCH_JSON=<path>`). This module diffs a committed
+//! baseline report against a freshly measured candidate with
+//! per-benchmark noise thresholds: the `micro/*` benches are stable
+//! across runs and get a tight threshold, while end-to-end discovery
+//! benches swing up to ±40% between runs on a containerized runner and
+//! get a loose one. The `bench-compare` binary wraps [`compare`] for
+//! CI, exiting non-zero when any benchmark regresses beyond its
+//! threshold — the regression gate wired into the workflow.
+
+use crate::json::{self, Json};
+
+/// One measurement from an `asi-bench/v1` report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name (`group/bench`).
+    pub name: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// A parsed `asi-bench/v1` report.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Measurement mode (`full`, `stable`, or `smoke`).
+    pub mode: String,
+    /// Every measurement, in report order.
+    pub results: Vec<Measurement>,
+}
+
+/// Parses an `asi-bench/v1` JSON report, rejecting other schemas and
+/// malformed measurements with a one-line explanation.
+pub fn parse_report(text: &str) -> Result<BenchReport, String> {
+    let doc = json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match doc.get("schema").as_str() {
+        Some("asi-bench/v1") => {}
+        Some(other) => return Err(format!("unsupported schema {other:?} (want asi-bench/v1)")),
+        None => return Err("missing \"schema\" field".into()),
+    }
+    let mode = doc.get("mode").as_str().unwrap_or("full").to_string();
+    let raw = doc
+        .get("results")
+        .as_array()
+        .ok_or("missing \"results\" array")?;
+    let mut results = Vec::with_capacity(raw.len());
+    for r in raw {
+        let name = r
+            .get("name")
+            .as_str()
+            .ok_or("a result is missing its \"name\"")?
+            .to_string();
+        let ns_per_iter = r
+            .get("ns_per_iter")
+            .as_f64()
+            .ok_or_else(|| format!("{name}: missing or non-numeric \"ns_per_iter\""))?;
+        if !ns_per_iter.is_finite() || ns_per_iter < 0.0 {
+            return Err(format!(
+                "{name}: ns_per_iter {ns_per_iter} is not a finite non-negative number"
+            ));
+        }
+        let iters = r.get("iters").as_u64().unwrap_or(0);
+        results.push(Measurement {
+            name,
+            ns_per_iter,
+            iters,
+        });
+    }
+    if results.is_empty() {
+        return Err(
+            "report has no results (an empty report would pass every gate vacuously)".into(),
+        );
+    }
+    Ok(BenchReport { mode, results })
+}
+
+/// Per-benchmark regression thresholds, as percentages of the baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Threshold for the stable `micro/*` benches.
+    pub stable_pct: f64,
+    /// Threshold for everything else (end-to-end discovery benches vary
+    /// up to ±40% between runs, per the committed baseline's notes).
+    pub loose_pct: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Thresholds {
+        Thresholds {
+            // Measured run-to-run spread of the stable micro benches on a
+            // shared single-core runner tops out around ±30% (allocation-
+            // heavy benches like push_pop_10k); 50% clears that noise
+            // floor while still catching any real 2x regression.
+            stable_pct: 50.0,
+            loose_pct: 100.0,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Whether `name` belongs to the stable tier.
+    pub fn is_stable(name: &str) -> bool {
+        name.starts_with("micro/")
+    }
+
+    /// The threshold applied to benchmark `name`.
+    pub fn for_name(&self, name: &str) -> f64 {
+        if Thresholds::is_stable(name) {
+            self.stable_pct
+        } else {
+            self.loose_pct
+        }
+    }
+}
+
+/// One baseline benchmark's comparison outcome.
+#[derive(Clone, Debug)]
+pub struct CompareRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline mean, ns per iteration.
+    pub baseline_ns: f64,
+    /// Candidate mean; `None` when the candidate report lacks the
+    /// benchmark (counted as a failure — the gate cannot verify it).
+    pub candidate_ns: Option<f64>,
+    /// Relative change in percent (positive = slower).
+    pub delta_pct: f64,
+    /// The threshold this row was judged against.
+    pub threshold_pct: f64,
+    /// True when the row fails the gate.
+    pub regressed: bool,
+}
+
+/// A finished comparison: one row per baseline benchmark, plus the
+/// candidate-only names (informational, never a failure).
+#[derive(Clone, Debug)]
+pub struct Comparison {
+    /// Rows in baseline order.
+    pub rows: Vec<CompareRow>,
+    /// Benchmarks present only in the candidate.
+    pub added: Vec<String>,
+}
+
+impl Comparison {
+    /// True when no row regressed.
+    pub fn is_pass(&self) -> bool {
+        self.rows.iter().all(|r| !r.regressed)
+    }
+
+    /// The failing rows.
+    pub fn regressions(&self) -> Vec<&CompareRow> {
+        self.rows.iter().filter(|r| r.regressed).collect()
+    }
+
+    /// Machine-readable report.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .with("schema", "asi-bench-compare/v1")
+            .with("pass", self.is_pass())
+            .with("regressions", self.regressions().len())
+            .with(
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::object()
+                                .with("name", r.name.as_str())
+                                .with("baseline_ns", r.baseline_ns)
+                                .with(
+                                    "candidate_ns",
+                                    r.candidate_ns.map(Json::Num).unwrap_or(Json::Null),
+                                )
+                                .with("delta_pct", r.delta_pct)
+                                .with("threshold_pct", r.threshold_pct)
+                                .with("regressed", r.regressed)
+                        })
+                        .collect(),
+                ),
+            )
+            .with(
+                "added",
+                Json::Arr(self.added.iter().map(|n| Json::Str(n.clone())).collect()),
+            )
+    }
+
+    /// Human-readable table, one line per row.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "{:<44} {:>12} {:>12} {:>8} {:>6}  verdict\n",
+            "benchmark", "baseline", "candidate", "delta", "limit"
+        );
+        for r in &self.rows {
+            let candidate = match r.candidate_ns {
+                Some(ns) => format!("{:.1}", ns),
+                None => "missing".to_string(),
+            };
+            out.push_str(&format!(
+                "{:<44} {:>12.1} {:>12} {:>+7.1}% {:>5.0}%  {}\n",
+                r.name,
+                r.baseline_ns,
+                candidate,
+                r.delta_pct,
+                r.threshold_pct,
+                if r.regressed { "REGRESSED" } else { "ok" }
+            ));
+        }
+        for name in &self.added {
+            out.push_str(&format!("{name:<44} (new benchmark, not gated)\n"));
+        }
+        out
+    }
+}
+
+/// Compares `candidate` against `baseline`: every baseline benchmark
+/// must be present and within its threshold. Benchmarks only in the
+/// candidate are reported but never fail the gate, so adding a bench
+/// does not require regenerating the baseline in the same commit.
+pub fn compare(
+    baseline: &BenchReport,
+    candidate: &BenchReport,
+    thresholds: &Thresholds,
+) -> Comparison {
+    let rows = baseline
+        .results
+        .iter()
+        .map(|b| {
+            let threshold_pct = thresholds.for_name(&b.name);
+            let candidate_ns = candidate
+                .results
+                .iter()
+                .find(|c| c.name == b.name)
+                .map(|c| c.ns_per_iter);
+            let delta_pct = match candidate_ns {
+                Some(c) if b.ns_per_iter > 0.0 => (c - b.ns_per_iter) / b.ns_per_iter * 100.0,
+                Some(c) if c > 0.0 => f64::INFINITY,
+                _ => 0.0,
+            };
+            CompareRow {
+                name: b.name.clone(),
+                baseline_ns: b.ns_per_iter,
+                candidate_ns,
+                delta_pct,
+                threshold_pct,
+                regressed: candidate_ns.is_none() || delta_pct > threshold_pct,
+            }
+        })
+        .collect();
+    let added = candidate
+        .results
+        .iter()
+        .filter(|c| baseline.results.iter().all(|b| b.name != c.name))
+        .map(|c| c.name.clone())
+        .collect();
+    Comparison { rows, added }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(entries: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            mode: "stable".into(),
+            results: entries
+                .iter()
+                .map(|&(name, ns)| Measurement {
+                    name: name.into(),
+                    ns_per_iter: ns,
+                    iters: 10,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn parses_the_shim_schema() {
+        let text = r#"{
+          "schema": "asi-bench/v1",
+          "mode": "stable",
+          "results": [
+            { "name": "micro/event_queue/push_pop_10k", "ns_per_iter": 1234.5, "iters": 20 }
+          ]
+        }"#;
+        let report = parse_report(text).unwrap();
+        assert_eq!(report.mode, "stable");
+        assert_eq!(report.results.len(), 1);
+        assert_eq!(report.results[0].name, "micro/event_queue/push_pop_10k");
+        assert_eq!(report.results[0].ns_per_iter, 1234.5);
+        assert_eq!(report.results[0].iters, 20);
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(parse_report("not json")
+            .unwrap_err()
+            .contains("not valid JSON"));
+        assert!(parse_report("{}").unwrap_err().contains("schema"));
+        assert!(parse_report(r#"{"schema": "other/v2", "results": []}"#)
+            .unwrap_err()
+            .contains("unsupported schema"));
+        assert!(parse_report(r#"{"schema": "asi-bench/v1"}"#)
+            .unwrap_err()
+            .contains("results"));
+        assert!(parse_report(r#"{"schema": "asi-bench/v1", "results": []}"#)
+            .unwrap_err()
+            .contains("no results"));
+        assert!(
+            parse_report(r#"{"schema": "asi-bench/v1", "results": [{ "name": "x" }]}"#)
+                .unwrap_err()
+                .contains("ns_per_iter")
+        );
+    }
+
+    #[test]
+    fn stable_benches_get_the_tight_threshold() {
+        let t = Thresholds::default();
+        assert_eq!(t.for_name("micro/event_queue/push_pop_10k"), t.stable_pct);
+        assert_eq!(t.for_name("discovery/6x6 mesh/Parallel"), t.loose_pct);
+        assert!(t.stable_pct < t.loose_pct);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = report(&[("micro/a", 100.0), ("discovery/b", 5000.0)]);
+        let cmp = compare(&base, &base.clone(), &Thresholds::default());
+        assert!(cmp.is_pass());
+        assert!(cmp.regressions().is_empty());
+        assert!(cmp.added.is_empty());
+    }
+
+    #[test]
+    fn regression_beyond_threshold_fails_only_the_right_tier() {
+        let base = report(&[("micro/a", 100.0), ("discovery/b", 1000.0)]);
+        // +80%: beyond the 50% stable threshold, within the 100% loose one.
+        let cand = report(&[("micro/a", 180.0), ("discovery/b", 1800.0)]);
+        let cmp = compare(&base, &cand, &Thresholds::default());
+        assert!(!cmp.is_pass());
+        let failing: Vec<&str> = cmp.regressions().iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(failing, ["micro/a"]);
+        assert_eq!(cmp.rows[0].delta_pct, 80.0);
+    }
+
+    #[test]
+    fn improvements_and_noise_pass() {
+        let base = report(&[("micro/a", 100.0), ("discovery/b", 1000.0)]);
+        let cand = report(&[("micro/a", 60.0), ("discovery/b", 1390.0)]);
+        let cmp = compare(&base, &cand, &Thresholds::default());
+        assert!(cmp.is_pass(), "{}", cmp.to_text());
+    }
+
+    #[test]
+    fn missing_baseline_bench_fails_and_new_bench_does_not() {
+        let base = report(&[("micro/a", 100.0)]);
+        let cand = report(&[("micro/new", 5.0)]);
+        let cmp = compare(&base, &cand, &Thresholds::default());
+        assert!(!cmp.is_pass());
+        assert_eq!(cmp.rows[0].candidate_ns, None);
+        assert_eq!(cmp.added, ["micro/new"]);
+        // The new bench alone never fails the gate.
+        let base2 = report(&[("micro/new", 5.0)]);
+        let cand2 = report(&[("micro/new", 5.0), ("micro/extra", 1.0)]);
+        assert!(compare(&base2, &cand2, &Thresholds::default()).is_pass());
+    }
+
+    #[test]
+    fn zero_baseline_regresses_only_on_nonzero_candidate() {
+        let base = report(&[("micro/z", 0.0)]);
+        let same = report(&[("micro/z", 0.0)]);
+        assert!(compare(&base, &same, &Thresholds::default()).is_pass());
+        let slower = report(&[("micro/z", 10.0)]);
+        assert!(!compare(&base, &slower, &Thresholds::default()).is_pass());
+    }
+
+    #[test]
+    fn json_and_text_reports_name_the_failures() {
+        let base = report(&[("micro/a", 100.0)]);
+        let cand = report(&[("micro/a", 200.0)]);
+        let cmp = compare(&base, &cand, &Thresholds::default());
+        let json = cmp.to_json();
+        assert_eq!(*json.get("pass"), Json::Bool(false));
+        assert_eq!(*json.get("regressions"), 1);
+        assert_eq!(*json.get("rows").idx(0).get("name"), "micro/a");
+        assert_eq!(*json.get("rows").idx(0).get("regressed"), Json::Bool(true));
+        assert!(cmp.to_text().contains("REGRESSED"));
+    }
+}

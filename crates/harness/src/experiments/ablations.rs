@@ -34,9 +34,10 @@ pub fn traffic(quick: bool) -> TableOut {
             mean_gap: SimDuration::from_us(30),
             payload: 512,
         });
-        let busy = Bench::start(&g.topology, &s, &[]).last_run().discovery_time();
-        let delta =
-            100.0 * (busy.as_secs_f64() - quiet.as_secs_f64()) / quiet.as_secs_f64();
+        let busy = Bench::start(&g.topology, &s, &[])
+            .last_run()
+            .discovery_time();
+        let delta = 100.0 * (busy.as_secs_f64() - quiet.as_secs_f64()) / quiet.as_secs_f64();
         t.push_row(vec![
             alg.name().to_string(),
             trim_float(quiet.as_millis_f64()),
@@ -84,7 +85,9 @@ pub fn flow_control(quick: bool) -> TableOut {
             .last_run()
             .discovery_time();
         let s = Scenario::new(alg).with_flow_control(false);
-        let off = Bench::start(&g.topology, &s, &[]).last_run().discovery_time();
+        let off = Bench::start(&g.topology, &s, &[])
+            .last_run()
+            .discovery_time();
         t.push_row(vec![
             alg.name().to_string(),
             trim_float(on.as_millis_f64()),
@@ -96,7 +99,11 @@ pub fn flow_control(quick: bool) -> TableOut {
 
 /// 31-bit spec turn-pool reachability per Table 1 topology.
 pub fn spec_pool(quick: bool) -> TableOut {
-    let topos = if quick { Table1::quick() } else { Table1::all() };
+    let topos = if quick {
+        Table1::quick()
+    } else {
+        Table1::all()
+    };
     let mut t = TableOut::new(
         "ablation_spec_pool",
         "Fraction of each fabric addressable within the 31-bit spec turn pool",
@@ -159,7 +166,11 @@ mod tests {
             let on: f64 = row[1].parse().unwrap();
             let off: f64 = row[2].parse().unwrap();
             // Management load is tiny: credits should not be a bottleneck.
-            assert!((on - off).abs() / off < 0.05, "{}: on={on} off={off}", row[0]);
+            assert!(
+                (on - off).abs() / off < 0.05,
+                "{}: on={on} off={off}",
+                row[0]
+            );
         }
     }
 

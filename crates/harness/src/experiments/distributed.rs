@@ -33,7 +33,12 @@ pub fn run(quick: bool) -> TableOut {
             .discovery_time();
         let (_, _, two) = distributed_discovery(&topo, 1, &scenario);
         let (_, _, three) = distributed_discovery(&topo, 2, &scenario);
-        assert_eq!(two.devices, topo.node_count(), "{}: 2-FM merge incomplete", spec.name());
+        assert_eq!(
+            two.devices,
+            topo.node_count(),
+            "{}: 2-FM merge incomplete",
+            spec.name()
+        );
         assert_eq!(
             three.devices,
             topo.node_count(),

@@ -9,7 +9,11 @@ use asi_topo::Table1;
 /// Runs the initial discovery on every Table 1 topology for each
 /// algorithm and reports the measured mean per-packet FM processing time.
 pub fn run(quick: bool) -> Chart {
-    let topos = if quick { Table1::quick() } else { Table1::all() };
+    let topos = if quick {
+        Table1::quick()
+    } else {
+        Table1::all()
+    };
     let mut chart = Chart::new(
         "fig4",
         "Average PI-4 processing time at the FM vs network size",

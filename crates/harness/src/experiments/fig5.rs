@@ -47,10 +47,7 @@ mod tests {
             assert!(dot.matches("label=").count() > *nodes);
             assert!(dot.starts_with("graph"));
             // Every node declared.
-            assert_eq!(
-                dot.lines().filter(|l| l.contains("shape=")).count(),
-                *nodes
-            );
+            assert_eq!(dot.lines().filter(|l| l.contains("shape=")).count(), *nodes);
         }
     }
 }

@@ -18,12 +18,7 @@ pub struct Fig6Output {
 /// passes non-default ones). The grid executes on the deterministic
 /// sweep runner ([`crate::sweep`]), so the charts are identical for any
 /// worker count — including the serial `jobs = 1` case.
-pub fn run_with_factors(
-    quick: bool,
-    fm_factor: f64,
-    device_factor: f64,
-    id: &str,
-) -> Fig6Output {
+pub fn run_with_factors(quick: bool, fm_factor: f64, device_factor: f64, id: &str) -> Fig6Output {
     let spec = SweepSpec::fig6(quick, fm_factor, device_factor);
     let jobs = std::thread::available_parallelism()
         .map(|n| n.get())

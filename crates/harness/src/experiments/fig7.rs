@@ -103,7 +103,11 @@ mod tests {
                 // With a single packet there is nothing to overlap.
                 assert!(p.1 <= s.1);
             } else {
-                assert!(p.1 < s.1, "ideal parallel must undercut serial at n={}", p.0);
+                assert!(
+                    p.1 < s.1,
+                    "ideal parallel must undercut serial at n={}",
+                    p.0
+                );
             }
         }
     }

@@ -5,9 +5,9 @@ pub mod ablations;
 pub mod distributed;
 pub mod fig4;
 pub mod fig5;
-pub mod pathdist;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod pathdist;
 pub mod table1;

@@ -47,10 +47,7 @@ pub fn run(quick: bool) -> TableOut {
 
         let agent = fabric.agent_as::<FmAgent>(fm).unwrap();
         let run = agent.last_run().unwrap();
-        let dist = agent
-            .distributions
-            .last()
-            .expect("distribution phase ran");
+        let dist = agent.distributions.last().expect("distribution phase ran");
         assert_eq!(dist.failures, 0, "{}: distribution failures", spec.name());
         t.push_row(vec![
             spec.name(),

@@ -136,9 +136,11 @@ impl Json {
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(n) => write_number(out, *n),
             Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
-                items[i].write(out, indent, d)
-            }),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d)
+                })
+            }
             Json::Obj(entries) => {
                 write_seq(out, indent, depth, '{', '}', entries.len(), |out, i, d| {
                     let (k, v) = &entries[i];
@@ -567,7 +569,10 @@ mod tests {
 
     #[test]
     fn integers_render_without_exponent() {
-        assert_eq!(Json::from(1_000_000_000u64).to_string_compact(), "1000000000");
+        assert_eq!(
+            Json::from(1_000_000_000u64).to_string_compact(),
+            "1000000000"
+        );
         assert_eq!(Json::from(0.25).to_string_compact(), "0.25");
     }
 
@@ -587,7 +592,7 @@ mod tests {
         assert!(parse(r#""\u12"#).is_err()); // truncated \u escape
         assert!(parse(r#""\uZZZZ""#).is_err()); // non-hex \u escape
         assert!(parse("\"abc").is_err()); // unterminated string
-        // Lone surrogate: documented to decode as U+FFFD, not panic.
+                                          // Lone surrogate: documented to decode as U+FFFD, not panic.
         assert_eq!(
             parse(r#""\ud800""#).unwrap(),
             Json::Str("\u{FFFD}".to_string())
@@ -603,8 +608,28 @@ mod tests {
         /// Characters biased toward JSON syntax and escape machinery, so
         /// random strings actually exercise the parser's edge paths.
         const SPICE: &[char] = &[
-            '"', '\\', 'u', 'n', '{', '}', '[', ']', ':', ',', '0', '9', '-', '.', 'e', ' ',
-            '\t', '\n', 'a', '\u{1}', '\u{FFFD}', '\u{10348}',
+            '"',
+            '\\',
+            'u',
+            'n',
+            '{',
+            '}',
+            '[',
+            ']',
+            ':',
+            ',',
+            '0',
+            '9',
+            '-',
+            '.',
+            'e',
+            ' ',
+            '\t',
+            '\n',
+            'a',
+            '\u{1}',
+            '\u{FFFD}',
+            '\u{10348}',
         ];
 
         fn arb_string(rng: &mut TestRng) -> Result<String, Rejected> {

@@ -170,7 +170,11 @@ impl TableOut {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -211,8 +215,11 @@ impl Chart {
             .flat_map(|s| s.points.iter().copied())
             .collect();
         if pts.is_empty() {
-            return format!("{} — (no data)
-", self.id);
+            return format!(
+                "{} — (no data)
+",
+                self.id
+            );
         }
         let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -350,15 +357,11 @@ pub fn trace_record_to_json(record: &TraceRecord) -> Json {
         TraceEvent::RequestInjected { req_id, write } => {
             obj.with("req_id", *req_id).with("write", *write)
         }
-        TraceEvent::RequestCompleted { req_id, ok } => {
-            obj.with("req_id", *req_id).with("ok", *ok)
-        }
+        TraceEvent::RequestCompleted { req_id, ok } => obj.with("req_id", *req_id).with("ok", *ok),
         TraceEvent::RequestTimedOut { req_id } => obj.with("req_id", *req_id),
-        TraceEvent::Pi5Emitted { dsn, port, up }
-        | TraceEvent::Pi5Received { dsn, port, up } => obj
-            .with("dsn", *dsn)
-            .with("port", *port)
-            .with("up", *up),
+        TraceEvent::Pi5Emitted { dsn, port, up } | TraceEvent::Pi5Received { dsn, port, up } => {
+            obj.with("dsn", *dsn).with("port", *port).with("up", *up)
+        }
         TraceEvent::DeviceDiscovered { dsn, switch, ports } => obj
             .with("dsn", *dsn)
             .with("switch", *switch)
@@ -366,8 +369,9 @@ pub fn trace_record_to_json(record: &TraceRecord) -> Json {
         TraceEvent::PendingTableSize { size } => obj.with("size", *size),
         TraceEvent::FmBusy { busy } => obj.with("busy_ps", busy.as_ps()),
         TraceEvent::FmIdle { idle } => obj.with("idle_ps", idle.as_ps()),
-        TraceEvent::DeviceActivated { device }
-        | TraceEvent::DeviceDeactivated { device } => obj.with("device", *device),
+        TraceEvent::DeviceActivated { device } | TraceEvent::DeviceDeactivated { device } => {
+            obj.with("device", *device)
+        }
         TraceEvent::QueueSample { depth, processed } => {
             obj.with("depth", *depth).with("processed", *processed)
         }
@@ -553,8 +557,7 @@ pub fn trace_from_jsonl(text: &str) -> Result<Vec<TraceRecord>, String> {
         if line.is_empty() {
             continue;
         }
-        let value =
-            json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let value = json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
         let record = trace_record_from_json(&value)
             .ok_or_else(|| format!("line {}: unrecognized trace record", i + 1))?;
         out.push(record);
@@ -632,9 +635,7 @@ impl TraceSummary {
 /// in µs, y = requests in flight. This is the measured counterpart of the
 /// paper's §3 scheduling table — flat at 1 for Serial Packet, sawtooth
 /// for Serial Device, bursty for Parallel.
-pub fn pending_occupancy<'a>(
-    records: impl IntoIterator<Item = &'a TraceRecord>,
-) -> Series {
+pub fn pending_occupancy<'a>(records: impl IntoIterator<Item = &'a TraceRecord>) -> Series {
     let mut series = Series::new("pending requests");
     for r in records {
         if let TraceEvent::PendingTableSize { size } = r.event {
@@ -757,26 +758,117 @@ mod tests {
     /// One record of every variant, for exhaustive round-trip checks.
     fn one_of_each() -> Vec<TraceRecord> {
         vec![
-            rec(0, TraceEvent::RunStarted { algorithm: "Parallel", trigger: "initial" }),
-            rec(1, TraceEvent::RequestInjected { req_id: 1, write: false }),
+            rec(
+                0,
+                TraceEvent::RunStarted {
+                    algorithm: "Parallel",
+                    trigger: "initial",
+                },
+            ),
+            rec(
+                1,
+                TraceEvent::RequestInjected {
+                    req_id: 1,
+                    write: false,
+                },
+            ),
             rec(2, TraceEvent::PendingTableSize { size: 3 }),
-            rec(3, TraceEvent::RequestCompleted { req_id: 1, ok: true }),
+            rec(
+                3,
+                TraceEvent::RequestCompleted {
+                    req_id: 1,
+                    ok: true,
+                },
+            ),
             rec(4, TraceEvent::RequestTimedOut { req_id: 2 }),
-            rec(5, TraceEvent::DeviceDiscovered { dsn: 0xdead_beef_cafe, switch: true, ports: 8 }),
-            rec(6, TraceEvent::Pi5Emitted { dsn: 42, port: 3, up: false }),
-            rec(7, TraceEvent::Pi5Received { dsn: 42, port: 3, up: false }),
-            rec(8, TraceEvent::FmBusy { busy: SimDuration::from_ps(1500) }),
-            rec(9, TraceEvent::FmIdle { idle: SimDuration::from_ps(2500) }),
+            rec(
+                5,
+                TraceEvent::DeviceDiscovered {
+                    dsn: 0xdead_beef_cafe,
+                    switch: true,
+                    ports: 8,
+                },
+            ),
+            rec(
+                6,
+                TraceEvent::Pi5Emitted {
+                    dsn: 42,
+                    port: 3,
+                    up: false,
+                },
+            ),
+            rec(
+                7,
+                TraceEvent::Pi5Received {
+                    dsn: 42,
+                    port: 3,
+                    up: false,
+                },
+            ),
+            rec(
+                8,
+                TraceEvent::FmBusy {
+                    busy: SimDuration::from_ps(1500),
+                },
+            ),
+            rec(
+                9,
+                TraceEvent::FmIdle {
+                    idle: SimDuration::from_ps(2500),
+                },
+            ),
             rec(10, TraceEvent::DeviceActivated { device: 5 }),
             rec(11, TraceEvent::DeviceDeactivated { device: 5 }),
-            rec(12, TraceEvent::QueueSample { depth: 7, processed: 4096 }),
-            rec(13, TraceEvent::RunFinished { devices_found: 18, links_found: 24, requests_sent: 90, timeouts: 1 }),
+            rec(
+                12,
+                TraceEvent::QueueSample {
+                    depth: 7,
+                    processed: 4096,
+                },
+            ),
+            rec(
+                13,
+                TraceEvent::RunFinished {
+                    devices_found: 18,
+                    links_found: 24,
+                    requests_sent: 90,
+                    timeouts: 1,
+                },
+            ),
             rec(14, TraceEvent::RequestAbandoned { req_id: 9 }),
-            rec(15, TraceEvent::SnapshotLoaded { devices: 18, links: 21 }),
-            rec(16, TraceEvent::SnapshotSaved { devices: 18, links: 21 }),
-            rec(17, TraceEvent::WarmVerified { dsn: 0xa51_0000_0007 }),
-            rec(18, TraceEvent::VerifyMismatch { dsn: 0xa51_0000_0008 }),
-            rec(19, TraceEvent::WarmFallback { mismatches: 5, threshold: 4 }),
+            rec(
+                15,
+                TraceEvent::SnapshotLoaded {
+                    devices: 18,
+                    links: 21,
+                },
+            ),
+            rec(
+                16,
+                TraceEvent::SnapshotSaved {
+                    devices: 18,
+                    links: 21,
+                },
+            ),
+            rec(
+                17,
+                TraceEvent::WarmVerified {
+                    dsn: 0xa51_0000_0007,
+                },
+            ),
+            rec(
+                18,
+                TraceEvent::VerifyMismatch {
+                    dsn: 0xa51_0000_0008,
+                },
+            ),
+            rec(
+                19,
+                TraceEvent::WarmFallback {
+                    mismatches: 5,
+                    threshold: 4,
+                },
+            ),
         ]
     }
 
@@ -872,7 +964,13 @@ mod tests {
     fn pending_occupancy_extracts_the_step_curve() {
         let records = vec![
             rec(1_000_000, TraceEvent::PendingTableSize { size: 1 }),
-            rec(2_000_000, TraceEvent::RequestInjected { req_id: 1, write: false }),
+            rec(
+                2_000_000,
+                TraceEvent::RequestInjected {
+                    req_id: 1,
+                    write: false,
+                },
+            ),
             rec(3_000_000, TraceEvent::PendingTableSize { size: 4 }),
         ];
         let series = pending_occupancy(&records);
@@ -883,7 +981,9 @@ mod tests {
     fn ring_collector_works_through_a_trace_handle() {
         let ring = RingCollector::shared(16);
         let handle = asi_sim::TraceHandle::to(ring.clone());
-        handle.emit(SimTime::from_ns(5), || TraceEvent::PendingTableSize { size: 2 });
+        handle.emit(SimTime::from_ns(5), || TraceEvent::PendingTableSize {
+            size: 2,
+        });
         assert_eq!(ring.borrow().len(), 1);
         assert_eq!(
             ring.borrow().records().next().unwrap().event.kind(),

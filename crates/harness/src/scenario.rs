@@ -182,13 +182,25 @@ impl Scenario {
         }
     }
 
-    /// The FM configuration this scenario implies.
-    fn fm_config(&self) -> FmConfig {
+    /// The base request timeout scaled to the fabric size. The FM
+    /// processes responses serially, so on large fabrics a parallel
+    /// discovery's response backlog alone can exceed a flat timeout and
+    /// abandon requests that were answered promptly. Fabrics up to 128
+    /// devices (everything in the paper's Table 1) keep the configured
+    /// base exactly; beyond that the timeout grows linearly with the
+    /// device count, matching the worst-case backlog.
+    fn scaled_request_timeout(&self, devices: usize) -> SimDuration {
+        self.request_timeout * (devices as u64).div_ceil(128).max(1)
+    }
+
+    /// The FM configuration this scenario implies for a fabric of
+    /// `devices` nodes.
+    fn fm_config(&self, devices: usize) -> FmConfig {
         let cfg = FmConfig::new(self.algorithm)
             .with_timing(FmTiming::default().with_factor(self.fm_factor))
             .with_partial_assimilation(self.partial_assimilation)
             .with_retry(self.retry)
-            .with_request_timeout(self.request_timeout)
+            .with_request_timeout(self.scaled_request_timeout(devices))
             .with_trace(self.trace.clone());
         match &self.snapshot {
             Some(snapshot) => cfg
@@ -211,7 +223,10 @@ impl Scenario {
         run_bringup(&mut fabric, &self.faults);
         let fm_node = asi_topo::default_fm_endpoint(topo)?;
         let fm = DevId(fm_node.0);
-        fabric.set_agent(fm, Box::new(FmAgent::new(self.fm_config())));
+        fabric.set_agent(
+            fm,
+            Box::new(FmAgent::new(self.fm_config(topo.node_count()))),
+        );
         fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
         fabric.run_until_idle();
         let active = fabric.active_reachable(fm).len();
@@ -298,12 +313,12 @@ impl Bench {
                         let r = r.unwrap();
                         // Skip destinations through absent switches: the
                         // packets would just be dropped noise.
-                        r.encode(topo, asi_proto::MAX_POOL_BITS).ok().map(|pool| {
-                            TrafficRoute {
+                        r.encode(topo, asi_proto::MAX_POOL_BITS)
+                            .ok()
+                            .map(|pool| TrafficRoute {
                                 egress: r.source_port,
                                 pool,
-                            }
-                        })
+                            })
                     })
                     .collect();
                 fabric.set_agent(
@@ -323,7 +338,10 @@ impl Bench {
             }
         }
 
-        fabric.set_agent(fm, Box::new(FmAgent::new(scenario.fm_config())));
+        fabric.set_agent(
+            fm,
+            Box::new(FmAgent::new(scenario.fm_config(topo.node_count()))),
+        );
         fabric.schedule_agent_timer(fm, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
 
         let mut bench = Bench {
@@ -401,10 +419,14 @@ impl Bench {
         let routes: Vec<(u64, u8, asi_proto::TurnPool)> = {
             let db = self.db();
             let host = db.host_dsn();
+            // One reversed-tree BFS covers every device; per-device
+            // route_between calls would be quadratic on large fabrics.
+            let mut to_host = db.routes_to(host, asi_proto::MAX_POOL_BITS);
             db.devices()
                 .filter(|d| d.info.dsn != host)
                 .filter_map(|d| {
-                    db.route_between(d.info.dsn, host, asi_proto::MAX_POOL_BITS)
+                    to_host
+                        .remove(&d.info.dsn)
                         .and_then(Result::ok)
                         .map(|r| (d.info.dsn, r.egress, r.pool))
                 })
@@ -513,7 +535,9 @@ pub fn distributed_discovery(
 
     // All managers (primary and collaborators) share the scenario sink;
     // the simulation loop is single-threaded, so interleaving is safe.
-    let fm_cfg = scenario.fm_config().with_auto_rediscover(false);
+    let fm_cfg = scenario
+        .fm_config(topo.node_count())
+        .with_auto_rediscover(false);
     let primary_cfg = fm_cfg.clone().with_distributed(DistributedRole::Primary {
         expected_reports: collaborators,
     });
@@ -550,7 +574,10 @@ pub fn distributed_discovery(
         if done {
             break;
         }
-        assert!(fabric.step(), "fabric idle before distributed merge completed");
+        assert!(
+            fabric.step(),
+            "fabric idle before distributed merge completed"
+        );
         assert!(fabric.now() < deadline, "distributed discovery stalled");
     }
     // Drain any trailing packets.
@@ -566,12 +593,11 @@ pub fn distributed_discovery(
             db.link_count(),
         )
     };
-    let mut per_manager_devices =
-        vec![fabric
-            .agent_as::<FmAgent>(primary)
-            .and_then(|a| a.last_run())
-            .map(|r| r.devices_found)
-            .unwrap_or(0)];
+    let mut per_manager_devices = vec![fabric
+        .agent_as::<FmAgent>(primary)
+        .and_then(|a| a.last_run())
+        .map(|r| r.devices_found)
+        .unwrap_or(0)];
     for &c in &collab_nodes {
         per_manager_devices.push(
             fabric

@@ -120,10 +120,14 @@ fn device_from_json(json: &Json) -> Result<SnapshotDevice, String> {
         .get("pool_words")
         .as_array()
         .ok_or("missing `pool_words`")?;
-    if words_json.len() != 4 {
-        return Err(format!("`pool_words` has {} entries, not 4", words_json.len()));
+    if words_json.len() != asi_proto::POOL_WORDS {
+        return Err(format!(
+            "`pool_words` has {} entries, not {}",
+            words_json.len(),
+            asi_proto::POOL_WORDS
+        ));
     }
-    let mut words = [0u64; 4];
+    let mut words = [0u64; asi_proto::POOL_WORDS];
     for (i, w) in words_json.iter().enumerate() {
         let s = w.as_str().ok_or("non-string pool word")?;
         let digits = s.strip_prefix("0x").ok_or("pool word not 0x-prefixed")?;
@@ -200,7 +204,10 @@ pub fn snapshot_to_jsonl(snapshot: &Snapshot) -> String {
 /// the header checksum are verified; a mismatch (hand-edited or
 /// truncated dump) fails with a description.
 pub fn snapshot_from_jsonl(text: &str) -> Result<Snapshot, String> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, first) = lines.next().ok_or("empty snapshot file")?;
     let header = json::parse(first).map_err(|e| format!("line 1: {e}"))?;
     if header.get("kind").as_str() != Some("snapshot") {

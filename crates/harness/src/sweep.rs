@@ -14,7 +14,7 @@
 
 use crate::json::Json;
 use crate::scenario::{change_experiment, Bench, Scenario};
-use asi_core::{snapshot_db, Algorithm, RetryPolicy};
+use asi_core::{snapshot_db, Algorithm, DiscoveryRun, RetryPolicy};
 use asi_fabric::{FaultPlan, LossModel};
 use asi_sim::{OnlineStats, SimDuration};
 use asi_topo::Table1;
@@ -114,10 +114,7 @@ impl SweepSpec {
     /// The Fig. 5 grid: initial discovery on the two fabrics the paper
     /// renders (6×6 mesh, 4-port 3-tree).
     pub fn fig5(quick: bool) -> SweepSpec {
-        let mut spec = SweepSpec::new(
-            "fig5",
-            vec![Table1::Mesh(6), Table1::FatTree(4, 3)],
-        );
+        let mut spec = SweepSpec::new("fig5", vec![Table1::Mesh(6), Table1::FatTree(4, 3)]);
         spec.reps = if quick { 1 } else { 3 };
         spec
     }
@@ -128,7 +125,11 @@ impl SweepSpec {
     pub fn fig6(quick: bool, fm_factor: f64, device_factor: f64) -> SweepSpec {
         let mut spec = SweepSpec::new(
             "fig6",
-            if quick { Table1::quick() } else { Table1::all() },
+            if quick {
+                Table1::quick()
+            } else {
+                Table1::all()
+            },
         );
         spec.reps = if quick { 2 } else { 6 };
         spec.seed_base = 0xF16_6000;
@@ -152,12 +153,41 @@ impl SweepSpec {
     pub fn warmstart(quick: bool) -> SweepSpec {
         let mut spec = SweepSpec::new(
             "warmstart",
-            if quick { Table1::quick() } else { Table1::all() },
+            if quick {
+                Table1::quick()
+            } else {
+                Table1::all()
+            },
         );
         spec.algorithms = vec![Algorithm::Parallel];
         spec.reps = if quick { 1 } else { 3 };
         spec.seed_base = 0x5AF_0000;
         spec.warm_axis = true;
+        spec
+    }
+
+    /// The large-fabric scale grid: Parallel initial discovery over the
+    /// [`Table1::scale`] set (a three-topology subset when `quick`).
+    /// The per-cell `peak_outstanding` and `sim_events` columns are its
+    /// headline metrics; both are deterministic, so the rendered
+    /// JSON/CSV stays byte-identical across `--jobs` values. Wall-clock
+    /// throughput (events/sec) is reported by the CLI on stderr,
+    /// outside the byte-compared output.
+    pub fn scale(quick: bool) -> SweepSpec {
+        let mut spec = SweepSpec::new(
+            "scale",
+            if quick {
+                vec![
+                    Table1::Mesh(16),
+                    Table1::FatTree(8, 3),
+                    Table1::Irregular(256),
+                ]
+            } else {
+                Table1::scale()
+            },
+        );
+        spec.algorithms = vec![Algorithm::Parallel];
+        spec.seed_base = 0x5CA_1E00;
         spec
     }
 
@@ -168,7 +198,11 @@ impl SweepSpec {
     pub fn faults(quick: bool) -> SweepSpec {
         let mut spec = SweepSpec::new(
             "faults",
-            if quick { Table1::quick() } else { Table1::all() },
+            if quick {
+                Table1::quick()
+            } else {
+                Table1::all()
+            },
         );
         spec.reps = if quick { 1 } else { 3 };
         spec.seed_base = 0xFA_0175;
@@ -276,6 +310,16 @@ pub struct CellResult {
     pub retries: u64,
     /// Requests abandoned after exhausting the retry budget.
     pub abandoned: u64,
+    /// Peak pending-table occupancy during the measured run (1 for the
+    /// serial algorithms by construction; the scale grid's headline
+    /// memory metric).
+    pub peak_outstanding: usize,
+    /// Simulator events processed over the whole cell (bring-up plus
+    /// measured run). A pure function of the cell seed, so it is safe
+    /// for byte-compared reports; the CLI divides the grid total by
+    /// wall time for a throughput figure. Zero for fault and change
+    /// cells, which run their fabric internally without surfacing it.
+    pub sim_events: u64,
     /// Management bytes sent by the FM.
     pub bytes_sent: u64,
     /// Management bytes received by the FM.
@@ -345,36 +389,42 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
         .with_retry(spec.retry)
         .with_request_timeout(spec.request_timeout)
         .with_seed(cell.seed);
+    // Fault and change cells run their fabric inside the scenario
+    // helpers without surfacing it, so their simulator event count
+    // reports as zero.
+    let no_events = |(run, active): (DiscoveryRun, usize)| (run, active, 0u64);
     let outcome = if cell.warm {
         // Warm twin: an unmeasured cold bench produces the snapshot the
         // measured warm-start verification run is seeded from.
         let snapshot = snapshot_db(Bench::start(&topo, &scenario, &[]).db());
         let warm = scenario.clone().with_snapshot(snapshot);
         if !spec.faults.is_inert() {
-            warm.initial_discovery(&topo)
+            warm.initial_discovery(&topo).map(no_events)
         } else {
             let bench = Bench::start(&topo, &warm, &[]);
             let active = bench.active_nodes();
-            Some((bench.last_run(), active))
+            Some((bench.last_run(), active, bench.fabric.events_processed()))
         }
     } else if !spec.faults.is_inert() {
-        scenario.initial_discovery(&topo)
+        scenario.initial_discovery(&topo).map(no_events)
     } else {
         match spec.change {
             ChangeMode::Initial => {
                 let bench = Bench::start(&topo, &scenario, &[]);
                 let active = bench.active_nodes();
-                Some((bench.last_run(), active))
+                Some((bench.last_run(), active, bench.fabric.events_processed()))
             }
-            ChangeMode::Remove => Some(change_experiment(&topo, &scenario, true)),
-            ChangeMode::Add => Some(change_experiment(&topo, &scenario, false)),
-            ChangeMode::Alternate => {
-                Some(change_experiment(&topo, &scenario, cell.rep.is_multiple_of(2)))
-            }
+            ChangeMode::Remove => Some(no_events(change_experiment(&topo, &scenario, true))),
+            ChangeMode::Add => Some(no_events(change_experiment(&topo, &scenario, false))),
+            ChangeMode::Alternate => Some(no_events(change_experiment(
+                &topo,
+                &scenario,
+                cell.rep.is_multiple_of(2),
+            ))),
         }
     };
     match outcome {
-        Some((run, active)) => CellResult {
+        Some((run, active, sim_events)) => CellResult {
             topology: cell.topology.name(),
             total_devices: cell.topology.total_devices(),
             algorithm: cell.algorithm.name(),
@@ -391,6 +441,8 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             timeouts: run.timeouts,
             retries: run.retries,
             abandoned: run.abandoned,
+            peak_outstanding: run.peak_outstanding,
+            sim_events,
             bytes_sent: run.bytes_sent,
             bytes_received: run.bytes_received,
             mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
@@ -416,6 +468,8 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             timeouts: 0,
             retries: 0,
             abandoned: 0,
+            peak_outstanding: 0,
+            sim_events: 0,
             bytes_sent: 0,
             bytes_received: 0,
             mean_fm_processing_us: 0.0,
@@ -567,6 +621,8 @@ impl CellResult {
             .with("timeouts", self.timeouts)
             .with("retries", self.retries)
             .with("abandoned", self.abandoned)
+            .with("peak_outstanding", self.peak_outstanding)
+            .with("sim_events", self.sim_events)
             .with("bytes_sent", self.bytes_sent)
             .with("bytes_received", self.bytes_received)
             .with("mean_fm_processing_us", self.mean_fm_processing_us)
@@ -620,13 +676,14 @@ impl SweepResult {
         let mut out = String::from(
             "topology,total_devices,algorithm,warm,rep,seed,completed,active_nodes,\
              discovery_time_s,devices_found,links_found,requests,responses,\
-             timeouts,retries,abandoned,bytes_sent,bytes_received,\
+             timeouts,retries,abandoned,peak_outstanding,sim_events,\
+             bytes_sent,bytes_received,\
              mean_fm_processing_us,fm_utilization,probes_verified,\
              verify_mismatches,warm_fallback\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&c.topology),
                 c.total_devices,
                 csv_field(c.algorithm),
@@ -643,6 +700,8 @@ impl SweepResult {
                 c.timeouts,
                 c.retries,
                 c.abandoned,
+                c.peak_outstanding,
+                c.sim_events,
                 c.bytes_sent,
                 c.bytes_received,
                 c.mean_fm_processing_us,
@@ -711,14 +770,8 @@ mod tests {
         assert_eq!(cells[1].rep, 1);
         // Fig. 6 seed formula preserved exactly.
         let topo = Table1::quick()[0];
-        assert_eq!(
-            cells[0].seed,
-            0xF16_6000 + topo.switches() as u64
-        );
-        assert_eq!(
-            cells[1].seed,
-            0xF16_6000 + 7919 + topo.switches() as u64
-        );
+        assert_eq!(cells[0].seed, 0xF16_6000 + topo.switches() as u64);
+        assert_eq!(cells[1].seed, 0xF16_6000 + 7919 + topo.switches() as u64);
     }
 
     #[test]
@@ -765,6 +818,40 @@ mod tests {
         for agg in &sequential.aggregates {
             assert_eq!(agg.full_topology, agg.completed, "{}", agg.algorithm);
             assert!(agg.mean_retries > 0.0, "{}", agg.algorithm);
+        }
+    }
+
+    #[test]
+    fn initial_cells_report_peak_occupancy_and_events() {
+        let mut spec = SweepSpec::new("peak", vec![Table1::Mesh(3)]);
+        spec.algorithms = vec![Algorithm::SerialPacket, Algorithm::Parallel];
+        let result = run(&spec, 1);
+        let serial = &result.cells[0];
+        let parallel = &result.cells[1];
+        assert_eq!(serial.peak_outstanding, 1, "serial keeps one in flight");
+        assert!(
+            parallel.peak_outstanding > 1,
+            "parallel peak {}",
+            parallel.peak_outstanding
+        );
+        assert!(serial.sim_events > 0);
+        assert!(parallel.sim_events > 0);
+    }
+
+    #[test]
+    fn scale_grid_is_parallel_only_over_the_scale_set() {
+        let spec = SweepSpec::scale(false);
+        assert_eq!(spec.algorithms, vec![Algorithm::Parallel]);
+        assert_eq!(spec.topologies, Table1::scale());
+        assert_eq!(spec.cells().len(), Table1::scale().len());
+        let quick = SweepSpec::scale(true);
+        assert_eq!(quick.cells().len(), 3);
+        for t in &quick.topologies {
+            assert!(
+                Table1::scale().contains(t) || *t == Table1::Irregular(256),
+                "{}",
+                t.name()
+            );
         }
     }
 
@@ -869,7 +956,10 @@ mod tests {
         let spec = tiny_spec();
         let a = run(&spec, 2);
         let b = run(&spec, 2);
-        assert_eq!(a.to_json().to_string_pretty(), b.to_json().to_string_pretty());
+        assert_eq!(
+            a.to_json().to_string_pretty(),
+            b.to_json().to_string_pretty()
+        );
         assert_eq!(a.to_csv(), b.to_csv());
         assert_eq!(a.to_text(), b.to_text());
     }

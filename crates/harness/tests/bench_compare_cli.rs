@@ -1,0 +1,129 @@
+//! Integration tests for the `bench-compare` CI gate binary: the exit
+//! codes are the contract CI scripts rely on (0 pass, 1 regression,
+//! 2 bad invocation), so every path gets pinned here.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_bench-compare"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+/// Writes `text` to a fresh temp file and returns its path.
+fn report_file(dir: &std::path::Path, name: &str, text: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    path.to_str().unwrap().to_owned()
+}
+
+fn report(benches: &[(&str, f64)]) -> String {
+    let results: Vec<String> = benches
+        .iter()
+        .map(|(n, ns)| format!(r#"{{"name":"{n}","ns_per_iter":{ns},"iters":10}}"#))
+        .collect();
+    format!(
+        r#"{{"schema":"asi-bench/v1","mode":"stable","results":[{}]}}"#,
+        results.join(",")
+    )
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("asi-bench-compare-{tag}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn identical_reports_exit_zero() {
+    let dir = temp_dir("pass");
+    let text = report(&[("micro/a", 100.0), ("discovery/b", 5000.0)]);
+    let base = report_file(&dir, "base.json", &text);
+    let cand = report_file(&dir, "cand.json", &text);
+    let (stdout, _, code) = run(&[&base, &cand]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("ok"), "{stdout}");
+    assert!(!stdout.contains("REGRESSED"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_slowdown_exits_one() {
+    // The CI negative test in miniature: a synthetic 2.5x slowdown on a
+    // stable bench must trip the gate.
+    let dir = temp_dir("regress");
+    let base = report_file(&dir, "base.json", &report(&[("micro/a", 100.0)]));
+    let cand = report_file(&dir, "cand.json", &report(&[("micro/a", 250.0)]));
+    let (stdout, stderr, code) = run(&[&base, &cand]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stderr.contains("regressed beyond threshold"), "{stderr}");
+    // The same delta passes when the caller widens the threshold.
+    let (_, _, relaxed) = run(&[&base, &cand, "--stable-pct", "200"]);
+    assert_eq!(relaxed, Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn benchmark_missing_from_candidate_exits_one() {
+    let dir = temp_dir("missing");
+    let base = report_file(
+        &dir,
+        "base.json",
+        &report(&[("micro/a", 100.0), ("micro/b", 9.0)]),
+    );
+    let cand = report_file(&dir, "cand.json", &report(&[("micro/a", 100.0)]));
+    let (stdout, _, code) = run(&[&base, &cand]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("micro/b"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_invocations_exit_two() {
+    let dir = temp_dir("usage");
+    let good = report_file(&dir, "good.json", &report(&[("micro/a", 1.0)]));
+    let bad_json = report_file(&dir, "bad.json", "{not json");
+    let wrong_schema = report_file(
+        &dir,
+        "schema.json",
+        r#"{"schema":"other/v9","results":[{"name":"a","ns_per_iter":1}]}"#,
+    );
+    let cases: &[&[&str]] = &[
+        &[],                                   // no paths at all
+        &[&good],                              // only one path
+        &[&good, &good, "extra.json"],         // three paths
+        &[&good, &bad_json],                   // unparseable candidate
+        &[&wrong_schema, &good],               // wrong schema version
+        &[&good, "/no/such/file.json"],        // unreadable path
+        &[&good, &good, "--stable-pct"],       // flag missing its value
+        &[&good, &good, "--stable-pct", "-5"], // negative threshold
+        &[&good, &good, "--frobnicate"],       // unknown flag
+    ];
+    for args in cases {
+        let (stdout, stderr, code) = run(args);
+        assert_eq!(code, Some(2), "args {args:?}: stderr = {stderr}");
+        assert!(stdout.is_empty(), "args {args:?} wrote stdout: {stdout}");
+        assert!(stderr.contains("error:"), "args {args:?}: {stderr}");
+        assert!(stderr.contains("usage:"), "args {args:?}: {stderr}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn committed_baseline_parses_and_passes_against_itself() {
+    // The repo's own committed baseline must stay loadable: if this
+    // fails, the CI gate is broken at the source.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro_stable.json");
+    let text = std::fs::read_to_string(path).expect("committed baseline exists");
+    let parsed = asi_harness::parse_report(&text).expect("baseline parses");
+    assert!(parsed.results.iter().all(|m| m.name.starts_with("micro/")));
+    let (_, _, code) = run(&[path, path]);
+    assert_eq!(code, Some(0));
+}

@@ -132,7 +132,10 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { base: self, pred: f }
+        Filter {
+            base: self,
+            pred: f,
+        }
     }
 }
 
@@ -577,7 +580,9 @@ mod tests {
     fn vec_lengths_respect_bounds() {
         let mut rng = super::TestRng::new(9);
         for _ in 0..200 {
-            let v = crate::collection::vec(0u32..10, 1..5).generate(&mut rng).unwrap();
+            let v = crate::collection::vec(0u32..10, 1..5)
+                .generate(&mut rng)
+                .unwrap();
             assert!((1..5).contains(&v.len()));
         }
     }

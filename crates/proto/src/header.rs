@@ -24,9 +24,15 @@
 //! Extended-pool packets (beyond the 31-bit spec field) append extra
 //! turn-pool DWORDs after DW1; `ext_pool_dwords` records how many. The
 //! extension exists because the paper's 8×8 meshes need up to 56 turn bits
-//! (DESIGN.md §2); strict mode rejects such paths instead.
+//! (DESIGN.md §2) and large-fabric stress topologies (64×64 meshes) need up
+//! to 508; strict mode rejects such paths instead. Because extended pools
+//! can exceed 255 bits, the 8-bit DW1 turn-pointer field is too narrow for
+//! them: the explicit framing pair after DW1 therefore carries both the
+//! pool bit-length and the full 16-bit turn pointer
+//! (`[len u16][pointer u16]`), and DW1 keeps the low 8 pointer bits for
+//! spec-mode fidelity.
 
-use crate::turn::{Direction, TurnPool, SPEC_POOL_BITS};
+use crate::turn::{Direction, TurnPool, POOL_WORDS, SPEC_POOL_BITS};
 
 /// Protocol Interface numbers used by the management plane.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -91,7 +97,10 @@ impl core::fmt::Display for HeaderError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             HeaderError::BadCrc { found, expected } => {
-                write!(f, "header CRC mismatch: found {found:#x}, expected {expected:#x}")
+                write!(
+                    f,
+                    "header CRC mismatch: found {found:#x}, expected {expected:#x}"
+                )
             }
             HeaderError::Truncated => write!(f, "truncated route header"),
             HeaderError::BadPointer => write!(f, "turn pointer exceeds pool length"),
@@ -227,11 +236,14 @@ impl RouteHeader {
         bytes[4..].copy_from_slice(&dw1.to_be_bytes());
         out.extend_from_slice(&bytes);
 
-        // Pool bit-length framing: a byte pair directly after DW1 so the
-        // receiver knows how many extension DWORDs follow. (Real ASI infers
-        // this from the turn pointer; an explicit field keeps our extended
-        // mode unambiguous.)
+        // Framing: pool bit-length then the full 16-bit turn pointer,
+        // directly after DW1, so the receiver knows how many extension
+        // DWORDs follow and can route pools longer than the 8-bit DW1
+        // pointer field can address. (Real ASI infers the extension count
+        // from the turn pointer; explicit fields keep our extended mode
+        // unambiguous.)
         out.extend_from_slice(&self.pool.len_bits().to_be_bytes());
+        out.extend_from_slice(&self.turn_pointer.to_be_bytes());
 
         // Extension DWORDs carry pool bits 31.. in 32-bit chunks.
         for i in 0..self.ext_pool_dwords() {
@@ -241,7 +253,7 @@ impl RouteHeader {
                 let bit = base + b;
                 let w = bit / 64;
                 let off = bit % 64;
-                if w < 4 && (words[w] >> off) & 1 == 1 {
+                if w < POOL_WORDS && (words[w] >> off) & 1 == 1 {
                     dw |= 1 << b;
                 }
             }
@@ -251,7 +263,7 @@ impl RouteHeader {
 
     /// Parses a header from `input`, returning it plus the bytes consumed.
     pub fn decode(input: &[u8]) -> Result<(RouteHeader, usize), HeaderError> {
-        if input.len() < 10 {
+        if input.len() < 12 {
             return Err(HeaderError::Truncated);
         }
         let dw0 = u32::from_be_bytes(input[..4].try_into().unwrap());
@@ -273,7 +285,6 @@ impl RouteHeader {
         } else {
             Direction::Forward
         };
-        let turn_pointer = ((dw1 >> 24) & 0xFF) as u16;
         let pi = ProtocolInterface::from_wire(((dw1 >> 17) & 0x7F) as u8);
         let tc = ((dw1 >> 14) & 0x7) as u8;
         let oo = (dw1 >> 13) & 1 == 1;
@@ -283,30 +294,32 @@ impl RouteHeader {
         let frame = (dw1 >> 5) & 1 == 1;
 
         // Reconstruct the pool words from the spec field + extensions.
-        // Layout: [DW0][DW1][len u16][ext DWORDs...].
-        let mut words = [0u64; 4];
+        // Layout: [DW0][DW1][len u16][pointer u16][ext DWORDs...].
+        let mut words = [0u64; POOL_WORDS];
         words[0] = u64::from(dw0 & 0x7FFF_FFFF);
-        let len_bits = u16::from_be_bytes(
-            input
-                .get(8..10)
-                .ok_or(HeaderError::Truncated)?
-                .try_into()
-                .unwrap(),
-        );
-        let mut consumed = 10;
+        let len_bits = u16::from_be_bytes(input[8..10].try_into().unwrap());
+        let turn_pointer = u16::from_be_bytes(input[10..12].try_into().unwrap());
+        // DW1 keeps the low 8 pointer bits; the framing field is canonical
+        // and the two must agree.
+        if (turn_pointer & 0xFF) as u32 != (dw1 >> 24) & 0xFF {
+            return Err(HeaderError::BadPointer);
+        }
+        let mut consumed = 12;
         if len_bits > SPEC_POOL_BITS {
             let ext = ((len_bits - SPEC_POOL_BITS) as usize).div_ceil(32);
-            let need = 10 + 4 * ext;
+            let need = 12 + 4 * ext;
             if input.len() < need {
                 return Err(HeaderError::Truncated);
             }
             for i in 0..ext {
-                let off = 10 + 4 * i;
+                let off = 12 + 4 * i;
                 let dw = u32::from_be_bytes(input[off..off + 4].try_into().unwrap());
                 for b in 0..32usize {
                     if (dw >> b) & 1 == 1 {
                         let bit = 31 + 32 * i + b;
-                        words[bit / 64] |= 1u64 << (bit % 64);
+                        if bit / 64 < POOL_WORDS {
+                            words[bit / 64] |= 1u64 << (bit % 64);
+                        }
                     }
                 }
             }
@@ -314,9 +327,9 @@ impl RouteHeader {
         }
 
         let capacity = len_bits.max(SPEC_POOL_BITS);
-        let pool = TurnPool::from_words(words, len_bits, capacity)
-            .map_err(|_| HeaderError::BadPointer)?;
-        if turn_pointer > pool.len_bits() && pool.len_bits() <= 0xFF {
+        let pool =
+            TurnPool::from_words(words, len_bits, capacity).map_err(|_| HeaderError::BadPointer)?;
+        if turn_pointer > pool.len_bits() {
             return Err(HeaderError::BadPointer);
         }
 
@@ -366,14 +379,10 @@ mod tests {
 
     #[test]
     fn header_round_trips() {
-        let hdr = RouteHeader::forward(
-            ProtocolInterface::DeviceManagement,
-            7,
-            sample_pool(),
-        );
+        let hdr = RouteHeader::forward(ProtocolInterface::DeviceManagement, 7, sample_pool());
         let mut buf = Vec::new();
         hdr.encode(&mut buf);
-        assert_eq!(buf.len(), hdr.wire_size() + 2);
+        assert_eq!(buf.len(), hdr.wire_size() + 4);
         let (decoded, consumed) = RouteHeader::decode(&buf).unwrap();
         assert_eq!(consumed, buf.len());
         assert_eq!(decoded, hdr);

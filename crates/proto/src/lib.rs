@@ -35,8 +35,9 @@ pub mod turn;
 pub mod vc;
 
 pub use config::{
-    ConfigSpace, DeviceInfo, DeviceType, PortInfo, PortState, CAP_BASELINE, CAP_MCAST_TABLE, CAP_OWNERSHIP, CAP_ROUTE_TABLE, MCAST_GROUPS,
-    GENERAL_INFO_WORDS, PORTS_PER_READ, PORT_BLOCK_WORDS,
+    ConfigSpace, DeviceInfo, DeviceType, PortInfo, PortState, CAP_BASELINE, CAP_MCAST_TABLE,
+    CAP_OWNERSHIP, CAP_ROUTE_TABLE, GENERAL_INFO_WORDS, MCAST_GROUPS, PORTS_PER_READ,
+    PORT_BLOCK_WORDS,
 };
 pub use header::{HeaderError, ProtocolInterface, RouteHeader};
 pub use packet::{Packet, PacketError, Payload, ECRC_BYTES};
@@ -45,6 +46,6 @@ pub use pi5::{Pi5, Pi5Error, PortEvent};
 pub use pi_fm::{FmMessage, FmMessageError};
 pub use turn::{
     apply_backward, apply_forward, turn_for, turn_width, Direction, TurnCursor, TurnError,
-    TurnPool, MAX_POOL_BITS, SPEC_POOL_BITS,
+    TurnPool, MAX_POOL_BITS, POOL_WORDS, SPEC_POOL_BITS,
 };
 pub use vc::{TcMapError, TcVcMap, VcConfig, VcId, VcKind, MANAGEMENT_TC};

@@ -109,10 +109,10 @@ impl Packet {
         Packet { header, payload }
     }
 
-    /// Total on-wire size: header (+ pool extension and length framing) +
-    /// payload + ECRC.
+    /// Total on-wire size: header (+ pool extension and the 4-byte
+    /// length/pointer framing) + payload + ECRC.
     pub fn wire_size(&self) -> usize {
-        self.header.wire_size() + 2 + self.payload.wire_size() + ECRC_BYTES
+        self.header.wire_size() + 4 + self.payload.wire_size() + ECRC_BYTES
     }
 
     /// True for management-plane packets (PI-4/PI-5), which the paper says
@@ -266,10 +266,7 @@ mod tests {
 
     #[test]
     fn corrupted_packet_is_rejected() {
-        let pkt = Packet::new(
-            header(),
-            Payload::Pi4(Pi4::WriteCompletion { req_id: 1 }),
-        );
+        let pkt = Packet::new(header(), Payload::Pi4(Pi4::WriteCompletion { req_id: 1 }));
         let mut bytes = pkt.encode();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0xFF;
@@ -296,9 +293,9 @@ mod tests {
                 dwords: 6,
             }),
         );
-        assert_eq!(pkt.wire_size(), 8 + 2 + 10 + 4);
+        assert_eq!(pkt.wire_size(), 8 + 4 + 10 + 4);
 
-        // A full 8-word completion is 8+2+(1+4+1+32)+4 = 52 bytes.
+        // A full 8-word completion is 8+4+(1+4+1+32)+4 = 54 bytes.
         let completion = Packet::new(
             header(),
             Payload::Pi4(Pi4::ReadCompletion {
@@ -306,6 +303,6 @@ mod tests {
                 data: vec![0; 8],
             }),
         );
-        assert_eq!(completion.wire_size(), 52);
+        assert_eq!(completion.wire_size(), 54);
     }
 }

@@ -194,8 +194,7 @@ impl Pi4 {
     /// Parses a PDU, returning it and the bytes consumed.
     pub fn decode(input: &[u8]) -> Result<(Pi4, usize), Pi4Error> {
         let op = *input.first().ok_or(Pi4Error::Truncated)?;
-        let take =
-            |from: usize, n: usize| input.get(from..from + n).ok_or(Pi4Error::Truncated);
+        let take = |from: usize, n: usize| input.get(from..from + n).ok_or(Pi4Error::Truncated);
         let be32 = |from: usize| -> Result<u32, Pi4Error> {
             Ok(u32::from_be_bytes(take(from, 4)?.try_into().unwrap()))
         };
@@ -344,7 +343,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_opcode() {
-        assert_eq!(Pi4::decode(&[0xFF, 0, 0, 0, 0]), Err(Pi4Error::BadOpcode(0xFF)));
+        assert_eq!(
+            Pi4::decode(&[0xFF, 0, 0, 0, 0]),
+            Err(Pi4Error::BadOpcode(0xFF))
+        );
     }
 
     #[test]

@@ -133,11 +133,8 @@ impl FmMessage {
     /// Parses one message, returning it and the bytes consumed.
     pub fn decode(input: &[u8]) -> Result<(FmMessage, usize), FmMessageError> {
         let op = *input.first().ok_or(FmMessageError::Truncated)?;
-        let take = |from: usize, n: usize| {
-            input
-                .get(from..from + n)
-                .ok_or(FmMessageError::Truncated)
-        };
+        let take =
+            |from: usize, n: usize| input.get(from..from + n).ok_or(FmMessageError::Truncated);
         let be64 = |from: usize| -> Result<u64, FmMessageError> {
             Ok(u64::from_be_bytes(take(from, 8)?.try_into().unwrap()))
         };
@@ -155,11 +152,9 @@ impl FmMessage {
                 for (i, w) in words.iter_mut().enumerate() {
                     *w = be32(1 + 4 * i)?;
                 }
-                let info =
-                    DeviceInfo::from_words(&words).ok_or(FmMessageError::BadPayload)?;
+                let info = DeviceInfo::from_words(&words).ok_or(FmMessageError::BadPayload)?;
                 let off = 1 + 4 * GENERAL_INFO_WORDS as usize;
-                let nports =
-                    u16::from_be_bytes(take(off, 2)?.try_into().unwrap()) as usize;
+                let nports = u16::from_be_bytes(take(off, 2)?.try_into().unwrap()) as usize;
                 if nports > 512 {
                     return Err(FmMessageError::BadPayload);
                 }
@@ -169,14 +164,9 @@ impl FmMessage {
                     // Port blocks carry 4 words on the wire in PI-4, but
                     // only word 0 holds data; FM exchange sends word 0.
                     let block = [w, 0, 0, 0];
-                    ports.push(
-                        PortInfo::from_words(&block).ok_or(FmMessageError::BadPayload)?,
-                    );
+                    ports.push(PortInfo::from_words(&block).ok_or(FmMessageError::BadPayload)?);
                 }
-                Ok((
-                    FmMessage::Device { info, ports },
-                    off + 2 + 4 * nports,
-                ))
+                Ok((FmMessage::Device { info, ports }, off + 2 + 4 * nports))
             }
             OP_LINK => {
                 let a = (be64(1)?, *take(9, 1)?.first().unwrap());
@@ -236,7 +226,11 @@ mod tests {
             },
             ports: (0..16)
                 .map(|i| PortInfo {
-                    state: if i < 5 { PortState::Active } else { PortState::Down },
+                    state: if i < 5 {
+                        PortState::Active
+                    } else {
+                        PortState::Down
+                    },
                     link_width: 1,
                     link_speed: 10,
                     peer_port: i,

@@ -18,15 +18,22 @@
 //! The specification allots **31 bits** to the pool (and our strict mode
 //! enforces that), but several of the paper's topologies need longer paths
 //! (an 8×8 mesh corner-to-corner crosses 14 switches × 4 bits = 56 bits),
-//! so the pool also supports an extended capacity. See DESIGN.md §2.
+//! so the pool also supports an extended capacity. The extended ceiling is
+//! sized for the scale subsystem's largest fabric: a 64×64 mesh route from
+//! the corner-attached FM crosses up to 127 switches × 4 bits = 508 bits.
+//! See DESIGN.md §2.
 
 use core::fmt;
 
 /// Maximum pool size in strict (specification) mode.
 pub const SPEC_POOL_BITS: u16 = 31;
 
-/// Maximum pool size in extended mode (4 × 64-bit words).
-pub const MAX_POOL_BITS: u16 = 256;
+/// Maximum pool size in extended mode ([`POOL_WORDS`] × 64-bit words).
+pub const MAX_POOL_BITS: u16 = 512;
+
+/// Number of 64-bit words backing a [`TurnPool`] (and serialized by the
+/// snapshot codecs).
+pub const POOL_WORDS: usize = (MAX_POOL_BITS / 64) as usize;
 
 /// Errors raised while building or consuming a turn pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,7 +101,7 @@ impl std::error::Error for TurnError {}
 /// ```
 #[derive(Clone)]
 pub struct TurnPool {
-    words: [u64; 4],
+    words: [u64; POOL_WORDS],
     len: u16,
     capacity: u16,
 }
@@ -128,7 +135,7 @@ impl TurnPool {
             "turn pool capacity {capacity} exceeds {MAX_POOL_BITS}"
         );
         TurnPool {
-            words: [0; 4],
+            words: [0; POOL_WORDS],
             len: 0,
             capacity,
         }
@@ -155,12 +162,16 @@ impl TurnPool {
     }
 
     /// Raw little-endian words backing the pool (for serialization).
-    pub fn words(&self) -> &[u64; 4] {
+    pub fn words(&self) -> &[u64; POOL_WORDS] {
         &self.words
     }
 
     /// Rebuilds a pool from raw words and a bit length (deserialization).
-    pub fn from_words(words: [u64; 4], len: u16, capacity: u16) -> Result<Self, TurnError> {
+    pub fn from_words(
+        words: [u64; POOL_WORDS],
+        len: u16,
+        capacity: u16,
+    ) -> Result<Self, TurnError> {
         if len > capacity || capacity > MAX_POOL_BITS {
             return Err(TurnError::PoolOverflow {
                 needed: len,
@@ -223,10 +234,14 @@ impl TurnPool {
     }
 
     fn mask_tail(&mut self) {
-        for bit in u32::from(self.len)..256 {
-            let w = (bit / 64) as usize;
-            let i = bit % 64;
-            self.words[w] &= !(1u64 << i);
+        let len = usize::from(self.len);
+        for (w, word) in self.words.iter_mut().enumerate() {
+            let start = w * 64;
+            if len <= start {
+                *word = 0;
+            } else if len < start + 64 {
+                *word &= (1u64 << (len - start)) - 1;
+            }
         }
     }
 }
@@ -479,10 +494,7 @@ mod tests {
         assert!(pool.is_empty());
         let c = TurnCursor::start(&pool, Direction::Forward);
         assert!(c.exhausted(&pool));
-        assert_eq!(
-            c.take_turn(&pool, 4),
-            Err(TurnError::PointerOutOfRange)
-        );
+        assert_eq!(c.take_turn(&pool, 4), Err(TurnError::PointerOutOfRange));
     }
 
     #[test]
@@ -516,14 +528,14 @@ mod tests {
 
     #[test]
     fn from_words_rejects_oversized_len() {
-        assert!(TurnPool::from_words([0; 4], 32, 31).is_err());
-        assert!(TurnPool::from_words([0; 4], 300, 300).is_err());
+        assert!(TurnPool::from_words([0; POOL_WORDS], 32, 31).is_err());
+        assert!(TurnPool::from_words([0; POOL_WORDS], 600, 600).is_err());
     }
 
     #[test]
     fn from_words_masks_garbage_tail() {
         // Garbage above `len` must not affect equality or reads.
-        let rebuilt = TurnPool::from_words([u64::MAX; 4], 4, 31).unwrap();
+        let rebuilt = TurnPool::from_words([u64::MAX; POOL_WORDS], 4, 31).unwrap();
         let mut clean = TurnPool::new_spec();
         clean.push_turn(0xF, 4).unwrap();
         assert_eq!(rebuilt, clean);

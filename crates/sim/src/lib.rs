@@ -32,8 +32,6 @@ pub use engine::{Fired, Simulator};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use queue::{EventId, EventQueue};
 pub use rng::SimRng;
-pub use trace::{TraceEvent, TraceHandle, TraceRecord, TraceSink};
 pub use stats::{Histogram, OnlineStats, SampleSet, TimeSeries};
-pub use time::{
-    SimDuration, SimTime, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND,
-};
+pub use time::{SimDuration, SimTime, MICROSECOND, MILLISECOND, NANOSECOND, PICOSECOND, SECOND};
+pub use trace::{TraceEvent, TraceHandle, TraceRecord, TraceSink};

@@ -342,8 +342,12 @@ mod tests {
         let sink = Rc::new(RefCell::new(VecSink::default()));
         let handle = TraceHandle::to(sink.clone());
         assert!(handle.is_enabled());
-        handle.emit(SimTime::from_ns(1), || TraceEvent::PendingTableSize { size: 1 });
-        handle.emit(SimTime::from_ns(2), || TraceEvent::RequestTimedOut { req_id: 7 });
+        handle.emit(SimTime::from_ns(1), || TraceEvent::PendingTableSize {
+            size: 1,
+        });
+        handle.emit(SimTime::from_ns(2), || TraceEvent::RequestTimedOut {
+            req_id: 7,
+        });
         let records = &sink.borrow().0;
         assert_eq!(records.len(), 2);
         assert_eq!(records[0].event.kind(), "pending-table-size");
@@ -361,28 +365,67 @@ mod tests {
         let sink = Rc::new(RefCell::new(VecSink::default()));
         let a = TraceHandle::to(sink.clone());
         let b = a.clone();
-        a.emit(SimTime::ZERO, || TraceEvent::QueueSample { depth: 1, processed: 1 });
-        b.emit(SimTime::ZERO, || TraceEvent::QueueSample { depth: 2, processed: 2 });
+        a.emit(SimTime::ZERO, || TraceEvent::QueueSample {
+            depth: 1,
+            processed: 1,
+        });
+        b.emit(SimTime::ZERO, || TraceEvent::QueueSample {
+            depth: 2,
+            processed: 2,
+        });
         assert_eq!(sink.borrow().0.len(), 2);
     }
 
     #[test]
     fn every_kind_is_unique() {
         let events = [
-            TraceEvent::RunStarted { algorithm: "a", trigger: "t" },
-            TraceEvent::RunFinished { devices_found: 0, links_found: 0, requests_sent: 0, timeouts: 0 },
-            TraceEvent::RequestInjected { req_id: 0, write: false },
-            TraceEvent::RequestCompleted { req_id: 0, ok: true },
+            TraceEvent::RunStarted {
+                algorithm: "a",
+                trigger: "t",
+            },
+            TraceEvent::RunFinished {
+                devices_found: 0,
+                links_found: 0,
+                requests_sent: 0,
+                timeouts: 0,
+            },
+            TraceEvent::RequestInjected {
+                req_id: 0,
+                write: false,
+            },
+            TraceEvent::RequestCompleted {
+                req_id: 0,
+                ok: true,
+            },
             TraceEvent::RequestTimedOut { req_id: 0 },
-            TraceEvent::Pi5Emitted { dsn: 0, port: 0, up: true },
-            TraceEvent::Pi5Received { dsn: 0, port: 0, up: true },
-            TraceEvent::DeviceDiscovered { dsn: 0, switch: false, ports: 0 },
+            TraceEvent::Pi5Emitted {
+                dsn: 0,
+                port: 0,
+                up: true,
+            },
+            TraceEvent::Pi5Received {
+                dsn: 0,
+                port: 0,
+                up: true,
+            },
+            TraceEvent::DeviceDiscovered {
+                dsn: 0,
+                switch: false,
+                ports: 0,
+            },
             TraceEvent::PendingTableSize { size: 0 },
-            TraceEvent::FmBusy { busy: SimDuration::ZERO },
-            TraceEvent::FmIdle { idle: SimDuration::ZERO },
+            TraceEvent::FmBusy {
+                busy: SimDuration::ZERO,
+            },
+            TraceEvent::FmIdle {
+                idle: SimDuration::ZERO,
+            },
             TraceEvent::DeviceActivated { device: 0 },
             TraceEvent::DeviceDeactivated { device: 0 },
-            TraceEvent::QueueSample { depth: 0, processed: 0 },
+            TraceEvent::QueueSample {
+                depth: 0,
+                processed: 0,
+            },
             TraceEvent::FaultLinkDown { device: 0, port: 0 },
             TraceEvent::FaultLinkUp { device: 0, port: 0 },
             TraceEvent::FaultDeviceHang { device: 0 },
@@ -391,11 +434,20 @@ mod tests {
             TraceEvent::FaultCompletionCorrupted { device: 0 },
             TraceEvent::FaultCompletionDuplicated { device: 0 },
             TraceEvent::RequestAbandoned { req_id: 0 },
-            TraceEvent::SnapshotLoaded { devices: 0, links: 0 },
-            TraceEvent::SnapshotSaved { devices: 0, links: 0 },
+            TraceEvent::SnapshotLoaded {
+                devices: 0,
+                links: 0,
+            },
+            TraceEvent::SnapshotSaved {
+                devices: 0,
+                links: 0,
+            },
             TraceEvent::WarmVerified { dsn: 0 },
             TraceEvent::VerifyMismatch { dsn: 0 },
-            TraceEvent::WarmFallback { mismatches: 0, threshold: 0 },
+            TraceEvent::WarmFallback {
+                mismatches: 0,
+                threshold: 0,
+            },
         ];
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), events.len());

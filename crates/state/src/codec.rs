@@ -9,8 +9,10 @@ use asi_proto::{DeviceInfo, DeviceType, PortInfo, PortState, TurnPool};
 
 /// First four bytes of every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"ASIS";
-/// Current format version.
-pub const SNAPSHOT_VERSION: u16 = 1;
+/// Current format version. Version 2 widened the per-device turn-pool
+/// record from four to [`asi_proto::POOL_WORDS`] 64-bit words when the
+/// maximum pool grew to 512 bits for large-fabric routes.
+pub const SNAPSHOT_VERSION: u16 = 2;
 
 /// Why a snapshot failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,7 +40,10 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Truncated => write!(f, "snapshot truncated"),
             SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
             SnapshotError::BadVersion(v) => {
-                write!(f, "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})")
+                write!(
+                    f,
+                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                )
             }
             SnapshotError::BadChecksum { stored, computed } => write!(
                 f,
@@ -135,7 +140,10 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
         let end = self.pos.checked_add(n).ok_or(SnapshotError::Truncated)?;
-        let slice = self.bytes.get(self.pos..end).ok_or(SnapshotError::Truncated)?;
+        let slice = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or(SnapshotError::Truncated)?;
         self.pos = end;
         Ok(slice)
     }
@@ -177,7 +185,7 @@ fn decode_device(r: &mut Reader<'_>) -> Result<SnapshotDevice, SnapshotError> {
     let hops = r.u16()?;
     let pool_len = r.u16()?;
     let pool_capacity = r.u16()?;
-    let mut words = [0u64; 4];
+    let mut words = [0u64; asi_proto::POOL_WORDS];
     for w in words.iter_mut() {
         *w = r.u64()?;
     }
@@ -255,12 +263,13 @@ impl Snapshot {
     /// trailing checksum.
     pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
         if bytes.len() < SNAPSHOT_MAGIC.len() + 2 {
-            return Err(if bytes.starts_with(&SNAPSHOT_MAGIC) || SNAPSHOT_MAGIC.starts_with(bytes)
-            {
-                SnapshotError::Truncated
-            } else {
-                SnapshotError::BadMagic
-            });
+            return Err(
+                if bytes.starts_with(&SNAPSHOT_MAGIC) || SNAPSHOT_MAGIC.starts_with(bytes) {
+                    SnapshotError::Truncated
+                } else {
+                    SnapshotError::BadMagic
+                },
+            );
         }
         if bytes[..4] != SNAPSHOT_MAGIC {
             return Err(SnapshotError::BadMagic);
@@ -375,7 +384,11 @@ mod tests {
         assert_eq!(decoded, canon);
         // Canonical: devices sorted by DSN, links canonicalized.
         assert_eq!(
-            decoded.devices.iter().map(|d| d.info.dsn).collect::<Vec<_>>(),
+            decoded
+                .devices
+                .iter()
+                .map(|d| d.info.dsn)
+                .collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
         assert_eq!(decoded.links[0], link_key((2, 5, 1, 0)));
@@ -404,7 +417,10 @@ mod tests {
         let mut bytes = sample().to_bytes();
         bytes[0] = b'X';
         assert_eq!(Snapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic));
-        assert_eq!(Snapshot::from_bytes(b"garbage!"), Err(SnapshotError::BadMagic));
+        assert_eq!(
+            Snapshot::from_bytes(b"garbage!"),
+            Err(SnapshotError::BadMagic)
+        );
     }
 
     #[test]
@@ -484,7 +500,11 @@ mod tests {
         let delta = old.diff(&new);
         assert_eq!(delta.added_devices, vec![4]);
         assert_eq!(delta.removed_devices, vec![3]);
-        assert_eq!(delta.recabled_devices, vec![2], "switch 2 lost and gained a link");
+        assert_eq!(
+            delta.recabled_devices,
+            vec![2],
+            "switch 2 lost and gained a link"
+        );
         assert_eq!(delta.added_links, vec![link_key((2, 7, 4, 0))]);
         assert_eq!(delta.removed_links, vec![link_key((2, 6, 3, 0))]);
         assert!(!delta.is_empty());
@@ -516,11 +536,7 @@ mod tests {
 
         fn arb_device(rng: &mut TestRng, dsn: u64) -> Result<SnapshotDevice, Rejected> {
             let switch = (0u8..2).generate(rng)? == 1;
-            let nports: u16 = if switch {
-                (2u16..17).generate(rng)?
-            } else {
-                1
-            };
+            let nports: u16 = if switch { (2u16..17).generate(rng)? } else { 1 };
             let mut pool = TurnPool::with_capacity(64);
             for _ in 0..(0u8..4).generate(rng)? {
                 let turn = (0u8..4).generate(rng)?;

@@ -136,6 +136,7 @@ pub fn fat_tree(m: u32, n: u32) -> FatTree {
         }
     }
 
+    topo.validate().expect("generated fat-tree is well-formed");
     FatTree {
         topology: topo,
         endpoints,
@@ -152,7 +153,15 @@ mod tests {
 
     #[test]
     fn counts_match_lin_formulas() {
-        for (m, n) in [(4u32, 2u32), (4, 3), (4, 4), (8, 2), (8, 3), (2, 2), (16, 2)] {
+        for (m, n) in [
+            (4u32, 2u32),
+            (4, 3),
+            (4, 4),
+            (8, 2),
+            (8, 3),
+            (2, 2),
+            (16, 2),
+        ] {
             let ft = fat_tree(m, n);
             assert_eq!(
                 ft.topology.switch_count(),
@@ -196,11 +205,29 @@ mod tests {
     }
 
     #[test]
+    fn arity_16_three_level_tree() {
+        // The scale subsystem's largest fat-tree: 16-port 3-tree.
+        let ft = fat_tree(16, 3);
+        assert_eq!(ft.topology.switch_count(), expected_switches(16, 3));
+        assert_eq!(ft.topology.switch_count(), 320);
+        assert_eq!(ft.topology.endpoint_count(), 1024);
+        assert_eq!(ft.topology.validate(), Ok(()));
+        for sw in ft.topology.switches() {
+            assert_eq!(ft.topology.degree(sw), 16);
+        }
+    }
+
+    #[test]
     fn switch_port_usage_is_full() {
         // In an m-port n-tree every switch uses all m ports.
         let ft = fat_tree(4, 3);
         for sw in ft.topology.switches() {
-            assert_eq!(ft.topology.degree(sw), 4, "{}", ft.topology.node(sw).unwrap().label);
+            assert_eq!(
+                ft.topology.degree(sw),
+                4,
+                "{}",
+                ft.topology.node(sw).unwrap().label
+            );
         }
     }
 

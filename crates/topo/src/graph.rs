@@ -92,6 +92,62 @@ impl fmt::Display for TopologyError {
 
 impl std::error::Error for TopologyError {}
 
+/// Structural defects reported by [`Topology::validate`].
+///
+/// [`Topology::connect`] maintains these invariants incrementally; the
+/// whole-graph check exists so generators (especially the large
+/// parameterised ones) can certify their output in one O(nodes + links)
+/// pass, and so tests can assert on corruption symptoms directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A link references a node or port that does not exist.
+    DanglingLink(Attachment),
+    /// A port's link back-reference does not name a link that attaches
+    /// to that port (the link table is asymmetric).
+    AsymmetricLink(Attachment),
+    /// More than one link claims the same `(node, port)`.
+    PortDoubleUse(Attachment),
+    /// Not every device can reach every other.
+    Disconnected {
+        /// Devices reachable from node 0.
+        reachable: usize,
+        /// Total devices.
+        total: usize,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DanglingLink(at) => {
+                write!(f, "link references missing port {} on {}", at.port, at.node)
+            }
+            ValidationError::AsymmetricLink(at) => {
+                write!(
+                    f,
+                    "asymmetric link table at port {} on {}",
+                    at.port, at.node
+                )
+            }
+            ValidationError::PortDoubleUse(at) => {
+                write!(
+                    f,
+                    "port {} on {} used by more than one link",
+                    at.port, at.node
+                )
+            }
+            ValidationError::Disconnected { reachable, total } => {
+                write!(
+                    f,
+                    "disconnected fabric: {reachable} of {total} devices reachable"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
 /// An immutable-after-build fabric topology.
 #[derive(Clone, Debug, Default)]
 pub struct Topology {
@@ -167,8 +223,14 @@ impl Topology {
         }
         let link_idx = self.links.len() as u32;
         self.links.push(Link {
-            a: Attachment { node: a, port: port_a },
-            b: Attachment { node: b, port: port_b },
+            a: Attachment {
+                node: a,
+                port: port_a,
+            },
+            b: Attachment {
+                node: b,
+                port: port_b,
+            },
         });
         self.port_links[a.idx()][usize::from(port_a)] = Some(link_idx);
         self.port_links[b.idx()][usize::from(port_b)] = Some(link_idx);
@@ -195,10 +257,7 @@ impl Topology {
 
     /// The peer attached at `(node, port)`, if any.
     pub fn peer(&self, node: NodeId, port: u8) -> Option<Attachment> {
-        let link_idx = (*self
-            .port_links
-            .get(node.idx())?
-            .get(usize::from(port))?)?;
+        let link_idx = (*self.port_links.get(node.idx())?.get(usize::from(port))?)?;
         let link = self.links[link_idx as usize];
         if link.a.node == node && link.a.port == port {
             Some(link.b)
@@ -313,9 +372,71 @@ impl Topology {
                 link.a.node.0, link.b.node.0, link.a.port, link.b.port
             );
         }
-        out.push_str("}
-");
+        out.push_str(
+            "}
+",
+        );
         out
+    }
+
+    /// Certifies the whole graph in one pass: every link attaches to
+    /// existing in-range ports, every port's link back-reference is
+    /// symmetric (so [`Topology::peer`] of a peer round-trips), no port
+    /// carries two links, and the fabric is connected.
+    ///
+    /// Generators call this on their finished output; it is
+    /// O(nodes + links), so even the 64×64 grids validate in
+    /// microseconds.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        for (idx, link) in self.links.iter().enumerate() {
+            for at in [link.a, link.b] {
+                let in_range = self
+                    .nodes
+                    .get(at.node.idx())
+                    .is_some_and(|n| at.port < n.ports);
+                if !in_range {
+                    return Err(ValidationError::DanglingLink(at));
+                }
+                match self.port_links[at.node.idx()][usize::from(at.port)] {
+                    Some(back) if back as usize == idx => {}
+                    // The port's back-reference names a different link:
+                    // two links claim this port.
+                    Some(_) => return Err(ValidationError::PortDoubleUse(at)),
+                    None => return Err(ValidationError::AsymmetricLink(at)),
+                }
+            }
+            if link.a.node == link.b.node {
+                return Err(ValidationError::DanglingLink(link.a));
+            }
+        }
+        for (n, ports) in self.port_links.iter().enumerate() {
+            for (p, entry) in ports.iter().enumerate() {
+                let at = Attachment {
+                    node: NodeId(n as u32),
+                    port: p as u8,
+                };
+                let Some(li) = *entry else { continue };
+                let attaches = self
+                    .links
+                    .get(li as usize)
+                    .is_some_and(|l| l.a == at || l.b == at);
+                if !attaches {
+                    return Err(ValidationError::AsymmetricLink(at));
+                }
+            }
+        }
+        let reachable = if self.nodes.is_empty() {
+            0
+        } else {
+            self.reachable_from(NodeId(0), &[]).len()
+        };
+        if reachable != self.nodes.len() {
+            return Err(ValidationError::Disconnected {
+                reachable,
+                total: self.nodes.len(),
+            });
+        }
+        Ok(())
     }
 
     /// True if every device can reach every other.
@@ -438,6 +559,68 @@ mod tests {
     fn links_recorded_once() {
         let (t, ..) = tiny();
         assert_eq!(t.links().len(), 2);
+    }
+
+    #[test]
+    fn validate_passes_on_well_formed_graphs() {
+        let (t, ..) = tiny();
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(Topology::new("empty").validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_reports_disconnection() {
+        let mut t = Topology::new("split");
+        t.add_endpoint("a");
+        t.add_endpoint("b");
+        assert_eq!(
+            t.validate(),
+            Err(ValidationError::Disconnected {
+                reachable: 1,
+                total: 2
+            })
+        );
+    }
+
+    #[test]
+    fn validate_catches_corrupted_link_tables() {
+        // These states are unreachable through the public API; corrupt the
+        // internals directly to prove the checks bite.
+        let (mut t, sw, ..) = tiny();
+        t.port_links[sw.idx()][0] = None; // drop one back-reference
+        assert_eq!(
+            t.validate(),
+            Err(ValidationError::AsymmetricLink(Attachment {
+                node: sw,
+                port: 0
+            }))
+        );
+
+        let (mut t, sw, ..) = tiny();
+        t.port_links[sw.idx()][0] = Some(1); // point at the wrong link
+        assert_eq!(
+            t.validate(),
+            Err(ValidationError::PortDoubleUse(Attachment {
+                node: sw,
+                port: 0
+            }))
+        );
+
+        let (mut t, ..) = tiny();
+        t.links[0].a.port = 99; // out-of-range attachment
+        assert!(matches!(
+            t.validate(),
+            Err(ValidationError::DanglingLink(_))
+        ));
+
+        let (mut t, _, e0, _) = tiny();
+        // Dangling back-reference on an unlinked port.
+        t.port_links[e0.idx()].push(Some(7));
+        t.nodes[e0.idx()].ports = 2;
+        assert!(matches!(
+            t.validate(),
+            Err(ValidationError::AsymmetricLink(_))
+        ));
     }
 
     #[test]

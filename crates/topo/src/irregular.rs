@@ -46,25 +46,32 @@ pub fn irregular(spec: IrregularSpec, rng: &mut SimRng) -> Topology {
     let mut used = vec![0u8; spec.switches];
 
     // Random spanning tree: connect each switch (in shuffled order) to a
-    // random already-connected switch with spare ports.
+    // random already-connected switch with spare ports. Switches whose
+    // inter-switch ports filled up are evicted from the candidate list as
+    // they are drawn, so attachment stays amortized O(1) per switch and
+    // the generator scales to fabrics with thousands of switches.
     let mut order: Vec<usize> = (1..spec.switches).collect();
     rng.shuffle(&mut order);
-    let mut connected = vec![0usize];
+    let mut open = vec![0usize];
     for &i in &order {
-        let candidates: Vec<usize> = connected
-            .iter()
-            .copied()
-            .filter(|&j| used[j] < cap)
-            .collect();
-        let j = *rng
-            .choose(&candidates)
-            .unwrap_or_else(|| panic!("could not attach switch {i}: ports exhausted"));
+        let j = loop {
+            assert!(
+                !open.is_empty(),
+                "could not attach switch {i}: ports exhausted"
+            );
+            let k = rng.gen_index(open.len());
+            let j = open[k];
+            if used[j] < cap {
+                break j;
+            }
+            open.swap_remove(k);
+        };
         let (pi, pj) = (used[i], used[j]);
         used[i] += 1;
         used[j] += 1;
         topo.connect(switches[i], pi, switches[j], pj)
             .expect("ports tracked as free");
-        connected.push(i);
+        open.push(i);
     }
 
     // Redundant extra links.
@@ -94,6 +101,7 @@ pub fn irregular(spec: IrregularSpec, rng: &mut SimRng) -> Topology {
         }
     }
 
+    topo.validate().expect("generated fabric is well-formed");
     topo
 }
 
@@ -135,6 +143,20 @@ mod tests {
         };
         assert_eq!(build(42), build(42));
         assert_ne!(build(42), build(43));
+    }
+
+    #[test]
+    fn scales_to_thousands_of_switches() {
+        let mut rng = SimRng::new(9);
+        let spec = IrregularSpec {
+            switches: 2048,
+            extra_links: 512,
+            endpoints_per_switch: 1,
+        };
+        let t = irregular(spec, &mut rng);
+        assert_eq!(t.switch_count(), 2048);
+        assert_eq!(t.endpoint_count(), 2048);
+        assert_eq!(t.validate(), Ok(()));
     }
 
     #[test]

@@ -16,7 +16,7 @@ pub mod paths;
 pub mod table1;
 
 pub use fattree::{fat_tree, FatTree};
-pub use graph::{Attachment, Link, Node, NodeId, Topology, TopologyError};
+pub use graph::{Attachment, Link, Node, NodeId, Topology, TopologyError, ValidationError};
 pub use irregular::{irregular, IrregularSpec};
 pub use mesh::{mesh, torus, Grid, PORT_ENDPOINT, SWITCH_PORTS};
 pub use paths::{

@@ -98,6 +98,7 @@ fn build_grid(width: usize, height: usize, wrap: bool, name: String) -> Grid {
         }
     }
 
+    topo.validate().expect("generated grid is well-formed");
     Grid {
         topology: topo,
         switches,
@@ -149,6 +150,18 @@ mod tests {
             let g = mesh(w, h);
             assert!(g.topology.is_connected(), "{w}x{h} mesh disconnected");
         }
+    }
+
+    #[test]
+    fn large_grids_build_and_validate() {
+        // The scale subsystem drives grids up to 64x64 (8192 devices).
+        let g = mesh(64, 64);
+        assert_eq!(g.topology.switch_count(), 4096);
+        assert_eq!(g.topology.node_count(), 8192);
+        assert_eq!(g.topology.validate(), Ok(()));
+        let t = torus(64, 64);
+        assert_eq!(t.topology.links().len(), 2 * 4096 + 4096);
+        assert_eq!(t.topology.validate(), Ok(()));
     }
 
     #[test]

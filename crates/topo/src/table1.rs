@@ -18,7 +18,9 @@
 
 use crate::fattree::{expected_endpoints, expected_switches, fat_tree};
 use crate::graph::Topology;
+use crate::irregular::{irregular, IrregularSpec};
 use crate::mesh::{mesh, torus};
+use asi_sim::SimRng;
 
 /// One row of Table 1.
 ///
@@ -36,6 +38,11 @@ pub enum Table1 {
     Torus(usize),
     /// m-port n-tree.
     FatTree(u32, u32),
+    /// Random irregular fabric with N switches (one endpoint each) —
+    /// beyond the paper's Table 1, used by the scale sweeps. The seed is
+    /// derived from N, so the same variant always builds the same
+    /// fabric.
+    Irregular(usize),
 }
 
 impl Table1 {
@@ -68,12 +75,27 @@ impl Table1 {
         ]
     }
 
+    /// Larger instances of the same families for throughput/scale
+    /// sweeps — not part of the paper's Table 1. The biggest cell is the
+    /// 64×64 mesh (8192 devices) exercised by the `stress` CLI mode.
+    pub fn scale() -> Vec<Table1> {
+        vec![
+            Table1::Mesh(16),
+            Table1::Torus(16),
+            Table1::Mesh(32),
+            Table1::FatTree(8, 3),
+            Table1::FatTree(16, 3),
+            Table1::Irregular(1024),
+        ]
+    }
+
     /// Paper-style display name.
     pub fn name(&self) -> String {
         match *self {
             Table1::Mesh(w) => format!("{w}x{w} mesh"),
             Table1::Torus(w) => format!("{w}x{w} torus"),
             Table1::FatTree(m, n) => format!("{m}-port {n}-tree"),
+            Table1::Irregular(n) => format!("irregular-{n}sw"),
         }
     }
 
@@ -82,6 +104,7 @@ impl Table1 {
         match *self {
             Table1::Mesh(w) | Table1::Torus(w) => w * w,
             Table1::FatTree(m, n) => expected_switches(m, n),
+            Table1::Irregular(n) => n,
         }
     }
 
@@ -90,6 +113,7 @@ impl Table1 {
         match *self {
             Table1::Mesh(w) | Table1::Torus(w) => w * w,
             Table1::FatTree(m, n) => expected_endpoints(m, n),
+            Table1::Irregular(n) => n,
         }
     }
 
@@ -104,6 +128,19 @@ impl Table1 {
             Table1::Mesh(w) => mesh(w, w).topology,
             Table1::Torus(w) => torus(w, w).topology,
             Table1::FatTree(m, n) => fat_tree(m, n).topology,
+            Table1::Irregular(n) => {
+                // Seed fixed by the switch count: the variant stays `Copy`
+                // and a given cell name always denotes the same fabric.
+                let mut rng = SimRng::new(0xA51_5EED ^ n as u64);
+                irregular(
+                    IrregularSpec {
+                        switches: n,
+                        extra_links: n / 4,
+                        endpoints_per_switch: 1,
+                    },
+                    &mut rng,
+                )
+            }
         }
     }
 }
@@ -144,6 +181,24 @@ mod tests {
         assert_eq!(Table1::Mesh(6).name(), "6x6 mesh");
         assert_eq!(Table1::Torus(16).name(), "16x16 torus");
         assert_eq!(Table1::FatTree(4, 3).name(), "4-port 3-tree");
+    }
+
+    #[test]
+    fn scale_set_matches_declared_counts() {
+        for t in Table1::scale() {
+            let topo = t.build();
+            assert_eq!(topo.switch_count(), t.switches(), "{}", t.name());
+            assert_eq!(topo.endpoint_count(), t.endpoints(), "{}", t.name());
+            assert_eq!(topo.validate(), Ok(()), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn irregular_variant_is_reproducible() {
+        let a = Table1::Irregular(64).build();
+        let b = Table1::Irregular(64).build();
+        assert_eq!(a.links(), b.links());
+        assert_eq!(a.name, "irregular-64sw");
     }
 
     #[test]

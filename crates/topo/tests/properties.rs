@@ -109,6 +109,39 @@ proptest! {
         prop_assert_eq!(r.hops.len(), manhattan + 1);
     }
 
+    /// Every parameterised generator certifies clean under the
+    /// whole-graph validator across its seeded range: connected,
+    /// symmetric link tables, and no port double-use. This is the
+    /// scale subsystem's contract — `validate()` is exactly what the
+    /// generators run on their own output before handing it to
+    /// discovery.
+    #[test]
+    fn every_generator_validates(
+        w in 2usize..13,
+        h in 2usize..13,
+        k in 1u32..9,
+        n in 1u32..4,
+        seed in any::<u64>(),
+        switches in 1usize..200,
+        extra in 0usize..12,
+        eps in 1usize..3,
+    ) {
+        prop_assert_eq!(mesh(w, h).topology.validate(), Ok(()));
+        prop_assert_eq!(torus(w, h).topology.validate(), Ok(()));
+        // 2k = arity, up to the 16-port fat-tree ceiling; n = levels.
+        prop_assert_eq!(fat_tree(2 * k, n).topology.validate(), Ok(()));
+        let mut rng = SimRng::new(seed);
+        let t = irregular(
+            IrregularSpec {
+                switches,
+                extra_links: extra,
+                endpoints_per_switch: eps,
+            },
+            &mut rng,
+        );
+        prop_assert_eq!(t.validate(), Ok(()));
+    }
+
     /// Irregular fabrics are connected and their routes cover every node.
     #[test]
     fn irregular_fabrics_connected_and_routable(

@@ -39,8 +39,7 @@ fn main() {
         let loaded = bench.last_run().discovery_time();
         let data_bytes = bench.fabric.counters().data_bytes;
 
-        let delta =
-            100.0 * (loaded.as_secs_f64() - quiet.as_secs_f64()) / quiet.as_secs_f64();
+        let delta = 100.0 * (loaded.as_secs_f64() - quiet.as_secs_f64()) / quiet.as_secs_f64();
         println!(
             "{:<16} {:>14} {:>16} {:>9.2}%   ({:.1} MB of data traffic in flight)",
             algorithm.name(),

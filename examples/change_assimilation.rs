@@ -14,9 +14,17 @@ fn main() {
     // endpoint, so removing one produces a burst of PI-5 reports and
     // leaves the fabric connected.
     let grid = torus(4, 4);
-    println!("fabric: {} — {} devices", grid.topology.name, grid.topology.node_count());
+    println!(
+        "fabric: {} — {} devices",
+        grid.topology.name,
+        grid.topology.node_count()
+    );
 
-    for algorithm in [Algorithm::SerialPacket, Algorithm::SerialDevice, Algorithm::Parallel] {
+    for algorithm in [
+        Algorithm::SerialPacket,
+        Algorithm::SerialDevice,
+        Algorithm::Parallel,
+    ] {
         let scenario = Scenario::new(algorithm).with_seed(7);
         let mut bench = Bench::start(&grid.topology, &scenario, &[]);
         let initial = bench.last_run();
@@ -41,10 +49,7 @@ fn main() {
             rerun.requests_sent,
             rerun.trigger,
         );
-        println!(
-            "PI-5 events seen: {}",
-            bench.fm_agent().pi5_events
-        );
+        println!("PI-5 events seen: {}", bench.fm_agent().pi5_events);
 
         // The re-discovered database tracks the ground truth: the victim
         // and its stranded endpoint are gone.

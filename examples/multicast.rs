@@ -68,7 +68,10 @@ fn main() {
     fabric.activate_all(SimDuration::ZERO);
     fabric.run_until_idle();
     let fm = DevId(g.endpoint_at(0, 0).0);
-    fabric.set_agent(fm, Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))));
+    fabric.set_agent(
+        fm,
+        Box::new(FmAgent::new(FmConfig::new(Algorithm::Parallel))),
+    );
     fabric.schedule_agent_timer(fm, SimDuration::ZERO, TOKEN_START_DISCOVERY);
     fabric.run_until_idle();
 
@@ -86,7 +89,10 @@ fn main() {
     {
         let agent = fabric.agent_as::<FmAgent>(fm).unwrap();
         let plan = plan_multicast(agent.db().unwrap(), GROUP, &member_dsns).unwrap();
-        println!("distribution tree for group {GROUP} ({} table writes):", plan.len());
+        println!(
+            "distribution tree for group {GROUP} ({} table writes):",
+            plan.len()
+        );
         for w in &plan {
             println!("  device {:#x}: mask {:#06b}", w.target_dsn, w.mask);
         }
@@ -115,7 +121,10 @@ fn main() {
 
     for (i, &m) in members.iter().enumerate() {
         let got = fabric.agent_as::<Member>(DevId(m.0)).unwrap().got;
-        println!("  member {i} at {m}: {got} cop{}", if got == 1 { "y" } else { "ies" });
+        println!(
+            "  member {i} at {m}: {got} cop{}",
+            if got == 1 { "y" } else { "ies" }
+        );
         assert_eq!(got, u32::from(i != 0), "exactly-once delivery violated");
     }
     println!(

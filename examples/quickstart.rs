@@ -33,7 +33,10 @@ fn main() {
     println!("devices discovered : {}", run.devices_found);
     println!("links discovered   : {}", run.links_found);
     println!("PI-4 requests      : {}", run.requests_sent);
-    println!("bytes sent/received: {} / {}", run.bytes_sent, run.bytes_received);
+    println!(
+        "bytes sent/received: {} / {}",
+        run.bytes_sent, run.bytes_received
+    );
     println!("discovery time     : {}", run.discovery_time());
     println!(
         "mean FM processing : {:.2} us/packet",

@@ -12,6 +12,8 @@
 //! asi-fabric-sim faults --topology mesh:3x3 --loss 0.05 --loss-model bursty \
 //!     --retry-policy exponential --retries 10
 //! asi-fabric-sim sweep --grid faults --quick --jobs 4 --json
+//! asi-fabric-sim sweep --grid scale --jobs 2 --csv
+//! asi-fabric-sim stress --topology mesh:64x64 --algorithm parallel --json
 //! asi-fabric-sim snapshot save --topology mesh:3x3 --out fabric.snap
 //! asi-fabric-sim snapshot verify --topology mesh:3x3 --in fabric.snap --json
 //! ```
@@ -75,6 +77,7 @@ impl RunReport {
 const USAGE: &str = "usage: asi-fabric-sim --topology <spec> [options]
        asi-fabric-sim faults --topology <spec> [options]
        asi-fabric-sim sweep [sweep options]
+       asi-fabric-sim stress --topology <spec> [options]
        asi-fabric-sim snapshot save --topology <spec> --out <path> [options]
        asi-fabric-sim snapshot load --in <path> [--resave <path>] [options]
        asi-fabric-sim snapshot diff --old <path> --new <path> [--json]
@@ -84,7 +87,7 @@ topology specs:
   mesh:<W>x<H>        2-D mesh of 16-port switches, one endpoint each (2..=64 per side)
   torus:<W>x<H>       2-D torus (2..=64 per side)
   fattree:<m>,<n>     m-port n-tree (m even, 2..=256; n 1..=8)
-  irregular:<N>       random connected fabric with N switches (1..=1024)
+  irregular:<N>       random connected fabric with N switches (1..=4096)
 
 options:
   --algorithm serial-packet|serial-device|parallel|all   (default: all)
@@ -111,13 +114,23 @@ and the `faults` mode reports the robustness metrics — see docs/FAULTS.md):
 
 sweep options (deterministic multi-threaded grid; output is byte-identical
 for any --jobs value):
-  --grid fig5|fig6|faults|warmstart|smoke   named grid (default: smoke)
+  --grid fig5|fig6|faults|warmstart|smoke|scale   named grid (default: smoke)
   --quick                      smaller topology set / fewer repetitions
   --jobs <n>                   worker threads (default: all cores)
   --fm-factor <f>              FM processing speed factor (default 1)
   --device-factor <f>          device processing speed factor (default 1)
   plus any fault option above, applied to every cell
   --json | --csv               machine-readable output (default: text table)
+  (the scale grid also prints wall-clock throughput on stderr, outside
+  the byte-compared stdout)
+
+stress options (one large-fabric discovery with wall-clock throughput;
+wall_time_s and events_per_sec are execution-dependent by design — the
+deterministic counterpart is `sweep --grid scale`; exits 1 when the
+discovery misses devices):
+  --topology <spec>            fabric under test (e.g. mesh:64x64)
+  --algorithm serial-packet|serial-device|parallel   (default: parallel)
+  --seed / --fm-factor / --device-factor / --json as above
 
 snapshot options (cached-topology workflows — see docs/ARCHITECTURE.md):
   save    run a cold discovery and write the resulting snapshot to --out
@@ -178,7 +191,9 @@ fn parse_topology(spec: &str, seed: u64) -> Result<Topology, String> {
                 _ => return Err(format!("fattree parameters must be integers, got {rest:?}")),
             };
             if !(2..=256).contains(&m) || !m.is_multiple_of(2) {
-                return Err(format!("fattree port count must be even and in 2..=256, got {m}"));
+                return Err(format!(
+                    "fattree port count must be even and in 2..=256, got {m}"
+                ));
             }
             if !(1..=8).contains(&n) {
                 return Err(format!("fattree levels must be in 1..=8, got {n}"));
@@ -189,9 +204,9 @@ fn parse_topology(spec: &str, seed: u64) -> Result<Topology, String> {
             let switches: usize = rest
                 .parse()
                 .map_err(|_| format!("irregular wants a switch count, got {rest:?}"))?;
-            if !(1..=1024).contains(&switches) {
+            if !(1..=4096).contains(&switches) {
                 return Err(format!(
-                    "irregular switch count must be in 1..=1024, got {switches}"
+                    "irregular switch count must be in 1..=4096, got {switches}"
                 ));
             }
             let mut rng = SimRng::new(seed);
@@ -386,9 +401,10 @@ fn sweep_main(args: &[String]) {
         Some("fig6") => SweepSpec::fig6(quick, fm_factor, device_factor),
         Some("faults") => SweepSpec::faults(quick),
         Some("warmstart") => SweepSpec::warmstart(quick),
+        Some("scale") => SweepSpec::scale(quick),
         Some("smoke") | None => SweepSpec::smoke(),
         Some(other) => fail(format!(
-            "unknown grid {other:?} (fig5, fig6, faults, warmstart, smoke)"
+            "unknown grid {other:?} (fig5, fig6, faults, warmstart, smoke, scale)"
         )),
     };
     spec.fm_factor = fm_factor;
@@ -411,13 +427,101 @@ fn sweep_main(args: &[String]) {
     if jobs == 0 {
         fail("--jobs must be at least 1");
     }
+    let started = std::time::Instant::now();
     let result = sweep::run(&spec, jobs);
+    if spec.name == "scale" {
+        // Wall-clock throughput goes to stderr: stdout must stay
+        // byte-identical across --jobs values.
+        let wall = started.elapsed().as_secs_f64();
+        let events: u64 = result.cells.iter().map(|c| c.sim_events).sum();
+        let rate = if wall > 0.0 {
+            (events as f64 / wall) as u64
+        } else {
+            0
+        };
+        eprintln!(
+            "scale: {} cells, {events} sim events in {wall:.2}s wall ({rate} events/sec)",
+            result.cells.len()
+        );
+    }
     if args.iter().any(|a| a == "--json") {
         println!("{}", result.to_json().to_string_pretty());
     } else if args.iter().any(|a| a == "--csv") {
         print!("{}", result.to_csv());
     } else {
         print!("{}", result.to_text());
+    }
+}
+
+/// `asi-fabric-sim stress ...`: one large-fabric discovery with
+/// wall-clock throughput metrics. `wall_time_s` and `events_per_sec`
+/// depend on the machine and must never be byte-compared; the
+/// deterministic counterpart is `sweep --grid scale`. Exits 1 when the
+/// discovery misses devices, so CI can assert full coverage directly.
+fn stress_main(args: &[String]) {
+    let seed: u64 = parse_arg(args, "--seed", 0xA51, "an integer");
+    let Some(topo_spec) = arg_value(args, "--topology") else {
+        fail("--topology is required (e.g. stress --topology mesh:64x64)");
+    };
+    let topo = parse_topology(&topo_spec, seed).unwrap_or_else(|e| fail(e));
+    let fm_factor: f64 = parse_arg(args, "--fm-factor", 1.0, "a number");
+    let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
+    let algorithm = parse_single_algorithm(args, "stress");
+    let json = args.iter().any(|a| a == "--json");
+    let scenario = Scenario::new(algorithm)
+        .with_factors(fm_factor, device_factor)
+        .with_seed(seed);
+    let started = std::time::Instant::now();
+    let bench = Bench::start(&topo, &scenario, &[]);
+    let wall_time_s = started.elapsed().as_secs_f64();
+    let run = bench.last_run();
+    let sim_events = bench.fabric.events_processed();
+    let events_per_sec = if wall_time_s > 0.0 {
+        (sim_events as f64 / wall_time_s) as u64
+    } else {
+        0
+    };
+    let full_topology = run.devices_found == topo.node_count();
+    if json {
+        let out = Json::object()
+            .with("topology", topo.name.as_str())
+            .with("devices", topo.node_count())
+            .with("algorithm", algorithm.name())
+            .with("seed", seed)
+            .with("full_topology", full_topology)
+            .with("devices_found", run.devices_found)
+            .with("links_found", run.links_found)
+            .with("requests", run.requests_sent)
+            .with("timeouts", run.timeouts)
+            .with("discovery_time_s", run.discovery_time().as_secs_f64())
+            .with("peak_outstanding", run.peak_outstanding)
+            .with("sim_events", sim_events)
+            .with("wall_time_s", wall_time_s)
+            .with("events_per_sec", events_per_sec);
+        println!("{}", out.to_string_pretty());
+    } else {
+        println!(
+            "stress {}: {} of {} devices ({} links) in {:.3}s simulated / {:.2}s wall",
+            topo.name,
+            run.devices_found,
+            topo.node_count(),
+            run.links_found,
+            run.discovery_time().as_secs_f64(),
+            wall_time_s,
+        );
+        println!(
+            "  {sim_events} sim events, {events_per_sec} events/sec, \
+             peak {} outstanding requests, {} timeouts",
+            run.peak_outstanding, run.timeouts,
+        );
+    }
+    if !full_topology {
+        eprintln!(
+            "stress: discovery found {} of {} devices",
+            run.devices_found,
+            topo.node_count()
+        );
+        std::process::exit(1);
     }
 }
 
@@ -429,14 +533,14 @@ fn parse_snapshot_format(args: &[String]) -> SnapshotFormat {
     }
 }
 
-/// Snapshot workflows run one concrete discovery, so `all` is rejected.
-fn parse_snapshot_algorithm(args: &[String]) -> Algorithm {
+/// Modes that run one concrete discovery (stress, snapshot) reject `all`.
+fn parse_single_algorithm(args: &[String], mode: &str) -> Algorithm {
     match arg_value(args, "--algorithm").as_deref() {
         Some("serial-packet") => Algorithm::SerialPacket,
         Some("serial-device") => Algorithm::SerialDevice,
         Some("parallel") | None => Algorithm::Parallel,
         Some(other) => fail(format!(
-            "snapshot mode wants one algorithm, got {other:?} \
+            "{mode} mode wants one algorithm, got {other:?} \
              (serial-packet, serial-device, parallel)"
         )),
     }
@@ -474,11 +578,7 @@ fn print_snapshot_summary(path: &str, snap: &Snapshot, json: bool) {
 }
 
 fn hex_arr(dsns: &[u64]) -> Json {
-    Json::Arr(
-        dsns.iter()
-            .map(|d| Json::Str(format!("{d:#x}")))
-            .collect(),
-    )
+    Json::Arr(dsns.iter().map(|d| Json::Str(format!("{d:#x}"))).collect())
 }
 
 fn link_arr(links: &[(u64, u8, u64, u8)]) -> Json {
@@ -512,7 +612,7 @@ fn snapshot_main(args: &[String]) {
             let fm_factor: f64 = parse_arg(args, "--fm-factor", 1.0, "a number");
             let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
             let trace = trace_out(args);
-            let scenario = Scenario::new(parse_snapshot_algorithm(args))
+            let scenario = Scenario::new(parse_single_algorithm(args, "snapshot"))
                 .with_factors(fm_factor, device_factor)
                 .with_seed(seed)
                 .with_trace(trace.handle.clone());
@@ -541,7 +641,8 @@ fn snapshot_main(args: &[String]) {
         "diff" => {
             let old = require_arg(args, "--old", "the baseline snapshot");
             let new = require_arg(args, "--new", "the newer snapshot");
-            let delta = TopologyDelta::between(&load_snapshot_or_fail(&old), &load_snapshot_or_fail(&new));
+            let delta =
+                TopologyDelta::between(&load_snapshot_or_fail(&old), &load_snapshot_or_fail(&new));
             if json {
                 let out = Json::object()
                     .with("identical", delta.is_empty())
@@ -571,7 +672,7 @@ fn snapshot_main(args: &[String]) {
             let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
             let snap = load_snapshot_or_fail(&input);
             let trace = trace_out(args);
-            let scenario = Scenario::new(parse_snapshot_algorithm(args))
+            let scenario = Scenario::new(parse_single_algorithm(args, "snapshot"))
                 .with_factors(fm_factor, device_factor)
                 .with_seed(seed)
                 .with_snapshot(snap)
@@ -658,7 +759,10 @@ impl TraceOut {
             collector.len(),
             path.display(),
             if collector.dropped() > 0 {
-                format!(" ({} oldest dropped by the ring buffer)", collector.dropped())
+                format!(
+                    " ({} oldest dropped by the ring buffer)",
+                    collector.dropped()
+                )
             } else {
                 String::new()
             }
@@ -768,6 +872,10 @@ fn main() {
     }
     if args[0] == "sweep" {
         sweep_main(&args[1..]);
+        return;
+    }
+    if args[0] == "stress" {
+        stress_main(&args[1..]);
         return;
     }
     if args[0] == "faults" {

@@ -41,6 +41,7 @@ pub use asi_topo as topo;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use asi_core::{db_from_snapshot, snapshot_db};
     pub use asi_core::{
         Algorithm, DiscoveryRun, DiscoveryTrigger, Engine, EngineConfig, FmAgent, FmConfig,
         FmTiming, RetryPolicy, TopologyDb, TOKEN_START_DISCOVERY,
@@ -49,16 +50,14 @@ pub mod prelude {
         AgentCtx, DevId, Fabric, FabricAgent, FabricConfig, FaultPlan, FmRoute, LossModel,
         TrafficAgent,
     };
-    pub use asi_core::{db_from_snapshot, snapshot_db};
     pub use asi_harness::{
         change_experiment, load_snapshot, save_snapshot, Bench, Scenario, SnapshotFormat,
         TrafficSpec,
     };
-    pub use asi_state::{Snapshot, TopologyDelta};
     pub use asi_proto::{
-        DeviceInfo, DeviceType, Packet, Payload, Pi4, Pi5, PortEvent, PortInfo, PortState,
-        TurnPool,
+        DeviceInfo, DeviceType, Packet, Payload, Pi4, Pi5, PortEvent, PortInfo, PortState, TurnPool,
     };
     pub use asi_sim::{SimDuration, SimRng, SimTime, Simulator};
+    pub use asi_state::{Snapshot, TopologyDelta};
     pub use asi_topo::{fat_tree, mesh, torus, NodeId, Table1, Topology};
 }

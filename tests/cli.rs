@@ -22,13 +22,7 @@ fn run_coded(args: &[&str]) -> (String, String, Option<i32>) {
 
 #[test]
 fn json_output_is_parseable_and_complete() {
-    let (stdout, _, ok) = run(&[
-        "--topology",
-        "mesh:3x3",
-        "--algorithm",
-        "all",
-        "--json",
-    ]);
+    let (stdout, _, ok) = run(&["--topology", "mesh:3x3", "--algorithm", "all", "--json"]);
     assert!(ok);
     let reports: Json = parse(&stdout).expect("valid JSON");
     let arr = reports.as_array().expect("array of reports");
@@ -81,7 +75,11 @@ fn lossy_run_with_retries_recovers() {
     ]);
     assert!(ok);
     let reports: Json = parse(&stdout).unwrap();
-    assert_eq!(*reports.idx(0).get("devices_found"), 18, "retries must recover");
+    assert_eq!(
+        *reports.idx(0).get("devices_found"),
+        18,
+        "retries must recover"
+    );
 }
 
 #[test]
@@ -162,14 +160,20 @@ fn malformed_flags_report_friendly_errors_not_panics() {
     }
     assert_usage_error(&with(&["--seed", "banana"]), "--seed must be an integer");
     assert_usage_error(&with(&["--seed", "-3"]), "--seed must be an integer");
-    assert_usage_error(&with(&["--fm-factor", "fast"]), "--fm-factor must be a number");
+    assert_usage_error(
+        &with(&["--fm-factor", "fast"]),
+        "--fm-factor must be a number",
+    );
     assert_usage_error(
         &with(&["--device-factor", "2x"]),
         "--device-factor must be a number",
     );
     assert_usage_error(&with(&["--loss", "lots"]), "--loss must be a probability");
     assert_usage_error(&with(&["--loss", "1.5"]), "--loss must be in [0, 1)");
-    assert_usage_error(&with(&["--retries", "many"]), "--retries must be an integer");
+    assert_usage_error(
+        &with(&["--retries", "many"]),
+        "--retries must be an integer",
+    );
     assert_usage_error(&with(&["--algorithm", "psychic"]), "unknown algorithm");
     assert_usage_error(&with(&["--change", "rename"]), "unknown change");
 }
@@ -181,20 +185,38 @@ fn malformed_fault_flags_report_friendly_errors_not_panics() {
     }
     assert_usage_error(&with(&["--loss-model", "gaussian"]), "unknown loss model");
     assert_usage_error(&with(&["--corrupt", "1.5"]), "--corrupt must be in [0, 1]");
-    assert_usage_error(&with(&["--corrupt", "often"]), "--corrupt must be a probability");
-    assert_usage_error(&with(&["--duplicate", "2"]), "--duplicate must be in [0, 1]");
+    assert_usage_error(
+        &with(&["--corrupt", "often"]),
+        "--corrupt must be a probability",
+    );
+    assert_usage_error(
+        &with(&["--duplicate", "2"]),
+        "--duplicate must be in [0, 1]",
+    );
     assert_usage_error(
         &with(&["--flap", "100:3"]),
         "--flap wants <at_us>:<device>:<port>:<down_us>",
     );
-    assert_usage_error(&with(&["--flap", "soon:3:0:200"]), "is not a time in \u{b5}s");
+    assert_usage_error(
+        &with(&["--flap", "soon:3:0:200"]),
+        "is not a time in \u{b5}s",
+    );
     assert_usage_error(
         &with(&["--hang", "100:3:50:9"]),
         "--hang wants <at_us>:<device>:<dur_us>",
     );
-    assert_usage_error(&with(&["--slow", "100:3:0:50"]), "--slow factor must be positive");
-    assert_usage_error(&with(&["--slow", "100:3:-2:50"]), "--slow factor must be positive");
-    assert_usage_error(&with(&["--retry-policy", "psychic"]), "unknown retry policy");
+    assert_usage_error(
+        &with(&["--slow", "100:3:0:50"]),
+        "--slow factor must be positive",
+    );
+    assert_usage_error(
+        &with(&["--slow", "100:3:-2:50"]),
+        "--slow factor must be positive",
+    );
+    assert_usage_error(
+        &with(&["--retry-policy", "psychic"]),
+        "unknown retry policy",
+    );
     assert_usage_error(
         &with(&["--retry-policy", "deadline"]),
         "--retry-policy deadline needs --deadline-us",
@@ -207,11 +229,20 @@ fn malformed_fault_flags_report_friendly_errors_not_panics() {
         &with(&["--deadline-us", "5000"]),
         "--deadline-us only applies with --retry-policy deadline",
     );
-    assert_usage_error(&with(&["--timeout-us", "fast"]), "--timeout-us must be an integer");
+    assert_usage_error(
+        &with(&["--timeout-us", "fast"]),
+        "--timeout-us must be an integer",
+    );
     // The `faults` subcommand shares the same validation.
     assert_usage_error(&["faults"], "--topology is required");
     assert_usage_error(
-        &["faults", "--topology", "mesh:3x3", "--loss-model", "gaussian"],
+        &[
+            "faults",
+            "--topology",
+            "mesh:3x3",
+            "--loss-model",
+            "gaussian",
+        ],
         "unknown loss model",
     );
 }
@@ -247,7 +278,10 @@ fn faults_mode_converges_for_every_algorithm_under_bursty_loss() {
         assert_eq!(*r.get("scenario"), "faults");
         assert_eq!(*r.get("devices_found"), 18, "degraded: {r:?}");
         assert_eq!(*r.get("links_found"), 21);
-        assert!(r.get("retries").as_u64().unwrap() > 0, "loss never bit: {r:?}");
+        assert!(
+            r.get("retries").as_u64().unwrap() > 0,
+            "loss never bit: {r:?}"
+        );
     }
 }
 
@@ -271,11 +305,20 @@ fn zero_probability_fault_plan_reproduces_the_loss_free_run_bytes() {
     let (out_clean, _, ok1) = run(&[&base[..], &[clean.to_str().unwrap()]].concat());
     let (out_armed, _, ok2) = run(&[
         &base[..],
-        &[armed.to_str().unwrap(), "--loss", "0", "--loss-model", "bursty"],
+        &[
+            armed.to_str().unwrap(),
+            "--loss",
+            "0",
+            "--loss-model",
+            "bursty",
+        ],
     ]
     .concat());
     assert!(ok1 && ok2);
-    assert_eq!(out_clean, out_armed, "GE(p=0) must replay the loss-free run");
+    assert_eq!(
+        out_clean, out_armed,
+        "GE(p=0) must replay the loss-free run"
+    );
     assert_eq!(
         std::fs::read(&clean).unwrap(),
         std::fs::read(&armed).unwrap(),
@@ -288,8 +331,14 @@ fn zero_probability_fault_plan_reproduces_the_loss_free_run_bytes() {
 fn invalid_topologies_report_friendly_errors_not_builder_panics() {
     // Each of these previously tripped an `assert!` inside the topology
     // builders (exit code 101); they must now be usage errors.
-    assert_usage_error(&["--topology", "mesh:1x5"], "sides must be between 2 and 64");
-    assert_usage_error(&["--topology", "torus:0x0"], "sides must be between 2 and 64");
+    assert_usage_error(
+        &["--topology", "mesh:1x5"],
+        "sides must be between 2 and 64",
+    );
+    assert_usage_error(
+        &["--topology", "torus:0x0"],
+        "sides must be between 2 and 64",
+    );
     assert_usage_error(&["--topology", "mesh:3"], "wants WxH dimensions");
     assert_usage_error(&["--topology", "mesh:axb"], "dimensions must be integers");
     assert_usage_error(&["--topology", "fattree:3,2"], "port count must be even");
@@ -377,8 +426,13 @@ fn snapshot_save_load_verify_round_trip() {
 
     // save: cold discovery → snapshot on disk, summary on stdout.
     let (stdout, stderr, ok) = run(&[
-        "snapshot", "save", "--topology", "mesh:3x3",
-        "--out", bin.to_str().unwrap(), "--json",
+        "snapshot",
+        "save",
+        "--topology",
+        "mesh:3x3",
+        "--out",
+        bin.to_str().unwrap(),
+        "--json",
     ]);
     assert!(ok, "{stderr}");
     let summary = parse(&stdout).unwrap();
@@ -387,15 +441,26 @@ fn snapshot_save_load_verify_round_trip() {
 
     // Same discovery in JSONL form.
     let (_, _, ok) = run(&[
-        "snapshot", "save", "--topology", "mesh:3x3",
-        "--out", jsonl.to_str().unwrap(), "--format", "jsonl",
+        "snapshot",
+        "save",
+        "--topology",
+        "mesh:3x3",
+        "--out",
+        jsonl.to_str().unwrap(),
+        "--format",
+        "jsonl",
     ]);
     assert!(ok);
 
     // load sniffs both formats and reports the same checksum.
     let (sum_bin, _, ok1) = run(&["snapshot", "load", "--in", bin.to_str().unwrap(), "--json"]);
-    let (sum_jsonl, _, ok2) =
-        run(&["snapshot", "load", "--in", jsonl.to_str().unwrap(), "--json"]);
+    let (sum_jsonl, _, ok2) = run(&[
+        "snapshot",
+        "load",
+        "--in",
+        jsonl.to_str().unwrap(),
+        "--json",
+    ]);
     assert!(ok1 && ok2);
     assert_eq!(
         parse(&sum_bin).unwrap().get("checksum"),
@@ -406,8 +471,12 @@ fn snapshot_save_load_verify_round_trip() {
     // load --resave: JSONL → binary re-save is byte-identical to the
     // directly saved binary file.
     let (_, _, ok) = run(&[
-        "snapshot", "load", "--in", jsonl.to_str().unwrap(),
-        "--resave", resaved.to_str().unwrap(),
+        "snapshot",
+        "load",
+        "--in",
+        jsonl.to_str().unwrap(),
+        "--resave",
+        resaved.to_str().unwrap(),
     ]);
     assert!(ok);
     assert_eq!(
@@ -418,8 +487,13 @@ fn snapshot_save_load_verify_round_trip() {
 
     // diff against itself: identical.
     let (stdout, _, ok) = run(&[
-        "snapshot", "diff",
-        "--old", bin.to_str().unwrap(), "--new", jsonl.to_str().unwrap(), "--json",
+        "snapshot",
+        "diff",
+        "--old",
+        bin.to_str().unwrap(),
+        "--new",
+        jsonl.to_str().unwrap(),
+        "--json",
     ]);
     assert!(ok);
     let delta = parse(&stdout).unwrap();
@@ -429,8 +503,13 @@ fn snapshot_save_load_verify_round_trip() {
     // verify on the unchanged fabric: every cached device verified with
     // one probe, no mismatches, no fallback.
     let (stdout, stderr, ok) = run(&[
-        "snapshot", "verify", "--topology", "mesh:3x3",
-        "--in", bin.to_str().unwrap(), "--json",
+        "snapshot",
+        "verify",
+        "--topology",
+        "mesh:3x3",
+        "--in",
+        bin.to_str().unwrap(),
+        "--json",
     ]);
     assert!(ok, "{stderr}");
     let report = parse(&stdout).unwrap();
@@ -454,9 +533,14 @@ fn snapshot_workflows_emit_reconciling_traces() {
     let verify_trace = dir.join("verify.jsonl");
 
     let (_, stderr, ok) = run(&[
-        "snapshot", "save", "--topology", "mesh:3x3",
-        "--out", snap.to_str().unwrap(),
-        "--trace", save_trace.to_str().unwrap(),
+        "snapshot",
+        "save",
+        "--topology",
+        "mesh:3x3",
+        "--out",
+        snap.to_str().unwrap(),
+        "--trace",
+        save_trace.to_str().unwrap(),
     ]);
     assert!(ok, "{stderr}");
     let records = trace_from_jsonl(&std::fs::read_to_string(&save_trace).unwrap()).unwrap();
@@ -464,9 +548,15 @@ fn snapshot_workflows_emit_reconciling_traces() {
     assert_eq!(summary.count("snapshot-saved"), 1);
 
     let (stdout, stderr, ok) = run(&[
-        "snapshot", "verify", "--topology", "mesh:3x3",
-        "--in", snap.to_str().unwrap(), "--json",
-        "--trace", verify_trace.to_str().unwrap(),
+        "snapshot",
+        "verify",
+        "--topology",
+        "mesh:3x3",
+        "--in",
+        snap.to_str().unwrap(),
+        "--json",
+        "--trace",
+        verify_trace.to_str().unwrap(),
     ]);
     assert!(ok, "{stderr}");
     let report = parse(&stdout).unwrap();
@@ -489,15 +579,30 @@ fn snapshot_diff_reports_a_removed_switch() {
     let full = dir.join("full.snap");
     let small = dir.join("small.snap");
     let (_, _, ok1) = run(&[
-        "snapshot", "save", "--topology", "mesh:3x3", "--out", full.to_str().unwrap(),
+        "snapshot",
+        "save",
+        "--topology",
+        "mesh:3x3",
+        "--out",
+        full.to_str().unwrap(),
     ]);
     let (_, _, ok2) = run(&[
-        "snapshot", "save", "--topology", "mesh:2x3", "--out", small.to_str().unwrap(),
+        "snapshot",
+        "save",
+        "--topology",
+        "mesh:2x3",
+        "--out",
+        small.to_str().unwrap(),
     ]);
     assert!(ok1 && ok2);
     let (stdout, _, ok) = run(&[
-        "snapshot", "diff",
-        "--old", full.to_str().unwrap(), "--new", small.to_str().unwrap(), "--json",
+        "snapshot",
+        "diff",
+        "--old",
+        full.to_str().unwrap(),
+        "--new",
+        small.to_str().unwrap(),
+        "--json",
     ]);
     assert!(ok);
     let delta = parse(&stdout).unwrap();
@@ -511,14 +616,38 @@ fn snapshot_diff_reports_a_removed_switch() {
 fn snapshot_mode_rejects_malformed_invocations() {
     assert_usage_error(&["snapshot"], "snapshot wants a subcommand");
     assert_usage_error(&["snapshot", "freeze"], "unknown snapshot subcommand");
-    assert_usage_error(&["snapshot", "save", "--topology", "mesh:3x3"], "--out is required");
-    assert_usage_error(&["snapshot", "save", "--out", "x.snap"], "--topology is required");
     assert_usage_error(
-        &["snapshot", "save", "--topology", "mesh:3x3", "--out", "x", "--format", "yaml"],
+        &["snapshot", "save", "--topology", "mesh:3x3"],
+        "--out is required",
+    );
+    assert_usage_error(
+        &["snapshot", "save", "--out", "x.snap"],
+        "--topology is required",
+    );
+    assert_usage_error(
+        &[
+            "snapshot",
+            "save",
+            "--topology",
+            "mesh:3x3",
+            "--out",
+            "x",
+            "--format",
+            "yaml",
+        ],
         "unknown snapshot format",
     );
     assert_usage_error(
-        &["snapshot", "save", "--topology", "mesh:3x3", "--out", "x", "--algorithm", "all"],
+        &[
+            "snapshot",
+            "save",
+            "--topology",
+            "mesh:3x3",
+            "--out",
+            "x",
+            "--algorithm",
+            "all",
+        ],
         "snapshot mode wants one algorithm",
     );
     assert_usage_error(&["snapshot", "load"], "--in is required");
@@ -526,7 +655,10 @@ fn snapshot_mode_rejects_malformed_invocations() {
         &["snapshot", "load", "--in", "/nonexistent/fabric.snap"],
         "cannot load snapshot",
     );
-    assert_usage_error(&["snapshot", "diff", "--old", "a.snap"], "--new is required");
+    assert_usage_error(
+        &["snapshot", "diff", "--old", "a.snap"],
+        "--new is required",
+    );
     assert_usage_error(
         &["snapshot", "verify", "--topology", "mesh:3x3"],
         "--in is required",
@@ -535,13 +667,24 @@ fn snapshot_mode_rejects_malformed_invocations() {
     std::fs::create_dir_all(&dir).unwrap();
     let snap = dir.join("t.snap");
     let (_, _, ok) = run(&[
-        "snapshot", "save", "--topology", "mesh:2x2", "--out", snap.to_str().unwrap(),
+        "snapshot",
+        "save",
+        "--topology",
+        "mesh:2x2",
+        "--out",
+        snap.to_str().unwrap(),
     ]);
     assert!(ok);
     assert_usage_error(
         &[
-            "snapshot", "verify", "--topology", "mesh:2x2",
-            "--in", snap.to_str().unwrap(), "--threshold", "1.5",
+            "snapshot",
+            "verify",
+            "--topology",
+            "mesh:2x2",
+            "--in",
+            snap.to_str().unwrap(),
+            "--threshold",
+            "1.5",
         ],
         "--threshold must be in [0, 1]",
     );
@@ -561,15 +704,32 @@ fn snapshot_mode_rejects_malformed_invocations() {
 #[test]
 fn warmstart_sweep_grid_runs_and_is_jobs_invariant() {
     let (csv1, stderr, ok1) = run(&[
-        "sweep", "--grid", "warmstart", "--quick", "--jobs", "1", "--csv",
+        "sweep",
+        "--grid",
+        "warmstart",
+        "--quick",
+        "--jobs",
+        "1",
+        "--csv",
     ]);
     let (csv2, _, ok2) = run(&[
-        "sweep", "--grid", "warmstart", "--quick", "--jobs", "2", "--csv",
+        "sweep",
+        "--grid",
+        "warmstart",
+        "--quick",
+        "--jobs",
+        "2",
+        "--csv",
     ]);
     assert!(ok1 && ok2, "{stderr}");
     assert_eq!(csv1, csv2, "warm sweep CSV must not depend on --jobs");
     let header = csv1.lines().next().unwrap();
-    for col in ["warm", "probes_verified", "verify_mismatches", "warm_fallback"] {
+    for col in [
+        "warm",
+        "probes_verified",
+        "verify_mismatches",
+        "warm_fallback",
+    ] {
         assert!(header.contains(col), "{col} missing from CSV header");
     }
 }
@@ -581,4 +741,91 @@ fn sweep_text_table_names_every_algorithm() {
     for name in ["Serial Packet", "Serial Device", "Parallel"] {
         assert!(stdout.contains(name), "{name} missing from sweep table");
     }
+}
+
+#[test]
+fn stress_reports_full_topology_and_throughput() {
+    let (stdout, stderr, ok) = run(&[
+        "stress",
+        "--topology",
+        "mesh:8x8",
+        "--algorithm",
+        "parallel",
+        "--json",
+    ]);
+    assert!(ok, "{stderr}");
+    let report = parse(&stdout).unwrap();
+    assert_eq!(report.get("full_topology"), &Json::Bool(true));
+    assert_eq!(*report.get("devices"), 128);
+    assert_eq!(*report.get("devices_found"), 128);
+    assert_eq!(*report.get("timeouts"), 0);
+    // The wall-clock metrics exist and are non-trivial, but their values
+    // are execution-dependent — never byte-compare them.
+    assert!(report.get("events_per_sec").as_u64().unwrap() > 0);
+    assert!(report.get("sim_events").as_u64().unwrap() > 0);
+    assert!(report.get("wall_time_s").as_f64().unwrap() > 0.0);
+    assert!(report.get("peak_outstanding").as_u64().unwrap() > 1);
+}
+
+#[test]
+fn stress_rejects_malformed_invocations() {
+    // One negative per flag, on the same error/usage/exit-2 framework as
+    // the discovery mode.
+    assert_usage_error(&["stress"], "--topology is required");
+    assert_usage_error(&["stress", "--topology", "ring:9"], "unknown topology kind");
+    assert_usage_error(
+        &["stress", "--topology", "irregular:5000"],
+        "switch count must be in",
+    );
+    assert_usage_error(
+        &["stress", "--topology", "mesh:8x8", "--algorithm", "psychic"],
+        "stress mode wants one algorithm",
+    );
+    assert_usage_error(
+        &["stress", "--topology", "mesh:8x8", "--algorithm", "all"],
+        "stress mode wants one algorithm",
+    );
+    assert_usage_error(
+        &["stress", "--topology", "mesh:8x8", "--seed", "banana"],
+        "--seed must be an integer",
+    );
+    assert_usage_error(
+        &["stress", "--topology", "mesh:8x8", "--fm-factor", "fast"],
+        "--fm-factor must be a number",
+    );
+}
+
+#[test]
+fn scale_grid_is_jobs_invariant_and_reports_occupancy() {
+    let (json1, stderr1, ok1) = run(&[
+        "sweep", "--grid", "scale", "--quick", "--jobs", "1", "--json",
+    ]);
+    let (json2, stderr2, ok2) = run(&[
+        "sweep", "--grid", "scale", "--quick", "--jobs", "2", "--json",
+    ]);
+    assert!(ok1 && ok2, "{stderr1}{stderr2}");
+    assert_eq!(json1, json2, "scale grid JSON must not depend on --jobs");
+    // The wall-clock throughput line goes to stderr, outside the
+    // byte-compared stdout.
+    assert!(stderr1.contains("events/sec"), "{stderr1}");
+
+    let v = parse(&json1).unwrap();
+    let cells = v.get("cells").as_array().expect("cells array");
+    assert!(!cells.is_empty());
+    for c in cells {
+        assert_eq!(c.get("completed"), &Json::Bool(true));
+        assert_eq!(c.get("algorithm").as_str(), Some("Parallel"));
+        assert!(c.get("peak_outstanding").as_u64().unwrap() > 1);
+        assert!(c.get("sim_events").as_u64().unwrap() > 0);
+    }
+
+    let (csv1, _, c1) = run(&[
+        "sweep", "--grid", "scale", "--quick", "--jobs", "1", "--csv",
+    ]);
+    let (csv2, _, c2) = run(&[
+        "sweep", "--grid", "scale", "--quick", "--jobs", "2", "--csv",
+    ]);
+    assert!(c1 && c2);
+    assert_eq!(csv1, csv2, "scale grid CSV must not depend on --jobs");
+    assert!(csv1.lines().next().unwrap().contains("peak_outstanding"));
 }

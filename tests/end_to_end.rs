@@ -38,6 +38,34 @@ fn every_table1_quick_topology_is_fully_discovered_by_every_algorithm() {
 }
 
 #[test]
+fn large_instances_fully_discovered_by_each_algorithm() {
+    // One large instance per algorithm, sized so the whole test stays
+    // debug-mode friendly: 512-device mesh for the packet-serial walk,
+    // a full 3-level 8-ary fat-tree, and a 512-switch irregular fabric
+    // for the parallel engine (which peaks above a thousand outstanding
+    // requests there).
+    let cases = [
+        (Algorithm::SerialPacket, Table1::Mesh(16)),
+        (Algorithm::SerialDevice, Table1::FatTree(8, 3)),
+        (Algorithm::Parallel, Table1::Irregular(512)),
+    ];
+    for (alg, spec) in cases {
+        let t = spec.build();
+        let bench = Bench::start(&t, &Scenario::new(alg), &[]);
+        assert_eq!(
+            discovered_dsns(&bench),
+            truth_dsns(&t),
+            "{} with {alg}",
+            spec.name()
+        );
+        let run = bench.last_run();
+        assert_eq!(run.devices_found, t.node_count(), "{alg} device count");
+        assert_eq!(run.timeouts, 0, "{alg} clean run");
+        assert!(run.peak_outstanding >= 1, "{alg} tracked occupancy");
+    }
+}
+
+#[test]
 fn discovery_is_deterministic() {
     let t = Table1::Torus(4).build();
     let collect = || {

@@ -61,8 +61,10 @@ fn full_lifecycle() {
     let cand_a = DevId(g.endpoint_at(0, 0).0);
     let cand_b = DevId(g.endpoint_at(2, 2).0);
     for dev in [cand_a, cand_b] {
-        let mut cfg = FmConfig::new(Algorithm::Parallel)
-            .with_distributed(DistributedRole::Primary { expected_reports: 0 });
+        let mut cfg =
+            FmConfig::new(Algorithm::Parallel).with_distributed(DistributedRole::Primary {
+                expected_reports: 0,
+            });
         cfg.auto_rediscover = false;
         fabric.set_agent(dev, Box::new(FmAgent::new(cfg)));
         fabric.schedule_agent_timer(dev, SimDuration::from_us(1), TOKEN_START_DISCOVERY);
@@ -93,7 +95,9 @@ fn full_lifecycle() {
     let mut cfg = FmConfig::new(Algorithm::Parallel);
     cfg.standby = Some(StandbyConfig::new(
         watch.source_port,
-        watch.encode(topo, advanced_switching::proto::MAX_POOL_BITS).unwrap(),
+        watch
+            .encode(topo, advanced_switching::proto::MAX_POOL_BITS)
+            .unwrap(),
     ));
     fabric.set_agent(secondary, Box::new(FmAgent::new(cfg)));
     fabric.schedule_agent_timer(
@@ -175,7 +179,11 @@ fn full_lifecycle() {
 
     // ---- Phase 5: multicast group across three corners ----------------
     const GROUP: u16 = 11;
-    let members = [g.endpoint_at(1, 1), g.endpoint_at(3, 0), g.endpoint_at(0, 3)];
+    let members = [
+        g.endpoint_at(1, 1),
+        g.endpoint_at(3, 0),
+        g.endpoint_at(0, 3),
+    ];
     let member_dsns: Vec<u64> = members.iter().map(|m| DSN_BASE | u64::from(m.0)).collect();
     {
         let agent = fabric.agent_as_mut::<FmAgent>(primary).unwrap();

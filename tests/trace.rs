@@ -36,7 +36,11 @@ fn trace_counts_reconcile_with_discovery_run_aggregates() {
     // Every activation is traced too (fabric side).
     assert_eq!(s.count("device-activated"), 18);
     // Parallel keeps more than one request in flight at its peak.
-    assert!(s.max_pending > 1, "Parallel peak pending = {}", s.max_pending);
+    assert!(
+        s.max_pending > 1,
+        "Parallel peak pending = {}",
+        s.max_pending
+    );
 }
 
 #[test]
@@ -46,9 +50,17 @@ fn trace_counts_reconcile_for_every_algorithm() {
         let (run, records) = traced_run(&t, alg);
         let s = TraceSummary::of(&records);
         assert_eq!(s.count("request-injected"), run.requests_sent, "{alg}");
-        assert_eq!(s.count("request-completed"), run.responses_received, "{alg}");
+        assert_eq!(
+            s.count("request-completed"),
+            run.responses_received,
+            "{alg}"
+        );
         assert_eq!(s.count("request-timed-out"), run.timeouts, "{alg}");
-        assert_eq!(s.count("device-discovered"), run.devices_found as u64, "{alg}");
+        assert_eq!(
+            s.count("device-discovered"),
+            run.devices_found as u64,
+            "{alg}"
+        );
         // Serial Packet never has more than one request outstanding.
         if alg == Algorithm::SerialPacket {
             assert_eq!(s.max_pending, 1, "{alg}");
