@@ -64,6 +64,70 @@ pub fn elect(candidates: &[Claim]) -> Option<ElectionResult> {
     Some(ElectionResult { primary, secondary })
 }
 
+/// Accumulates the claims one candidate hears during an election window
+/// (its own claim included), then resolves them in one shot.
+///
+/// The PI-9 election broadcasts [`asi_proto::FmMessage::Claim`] packets;
+/// each manager folds arriving claims into its ballot with
+/// [`Ballot::record`] and, when its election timer fires, asks the
+/// ballot for the outcome. Recording is idempotent — re-delivered or
+/// duplicate claims cannot change the result — and order-independent,
+/// so every manager that heard the same claim set resolves the same
+/// primary regardless of packet arrival order.
+///
+/// ```
+/// use asi_core::election::{Ballot, Claim, FmRole};
+///
+/// let mut ballot = Ballot::new(Claim::new(5, 0xA1));
+/// ballot.record(Claim::new(9, 0xB2)); // a stronger rival
+/// ballot.record(Claim::new(9, 0xB2)); // duplicates collapse
+/// assert_eq!(ballot.claims().len(), 2);
+/// assert_eq!(ballot.role(), FmRole::Secondary);
+/// assert_eq!(ballot.resolve().unwrap().primary.dsn, 0xB2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ballot {
+    own: Claim,
+    claims: Vec<Claim>,
+}
+
+impl Ballot {
+    /// A ballot holding only the candidate's own claim.
+    pub fn new(own: Claim) -> Ballot {
+        Ballot {
+            own,
+            claims: vec![own],
+        }
+    }
+
+    /// This candidate's own claim.
+    pub fn own(&self) -> Claim {
+        self.own
+    }
+
+    /// Folds one observed claim into the ballot (idempotent).
+    pub fn record(&mut self, claim: Claim) {
+        if !self.claims.contains(&claim) {
+            self.claims.push(claim);
+        }
+    }
+
+    /// Every distinct claim heard so far, own claim included.
+    pub fn claims(&self) -> &[Claim] {
+        &self.claims
+    }
+
+    /// Resolves the election over everything heard so far.
+    pub fn resolve(&self) -> Option<ElectionResult> {
+        elect(&self.claims)
+    }
+
+    /// This candidate's role under the current ballot.
+    pub fn role(&self) -> FmRole {
+        role_of(self.own, &self.claims)
+    }
+}
+
 /// The role an FM-capable endpoint ends up with.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FmRole {
@@ -145,6 +209,34 @@ mod tests {
         assert_eq!(role_of(a, &field), FmRole::Primary);
         assert_eq!(role_of(b, &field), FmRole::Secondary);
         assert_eq!(role_of(c, &field), FmRole::Bystander);
+    }
+
+    #[test]
+    fn ballot_is_order_independent_and_idempotent() {
+        let own = Claim::new(5, 5);
+        let rivals = [Claim::new(9, 9), Claim::new(1, 1), Claim::new(9, 2)];
+        let mut forward = Ballot::new(own);
+        for r in rivals {
+            forward.record(r);
+            forward.record(r);
+        }
+        let mut reverse = Ballot::new(own);
+        for r in rivals.iter().rev() {
+            reverse.record(*r);
+        }
+        assert_eq!(forward.resolve(), reverse.resolve());
+        assert_eq!(forward.claims().len(), 4);
+        let result = forward.resolve().unwrap();
+        assert_eq!(result.primary, Claim::new(9, 9));
+        assert_eq!(result.secondary, Some(Claim::new(9, 2)));
+        assert_eq!(forward.role(), FmRole::Bystander);
+    }
+
+    #[test]
+    fn lone_ballot_elects_itself() {
+        let ballot = Ballot::new(Claim::new(0, 7));
+        assert_eq!(ballot.role(), FmRole::Primary);
+        assert_eq!(ballot.resolve().unwrap().secondary, None);
     }
 
     #[test]

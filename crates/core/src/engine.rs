@@ -245,6 +245,9 @@ pub struct Engine {
     /// DSNs of rival managers observed in ownership registers while
     /// claim partitioning (input to the election decision).
     pub rivals: std::collections::BTreeSet<u64>,
+    /// Boundary devices ceded to a rival, as `(device, owner)` pairs in
+    /// cede order (claim partitioning only).
+    pub ceded: Vec<(u64, u64)>,
     pending: PendingTable,
     next_req: u32,
     probe_queue: VecDeque<ProbeTarget>,
@@ -289,6 +292,7 @@ impl Engine {
             cfg,
             db,
             rivals: std::collections::BTreeSet::new(),
+            ceded: Vec::new(),
             pending: PendingTable::new(),
             next_req: 1,
             probe_queue: VecDeque::new(),
@@ -339,6 +343,7 @@ impl Engine {
             cfg,
             db,
             rivals: std::collections::BTreeSet::new(),
+            ceded: Vec::new(),
             pending: PendingTable::new(),
             next_req: 1,
             probe_queue: VecDeque::new(),
@@ -404,6 +409,7 @@ impl Engine {
             cfg,
             db,
             rivals: std::collections::BTreeSet::new(),
+            ceded: Vec::new(),
             pending: PendingTable::new(),
             next_req: 1,
             probe_queue: VecDeque::new(),
@@ -556,7 +562,11 @@ impl Engine {
                     if owner != 0 {
                         self.rivals.insert(owner);
                     }
+                    self.ceded.push((dsn, owner));
                     self.stats.ceded_devices += 1;
+                    let to = owner;
+                    self.trace
+                        .emit(self.trace_now, || TraceEvent::FmYield { dsn, to });
                     self.finish_current_if(dsn);
                 }
             }

@@ -4,7 +4,8 @@
 //! timeouts, and the measurement plumbing behind every figure.
 
 use crate::db::TopologyDb;
-use crate::distributed::{report_messages, DistributedRole, MergeState};
+use crate::distributed::{report_messages, DistributedConfig, DistributedRole, MergeState};
+use crate::election::{Ballot, Claim, ElectionResult};
 use crate::engine::{Engine, EngineConfig, EngineStats, OutOp, OutRequest};
 use crate::mcast::plan_multicast;
 use crate::metrics::{Algorithm, DiscoveryRun, DiscoveryTrigger, DistributionRun};
@@ -31,6 +32,14 @@ const TOKEN_KEEPALIVE_CHECK: u64 = (1 << 62) + 2;
 /// Timer token that flushes multicast group requests queued with
 /// [`FmAgent::queue_multicast`].
 pub const TOKEN_CONFIGURE_MCAST: u64 = (1 << 62) + 3;
+/// Timer token that starts a distributed discovery via PI-9 election:
+/// the manager broadcasts its claim to every
+/// [`DistributedConfig::peers`] entry, collects rival claims for the
+/// election window, resolves roles, and only then begins discovery.
+/// Without a [`FmConfig::distributed_config`] this degenerates to
+/// [`TOKEN_START_DISCOVERY`].
+pub const TOKEN_START_ELECTION: u64 = (1 << 62) + 4;
+const TOKEN_ELECTION_DECIDE: u64 = (1 << 62) + 5;
 const TIMEOUT_FLAG: u64 = 1 << 63;
 /// Keepalive request ids live in their own range so they can never
 /// collide with engine request ids.
@@ -59,6 +68,18 @@ pub enum DiscoveryMode {
 /// builder methods; the struct is `#[non_exhaustive]`, so new knobs can
 /// be added without breaking callers. Fields stay public for reading
 /// and in-place mutation.
+///
+/// ```
+/// use asi_core::{Algorithm, FmConfig, RetryPolicy};
+/// use asi_sim::SimDuration;
+///
+/// let cfg = FmConfig::new(Algorithm::Parallel)
+///     .with_request_timeout(SimDuration::from_ms(2))
+///     .with_retry(RetryPolicy::exponential(4))
+///     .with_auto_rediscover(false);
+/// assert_eq!(cfg.request_timeout, SimDuration::from_ms(2));
+/// assert!(!cfg.auto_rediscover);
+/// ```
 #[derive(Clone, Debug)]
 #[non_exhaustive]
 pub struct FmConfig {
@@ -83,6 +104,10 @@ pub struct FmConfig {
     pub retry: RetryPolicy,
     /// Distributed-discovery role (implies claim partitioning).
     pub distributed: Option<DistributedRole>,
+    /// Election-based distributed discovery: peers and our priority.
+    /// Roles are then assumed at election time rather than configured;
+    /// kick the agent with [`TOKEN_START_ELECTION`].
+    pub distributed_config: Option<DistributedConfig>,
     /// Secondary-manager (failover) configuration.
     pub standby: Option<StandbyConfig>,
     /// Distribute per-endpoint route tables after every discovery
@@ -140,6 +165,7 @@ impl FmConfig {
             claim_partitioning: false,
             retry: RetryPolicy::default(),
             distributed: None,
+            distributed_config: None,
             standby: None,
             distribute_paths: false,
             trace: TraceHandle::disabled(),
@@ -166,6 +192,16 @@ impl FmConfig {
     pub fn with_distributed(mut self, role: DistributedRole) -> FmConfig {
         self.claim_partitioning = true;
         self.distributed = Some(role);
+        self
+    }
+
+    /// Configures election-based distributed discovery: the manager
+    /// learns its role (primary, collaborator, or watching secondary)
+    /// from a PI-9 claim exchange instead of having it assigned.
+    /// Enables claim partitioning; arm [`TOKEN_START_ELECTION`] to run.
+    pub fn with_distributed_config(mut self, config: DistributedConfig) -> FmConfig {
+        self.claim_partitioning = true;
+        self.distributed_config = Some(config);
         self
     }
 
@@ -288,6 +324,10 @@ pub struct FmAgent {
     keepalive_seq: u32,
     /// True once a standby secondary has promoted itself to primary.
     pub promoted: bool,
+    /// Claims heard during the current election window.
+    ballot: Option<Ballot>,
+    /// The resolved election outcome, once the decision timer fired.
+    pub elected: Option<ElectionResult>,
     /// Outstanding path-distribution writes.
     dist_pending: std::collections::HashSet<u32>,
     dist_next_req: u32,
@@ -341,6 +381,8 @@ impl FmAgent {
             keepalive_misses: 0,
             keepalive_seq: 0,
             promoted: false,
+            ballot: None,
+            elected: None,
             dist_pending: std::collections::HashSet::new(),
             dist_next_req: DIST_REQ_BASE,
             dist_acc: None,
@@ -643,6 +685,137 @@ impl FmAgent {
         None
     }
 
+    /// Managers known to be part of this discovery, self included.
+    fn fm_ensemble_size(&self) -> u32 {
+        if let Some(ballot) = &self.ballot {
+            return ballot.claims().len() as u32;
+        }
+        match &self.cfg.distributed {
+            Some(DistributedRole::Primary { expected_reports }) => *expected_reports as u32 + 1,
+            // A collaborator only knows itself and the primary for sure.
+            Some(DistributedRole::Collaborator { .. }) => 2,
+            None => 1,
+        }
+    }
+
+    /// Starts the initial discovery per the configured mode.
+    fn begin_initial(&mut self, ctx: &mut AgentCtx) {
+        if self.engine.is_some() {
+            return;
+        }
+        match &self.cfg.mode {
+            DiscoveryMode::Cold => self.begin_full(ctx, DiscoveryTrigger::Initial),
+            DiscoveryMode::WarmStart(snapshot) => {
+                let snapshot = snapshot.clone();
+                self.begin_warm(ctx, &snapshot);
+            }
+        }
+    }
+
+    /// Sends one FM-exchange message toward a peer manager.
+    fn send_fm(&self, ctx: &mut AgentCtx, egress: u8, pool: asi_proto::TurnPool, msg: FmMessage) {
+        let header = RouteHeader::forward(ProtocolInterface::FmExchange, MANAGEMENT_TC, pool);
+        ctx.send(egress, Packet::new(header, Payload::Fm(msg)));
+    }
+
+    /// Election kickoff: broadcast our claim and arm the decision timer.
+    fn start_election(&mut self, ctx: &mut AgentCtx) {
+        let Some(dc) = self.cfg.distributed_config.clone() else {
+            // No ensemble configured: a lone manager discovers solo.
+            self.begin_initial(ctx);
+            return;
+        };
+        if self.elected.is_some() {
+            return;
+        }
+        let own = Claim::new(dc.priority, ctx.host_info.dsn);
+        if self.ballot.is_none() {
+            self.ballot = Some(Ballot::new(own));
+        }
+        let (dsn, priority) = (own.dsn, own.priority);
+        self.cfg
+            .trace
+            .emit(ctx.now, || TraceEvent::FmClaim { dsn, priority });
+        for peer in &dc.peers {
+            self.send_fm(
+                ctx,
+                peer.egress,
+                peer.pool.clone(),
+                FmMessage::Claim { dsn, priority },
+            );
+        }
+        ctx.set_timer(dc.election_window, TOKEN_ELECTION_DECIDE);
+    }
+
+    /// The election window closed: resolve roles and begin discovery.
+    ///
+    /// Every manager heard the same claim set (each claim was broadcast
+    /// to every peer), so local resolution is globally consistent: one
+    /// manager becomes [`DistributedRole::Primary`], the rest become
+    /// [`DistributedRole::Collaborator`]s reporting to it, and the
+    /// runner-up additionally arms standby keepalives on the primary so
+    /// a mid-discovery primary death triggers failover.
+    fn decide_election(&mut self, ctx: &mut AgentCtx) {
+        if self.elected.is_some() {
+            return;
+        }
+        let Some(dc) = self.cfg.distributed_config.clone() else {
+            return;
+        };
+        let Some(ballot) = self.ballot.clone() else {
+            return;
+        };
+        let result = ballot.resolve().expect("ballot holds our own claim");
+        let fms = ballot.claims().len() as u32;
+        let primary_dsn = result.primary.dsn;
+        self.cfg.trace.emit(ctx.now, || TraceEvent::FmElected {
+            primary: primary_dsn,
+            fms,
+        });
+        self.elected = Some(result);
+        let own = ballot.own();
+        if result.primary == own {
+            self.cfg.distributed = Some(DistributedRole::Primary {
+                expected_reports: fms.saturating_sub(1) as usize,
+            });
+            // Confirm the outcome on the wire (informational: every
+            // manager resolved the same ballot already).
+            for peer in &dc.peers {
+                self.send_fm(
+                    ctx,
+                    peer.egress,
+                    peer.pool.clone(),
+                    FmMessage::Elected {
+                        primary: primary_dsn,
+                        fms,
+                    },
+                );
+            }
+        } else {
+            let Some(peer) = dc.peers.iter().find(|p| p.dsn == primary_dsn) else {
+                // Outvoted by a manager we cannot route to: stand down.
+                return;
+            };
+            self.cfg.distributed = Some(DistributedRole::Collaborator {
+                report_egress: peer.egress,
+                report_pool: peer.pool.clone(),
+            });
+            if result.secondary == Some(own) {
+                // A primary mid-discovery answers keepalive reads only
+                // after draining its response backlog, which by design
+                // can approach the request timeout: a fixed 80 µs window
+                // would misread busy for dead and usurp a live primary.
+                // Scale the watch cadence to the configured timeout.
+                let mut standby = StandbyConfig::new(peer.egress, peer.pool.clone());
+                standby.timeout = standby.timeout.max(self.cfg.request_timeout * 2);
+                standby.interval = standby.interval.max(standby.timeout * 2);
+                self.cfg.standby = Some(standby);
+                self.send_keepalive(ctx);
+            }
+        }
+        self.begin_initial(ctx);
+    }
+
     fn maybe_finish(&mut self, ctx: &mut AgentCtx) {
         let done = self.engine.as_ref().is_some_and(Engine::is_done);
         if !done {
@@ -650,6 +823,7 @@ impl FmAgent {
         }
         let engine = self.engine.take().expect("checked");
         self.rivals.extend(engine.rivals.iter().copied());
+        let ceded = engine.ceded.clone();
         let warm_verifying = self.acc.as_ref().is_some_and(|a| a.warm_verifying);
         let (db, stats) = if warm_verifying {
             match self.escalate_warm(ctx, engine) {
@@ -688,6 +862,12 @@ impl FmAgent {
             probes_verified: acc.probes_verified,
             verify_mismatches: acc.verify_mismatches,
             warm_fallback: acc.warm_fallback,
+            fm_count: self.fm_ensemble_size(),
+            boundary_conflicts: stats.ceded_devices,
+            failovers: u32::from(
+                matches!(acc.trigger, DiscoveryTrigger::Failover) && self.promoted,
+            ),
+            merge_time: SimDuration::ZERO,
         };
         self.cfg.trace.emit(ctx.now, || TraceEvent::RunFinished {
             devices_found: run.devices_found as u64,
@@ -697,6 +877,21 @@ impl FmAgent {
         });
         self.runs.push(run);
         self.db = Some(db);
+        // Notify each rival of the boundary devices we ceded to it (the
+        // ownership registers already settled the outcome; this puts it
+        // on the wire for observability and symmetry with real fabrics).
+        if let Some(dc) = self.cfg.distributed_config.clone() {
+            for (dsn, owner) in ceded {
+                if let Some(peer) = dc.peers.iter().find(|p| p.dsn == owner) {
+                    self.send_fm(
+                        ctx,
+                        peer.egress,
+                        peer.pool.clone(),
+                        FmMessage::Yield { dsn, to: owner },
+                    );
+                }
+            }
+        }
         match &self.cfg.distributed {
             Some(DistributedRole::Collaborator {
                 report_egress,
@@ -726,7 +921,27 @@ impl FmAgent {
                 }
                 self.check_distributed_done(ctx);
             }
-            None => {}
+            None => {
+                // A promoted secondary runs its takeover solo (the role
+                // was cleared at promotion): its own completed database
+                // IS the final fabric view of the distributed run.
+                if self.promoted
+                    && self.cfg.distributed_config.is_some()
+                    && self.distributed_finished_at.is_none()
+                {
+                    if let Some(db) = self.db.as_mut() {
+                        db.refresh_routes(self.cfg.pool_capacity);
+                        let (devices, links) = (db.device_count() as u64, db.link_count() as u64);
+                        self.distributed_finished_at = Some(ctx.now);
+                        self.merge.finished_at = Some(ctx.now);
+                        self.cfg.trace.emit(ctx.now, || TraceEvent::MergeComplete {
+                            devices,
+                            links,
+                            reports: 0,
+                        });
+                    }
+                }
+            }
         }
         if self.restart_pending {
             self.restart_pending = false;
@@ -1030,6 +1245,18 @@ impl FmAgent {
             if self.keepalive_misses >= standby.miss_threshold {
                 // The primary is gone: take over the fabric.
                 self.promoted = true;
+                let (dsn, misses) = (ctx.host_info.dsn, self.keepalive_misses);
+                self.cfg
+                    .trace
+                    .emit(ctx.now, || TraceEvent::FmFailover { dsn, misses });
+                // A promoted secondary owns the whole fabric: abandon any
+                // in-flight collaborator run and re-discover solo, with
+                // partitioning off so the dead primary's stale ownership
+                // claims cannot carve holes out of the takeover view.
+                self.engine = None;
+                self.acc = None;
+                self.cfg.distributed = None;
+                self.cfg.claim_partitioning = false;
                 self.begin_full(ctx, DiscoveryTrigger::Failover);
                 return;
             }
@@ -1039,10 +1266,35 @@ impl FmAgent {
         ctx.set_timer(gap.max(SimDuration::from_us(1)), TOKEN_START_STANDBY);
     }
 
-    /// Primary-side handling of one FM-exchange message.
+    /// Handling of one FM-exchange message: election traffic first (any
+    /// role), then the primary-side merge stream.
     fn on_fm_message(&mut self, ctx: &mut AgentCtx, msg: FmMessage) {
+        match &msg {
+            FmMessage::Claim { dsn, priority } => {
+                // A rival's candidacy. Claims arriving after the decision
+                // are stale (e.g. re-delivered) and change nothing.
+                if self.elected.is_none() {
+                    if let Some(dc) = &self.cfg.distributed_config {
+                        let claim = Claim::new(*priority, *dsn);
+                        let own = Claim::new(dc.priority, ctx.host_info.dsn);
+                        self.ballot
+                            .get_or_insert_with(|| Ballot::new(own))
+                            .record(claim);
+                    }
+                }
+                return;
+            }
+            // The winner's confirmation; our local resolution over the
+            // same ballot already agrees, so nothing to do.
+            FmMessage::Elected { .. } => return,
+            // A rival telling us it ceded a boundary device to us. The
+            // ownership register already recorded that outcome; the
+            // notification needs no action.
+            FmMessage::Yield { .. } => return,
+            _ => {}
+        }
         if !matches!(self.cfg.distributed, Some(DistributedRole::Primary { .. })) {
-            return; // collaborators only send, never receive
+            return; // collaborators only send the merge stream
         }
         if self.engine.is_some() || self.db.is_none() {
             // Our own exploration still owns the database: buffer.
@@ -1054,7 +1306,7 @@ impl FmAgent {
         self.check_distributed_done(ctx);
     }
 
-    fn check_distributed_done(&mut self, _ctx: &mut AgentCtx) {
+    fn check_distributed_done(&mut self, ctx: &mut AgentCtx) {
         let Some(DistributedRole::Primary { expected_reports }) = &self.cfg.distributed else {
             return;
         };
@@ -1064,9 +1316,24 @@ impl FmAgent {
         if self.engine.is_some() || self.merge.completed.len() < *expected_reports {
             return;
         }
-        if let Some(db) = self.db.as_mut() {
-            db.refresh_routes(self.cfg.pool_capacity);
-            self.distributed_finished_at = Some(_ctx.now);
+        let Some(db) = self.db.as_mut() else {
+            return;
+        };
+        db.refresh_routes(self.cfg.pool_capacity);
+        self.distributed_finished_at = Some(ctx.now);
+        self.merge.finished_at = Some(ctx.now);
+        let (devices, links) = (db.device_count() as u64, db.link_count() as u64);
+        let reports = self.merge.completed.len() as u32;
+        self.cfg.trace.emit(ctx.now, || TraceEvent::MergeComplete {
+            devices,
+            links,
+            reports,
+        });
+        // Stamp how long the merge tail took onto the primary's last run
+        // (its devices_found/links_found keep describing its *own*
+        // exploration; the merged view lives in the database).
+        if let Some(run) = self.runs.last_mut() {
+            run.merge_time = ctx.now.saturating_since(run.finished_at);
         }
     }
 }
@@ -1124,15 +1391,7 @@ impl FabricAgent for FmAgent {
 
     fn on_timer(&mut self, ctx: &mut AgentCtx, token: u64) {
         if token == TOKEN_START_DISCOVERY {
-            if self.engine.is_none() {
-                match &self.cfg.mode {
-                    DiscoveryMode::Cold => self.begin_full(ctx, DiscoveryTrigger::Initial),
-                    DiscoveryMode::WarmStart(snapshot) => {
-                        let snapshot = snapshot.clone();
-                        self.begin_warm(ctx, &snapshot);
-                    }
-                }
-            }
+            self.begin_initial(ctx);
             return;
         }
         if token == TOKEN_START_STANDBY {
@@ -1147,6 +1406,14 @@ impl FabricAgent for FmAgent {
         }
         if token == TOKEN_CONFIGURE_MCAST {
             self.flush_mcast(ctx);
+            return;
+        }
+        if token == TOKEN_START_ELECTION {
+            self.start_election(ctx);
+            return;
+        }
+        if token == TOKEN_ELECTION_DECIDE {
+            self.decide_election(ctx);
             return;
         }
         if token & TIMEOUT_FLAG != 0 {
@@ -1320,6 +1587,78 @@ mod tests {
             .filter(|cmd| matches!(cmd, asi_fabric::AgentCommand::Send { .. }))
             .count();
         assert_eq!(sends, 2, "device record + completion marker");
+    }
+
+    #[test]
+    fn lone_election_elects_self_and_completes_merge() {
+        let cfg =
+            FmConfig::new(Algorithm::Parallel).with_distributed_config(DistributedConfig::new(5));
+        let mut fm = FmAgent::new(cfg);
+        let mut c = ctx();
+        fm.on_timer(&mut c, TOKEN_START_ELECTION);
+        assert!(fm.elected.is_none(), "decision waits for the window");
+        fm.on_timer(&mut c, TOKEN_ELECTION_DECIDE);
+        let result = fm.elected.expect("window closed: resolved");
+        assert_eq!(result.primary.dsn, c.host_info.dsn);
+        assert!(matches!(
+            fm.cfg.distributed,
+            Some(DistributedRole::Primary {
+                expected_reports: 0
+            })
+        ));
+        assert!(
+            fm.distributed_finished_at.is_some(),
+            "no collaborators: the merge completes with our own run"
+        );
+        assert_eq!(fm.runs[0].fm_count, 1);
+    }
+
+    #[test]
+    fn stronger_rival_claim_makes_us_the_watching_secondary() {
+        let mut pool = TurnPool::new_spec();
+        pool.push_turn(1, 4).unwrap();
+        let rival = 0xFFFF_0000_0001u64;
+        let cfg = FmConfig::new(Algorithm::Parallel)
+            .with_distributed_config(DistributedConfig::new(1).with_peer(rival, 0, pool));
+        let mut fm = FmAgent::new(cfg);
+        let mut c = ctx();
+        // The rival's claim lands before our own kickoff: still counted.
+        fm.on_fm_message(
+            &mut c,
+            FmMessage::Claim {
+                dsn: rival,
+                priority: 9,
+            },
+        );
+        fm.on_timer(&mut c, TOKEN_START_ELECTION);
+        fm.on_timer(&mut c, TOKEN_ELECTION_DECIDE);
+        assert_eq!(fm.elected.unwrap().primary.dsn, rival);
+        assert!(matches!(
+            fm.cfg.distributed,
+            Some(DistributedRole::Collaborator { .. })
+        ));
+        // Two claims, we lost: as the runner-up we watch the primary.
+        assert!(fm.cfg.standby.is_some());
+        assert_eq!(fm.runs[0].fm_count, 2);
+    }
+
+    #[test]
+    fn stale_claims_after_the_decision_change_nothing() {
+        let cfg =
+            FmConfig::new(Algorithm::Parallel).with_distributed_config(DistributedConfig::new(5));
+        let mut fm = FmAgent::new(cfg);
+        let mut c = ctx();
+        fm.on_timer(&mut c, TOKEN_START_ELECTION);
+        fm.on_timer(&mut c, TOKEN_ELECTION_DECIDE);
+        fm.on_fm_message(
+            &mut c,
+            FmMessage::Claim {
+                dsn: 0xBAD,
+                priority: 255,
+            },
+        );
+        assert_eq!(fm.elected.unwrap().primary.dsn, c.host_info.dsn);
+        assert_eq!(fm.runs[0].fm_count, 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   (fixed, exponential with deterministic jitter, or deadline-bounded);
 //! - [`election`] — FM election claims, roles and failover rules.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod db;
 pub mod distributed;
@@ -35,12 +35,15 @@ pub mod snapshot;
 pub mod timing;
 
 pub use db::{DbDevice, DbDiff, DeviceRoute, TopologyDb};
-pub use distributed::{report_messages, DistributedRole, MergeState};
-pub use election::{elect, role_of, Claim, ElectionResult, FmRole};
+pub use distributed::{
+    certify_merge, report_messages, DistributedConfig, DistributedRole, FmPeer, MergeCertError,
+    MergeCertificate, MergeState,
+};
+pub use election::{elect, role_of, Ballot, Claim, ElectionResult, FmRole};
 pub use engine::{Engine, EngineConfig, EngineStats, OutOp, OutRequest};
 pub use fm::{
     DiscoveryMode, FmAgent, FmConfig, StandbyConfig, TOKEN_CONFIGURE_MCAST, TOKEN_START_DISCOVERY,
-    TOKEN_START_STANDBY,
+    TOKEN_START_ELECTION, TOKEN_START_STANDBY,
 };
 pub use mcast::{plan_multicast, McastError, McastWrite};
 pub use metrics::{Algorithm, DiscoveryRun, DiscoveryTrigger, DistributionRun};

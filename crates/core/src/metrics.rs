@@ -111,6 +111,19 @@ pub struct DiscoveryRun {
     /// Warm start only: true when the mismatch count exceeded the
     /// fallback threshold and the run completed as a full cold discovery.
     pub warm_fallback: bool,
+    /// Fabric managers that took part in this discovery (1 for a
+    /// classic single-manager run).
+    pub fm_count: u32,
+    /// Distributed only: boundary devices this manager probed but ceded
+    /// to a rival whose ownership claim landed first.
+    pub boundary_conflicts: u64,
+    /// Primary failovers behind this run (1 when a promoted secondary
+    /// ran it; 0 otherwise).
+    pub failovers: u32,
+    /// Distributed primary only: time from the end of the primary's own
+    /// exploration to the merged database becoming final (zero
+    /// elsewhere).
+    pub merge_time: SimDuration,
 }
 
 impl DiscoveryRun {
@@ -189,6 +202,10 @@ mod tests {
             probes_verified: 0,
             verify_mismatches: 0,
             warm_fallback: false,
+            fm_count: 1,
+            boundary_conflicts: 0,
+            failovers: 0,
+            merge_time: SimDuration::ZERO,
         }
     }
 

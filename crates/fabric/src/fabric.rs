@@ -88,6 +88,11 @@ struct Port {
     bypass_q: VecDeque<OutEntry>,
     data_q: VecDeque<OutEntry>,
     busy_until: SimTime,
+    /// Earliest pending [`Event::TryTx`] wakeup for this port, if any.
+    /// At most one wakeup is kept armed: without this guard every packet
+    /// enqueued behind a busy serializer schedules its own retry, and a
+    /// K-deep queue burns O(K²) events leapfrogging `busy_until`.
+    try_tx_at: Option<SimTime>,
     /// Source-injection rate limiter: next instant a data-class packet
     /// may start serializing (endpoints only).
     rate_next: SimTime,
@@ -256,6 +261,7 @@ impl Fabric {
                     bypass_q: VecDeque::new(),
                     data_q: VecDeque::new(),
                     busy_until: SimTime::ZERO,
+                    try_tx_at: None,
                     rate_next: SimTime::ZERO,
                     peer_credits: [config.mgmt_credits, config.data_credits],
                     ge_bad: false,
@@ -537,7 +543,7 @@ impl Fabric {
         match event {
             Event::Arrive { dev, port, packet } => self.on_arrive(dev, port, packet),
             Event::Deliver { dev, port, packet } => self.on_deliver(dev, port, packet),
-            Event::TryTx { dev, port } => self.pump(dev, port),
+            Event::TryTx { dev, port } => self.on_try_tx(dev, port),
             Event::CreditReturn {
                 dev,
                 port,
@@ -754,6 +760,19 @@ impl Fabric {
         self.pump(dev, port);
     }
 
+    /// A [`Event::TryTx`] wakeup fired. Only the wakeup recorded in
+    /// `try_tx_at` pumps; earlier-armed duplicates that were superseded
+    /// by a sooner wakeup are dropped here.
+    fn on_try_tx(&mut self, dev: DevId, port: u8) {
+        let now = self.sim.now();
+        let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+        if p.try_tx_at != Some(now) {
+            return;
+        }
+        p.try_tx_at = None;
+        self.pump(dev, port);
+    }
+
     /// Attempts to start transmissions on `(dev, port)`.
     fn pump(&mut self, dev: DevId, port: u8) {
         let now = self.sim.now();
@@ -827,7 +846,11 @@ impl Fabric {
             match action {
                 Action::Idle => return,
                 Action::Wait(at) => {
-                    self.sim.schedule_at(at, Event::TryTx { dev, port });
+                    let p = &mut self.devices[dev.idx()].ports[usize::from(port)];
+                    if p.try_tx_at.is_none_or(|t| t > at) {
+                        p.try_tx_at = Some(at);
+                        self.sim.schedule_at(at, Event::TryTx { dev, port });
+                    }
                     return;
                 }
                 Action::Stall => {

@@ -176,6 +176,17 @@ pub struct FaultEvent {
 /// A complete, replayable description of the faults a run is subjected
 /// to. Build with the `with_*` / scheduling methods; the default plan
 /// is fault-free and reproduces the loss-free simulation exactly.
+///
+/// ```
+/// use asi_fabric::{FaultPlan, LossModel};
+/// use asi_sim::SimDuration;
+///
+/// let plan = FaultPlan::none()
+///     .with_loss(LossModel::uniform(0.02))
+///     .with_device_hang(SimDuration::from_ms(1), 3, SimDuration::from_ms(2));
+/// assert!(!plan.is_inert());
+/// assert_eq!(plan.events.len(), 1);
+/// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 #[non_exhaustive]
 pub struct FaultPlan {

@@ -39,7 +39,10 @@ pub use report::{
     pending_occupancy, save_trace_jsonl, trace_from_jsonl, trace_to_jsonl, Chart, RingCollector,
     Series, TableOut, TraceSummary,
 };
-pub use scenario::{change_experiment, dev_of_dsn, dsn_of_dev, Bench, Scenario, TrafficSpec};
+pub use scenario::{
+    change_experiment, dev_of_dsn, distributed_discovery, dsn_of_dev, sharded_discovery, Bench,
+    DistributedOutcome, Scenario, ShardedOutcome, TrafficSpec,
+};
 pub use snapshot::{
     load_snapshot, save_snapshot, snapshot_from_jsonl, snapshot_to_jsonl, SnapshotFormat,
 };
@@ -58,7 +61,9 @@ pub use sweep::{ChangeMode, SweepResult, SweepSpec};
 /// assert_eq!(scenario.faults.loss.mean_loss(), 0.02);
 /// ```
 pub mod prelude {
-    pub use crate::scenario::{change_experiment, Bench, Scenario, TrafficSpec};
+    pub use crate::scenario::{
+        change_experiment, sharded_discovery, Bench, Scenario, ShardedOutcome, TrafficSpec,
+    };
     pub use crate::snapshot::{load_snapshot, save_snapshot, SnapshotFormat};
     pub use crate::sweep::{ChangeMode, SweepResult, SweepSpec};
     pub use asi_core::{Algorithm, RetryPolicy};

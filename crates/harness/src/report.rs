@@ -398,6 +398,18 @@ pub fn trace_record_to_json(record: &TraceRecord) -> Json {
         } => obj
             .with("mismatches", *mismatches)
             .with("threshold", *threshold),
+        TraceEvent::FmClaim { dsn, priority } => obj.with("dsn", *dsn).with("priority", *priority),
+        TraceEvent::FmYield { dsn, to } => obj.with("dsn", *dsn).with("to", *to),
+        TraceEvent::FmElected { primary, fms } => obj.with("primary", *primary).with("fms", *fms),
+        TraceEvent::FmFailover { dsn, misses } => obj.with("dsn", *dsn).with("misses", *misses),
+        TraceEvent::MergeComplete {
+            devices,
+            links,
+            reports,
+        } => obj
+            .with("devices", *devices)
+            .with("links", *links)
+            .with("reports", *reports),
     }
 }
 
@@ -519,6 +531,27 @@ pub fn trace_record_from_json(json: &Json) -> Option<TraceRecord> {
         "warm-fallback" => TraceEvent::WarmFallback {
             mismatches: json.get("mismatches").as_u64()?,
             threshold: json.get("threshold").as_u64()?,
+        },
+        "fm-claim" => TraceEvent::FmClaim {
+            dsn: json.get("dsn").as_u64()?,
+            priority: json.get("priority").as_u64()? as u8,
+        },
+        "fm-yield" => TraceEvent::FmYield {
+            dsn: json.get("dsn").as_u64()?,
+            to: json.get("to").as_u64()?,
+        },
+        "fm-elected" => TraceEvent::FmElected {
+            primary: json.get("primary").as_u64()?,
+            fms: json.get("fms").as_u64()? as u32,
+        },
+        "fm-failover" => TraceEvent::FmFailover {
+            dsn: json.get("dsn").as_u64()?,
+            misses: json.get("misses").as_u64()? as u32,
+        },
+        "merge-complete" => TraceEvent::MergeComplete {
+            devices: json.get("devices").as_u64()?,
+            links: json.get("links").as_u64()?,
+            reports: json.get("reports").as_u64()? as u32,
         },
         _ => return None,
     };
@@ -869,6 +902,42 @@ mod tests {
                     threshold: 4,
                 },
             ),
+            rec(
+                20,
+                TraceEvent::FmClaim {
+                    dsn: 0xa51_0000_0001,
+                    priority: 200,
+                },
+            ),
+            rec(
+                21,
+                TraceEvent::FmYield {
+                    dsn: 0xa51_0000_0009,
+                    to: 0xa51_0000_0002,
+                },
+            ),
+            rec(
+                22,
+                TraceEvent::FmElected {
+                    primary: 0xa51_0000_0001,
+                    fms: 4,
+                },
+            ),
+            rec(
+                23,
+                TraceEvent::FmFailover {
+                    dsn: 0xa51_0000_0002,
+                    misses: 3,
+                },
+            ),
+            rec(
+                24,
+                TraceEvent::MergeComplete {
+                    devices: 128,
+                    links: 240,
+                    reports: 3,
+                },
+            ),
         ]
     }
 
@@ -949,9 +1018,9 @@ mod tests {
         assert_eq!(s.count("request-injected"), 1);
         assert_eq!(s.count("pi5-emitted"), 1);
         assert_eq!(s.count("no-such-kind"), 0);
-        assert_eq!(s.counts.values().sum::<u64>(), 20);
+        assert_eq!(s.counts.values().sum::<u64>(), 25);
         assert_eq!(s.first, Some(SimTime::ZERO));
-        assert_eq!(s.last, Some(SimTime::from_ps(19)));
+        assert_eq!(s.last, Some(SimTime::from_ps(24)));
         assert_eq!(s.max_pending, 3);
         assert_eq!(s.fm_busy, SimDuration::from_ps(1500));
         assert_eq!(s.fm_idle, SimDuration::from_ps(2500));

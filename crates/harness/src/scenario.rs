@@ -620,6 +620,191 @@ pub fn distributed_discovery(
     )
 }
 
+/// Result of an election-based sharded discovery ([`sharded_discovery`]).
+#[derive(Clone, Debug)]
+pub struct ShardedOutcome {
+    /// Time from the election kick-off to the primary's final merged
+    /// database (election window included).
+    pub merged_time: asi_sim::SimDuration,
+    /// Devices in the merged database.
+    pub devices: usize,
+    /// Links in the merged database.
+    pub links: usize,
+    /// Canonical-snapshot checksum stamped by the merge certificate.
+    pub checksum: u64,
+    /// Boundary devices ceded to a rival, summed over every manager.
+    pub boundary_conflicts: u64,
+    /// Primary failovers over the whole run (0 unless the primary died).
+    pub failovers: u32,
+    /// The primary's merge tail: end of its own exploration to the
+    /// merged database becoming final.
+    pub merge_time: asi_sim::SimDuration,
+    /// Devices each manager explored itself (primary first).
+    pub per_fm_devices: Vec<usize>,
+}
+
+/// Runs a fully distributed sharded discovery: `fm_count` managers
+/// elect a primary over PI-9 (claim broadcast, fixed election window,
+/// deterministic local resolution), partition the fabric with
+/// claim-and-hold ownership writes, and stream their regions to the
+/// elected primary, which certifies the merged database
+/// ([`asi_core::certify_merge`]).
+///
+/// Unlike [`distributed_discovery`], no roles are pre-assigned — only
+/// the peer routes are (the fabric would normally flood-learn them).
+/// The first endpoint advertises the highest election priority, so the
+/// winner is deterministic; the runner-up arms standby keepalives and
+/// takes over if the primary dies mid-run. With `fm_count == 1` the
+/// lone manager elects itself and the run degenerates to a classic
+/// single-FM discovery through the same code path.
+pub fn sharded_discovery(
+    topo: &Topology,
+    fm_count: usize,
+    scenario: &Scenario,
+) -> (Fabric, DevId, ShardedOutcome) {
+    use asi_core::{certify_merge, DistributedConfig, TOKEN_START_ELECTION};
+    use asi_topo::shortest_route;
+
+    assert!(fm_count >= 1, "need at least one manager");
+    let endpoints = topo.endpoints();
+    assert!(
+        endpoints.len() >= fm_count,
+        "not enough endpoints for {fm_count} managers"
+    );
+    // Manager endpoints spread evenly over the endpoint list; the first
+    // endpoint runs the highest-priority candidate.
+    let mut fm_nodes: Vec<NodeId> = vec![endpoints[0]];
+    for i in 1..fm_count {
+        fm_nodes.push(endpoints[i * (endpoints.len() - 1) / (fm_count - 1).max(1)]);
+    }
+    {
+        let mut uniq = fm_nodes.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), fm_count, "manager endpoints collide");
+    }
+
+    let mut fabric = Fabric::new(topo, scenario.fabric_config());
+    fabric.set_event_limit(2_000_000_000);
+    fabric.set_trace(scenario.trace.clone(), QUEUE_SAMPLE_EVERY);
+    fabric.activate_all(SimDuration::ZERO);
+    run_bringup(&mut fabric, &scenario.faults);
+
+    // Pairwise peer routes and the election window: every claim must
+    // cross the fabric before any window closes, so pad the default by
+    // a generous per-hop budget.
+    let mut max_hops = 0usize;
+    let mut peer_routes: Vec<Vec<(u64, u8, asi_proto::TurnPool)>> = Vec::new();
+    for (i, &a) in fm_nodes.iter().enumerate() {
+        let mut peers = Vec::new();
+        for (j, &b) in fm_nodes.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            let route = shortest_route(topo, a, b).expect("connected fabric");
+            max_hops = max_hops.max(route.hops.len());
+            let pool = route
+                .encode(topo, asi_proto::MAX_POOL_BITS)
+                .expect("route fits extended pool");
+            peers.push((dsn_of_dev(DevId(b.0)), route.source_port, pool));
+        }
+        peer_routes.push(peers);
+    }
+    let window =
+        DistributedConfig::new(0).election_window + SimDuration::from_us(1) * (max_hops as u64);
+
+    // Each manager's request timeout scales with the region it will
+    // actually explore (~1/fm_count of the fabric), not the whole
+    // fabric.
+    let region = topo.node_count().div_ceil(fm_count);
+    let fm_cfg = scenario.fm_config(region).with_auto_rediscover(false);
+    for (i, &node) in fm_nodes.iter().enumerate() {
+        let mut dc = DistributedConfig::new((fm_count - i) as u8).with_election_window(window);
+        for (dsn, egress, pool) in &peer_routes[i] {
+            dc = dc.with_peer(*dsn, *egress, pool.clone());
+        }
+        fabric.set_agent(
+            DevId(node.0),
+            Box::new(FmAgent::new(fm_cfg.clone().with_distributed_config(dc))),
+        );
+    }
+
+    // Kick every candidate at (nearly) the same instant.
+    let start = SimDuration::from_us(1);
+    let start_at = fabric.now() + start;
+    for &node in &fm_nodes {
+        fabric.schedule_agent_timer(DevId(node.0), start, TOKEN_START_ELECTION);
+    }
+
+    // Run until some manager holds the merged database — normally the
+    // elected primary, but after a failover the promoted secondary.
+    let deadline = fabric.now() + SimDuration::from_ms(30_000);
+    let holder = loop {
+        let holder = fm_nodes.iter().copied().find(|&n| {
+            fabric
+                .agent_as::<FmAgent>(DevId(n.0))
+                .is_some_and(|a| a.distributed_finished_at.is_some())
+        });
+        if let Some(n) = holder {
+            break DevId(n.0);
+        }
+        assert!(
+            fabric.step(),
+            "fabric idle before the sharded merge completed"
+        );
+        assert!(fabric.now() < deadline, "sharded discovery stalled");
+    };
+    // Drain trailing packets for a bounded window: a healthy standby
+    // secondary keeps watching the primary forever, so the fabric never
+    // goes idle on its own.
+    let drain = fabric.now() + SimDuration::from_ms(1);
+    fabric.run_until(drain);
+
+    let (merged_time, devices, links, checksum, merge_time) = {
+        let agent = fabric.agent_as::<FmAgent>(holder).expect("primary");
+        let finished = agent.distributed_finished_at.expect("checked");
+        let db = agent.db().expect("merged database");
+        let cert = certify_merge(db).expect("merged database certifies");
+        let merge_time = agent
+            .last_run()
+            .map(|r| r.merge_time)
+            .unwrap_or(SimDuration::ZERO);
+        (
+            finished.saturating_since(start_at),
+            cert.devices as usize,
+            cert.links as usize,
+            cert.checksum,
+            merge_time,
+        )
+    };
+    let mut boundary_conflicts = 0;
+    let mut failovers = 0;
+    let mut per_fm_devices = Vec::new();
+    for &node in &fm_nodes {
+        let run = fabric
+            .agent_as::<FmAgent>(DevId(node.0))
+            .and_then(|a| a.last_run());
+        boundary_conflicts += run.map(|r| r.boundary_conflicts).unwrap_or(0);
+        failovers += run.map(|r| r.failovers).unwrap_or(0);
+        per_fm_devices.push(run.map(|r| r.devices_found).unwrap_or(0));
+    }
+
+    (
+        fabric,
+        holder,
+        ShardedOutcome {
+            merged_time,
+            devices,
+            links,
+            checksum,
+            boundary_conflicts,
+            failovers,
+            merge_time,
+            per_fm_devices,
+        },
+    )
+}
+
 /// One repetition of the paper's change experiment: bring up the fabric,
 /// discover, inject a random switch removal **or** addition, re-discover.
 /// Returns `(assimilation run, active nodes after the change)`.
@@ -709,6 +894,49 @@ mod tests {
         assert_eq!(run.verify_mismatches, 0);
         assert!(!run.warm_fallback);
         assert_eq!(bench.db().device_count(), 18);
+    }
+
+    #[test]
+    fn request_timeout_scales_with_the_per_manager_region() {
+        let s = Scenario::new(Algorithm::Parallel);
+        // Whole-fabric scaling: 512 devices quadruple the base timeout.
+        assert_eq!(s.scaled_request_timeout(512), s.request_timeout * 4);
+        // A manager exploring half of that fabric must get the timeout
+        // for *its region*, not the whole fabric.
+        assert_eq!(
+            s.scaled_request_timeout(512usize.div_ceil(2)),
+            s.request_timeout * 2
+        );
+        // Paper-scale fabrics keep the configured base exactly.
+        assert_eq!(s.scaled_request_timeout(64), s.request_timeout);
+    }
+
+    #[test]
+    fn sharded_discovery_elects_and_merges_the_full_fabric() {
+        let g = mesh(4, 4);
+        let s = Scenario::new(Algorithm::Parallel);
+        let (_fabric, primary, out) = sharded_discovery(&g.topology, 3, &s);
+        // The first endpoint advertises the highest priority: it wins.
+        assert_eq!(primary, DevId(g.topology.endpoints()[0].0));
+        assert_eq!(out.devices, 32);
+        assert!(out.links > 0);
+        assert_eq!(out.failovers, 0);
+        assert_eq!(out.per_fm_devices.len(), 3);
+        // Every device was explored by someone; overlap at shard
+        // boundaries is expected and shows up as ceded devices.
+        assert!(out.per_fm_devices.iter().sum::<usize>() >= 32);
+        assert!(out.merged_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sharded_discovery_with_one_manager_degenerates_to_classic() {
+        let g = mesh(3, 3);
+        let s = Scenario::new(Algorithm::Parallel);
+        let (_fabric, _primary, out) = sharded_discovery(&g.topology, 1, &s);
+        assert_eq!(out.devices, 18);
+        assert_eq!(out.boundary_conflicts, 0);
+        assert_eq!(out.per_fm_devices, vec![18]);
+        assert_eq!(out.merge_time, SimDuration::ZERO);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! the same grids from the command line.
 
 use crate::json::Json;
-use crate::scenario::{change_experiment, Bench, Scenario};
+use crate::scenario::{change_experiment, sharded_discovery, Bench, Scenario};
 use asi_core::{snapshot_db, Algorithm, DiscoveryRun, RetryPolicy};
 use asi_fabric::{FaultPlan, LossModel};
 use asi_sim::{OnlineStats, SimDuration};
@@ -88,6 +88,12 @@ pub struct SweepSpec {
     /// Warm cells always measure the initial run (the change modes stay
     /// cold-only).
     pub warm_axis: bool,
+    /// Fabric-manager counts to sweep. `1` runs the classic single-FM
+    /// bench; larger values run an election-based sharded discovery
+    /// ([`sharded_discovery`]) and fill the `fms`, `boundary_conflicts`,
+    /// `failovers` and `merge_time_s` columns. The default `[1]` leaves
+    /// every grid exactly as before.
+    pub fm_counts: Vec<usize>,
 }
 
 impl SweepSpec {
@@ -108,6 +114,7 @@ impl SweepSpec {
             retry: RetryPolicy::default(),
             request_timeout: SimDuration::from_ms(5),
             warm_axis: false,
+            fm_counts: vec![1],
         }
     }
 
@@ -188,6 +195,9 @@ impl SweepSpec {
         );
         spec.algorithms = vec![Algorithm::Parallel];
         spec.seed_base = 0x5CA_1E00;
+        // The distributed-discovery speedup curve: every scale topology
+        // measured single-FM and sharded across 2 and 4 managers.
+        spec.fm_counts = vec![1, 2, 4];
         spec
     }
 
@@ -233,24 +243,31 @@ impl SweepSpec {
     }
 
     /// Materialises the grid in its canonical order: algorithms outer,
-    /// then topologies, then cold-before-warm, then repetitions.
-    /// Everything downstream (worker scheduling, result merging,
-    /// aggregation) keys off this order.
+    /// then topologies, then cold-before-warm, then manager counts,
+    /// then repetitions. Everything downstream (worker scheduling,
+    /// result merging, aggregation) keys off this order.
     pub fn cells(&self) -> Vec<Cell> {
         let mut cells = Vec::with_capacity(
-            self.algorithms.len() * self.topologies.len() * self.warm_modes().len() * self.reps,
+            self.algorithms.len()
+                * self.topologies.len()
+                * self.warm_modes().len()
+                * self.fm_counts.len()
+                * self.reps,
         );
         for &algorithm in &self.algorithms {
             for &topology in &self.topologies {
                 for &warm in self.warm_modes() {
-                    for rep in 0..self.reps {
-                        cells.push(Cell {
-                            topology,
-                            algorithm,
-                            warm,
-                            rep,
-                            seed: self.cell_seed(topology, rep),
-                        });
+                    for &fms in &self.fm_counts {
+                        for rep in 0..self.reps {
+                            cells.push(Cell {
+                                topology,
+                                algorithm,
+                                warm,
+                                fms,
+                                rep,
+                                seed: self.cell_seed(topology, rep),
+                            });
+                        }
                     }
                 }
             }
@@ -268,6 +285,8 @@ pub struct Cell {
     pub algorithm: Algorithm,
     /// Whether this cell measures the snapshot-seeded warm start.
     pub warm: bool,
+    /// Fabric managers running the discovery (1 = classic bench).
+    pub fms: usize,
     /// Repetition ordinal within the (topology, algorithm) pair.
     pub rep: usize,
     /// Derived RNG seed (see [`SweepSpec::cell_seed`]).
@@ -334,6 +353,15 @@ pub struct CellResult {
     pub verify_mismatches: u64,
     /// Warm runs: whether the run fell back to a full cold discovery.
     pub warm_fallback: bool,
+    /// Fabric managers that ran the discovery (1 = classic bench).
+    pub fms: usize,
+    /// Sharded runs: boundary devices ceded to a rival, summed over
+    /// every manager.
+    pub boundary_conflicts: u64,
+    /// Sharded runs: primary failovers during the cell.
+    pub failovers: u32,
+    /// Sharded runs: the primary's merge tail (seconds).
+    pub merge_time_s: f64,
 }
 
 /// Per-(topology, algorithm) summary over the repetitions.
@@ -347,6 +375,8 @@ pub struct Aggregate {
     pub algorithm: &'static str,
     /// True for the warm-start row of a warm-axis grid.
     pub warm: bool,
+    /// Fabric-manager count of this row (1 = classic bench).
+    pub fms: usize,
     /// Completed repetitions aggregated.
     pub completed: usize,
     /// Mean discovery time over completed reps (seconds).
@@ -389,6 +419,9 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
         .with_retry(spec.retry)
         .with_request_timeout(spec.request_timeout)
         .with_seed(cell.seed);
+    if cell.fms > 1 {
+        return run_sharded_cell(cell, &topo, &scenario);
+    }
     // Fault and change cells run their fabric inside the scenario
     // helpers without surfacing it, so their simulator event count
     // reports as zero.
@@ -450,6 +483,10 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             probes_verified: run.probes_verified,
             verify_mismatches: run.verify_mismatches,
             warm_fallback: run.warm_fallback,
+            fms: 1,
+            boundary_conflicts: 0,
+            failovers: 0,
+            merge_time_s: 0.0,
         },
         None => CellResult {
             topology: cell.topology.name(),
@@ -477,7 +514,57 @@ fn run_cell(spec: &SweepSpec, cell: &Cell) -> CellResult {
             probes_verified: 0,
             verify_mismatches: 0,
             warm_fallback: false,
+            fms: 1,
+            boundary_conflicts: 0,
+            failovers: 0,
+            merge_time_s: 0.0,
         },
+    }
+}
+
+/// Executes one sharded (multi-manager) cell: an election-based
+/// distributed discovery whose headline time is the interval from the
+/// election kick-off to the certified merged database. The request and
+/// byte columns describe the elected primary's own exploration; the
+/// device/link counts describe the merged view.
+fn run_sharded_cell(cell: &Cell, topo: &asi_topo::Topology, scenario: &Scenario) -> CellResult {
+    let (fabric, primary, out) = sharded_discovery(topo, cell.fms, scenario);
+    let active = fabric.active_reachable(primary).len();
+    let run = fabric
+        .agent_as::<asi_core::FmAgent>(primary)
+        .and_then(|a| a.last_run())
+        .cloned();
+    let run = run.expect("sharded primary recorded a run");
+    CellResult {
+        topology: cell.topology.name(),
+        total_devices: cell.topology.total_devices(),
+        algorithm: cell.algorithm.name(),
+        warm: cell.warm,
+        rep: cell.rep,
+        seed: cell.seed,
+        completed: true,
+        active_nodes: active,
+        discovery_time_s: out.merged_time.as_secs_f64(),
+        devices_found: out.devices,
+        links_found: out.links,
+        requests: run.requests_sent,
+        responses: run.responses_received,
+        timeouts: run.timeouts,
+        retries: run.retries,
+        abandoned: run.abandoned,
+        peak_outstanding: run.peak_outstanding,
+        sim_events: fabric.events_processed(),
+        bytes_sent: run.bytes_sent,
+        bytes_received: run.bytes_received,
+        mean_fm_processing_us: run.mean_fm_processing().as_micros_f64(),
+        fm_utilization: run.fm_utilization(),
+        probes_verified: run.probes_verified,
+        verify_mismatches: run.verify_mismatches,
+        warm_fallback: run.warm_fallback,
+        fms: cell.fms,
+        boundary_conflicts: out.boundary_conflicts,
+        failovers: out.failovers,
+        merge_time_s: out.merge_time.as_secs_f64(),
     }
 }
 
@@ -535,55 +622,59 @@ fn aggregate(spec: &SweepSpec, cells: &[CellResult]) -> Vec<Aggregate> {
     for &algorithm in &spec.algorithms {
         for &topology in &spec.topologies {
             for &warm in spec.warm_modes() {
-                let name = topology.name();
-                let mut stats = OnlineStats::new();
-                let mut requests = 0u64;
-                let mut timeouts = 0u64;
-                let mut retries = 0u64;
-                let mut completed = 0usize;
-                let mut full_topology = 0usize;
-                for c in cells {
-                    if c.algorithm == algorithm.name()
-                        && c.topology == name
-                        && c.warm == warm
-                        && c.completed
-                    {
-                        stats.push(c.discovery_time_s);
-                        requests += c.requests;
-                        timeouts += c.timeouts;
-                        retries += c.retries;
-                        completed += 1;
-                        if c.devices_found == c.total_devices {
-                            full_topology += 1;
+                for &fms in &spec.fm_counts {
+                    let name = topology.name();
+                    let mut stats = OnlineStats::new();
+                    let mut requests = 0u64;
+                    let mut timeouts = 0u64;
+                    let mut retries = 0u64;
+                    let mut completed = 0usize;
+                    let mut full_topology = 0usize;
+                    for c in cells {
+                        if c.algorithm == algorithm.name()
+                            && c.topology == name
+                            && c.warm == warm
+                            && c.fms == fms
+                            && c.completed
+                        {
+                            stats.push(c.discovery_time_s);
+                            requests += c.requests;
+                            timeouts += c.timeouts;
+                            retries += c.retries;
+                            completed += 1;
+                            if c.devices_found == c.total_devices {
+                                full_topology += 1;
+                            }
                         }
                     }
+                    out.push(Aggregate {
+                        topology: name,
+                        total_devices: topology.total_devices(),
+                        algorithm: algorithm.name(),
+                        warm,
+                        fms,
+                        completed,
+                        mean_time_s: if completed == 0 { 0.0 } else { stats.mean() },
+                        min_time_s: if completed == 0 { 0.0 } else { stats.min() },
+                        max_time_s: if completed == 0 { 0.0 } else { stats.max() },
+                        mean_requests: if completed == 0 {
+                            0.0
+                        } else {
+                            requests as f64 / completed as f64
+                        },
+                        mean_timeouts: if completed == 0 {
+                            0.0
+                        } else {
+                            timeouts as f64 / completed as f64
+                        },
+                        mean_retries: if completed == 0 {
+                            0.0
+                        } else {
+                            retries as f64 / completed as f64
+                        },
+                        full_topology,
+                    });
                 }
-                out.push(Aggregate {
-                    topology: name,
-                    total_devices: topology.total_devices(),
-                    algorithm: algorithm.name(),
-                    warm,
-                    completed,
-                    mean_time_s: if completed == 0 { 0.0 } else { stats.mean() },
-                    min_time_s: if completed == 0 { 0.0 } else { stats.min() },
-                    max_time_s: if completed == 0 { 0.0 } else { stats.max() },
-                    mean_requests: if completed == 0 {
-                        0.0
-                    } else {
-                        requests as f64 / completed as f64
-                    },
-                    mean_timeouts: if completed == 0 {
-                        0.0
-                    } else {
-                        timeouts as f64 / completed as f64
-                    },
-                    mean_retries: if completed == 0 {
-                        0.0
-                    } else {
-                        retries as f64 / completed as f64
-                    },
-                    full_topology,
-                });
             }
         }
     }
@@ -630,6 +721,10 @@ impl CellResult {
             .with("probes_verified", self.probes_verified)
             .with("verify_mismatches", self.verify_mismatches)
             .with("warm_fallback", self.warm_fallback)
+            .with("fms", self.fms)
+            .with("boundary_conflicts", self.boundary_conflicts)
+            .with("failovers", self.failovers)
+            .with("merge_time_s", self.merge_time_s)
     }
 }
 
@@ -641,6 +736,7 @@ impl Aggregate {
             .with("total_devices", self.total_devices)
             .with("algorithm", self.algorithm)
             .with("warm", self.warm)
+            .with("fms", self.fms)
             .with("completed", self.completed)
             .with("mean_time_s", self.mean_time_s)
             .with("min_time_s", self.min_time_s)
@@ -679,11 +775,12 @@ impl SweepResult {
              timeouts,retries,abandoned,peak_outstanding,sim_events,\
              bytes_sent,bytes_received,\
              mean_fm_processing_us,fm_utilization,probes_verified,\
-             verify_mismatches,warm_fallback\n",
+             verify_mismatches,warm_fallback,fms,boundary_conflicts,\
+             failovers,merge_time_s\n",
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 csv_field(&c.topology),
                 c.total_devices,
                 csv_field(c.algorithm),
@@ -708,7 +805,11 @@ impl SweepResult {
                 c.fm_utilization,
                 c.probes_verified,
                 c.verify_mismatches,
-                c.warm_fallback
+                c.warm_fallback,
+                c.fms,
+                c.boundary_conflicts,
+                c.failovers,
+                c.merge_time_s
             ));
         }
         out
@@ -717,13 +818,14 @@ impl SweepResult {
     /// Aggregates as a human-readable text table.
     pub fn to_text(&self) -> String {
         let mut out = format!(
-            "sweep {} ({} cells, change={})\n{:<16} {:<16} {:<5} {:>5} {:>14} {:>14} {:>12}\n",
+            "sweep {} ({} cells, change={})\n{:<16} {:<16} {:<5} {:>3} {:>5} {:>14} {:>14} {:>12}\n",
             self.name,
             self.cells.len(),
             self.change,
             "topology",
             "algorithm",
             "mode",
+            "fms",
             "reps",
             "mean",
             "max",
@@ -731,10 +833,11 @@ impl SweepResult {
         );
         for a in &self.aggregates {
             out.push_str(&format!(
-                "{:<16} {:<16} {:<5} {:>5} {:>12.3}ms {:>12.3}ms {:>12.1}\n",
+                "{:<16} {:<16} {:<5} {:>3} {:>5} {:>12.3}ms {:>12.3}ms {:>12.1}\n",
                 a.topology,
                 a.algorithm,
                 if a.warm { "warm" } else { "cold" },
+                a.fms,
                 a.completed,
                 a.mean_time_s * 1e3,
                 a.max_time_s * 1e3,
@@ -843,9 +946,10 @@ mod tests {
         let spec = SweepSpec::scale(false);
         assert_eq!(spec.algorithms, vec![Algorithm::Parallel]);
         assert_eq!(spec.topologies, Table1::scale());
-        assert_eq!(spec.cells().len(), Table1::scale().len());
+        assert_eq!(spec.fm_counts, vec![1, 2, 4]);
+        assert_eq!(spec.cells().len(), Table1::scale().len() * 3);
         let quick = SweepSpec::scale(true);
-        assert_eq!(quick.cells().len(), 3);
+        assert_eq!(quick.cells().len(), 9);
         for t in &quick.topologies {
             assert!(
                 Table1::scale().contains(t) || *t == Table1::Irregular(256),
@@ -853,6 +957,43 @@ mod tests {
                 t.name()
             );
         }
+    }
+
+    #[test]
+    fn fm_axis_shards_speed_up_and_stay_deterministic() {
+        let mut spec = SweepSpec::new("fm-axis", vec![Table1::Mesh(8)]);
+        spec.algorithms = vec![Algorithm::Parallel];
+        spec.fm_counts = vec![1, 2];
+        let sequential = run(&spec, 1);
+        assert_eq!(sequential.cells.len(), 2);
+        let (solo, duo) = (&sequential.cells[0], &sequential.cells[1]);
+        assert_eq!(solo.fms, 1);
+        assert_eq!(duo.fms, 2);
+        // Both find the whole fabric; the sharded cell carries the
+        // distributed columns.
+        assert_eq!(solo.devices_found, solo.total_devices);
+        assert_eq!(duo.devices_found, duo.total_devices);
+        assert_eq!(solo.merge_time_s, 0.0);
+        assert!(duo.merge_time_s > 0.0, "primary merged a report stream");
+        assert_eq!(duo.failovers, 0);
+        // The speedup gate: two managers beat one on a 128-device mesh.
+        assert!(
+            duo.discovery_time_s < solo.discovery_time_s,
+            "sharded {} vs solo {}",
+            duo.discovery_time_s,
+            solo.discovery_time_s
+        );
+        // One aggregate row per manager count, byte-identical at any
+        // worker count.
+        assert_eq!(sequential.aggregates.len(), 2);
+        assert_eq!(sequential.aggregates[1].fms, 2);
+        assert_eq!(sequential.aggregates[1].full_topology, 1);
+        let parallel = run(&spec, 4);
+        assert_eq!(
+            sequential.to_json().to_string_pretty(),
+            parallel.to_json().to_string_pretty()
+        );
+        assert_eq!(sequential.to_csv(), parallel.to_csv());
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! serialization fidelity is testable without paying encode costs on the
 //! hot path.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod header;

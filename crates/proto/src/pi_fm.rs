@@ -6,10 +6,14 @@
 //!
 //! Wire shapes:
 //!
-//! - [`FmMessage::Hello`] — a collaborator announcing itself (election
-//!   claims ride here too);
-//! - [`FmMessage::Device`] — one discovered device: general info plus its
-//!   port attribute blocks;
+//! - [`FmMessage::Hello`] — a collaborator announcing itself;
+//! - [`FmMessage::Claim`] — an election claim: "I want to be primary
+//!   with this priority";
+//! - [`FmMessage::Elected`] — an election outcome announcement;
+//! - [`FmMessage::Yield`] — a boundary-ownership yield notification;
+//! - [`FmMessage::Device`] — one discovered device: general info plus
+//!   the port attribute blocks the sender actually read (indexed, so a
+//!   partially explored boundary device merges without inventing data);
 //! - [`FmMessage::Link`] — one discovered link;
 //! - [`FmMessage::Complete`] — end of a collaborator's report, with the
 //!   counts the primary uses to detect loss.
@@ -26,12 +30,37 @@ pub enum FmMessage {
         /// Sender's election priority.
         priority: u8,
     },
+    /// An election claim: the sender wants to be (or remain) primary.
+    Claim {
+        /// Claiming manager's DSN (the election tie-breaker).
+        dsn: u64,
+        /// Claimed election priority (higher wins).
+        priority: u8,
+    },
+    /// The sender resolved the election and announces the outcome.
+    Elected {
+        /// DSN of the elected primary.
+        primary: u64,
+        /// Managers whose claims took part in the election.
+        fms: u32,
+    },
+    /// The sender ceded a boundary device's region to a rival manager
+    /// whose ownership claim landed first.
+    Yield {
+        /// The contested device's DSN.
+        dsn: u64,
+        /// DSN of the manager that holds the ownership claim.
+        to: u64,
+    },
     /// One device from the sender's topology database.
     Device {
         /// General information block.
         info: DeviceInfo,
-        /// Port attribute blocks, in port order.
-        ports: Vec<PortInfo>,
+        /// Port attribute blocks the sender has actually read, as
+        /// `(port index, block)` pairs in ascending port order. Ports
+        /// the sender never explored (e.g. on a ceded boundary device)
+        /// are simply absent, so the merge never fabricates port state.
+        ports: Vec<(u16, PortInfo)>,
     },
     /// One link from the sender's topology database.
     Link {
@@ -78,14 +107,20 @@ const OP_HELLO: u8 = 0x10;
 const OP_DEVICE: u8 = 0x11;
 const OP_LINK: u8 = 0x12;
 const OP_COMPLETE: u8 = 0x13;
+const OP_CLAIM: u8 = 0x14;
+const OP_ELECTED: u8 = 0x15;
+const OP_YIELD: u8 = 0x16;
 
 impl FmMessage {
     /// On-wire size in bytes.
     pub fn wire_size(&self) -> usize {
         match self {
             FmMessage::Hello { .. } => 1 + 8 + 1,
+            FmMessage::Claim { .. } => 1 + 8 + 1,
+            FmMessage::Elected { .. } => 1 + 8 + 4,
+            FmMessage::Yield { .. } => 1 + 8 + 8,
             FmMessage::Device { ports, .. } => {
-                1 + 4 * GENERAL_INFO_WORDS as usize + 2 + 4 * ports.len()
+                1 + 4 * GENERAL_INFO_WORDS as usize + 2 + 6 * ports.len()
             }
             FmMessage::Link { .. } => 1 + 9 + 9,
             FmMessage::Complete { .. } => 1 + 8 + 4 + 4,
@@ -100,13 +135,29 @@ impl FmMessage {
                 out.extend_from_slice(&sender.to_be_bytes());
                 out.push(*priority);
             }
+            FmMessage::Claim { dsn, priority } => {
+                out.push(OP_CLAIM);
+                out.extend_from_slice(&dsn.to_be_bytes());
+                out.push(*priority);
+            }
+            FmMessage::Elected { primary, fms } => {
+                out.push(OP_ELECTED);
+                out.extend_from_slice(&primary.to_be_bytes());
+                out.extend_from_slice(&fms.to_be_bytes());
+            }
+            FmMessage::Yield { dsn, to } => {
+                out.push(OP_YIELD);
+                out.extend_from_slice(&dsn.to_be_bytes());
+                out.extend_from_slice(&to.to_be_bytes());
+            }
             FmMessage::Device { info, ports } => {
                 out.push(OP_DEVICE);
                 for w in info.to_words() {
                     out.extend_from_slice(&w.to_be_bytes());
                 }
                 out.extend_from_slice(&(ports.len() as u16).to_be_bytes());
-                for p in ports {
+                for (idx, p) in ports {
+                    out.extend_from_slice(&idx.to_be_bytes());
                     out.extend_from_slice(&p.to_words()[0].to_be_bytes());
                 }
             }
@@ -147,6 +198,21 @@ impl FmMessage {
                 let priority = *take(9, 1)?.first().unwrap();
                 Ok((FmMessage::Hello { sender, priority }, 10))
             }
+            OP_CLAIM => {
+                let dsn = be64(1)?;
+                let priority = *take(9, 1)?.first().unwrap();
+                Ok((FmMessage::Claim { dsn, priority }, 10))
+            }
+            OP_ELECTED => {
+                let primary = be64(1)?;
+                let fms = be32(9)?;
+                Ok((FmMessage::Elected { primary, fms }, 13))
+            }
+            OP_YIELD => {
+                let dsn = be64(1)?;
+                let to = be64(9)?;
+                Ok((FmMessage::Yield { dsn, to }, 17))
+            }
             OP_DEVICE => {
                 let mut words = [0u32; GENERAL_INFO_WORDS as usize];
                 for (i, w) in words.iter_mut().enumerate() {
@@ -159,14 +225,25 @@ impl FmMessage {
                     return Err(FmMessageError::BadPayload);
                 }
                 let mut ports = Vec::with_capacity(nports);
+                let mut last: Option<u16> = None;
                 for i in 0..nports {
-                    let w = be32(off + 2 + 4 * i)?;
+                    let idx = u16::from_be_bytes(take(off + 2 + 6 * i, 2)?.try_into().unwrap());
+                    // Indices must ascend strictly: one block per port,
+                    // in canonical order.
+                    if last.is_some_and(|l| idx <= l) {
+                        return Err(FmMessageError::BadPayload);
+                    }
+                    last = Some(idx);
+                    let w = be32(off + 2 + 6 * i + 2)?;
                     // Port blocks carry 4 words on the wire in PI-4, but
                     // only word 0 holds data; FM exchange sends word 0.
                     let block = [w, 0, 0, 0];
-                    ports.push(PortInfo::from_words(&block).ok_or(FmMessageError::BadPayload)?);
+                    ports.push((
+                        idx,
+                        PortInfo::from_words(&block).ok_or(FmMessageError::BadPayload)?,
+                    ));
                 }
-                Ok((FmMessage::Device { info, ports }, off + 2 + 4 * nports))
+                Ok((FmMessage::Device { info, ports }, off + 2 + 6 * nports))
             }
             OP_LINK => {
                 let a = (be64(1)?, *take(9, 1)?.first().unwrap());
@@ -225,18 +302,91 @@ mod tests {
                 fm_priority: 0,
             },
             ports: (0..16)
-                .map(|i| PortInfo {
-                    state: if i < 5 {
-                        PortState::Active
-                    } else {
-                        PortState::Down
-                    },
-                    link_width: 1,
-                    link_speed: 10,
-                    peer_port: i,
+                .map(|i| {
+                    (
+                        u16::from(i),
+                        PortInfo {
+                            state: if i < 5 {
+                                PortState::Active
+                            } else {
+                                PortState::Down
+                            },
+                            link_width: 1,
+                            link_speed: 10,
+                            peer_port: i,
+                        },
+                    )
                 })
                 .collect(),
         });
+    }
+
+    #[test]
+    fn sparse_device_round_trips() {
+        round_trip(FmMessage::Device {
+            info: DeviceInfo {
+                device_type: DeviceType::Switch,
+                dsn: 9,
+                port_count: 32,
+                max_packet_size: 2048,
+                fm_capable: false,
+                fm_priority: 0,
+            },
+            ports: vec![
+                (
+                    3,
+                    PortInfo {
+                        state: PortState::Active,
+                        link_width: 4,
+                        link_speed: 1,
+                        peer_port: 0,
+                    },
+                ),
+                (
+                    17,
+                    PortInfo {
+                        state: PortState::Active,
+                        link_width: 1,
+                        link_speed: 10,
+                        peer_port: 5,
+                    },
+                ),
+            ],
+        });
+    }
+
+    #[test]
+    fn election_messages_round_trip() {
+        round_trip(FmMessage::Claim {
+            dsn: 0xA000_0000_0007,
+            priority: 3,
+        });
+        round_trip(FmMessage::Elected {
+            primary: 0xA000_0000_0001,
+            fms: 4,
+        });
+        round_trip(FmMessage::Yield {
+            dsn: 0xA000_0000_0042,
+            to: 0xA000_0000_0002,
+        });
+    }
+
+    #[test]
+    fn rejects_non_ascending_port_indices() {
+        let msg = FmMessage::Device {
+            info: DeviceInfo {
+                device_type: DeviceType::Switch,
+                dsn: 2,
+                port_count: 8,
+                max_packet_size: 512,
+                fm_capable: false,
+                fm_priority: 0,
+            },
+            ports: vec![(4, PortInfo::default()), (4, PortInfo::default())],
+        };
+        let mut buf = Vec::new();
+        msg.encode(&mut buf);
+        assert_eq!(FmMessage::decode(&buf), Err(FmMessageError::BadPayload));
     }
 
     #[test]
@@ -280,11 +430,104 @@ mod tests {
                 fm_capable: true,
                 fm_priority: 1,
             },
-            ports: vec![PortInfo::default()],
+            ports: vec![(0, PortInfo::default())],
         };
         let mut buf = Vec::new();
         msg.encode(&mut buf);
         buf[1] = 0; // clobber device type
         assert_eq!(FmMessage::decode(&buf), Err(FmMessageError::BadPayload));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_port() -> impl Strategy<Value = PortInfo> {
+            (0u8..3, any::<u8>(), any::<u8>(), any::<u8>()).prop_map(
+                |(state, link_width, link_speed, peer_port)| PortInfo {
+                    state: match state {
+                        0 => PortState::Down,
+                        1 => PortState::Training,
+                        _ => PortState::Active,
+                    },
+                    link_width,
+                    link_speed,
+                    peer_port,
+                },
+            )
+        }
+
+        fn arb_message() -> impl Strategy<Value = FmMessage> {
+            (
+                0u8..7,
+                any::<u64>(),
+                any::<u64>(),
+                proptest::collection::vec(arb_port(), 0..20),
+            )
+                .prop_map(|(tag, a, b, ports)| match tag {
+                    0 => FmMessage::Hello {
+                        sender: a,
+                        priority: b as u8,
+                    },
+                    1 => FmMessage::Claim {
+                        dsn: a,
+                        priority: b as u8,
+                    },
+                    2 => FmMessage::Elected {
+                        primary: a,
+                        fms: b as u32,
+                    },
+                    3 => FmMessage::Yield { dsn: a, to: b },
+                    4 => FmMessage::Link {
+                        a: (a, (a >> 56) as u8),
+                        b: (b, (b >> 56) as u8),
+                    },
+                    5 => FmMessage::Complete {
+                        sender: a,
+                        devices: b as u32,
+                        links: (b >> 32) as u32,
+                    },
+                    _ => FmMessage::Device {
+                        info: DeviceInfo {
+                            device_type: if a % 2 == 0 {
+                                DeviceType::Switch
+                            } else {
+                                DeviceType::Endpoint
+                            },
+                            dsn: a,
+                            port_count: 500,
+                            max_packet_size: 2048,
+                            fm_capable: b % 2 == 0,
+                            fm_priority: (b >> 8) as u8,
+                        },
+                        ports: ports
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, p)| (i as u16 * 3, p))
+                            .collect(),
+                    },
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn every_message_round_trips(msg in arb_message()) {
+                let mut buf = Vec::new();
+                msg.encode(&mut buf);
+                prop_assert_eq!(buf.len(), msg.wire_size());
+                let (decoded, used) = FmMessage::decode(&buf).unwrap();
+                prop_assert_eq!(used, buf.len());
+                prop_assert_eq!(decoded, msg);
+            }
+
+            #[test]
+            fn every_truncation_is_rejected(msg in arb_message()) {
+                let mut buf = Vec::new();
+                msg.encode(&mut buf);
+                for cut in 0..buf.len() {
+                    prop_assert!(FmMessage::decode(&buf[..cut]).is_err());
+                }
+            }
+        }
     }
 }

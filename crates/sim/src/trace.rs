@@ -213,6 +213,48 @@ pub enum TraceEvent {
         /// Mismatch count at which the snapshot is abandoned.
         threshold: u64,
     },
+    /// A fabric manager sent a PI-9 election claim (`asi-core`).
+    FmClaim {
+        /// Claiming manager's DSN.
+        dsn: u64,
+        /// Claimed election priority.
+        priority: u8,
+    },
+    /// A discovery engine ceded a device's region to a rival manager
+    /// that claimed its ownership register first (`asi-core`).
+    FmYield {
+        /// The contested device's serial number.
+        dsn: u64,
+        /// DSN of the rival manager that holds the ownership claim.
+        to: u64,
+    },
+    /// A fabric manager's election window closed and it resolved the
+    /// ensemble's primary (`asi-core`).
+    FmElected {
+        /// DSN of the elected primary manager.
+        primary: u64,
+        /// Managers that took part in the election (claims seen,
+        /// including the emitter's own).
+        fms: u32,
+    },
+    /// A standby or secondary manager promoted itself after the primary
+    /// stopped answering keepalives (`asi-core`).
+    FmFailover {
+        /// DSN of the manager taking over.
+        dsn: u64,
+        /// Keepalive misses that triggered the takeover.
+        misses: u32,
+    },
+    /// The primary merged the last collaborator report into one
+    /// certified topology database (`asi-core`).
+    MergeComplete {
+        /// Devices in the merged database.
+        devices: u64,
+        /// Links in the merged database.
+        links: u64,
+        /// Collaborator reports merged.
+        reports: u32,
+    },
 }
 
 impl TraceEvent {
@@ -247,6 +289,11 @@ impl TraceEvent {
             TraceEvent::WarmVerified { .. } => "warm-verified",
             TraceEvent::VerifyMismatch { .. } => "verify-mismatch",
             TraceEvent::WarmFallback { .. } => "warm-fallback",
+            TraceEvent::FmClaim { .. } => "fm-claim",
+            TraceEvent::FmYield { .. } => "fm-yield",
+            TraceEvent::FmElected { .. } => "fm-elected",
+            TraceEvent::FmFailover { .. } => "fm-failover",
+            TraceEvent::MergeComplete { .. } => "merge-complete",
         }
     }
 }
@@ -447,6 +494,18 @@ mod tests {
             TraceEvent::WarmFallback {
                 mismatches: 0,
                 threshold: 0,
+            },
+            TraceEvent::FmClaim {
+                dsn: 0,
+                priority: 0,
+            },
+            TraceEvent::FmYield { dsn: 0, to: 0 },
+            TraceEvent::FmElected { primary: 0, fms: 0 },
+            TraceEvent::FmFailover { dsn: 0, misses: 0 },
+            TraceEvent::MergeComplete {
+                devices: 0,
+                links: 0,
+                reports: 0,
             },
         ];
         let kinds: std::collections::BTreeSet<&str> = events.iter().map(|e| e.kind()).collect();

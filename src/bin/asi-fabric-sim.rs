@@ -24,8 +24,8 @@
 use advanced_switching::core::{snapshot_db, Algorithm, RetryPolicy};
 use advanced_switching::fabric::{FaultPlan, LossModel};
 use advanced_switching::harness::{
-    change_experiment, load_snapshot, save_snapshot, save_trace_jsonl, sweep, Bench, Json,
-    RingCollector, Scenario, SnapshotFormat, SweepSpec,
+    change_experiment, load_snapshot, save_snapshot, save_trace_jsonl, sharded_discovery, sweep,
+    Bench, Json, RingCollector, Scenario, SnapshotFormat, SweepSpec,
 };
 use advanced_switching::sim::{SimDuration, SimRng, TraceHandle};
 use advanced_switching::state::{checksum_of, Snapshot, TopologyDelta};
@@ -117,6 +117,9 @@ for any --jobs value):
   --grid fig5|fig6|faults|warmstart|smoke|scale   named grid (default: smoke)
   --quick                      smaller topology set / fewer repetitions
   --jobs <n>                   worker threads (default: all cores)
+  --fms <n>                    override the grid's fabric-manager axis with a
+                               single count (>1 = election-based sharded
+                               discovery — see docs/DISTRIBUTED.md)
   --fm-factor <f>              FM processing speed factor (default 1)
   --device-factor <f>          device processing speed factor (default 1)
   plus any fault option above, applied to every cell
@@ -130,6 +133,8 @@ deterministic counterpart is `sweep --grid scale`; exits 1 when the
 discovery misses devices):
   --topology <spec>            fabric under test (e.g. mesh:64x64)
   --algorithm serial-packet|serial-device|parallel   (default: parallel)
+  --fms <n>                    fabric managers; >1 runs the election-based
+                               sharded discovery with a certified merge
   --seed / --fm-factor / --device-factor / --json as above
 
 snapshot options (cached-topology workflows — see docs/ARCHITECTURE.md):
@@ -427,6 +432,13 @@ fn sweep_main(args: &[String]) {
     if jobs == 0 {
         fail("--jobs must be at least 1");
     }
+    if arg_value(args, "--fms").is_some() {
+        let fms: usize = parse_arg(args, "--fms", 1, "an integer");
+        if fms == 0 {
+            fail("--fms must be at least 1");
+        }
+        spec.fm_counts = vec![fms];
+    }
     let started = std::time::Instant::now();
     let result = sweep::run(&spec, jobs);
     if spec.name == "scale" {
@@ -468,9 +480,18 @@ fn stress_main(args: &[String]) {
     let device_factor: f64 = parse_arg(args, "--device-factor", 1.0, "a number");
     let algorithm = parse_single_algorithm(args, "stress");
     let json = args.iter().any(|a| a == "--json");
+    let trace = trace_out(args);
     let scenario = Scenario::new(algorithm)
         .with_factors(fm_factor, device_factor)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_trace(trace.handle.clone());
+    let fms: usize = parse_arg(args, "--fms", 1, "an integer");
+    if fms == 0 {
+        fail("--fms must be at least 1");
+    }
+    if fms > 1 {
+        return stress_sharded(&topo, fms, &scenario, algorithm, seed, json, &trace);
+    }
     let started = std::time::Instant::now();
     let bench = Bench::start(&topo, &scenario, &[]);
     let wall_time_s = started.elapsed().as_secs_f64();
@@ -515,10 +536,85 @@ fn stress_main(args: &[String]) {
             run.peak_outstanding, run.timeouts,
         );
     }
+    trace.save();
     if !full_topology {
         eprintln!(
             "stress: discovery found {} of {} devices",
             run.devices_found,
+            topo.node_count()
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `stress --fms N`: one election-based sharded discovery. The headline
+/// time is election kick-off to the certified merged database; the
+/// checksum is the merge certificate's canonical-snapshot checksum, so
+/// two runs with the same seed can be compared byte-for-byte on it.
+/// Exits 1 unless the merged database covers the whole fabric.
+fn stress_sharded(
+    topo: &Topology,
+    fms: usize,
+    scenario: &Scenario,
+    algorithm: Algorithm,
+    seed: u64,
+    json: bool,
+    trace: &TraceOut,
+) {
+    let started = std::time::Instant::now();
+    let (fabric, _primary, out) = sharded_discovery(topo, fms, scenario);
+    let wall_time_s = started.elapsed().as_secs_f64();
+    let sim_events = fabric.events_processed();
+    let events_per_sec = if wall_time_s > 0.0 {
+        (sim_events as f64 / wall_time_s) as u64
+    } else {
+        0
+    };
+    let full_topology = out.devices == topo.node_count();
+    if json {
+        let output = Json::object()
+            .with("topology", topo.name.as_str())
+            .with("devices", topo.node_count())
+            .with("algorithm", algorithm.name())
+            .with("seed", seed)
+            .with("fms", fms)
+            .with("full_topology", full_topology)
+            .with("devices_found", out.devices)
+            .with("links_found", out.links)
+            .with("boundary_conflicts", out.boundary_conflicts)
+            .with("failovers", out.failovers)
+            .with("discovery_time_s", out.merged_time.as_secs_f64())
+            .with("merge_time_s", out.merge_time.as_secs_f64())
+            .with("merge_checksum", out.checksum)
+            .with("sim_events", sim_events)
+            .with("wall_time_s", wall_time_s)
+            .with("events_per_sec", events_per_sec);
+        println!("{}", output.to_string_pretty());
+    } else {
+        println!(
+            "stress {} ({} managers): {} of {} devices ({} links) in {:.3}s simulated / {:.2}s wall",
+            topo.name,
+            fms,
+            out.devices,
+            topo.node_count(),
+            out.links,
+            out.merged_time.as_secs_f64(),
+            wall_time_s,
+        );
+        println!(
+            "  {sim_events} sim events, {events_per_sec} events/sec, \
+             {} boundary conflicts, {} failovers, merge tail {:.1}us, checksum {:#x}",
+            out.boundary_conflicts,
+            out.failovers,
+            out.merge_time.as_secs_f64() * 1e6,
+            out.checksum,
+        );
+    }
+    trace.save();
+    if !full_topology {
+        eprintln!(
+            "stress: sharded discovery merged {} of {} devices",
+            out.devices,
             topo.node_count()
         );
         std::process::exit(1);
